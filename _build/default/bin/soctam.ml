@@ -1,0 +1,584 @@
+(* soctam: command-line driver for wrapper/TAM co-optimization.
+
+   Subcommands: info, wrapper, optimize, exhaustive, tables, gen. An SOC
+   is named either by a built-in benchmark (d695, p21241, p31108, p93791)
+   or by a path to a .soc file. *)
+
+let load_soc spec =
+  match Soctam_soc_data.Philips.by_name spec with
+  | Some soc -> Ok soc
+  | None ->
+      if Sys.file_exists spec then begin
+        (* Accept both the one-line .soc dialect and the ITC'02-style
+           hierarchical dialect. *)
+        match Soctam_soc_data.Soc_format.load spec with
+        | Ok soc -> Ok soc
+        | Error flat_err -> (
+            match Soctam_soc_data.Itc02_format.load spec with
+            | Ok soc -> Ok soc
+            | Error itc_err ->
+                Error
+                  (Printf.sprintf
+                     "cannot parse %s (as .soc: %s; as ITC'02 style: %s)"
+                     spec flat_err itc_err))
+      end
+      else
+        Error
+          (Printf.sprintf
+             "%S is neither a built-in SOC (d695, p21241, p31108, p93791) \
+              nor an existing file"
+             spec)
+
+let with_soc spec f =
+  match load_soc spec with
+  | Error msg ->
+      prerr_endline ("soctam: " ^ msg);
+      1
+  | Ok soc -> f soc
+
+(* -- info ---------------------------------------------------------------- *)
+
+let info_cmd spec verbose =
+  with_soc spec (fun soc ->
+      if verbose then Format.printf "%a@." Soctam_model.Soc.pp soc
+      else Format.printf "%a@." Soctam_model.Soc.pp_summary soc;
+      0)
+
+(* -- wrapper ------------------------------------------------------------- *)
+
+let wrapper_cmd spec core_id width layout =
+  with_soc spec (fun soc ->
+      if core_id < 1 || core_id > Soctam_model.Soc.core_count soc then begin
+        prerr_endline "soctam: core id out of range";
+        1
+      end
+      else begin
+        let core = Soctam_model.Soc.core soc (core_id - 1) in
+        Format.printf "%a@." Soctam_model.Core_data.pp core;
+        let design = Soctam_wrapper.Design.design core ~width in
+        Format.printf "%a@." Soctam_wrapper.Design.pp design;
+        if layout then
+          Format.printf "%a@." Soctam_wrapper.Design.pp_layout design;
+        Format.printf "pareto widths (width, time):@.";
+        List.iter
+          (fun (w, t) -> Format.printf "  %3d %8d@." w t)
+          (Soctam_wrapper.Design.pareto_widths core ~max_width:width);
+        Format.printf "max useful width: %d@."
+          (Soctam_wrapper.Design.max_useful_width core);
+        0
+      end)
+
+(* -- optimize ------------------------------------------------------------ *)
+
+let optimize_cmd spec width tams max_tams save_arch =
+  with_soc spec (fun soc ->
+      let table = Soctam_core.Time_table.build soc ~max_width:width in
+      let result, secs =
+        Soctam_util.Timer.time (fun () ->
+            match tams with
+            | Some tams ->
+                Soctam_core.Co_optimize.run_fixed_tams ~table soc
+                  ~total_width:width ~tams
+            | None ->
+                Soctam_core.Co_optimize.run ~max_tams ~table soc
+                  ~total_width:width)
+      in
+      let architecture = result.Soctam_core.Co_optimize.architecture in
+      Format.printf "%a@." Soctam_tam.Architecture.pp architecture;
+      Format.printf
+        "heuristic time %d, final time %d (%s), idle wire-cycles %d, %.2fs@."
+        result.Soctam_core.Co_optimize.heuristic_time
+        result.Soctam_core.Co_optimize.final_time
+        (if result.Soctam_core.Co_optimize.final_proven_optimal then
+           "proven optimal for this partition"
+         else "node budget hit")
+        (Soctam_tam.Architecture.idle_wire_cycles architecture)
+        secs;
+      Format.printf "%a@." Soctam_tam.Cost.pp
+        (Soctam_tam.Cost.estimate soc architecture);
+      let bounds = Soctam_core.Bounds.compute table ~total_width:width in
+      Format.printf
+        "lower bounds: bottleneck %d (core %d), wire volume %d; gap %+.2f%%%s@."
+        bounds.Soctam_core.Bounds.bottleneck
+        (bounds.Soctam_core.Bounds.bottleneck_core + 1)
+        bounds.Soctam_core.Bounds.wire_volume
+        (Soctam_core.Bounds.gap_pct bounds
+           ~time:result.Soctam_core.Co_optimize.final_time)
+        (if
+           Soctam_core.Bounds.saturated bounds
+             ~time:result.Soctam_core.Co_optimize.final_time
+         then " (saturated: more wires or TAMs cannot help)"
+         else "");
+      match save_arch with
+      | None -> 0
+      | Some path -> (
+          match
+            Soctam_tam.Arch_format.save path
+              ~soc_name:soc.Soctam_model.Soc.name architecture
+          with
+          | Ok () ->
+              Format.printf "architecture written to %s@." path;
+              0
+          | Error msg ->
+              prerr_endline ("soctam: " ^ msg);
+              1))
+
+(* -- compare ------------------------------------------------------------- *)
+
+let compare_cmd spec width =
+  with_soc spec (fun soc ->
+      let entries = Soctam_baselines.Compare.run soc ~width in
+      let best = (List.hd entries).Soctam_baselines.Compare.time in
+      Format.printf "architecture comparison at W = %d:@." width;
+      List.iter
+        (fun e ->
+          Format.printf "  %-22s %10d cycles  (%.2fx)  %s@."
+            e.Soctam_baselines.Compare.architecture
+            e.Soctam_baselines.Compare.time
+            (float_of_int e.Soctam_baselines.Compare.time /. float_of_int best)
+            e.Soctam_baselines.Compare.detail)
+        entries;
+      0)
+
+(* -- schedule ------------------------------------------------------------ *)
+
+let glyph core =
+  (* One distinguishable glyph per core id for the Gantt chart. *)
+  let alphabet = "123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  String.make 1 alphabet.[core mod String.length alphabet]
+
+let schedule_cmd spec width budget_pct =
+  with_soc spec (fun soc ->
+      let result = Soctam_core.Co_optimize.run soc ~total_width:width in
+      let architecture = result.Soctam_core.Co_optimize.architecture in
+      let power = Soctam_power.Power_model.estimate soc in
+      let free = Soctam_power.Power_schedule.unconstrained architecture power in
+      let budget =
+        max
+          (Soctam_power.Power_model.max_power power)
+          (free.Soctam_power.Power_schedule.peak_power * budget_pct / 100)
+      in
+      Format.printf
+        "unconstrained: makespan %d, peak power %d@.budget (%d%% of peak, \
+         floored at the hungriest core): %d@.@."
+        free.Soctam_power.Power_schedule.makespan
+        free.Soctam_power.Power_schedule.peak_power budget_pct budget;
+      match
+        Soctam_power.Power_schedule.constrained architecture power ~budget
+      with
+      | Error msg ->
+          prerr_endline ("soctam: " ^ msg);
+          1
+      | Ok sched ->
+          Format.printf "power-capped: makespan %d (%+.2f%%), peak power %d@.@."
+            sched.Soctam_power.Power_schedule.makespan
+            (100.
+            *. float_of_int
+                 (sched.Soctam_power.Power_schedule.makespan
+                 - free.Soctam_power.Power_schedule.makespan)
+            /. float_of_int free.Soctam_power.Power_schedule.makespan)
+            sched.Soctam_power.Power_schedule.peak_power;
+          let items =
+            List.map
+              (fun (s : Soctam_power.Power_schedule.slot) ->
+                {
+                  Soctam_report.Gantt.label = glyph s.Soctam_power.Power_schedule.core;
+                  lane = s.Soctam_power.Power_schedule.tam;
+                  start = s.Soctam_power.Power_schedule.start;
+                  finish = s.Soctam_power.Power_schedule.finish;
+                })
+              sched.Soctam_power.Power_schedule.slots
+          in
+          print_string
+            (Soctam_report.Gantt.render
+               ~lanes:(Array.length architecture.Soctam_tam.Architecture.widths)
+               ~total:sched.Soctam_power.Power_schedule.makespan items);
+          0)
+
+(* -- sweep --------------------------------------------------------------- *)
+
+let sweep_cmd spec from_w to_w step tolerance =
+  with_soc spec (fun soc ->
+      if from_w < 1 || to_w < from_w || step < 1 then begin
+        prerr_endline "soctam: need 1 <= from <= to and step >= 1";
+        1
+      end
+      else begin
+        let widths =
+          let rec loop w acc = if w > to_w then List.rev acc else loop (w + step) (w :: acc) in
+          loop from_w []
+        in
+        let points = Soctam_core.Sweep.run soc ~widths in
+        Format.printf "%a@." Soctam_core.Sweep.pp points;
+        (match Soctam_core.Sweep.knee ~tolerance_pct:tolerance points with
+        | Some knee ->
+            Format.printf
+              "knee: W = %d reaches within %.0f%% of the best time in the \
+               sweep (%d cycles)@."
+              knee.Soctam_core.Sweep.width tolerance
+              knee.Soctam_core.Sweep.time
+        | None -> ());
+        0
+      end)
+
+(* -- anneal -------------------------------------------------------------- *)
+
+let anneal_cmd spec width max_tams iterations seed =
+  with_soc spec (fun soc ->
+      let table = Soctam_core.Time_table.build soc ~max_width:width in
+      let params =
+        {
+          Soctam_anneal.Annealer.default_params with
+          Soctam_anneal.Annealer.iterations;
+          seed = Int64.of_int seed;
+        }
+      in
+      let sa, sa_secs =
+        Soctam_util.Timer.time (fun () ->
+            Soctam_anneal.Annealer.optimize ~params ~table ~total_width:width
+              ~max_tams ())
+      in
+      let pipeline, pipe_secs =
+        Soctam_util.Timer.time (fun () ->
+            Soctam_core.Co_optimize.run ~max_tams ~table soc
+              ~total_width:width)
+      in
+      Format.printf
+        "simulated annealing: %a -> %d cycles (%d/%d moves accepted, %.2fs)@."
+        Soctam_tam.Architecture.pp_partition
+        sa.Soctam_anneal.Annealer.widths sa.Soctam_anneal.Annealer.time
+        sa.Soctam_anneal.Annealer.accepted sa.Soctam_anneal.Annealer.proposed
+        sa_secs;
+      Format.printf "paper pipeline:      %a -> %d cycles (%.2fs)@."
+        Soctam_tam.Architecture.pp_partition
+        pipeline.Soctam_core.Co_optimize.architecture
+          .Soctam_tam.Architecture.widths
+        pipeline.Soctam_core.Co_optimize.final_time pipe_secs;
+      0)
+
+(* -- exhaustive ---------------------------------------------------------- *)
+
+let exhaustive_cmd spec width tams budget =
+  with_soc spec (fun soc ->
+      let table = Soctam_core.Time_table.build soc ~max_width:width in
+      let result, secs =
+        Soctam_util.Timer.time (fun () ->
+            Soctam_core.Exhaustive.run ~time_budget:budget ~table
+              ~total_width:width ~tams ())
+      in
+      Format.printf
+        "exhaustive: partition %a, time %d, %d/%d partitions solved%s, \
+         %d nodes, %.2fs@."
+        Soctam_tam.Architecture.pp_partition
+        result.Soctam_core.Exhaustive.widths
+        result.Soctam_core.Exhaustive.time
+        result.Soctam_core.Exhaustive.partitions_solved
+        result.Soctam_core.Exhaustive.partitions_total
+        (if result.Soctam_core.Exhaustive.complete then ""
+         else " (budget hit, incumbent)")
+        result.Soctam_core.Exhaustive.nodes secs;
+      0)
+
+(* -- tables -------------------------------------------------------------- *)
+
+let tables_cmd ids budget markdown csv =
+  let ids =
+    match ids with [] -> Soctam_report.Experiments.table_ids | ids -> ids
+  in
+  let unknown =
+    List.filter
+      (fun id -> not (List.mem id Soctam_report.Experiments.table_ids))
+      ids
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "soctam: unknown table id(s): %s\navailable: %s\n"
+      (String.concat ", " unknown)
+      (String.concat ", " Soctam_report.Experiments.table_ids);
+    1
+  end
+  else begin
+    let ctx = Soctam_report.Experiments.context ~exhaustive_budget:budget () in
+    let render =
+      if csv then Soctam_report.Texttable.render_csv
+      else if markdown then Soctam_report.Texttable.render_markdown
+      else Soctam_report.Texttable.render
+    in
+    List.iter
+      (fun id ->
+        print_string (render (Soctam_report.Experiments.run ctx id));
+        print_newline ())
+      ids;
+    0
+  end
+
+(* -- verify -------------------------------------------------------------- *)
+
+let verify_cmd spec arch_path =
+  with_soc spec (fun soc ->
+      match Soctam_tam.Arch_format.load arch_path with
+      | Error msg ->
+          prerr_endline ("soctam: " ^ msg);
+          1
+      | Ok parsed -> (
+          (match parsed.Soctam_tam.Arch_format.soc_name with
+          | Some name when name <> soc.Soctam_model.Soc.name ->
+              Format.printf
+                "warning: architecture was saved for SOC %s, verifying \
+                 against %s@."
+                name soc.Soctam_model.Soc.name
+          | Some _ | None -> ());
+          match
+            Soctam_tam.Architecture.make ~soc
+              ~widths:parsed.Soctam_tam.Arch_format.widths
+              ~assignment:parsed.Soctam_tam.Arch_format.assignment
+          with
+          | exception Invalid_argument msg ->
+              Format.printf "INVALID: %s@." msg;
+              1
+          | architecture ->
+              let sim = Soctam_sim.Soc_sim.run soc architecture in
+              let analytical = architecture.Soctam_tam.Architecture.time in
+              let simulated = sim.Soctam_sim.Soc_sim.soc_cycles in
+              Format.printf "%a@." Soctam_tam.Architecture.pp architecture;
+              Format.printf
+                "analytical SOC time %d, simulated %d: %s@.wire utilization \
+                 %.1f%%, idle wire-cycles %d of %d@."
+                analytical simulated
+                (if analytical = simulated then "VERIFIED" else "MISMATCH")
+                (100. *. sim.Soctam_sim.Soc_sim.utilization_in)
+                sim.Soctam_sim.Soc_sim.total_idle_in
+                sim.Soctam_sim.Soc_sim.total_wire_cycles;
+              if analytical = simulated then 0 else 1))
+
+(* -- gen ----------------------------------------------------------------- *)
+
+let gen_cmd profile_name output itc02 =
+  let profile =
+    match profile_name with
+    | "p21241" -> Some Soctam_soc_data.Philips.p21241
+    | "p31108" -> Some Soctam_soc_data.Philips.p31108
+    | "p93791" -> Some Soctam_soc_data.Philips.p93791
+    | _ -> None
+  in
+  match profile with
+  | None ->
+      prerr_endline "soctam: unknown profile (p21241, p31108, p93791)";
+      1
+  | Some profile -> (
+      let soc = Soctam_soc_data.Philips.generate profile in
+      let to_string =
+        if itc02 then Soctam_soc_data.Itc02_format.to_string
+        else Soctam_soc_data.Soc_format.to_string
+      in
+      let save =
+        if itc02 then Soctam_soc_data.Itc02_format.save
+        else Soctam_soc_data.Soc_format.save
+      in
+      match output with
+      | None ->
+          print_string (to_string soc);
+          0
+      | Some path -> (
+          match save path soc with
+          | Ok () ->
+              Format.printf "wrote %s (%a)@." path Soctam_model.Soc.pp_summary
+                soc;
+              0
+          | Error msg ->
+              prerr_endline ("soctam: " ^ msg);
+              1))
+
+(* -- cmdliner wiring ------------------------------------------------------ *)
+
+open Cmdliner
+
+let soc_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SOC" ~doc:"Benchmark name or path to a .soc file.")
+
+let width_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "w"; "width" ] ~docv:"W" ~doc:"Total TAM width.")
+
+let info_term =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"List every core.")
+  in
+  Term.(const info_cmd $ soc_arg $ verbose)
+
+let wrapper_term =
+  let core_id =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "c"; "core" ] ~docv:"N" ~doc:"1-based core number.")
+  in
+  let layout =
+    Arg.(
+      value & flag
+      & info [ "layout" ] ~doc:"Print every wrapper chain's composition.")
+  in
+  Term.(const wrapper_cmd $ soc_arg $ core_id $ width_arg $ layout)
+
+let optimize_term =
+  let tams =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "b"; "tams" ] ~docv:"B" ~doc:"Fix the number of TAMs (P_PAW).")
+  in
+  let max_tams =
+    Arg.(
+      value & opt int 10
+      & info [ "max-tams" ] ~docv:"B" ~doc:"TAM count ceiling for P_NPAW.")
+  in
+  let save_arch =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-arch" ] ~docv:"FILE"
+          ~doc:"Write the resulting architecture to FILE.")
+  in
+  Term.(const optimize_cmd $ soc_arg $ width_arg $ tams $ max_tams $ save_arch)
+
+let compare_term = Term.(const compare_cmd $ soc_arg $ width_arg)
+
+let schedule_term =
+  let budget_pct =
+    Arg.(
+      value & opt int 60
+      & info [ "budget-pct" ] ~docv:"PCT"
+          ~doc:"Power budget as a percentage of the unconstrained peak.")
+  in
+  Term.(const schedule_cmd $ soc_arg $ width_arg $ budget_pct)
+
+let sweep_term =
+  let from_w =
+    Arg.(value & opt int 16 & info [ "from" ] ~docv:"W" ~doc:"First width.")
+  in
+  let to_w =
+    Arg.(value & opt int 64 & info [ "to" ] ~docv:"W" ~doc:"Last width.")
+  in
+  let step =
+    Arg.(value & opt int 8 & info [ "step" ] ~docv:"N" ~doc:"Width step.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 5.
+      & info [ "tolerance" ] ~docv:"PCT" ~doc:"Knee tolerance in percent.")
+  in
+  Term.(const sweep_cmd $ soc_arg $ from_w $ to_w $ step $ tolerance)
+
+let anneal_term =
+  let max_tams =
+    Arg.(
+      value & opt int 10
+      & info [ "max-tams" ] ~docv:"B" ~doc:"TAM count ceiling.")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 100_000
+      & info [ "iterations" ] ~docv:"N" ~doc:"Annealing moves.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  Term.(const anneal_cmd $ soc_arg $ width_arg $ max_tams $ iterations $ seed)
+
+let exhaustive_term =
+  let tams =
+    Arg.(
+      value & opt int 2
+      & info [ "b"; "tams" ] ~docv:"B" ~doc:"Number of TAMs.")
+  in
+  let budget =
+    Arg.(
+      value & opt float 60.
+      & info [ "budget" ] ~docv:"S" ~doc:"Wall-clock budget in seconds.")
+  in
+  Term.(const exhaustive_cmd $ soc_arg $ width_arg $ tams $ budget)
+
+let tables_term =
+  let ids =
+    Arg.(
+      value & opt_all string []
+      & info [ "id" ] ~docv:"ID" ~doc:"Table id (repeatable); default all.")
+  in
+  let budget =
+    Arg.(
+      value & opt float 20.
+      & info [ "budget" ] ~docv:"S"
+          ~doc:"Exhaustive-baseline budget per cell in seconds.")
+  in
+  let markdown =
+    Arg.(
+      value & flag
+      & info [ "markdown" ] ~doc:"Emit GitHub-flavoured markdown tables.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV tables.")
+  in
+  Term.(const tables_cmd $ ids $ budget $ markdown $ csv)
+
+let gen_term =
+  let profile =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROFILE" ~doc:"p21241, p31108 or p93791.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE.")
+  in
+  let itc02 =
+    Arg.(
+      value & flag
+      & info [ "itc02" ] ~doc:"Emit the ITC'02-style hierarchical dialect.")
+  in
+  Term.(const gen_cmd $ profile $ output $ itc02)
+
+let verify_term =
+  let arch_path =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "arch" ] ~docv:"FILE" ~doc:"Architecture file to verify.")
+  in
+  Term.(const verify_cmd $ soc_arg $ arch_path)
+
+let cmd name term doc = Cmd.v (Cmd.info name ~doc) term
+
+let () =
+  let doc = "wrapper/TAM co-optimization for SOC testing (DATE 2002)" in
+  let main =
+    Cmd.group
+      (Cmd.info "soctam" ~version:"1.0.0" ~doc)
+      [
+        cmd "info" info_term "Describe an SOC.";
+        cmd "wrapper" wrapper_term "Design a test wrapper for one core (P_W).";
+        cmd "optimize" optimize_term
+          "Co-optimize the wrapper/TAM architecture (P_PAW / P_NPAW).";
+        cmd "exhaustive" exhaustive_term
+          "Run the exhaustive baseline of [8] (exact solve per partition).";
+        cmd "compare" compare_term
+          "Compare multiplexing, daisychain, distribution and test-bus \
+           architectures.";
+        cmd "schedule" schedule_term
+          "Build a power-constrained test schedule and draw its Gantt chart.";
+        cmd "sweep" sweep_term
+          "Sweep the total TAM width and report the time/pin trade-off.";
+        cmd "anneal" anneal_term
+          "Optimize with simulated annealing and compare to the pipeline.";
+        cmd "tables" tables_term "Regenerate the paper's tables.";
+        cmd "gen" gen_term "Generate a synthetic Philips-profile SOC.";
+        cmd "verify" verify_term
+          "Check a saved architecture against an SOC by simulation.";
+      ]
+  in
+  exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/abort_ordering.ml: Array Format List Printf Soctam_core Soctam_order Soctam_soc_data Soctam_tam

@@ -1,0 +1,1 @@
+examples/abort_ordering.mli:

@@ -1,0 +1,1 @@
+examples/architecture_comparison.mli:

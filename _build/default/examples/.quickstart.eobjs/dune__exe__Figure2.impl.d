@@ -1,0 +1,1 @@
+examples/figure2.ml: Array Printf Soctam_core String

@@ -1,0 +1,1 @@
+examples/pareto_explorer.ml: Array Format List Printf Soctam_core Soctam_model Soctam_soc_data Soctam_wrapper String

@@ -1,0 +1,1 @@
+examples/power_aware.ml: Array Format List Printf Soctam_core Soctam_power Soctam_report Soctam_soc_data Soctam_tam String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Soctam_core Soctam_model Soctam_soc_data Soctam_tam Soctam_wrapper

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Array Int64 List Printf Soctam_core Soctam_ilp Soctam_soc_data Soctam_util

@@ -1,0 +1,1 @@
+examples/soc_files.ml: Array Filename Format Soctam_core Soctam_model Soctam_soc_data Soctam_tam Sys

@@ -1,0 +1,1 @@
+examples/utilization.ml: Array Format List Printf Soctam_core Soctam_sim Soctam_soc_data Soctam_tam

@@ -1,0 +1,49 @@
+(* Production test aborts a die at its first failing core, so the order
+   of tests on each TAM changes the average tester time even though the
+   worst case (the time the co-optimizer minimizes) is fixed. Order
+   short, failure-prone tests first (the classic t/p ratio rule) and
+   watch the expected time drop.
+
+   Run with: dune exec examples/abort_ordering.exe *)
+
+module Ao = Soctam_order.Abort_order
+
+let () =
+  let soc = Soctam_soc_data.D695.soc in
+  (* Two TAMs of five cores each: enough serialization per TAM for the
+     order to matter (with many narrow TAMs most hold a single core). *)
+  let r = Soctam_core.Co_optimize.run_fixed_tams soc ~total_width:16 ~tams:2 in
+  let arch = r.Soctam_core.Co_optimize.architecture in
+  Format.printf "architecture %a, worst-case %d cycles@.@."
+    Soctam_tam.Architecture.pp_partition
+    arch.Soctam_tam.Architecture.widths arch.Soctam_tam.Architecture.time;
+
+  print_endline "expected tester time per die vs defect density:";
+  print_endline "  defect/pattern   P(core fails)      optimal order   naive order   saved";
+  List.iter
+    (fun defect ->
+      let model = Ao.pattern_proportional_yield soc ~defect_per_pattern:defect in
+      let sched = Ao.schedule arch model in
+      (* Naive order: cores in index order per TAM. *)
+      let fails =
+        Array.init 10 (fun core -> model.Ao.fail_probability core)
+      in
+      let naive =
+        Array.to_list arch.Soctam_tam.Architecture.widths
+        |> List.mapi (fun tam _ ->
+               Ao.expected_time ~times:arch.Soctam_tam.Architecture.core_times
+                 ~fails
+                 ~order:
+                   (Array.of_list (Soctam_tam.Architecture.cores_on arch tam)))
+        |> List.fold_left max 0.
+      in
+      let span =
+        let ps = Array.to_list fails in
+        Printf.sprintf "%.3f-%.3f"
+          (List.fold_left min 1. ps)
+          (List.fold_left max 0. ps)
+      in
+      Printf.printf "  %14.5f   %13s   %15.0f   %11.0f   %4.1f%%\n" defect span
+        sched.Ao.expected_cycles naive
+        (100. *. (naive -. sched.Ao.expected_cycles) /. naive))
+    [ 0.00001; 0.0001; 0.001; 0.01 ]

@@ -1,0 +1,26 @@
+(* Why partitioned test buses? Compare the four classic test access
+   architectures - multiplexing, daisychain, distribution, test bus -
+   on d695 across TAM widths. The test bus wins because multiple TAMs
+   match core requirements while keeping bandwidth per core; this is the
+   motivating observation of the paper's introduction.
+
+   Run with: dune exec examples/architecture_comparison.exe *)
+
+let () =
+  let soc = Soctam_soc_data.D695.soc in
+  Format.printf "%a@.@." Soctam_model.Soc.pp_summary soc;
+  Printf.printf "%5s  %-22s %10s  %8s\n" "W" "architecture" "cycles" "vs best";
+  List.iter
+    (fun width ->
+      let entries = Soctam_baselines.Compare.run soc ~width in
+      let best = (List.hd entries).Soctam_baselines.Compare.time in
+      List.iteri
+        (fun i e ->
+          Printf.printf "%5s  %-22s %10d  %7.2fx\n"
+            (if i = 0 then string_of_int width else "")
+            e.Soctam_baselines.Compare.architecture
+            e.Soctam_baselines.Compare.time
+            (float_of_int e.Soctam_baselines.Compare.time /. float_of_int best))
+        entries;
+      print_newline ())
+    [ 16; 32; 64 ]

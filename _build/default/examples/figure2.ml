@@ -1,0 +1,40 @@
+(* The paper's Figure 2 worked example: five cores, three TAMs of widths
+   32, 16 and 8 bits, assigned step by step by Core_assign.
+
+   Run with: dune exec examples/figure2.exe *)
+
+let times =
+  [|
+    (* TAM:     1(32b) 2(16b) 3(8b) *)
+    [| 50; 100; 200 |] (* core 1 *);
+    [| 75; 95; 200 |] (* core 2 *);
+    [| 90; 100; 150 |] (* core 3 *);
+    [| 60; 75; 80 |] (* core 4 *);
+    [| 120; 120; 125 |] (* core 5 *);
+  |]
+
+let widths = [| 32; 16; 8 |]
+
+let () =
+  print_endline "Core testing times (cycles), paper Figure 2 (a):";
+  print_endline "core   32-bit  16-bit  8-bit";
+  Array.iteri
+    (fun i row -> Printf.printf "%4d   %6d  %6d  %5d\n" (i + 1) row.(0) row.(1) row.(2))
+    times;
+  match Soctam_core.Core_assign.run ~times ~widths () with
+  | Soctam_core.Core_assign.Exceeded _ -> assert false
+  | Soctam_core.Core_assign.Assigned { assignment; tam_times; time } ->
+      print_newline ();
+      print_endline "Final assignment, paper Figure 2 (b):";
+      Array.iteri
+        (fun i tam ->
+          Printf.printf "core %d -> TAM %d (%d cycles)\n" (i + 1) (tam + 1)
+            times.(i).(tam))
+        assignment;
+      Printf.printf "TAM times: %s\n"
+        (String.concat ", "
+           (Array.to_list (Array.map string_of_int tam_times)));
+      Printf.printf "SOC testing time: %d cycles\n" time;
+      (* The paper reports loads 180, 200, 200. *)
+      assert (tam_times = [| 180; 200; 200 |]);
+      print_endline "matches the paper: 180 / 200 / 200"

@@ -1,0 +1,38 @@
+(* Wrapper design exploration (problem P_W): how a core's testing time
+   falls as its TAM gets wider, where the Pareto-optimal widths lie, and
+   why assigning more wires than the largest useful width only wastes
+   TAM resources - the effect behind the p31108 saturation in the paper.
+
+   Run with: dune exec examples/pareto_explorer.exe *)
+
+let bar width = String.make (max 1 (width / 400)) '#'
+
+let explore core =
+  Format.printf "@.%a@." Soctam_model.Core_data.pp core;
+  let times = Soctam_wrapper.Design.time_table core ~max_width:24 in
+  Format.printf "  width  time      profile@.";
+  Array.iteri
+    (fun i t -> Format.printf "  %5d  %8d  %s@." (i + 1) t (bar t))
+    times;
+  let pareto = Soctam_wrapper.Design.pareto_widths core ~max_width:24 in
+  Format.printf "  pareto widths: %s@."
+    (String.concat ", "
+       (List.map (fun (w, t) -> Printf.sprintf "%d(%d)" w t) pareto));
+  Format.printf "  max useful width: %d@."
+    (Soctam_wrapper.Design.max_useful_width core)
+
+let () =
+  let soc = Soctam_soc_data.D695.soc in
+  (* A deep scan core, a shallow scan core and a combinational core react
+     very differently to extra TAM wires. *)
+  List.iter
+    (fun id -> explore (Soctam_model.Soc.core soc (id - 1)))
+    [ 5; 8; 1 ];
+  (* The bottleneck core bounds the whole SOC from below. *)
+  let table = Soctam_core.Time_table.build soc ~max_width:32 in
+  let core = Soctam_core.Time_table.bottleneck_core table ~width:32 in
+  Format.printf
+    "@.at W = 32, the SOC testing time can never drop below %d cycles: that \
+     is core %d tested alone on the full-width TAM@."
+    (Soctam_core.Time_table.bottleneck_bound table ~width:32)
+    (core + 1)

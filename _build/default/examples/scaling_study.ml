@@ -1,0 +1,45 @@
+(* Scaling study: how the Core_assign heuristic compares against the
+   exact branch & bound on progressively larger random SOCs - quality
+   gap and speed, the trade-off at the heart of the paper.
+
+   Run with: dune exec examples/scaling_study.exe *)
+
+let study ~cores ~tams ~seed =
+  let rng = Soctam_util.Prng.create seed in
+  let params =
+    { Soctam_soc_data.Random_soc.default_params with cores }
+  in
+  let soc = Soctam_soc_data.Random_soc.generate rng params in
+  let total_width = 8 * tams in
+  let table = Soctam_core.Time_table.build soc ~max_width:total_width in
+  (* A balanced partition keeps the comparison about the assignment. *)
+  let widths = Array.make tams (total_width / tams) in
+  let times = Soctam_core.Time_table.matrix table ~widths in
+  let heur, heur_ms =
+    Soctam_util.Timer.time_ms (fun () ->
+        Soctam_core.Core_assign.run ~times ~widths ())
+  in
+  let heur_time =
+    match heur with
+    | Soctam_core.Core_assign.Assigned { time; _ } -> time
+    | Soctam_core.Core_assign.Exceeded _ -> assert false
+  in
+  let exact, exact_ms =
+    Soctam_util.Timer.time_ms (fun () ->
+        Soctam_ilp.Exact.solve_bb ~widths ~times ())
+  in
+  let gap =
+    100.
+    *. float_of_int (heur_time - exact.Soctam_ilp.Exact.time)
+    /. float_of_int exact.Soctam_ilp.Exact.time
+  in
+  Printf.printf "%5d  %4d  %9d  %9d  %5.2f%%  %8.2f  %8.2f  %9d\n" cores tams
+    heur_time exact.Soctam_ilp.Exact.time gap heur_ms exact_ms
+    exact.Soctam_ilp.Exact.nodes
+
+let () =
+  print_endline
+    "cores  tams     T_heur    T_exact     gap   ms_heur  ms_exact      nodes";
+  List.iter
+    (fun (cores, tams) -> study ~cores ~tams ~seed:(Int64.of_int (cores * 7)))
+    [ (8, 2); (12, 2); (16, 3); (24, 3); (32, 4); (48, 4); (64, 5) ]

@@ -1,0 +1,1 @@
+lib/anneal/annealer.ml: Array Soctam_core Soctam_util

@@ -1,0 +1,1 @@
+lib/anneal/annealer.mli: Soctam_core

@@ -1,0 +1,182 @@
+module Tt = Soctam_core.Time_table
+module Prng = Soctam_util.Prng
+
+type params = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+  seed : int64;
+}
+
+let default_params =
+  { iterations = 100_000; initial_temperature = 0.; cooling = 0.99995; seed = 1L }
+
+type result = {
+  widths : int array;
+  assignment : int array;
+  time : int;
+  accepted : int;
+  proposed : int;
+}
+
+(* Mutable annealing state: widths and assignment as growable arrays
+   capped at max_tams; energy recomputed in O(cores) per evaluation,
+   cheap because times are table lookups. *)
+type state = {
+  mutable tams : int;
+  widths : int array;  (* first [tams] entries meaningful *)
+  assignment : int array;
+}
+
+let energy table st =
+  let loads = Array.make st.tams 0 in
+  Array.iteri
+    (fun core tam ->
+      loads.(tam) <-
+        loads.(tam) + Tt.time table ~core ~width:st.widths.(tam))
+    st.assignment;
+  Soctam_util.Intutil.max_element loads
+
+let copy_state ~max_tams st =
+  {
+    tams = st.tams;
+    widths = Array.sub st.widths 0 max_tams;
+    assignment = Array.copy st.assignment;
+  }
+
+let copy_into ~src ~dst =
+  dst.tams <- src.tams;
+  Array.blit src.widths 0 dst.widths 0 (Array.length src.widths);
+  Array.blit src.assignment 0 dst.assignment 0 (Array.length src.assignment)
+
+(* Moves return false when inapplicable (state unchanged). *)
+
+let move_shift_wire rng st =
+  if st.tams < 2 then false
+  else begin
+    let src = Prng.int rng st.tams in
+    let dst = Prng.int rng st.tams in
+    if src = dst || st.widths.(src) <= 1 then false
+    else begin
+      st.widths.(src) <- st.widths.(src) - 1;
+      st.widths.(dst) <- st.widths.(dst) + 1;
+      true
+    end
+  end
+
+let move_reassign rng st =
+  if st.tams < 2 then false
+  else begin
+    let core = Prng.int rng (Array.length st.assignment) in
+    let tam = Prng.int rng st.tams in
+    if st.assignment.(core) = tam then false
+    else begin
+      st.assignment.(core) <- tam;
+      true
+    end
+  end
+
+let move_split rng ~max_tams st =
+  if st.tams >= max_tams then false
+  else begin
+    let tam = Prng.int rng st.tams in
+    if st.widths.(tam) < 2 then false
+    else begin
+      let moved = 1 + Prng.int rng (st.widths.(tam) - 1) in
+      st.widths.(st.tams) <- moved;
+      st.widths.(tam) <- st.widths.(tam) - moved;
+      (* Cores stay behind; later reassign moves populate the new TAM,
+         but seed it with one random core to make splits useful. *)
+      let core = Prng.int rng (Array.length st.assignment) in
+      st.assignment.(core) <- st.tams;
+      st.tams <- st.tams + 1;
+      true
+    end
+  end
+
+let move_merge rng st =
+  if st.tams < 2 then false
+  else begin
+    let victim = Prng.int rng st.tams in
+    let last = st.tams - 1 in
+    let into = Prng.int rng (st.tams - 1) in
+    (* Swap victim to the end, fold its wires and cores into [into]
+       (indices taken in the post-swap numbering). *)
+    let swap_w = st.widths.(victim) in
+    st.widths.(victim) <- st.widths.(last);
+    st.widths.(last) <- swap_w;
+    Array.iteri
+      (fun core tam ->
+        if tam = victim then st.assignment.(core) <- last
+        else if tam = last then st.assignment.(core) <- victim)
+      st.assignment;
+    st.widths.(into) <- st.widths.(into) + st.widths.(last);
+    Array.iteri
+      (fun core tam -> if tam = last then st.assignment.(core) <- into)
+      st.assignment;
+    st.tams <- st.tams - 1;
+    true
+  end
+
+let optimize ?(params = default_params) ~table ~total_width ~max_tams () =
+  if Tt.max_width table < total_width then
+    invalid_arg "Annealer.optimize: table narrower than total width";
+  if max_tams < 1 then invalid_arg "Annealer.optimize: max_tams must be >= 1";
+  let cores = Tt.core_count table in
+  let rng = Prng.create params.seed in
+  let st =
+    {
+      tams = 1;
+      widths =
+        Array.init max_tams (fun i -> if i = 0 then total_width else 0);
+      assignment = Array.make cores 0;
+    }
+  in
+  let current = ref (energy table st) in
+  let best_state = copy_state ~max_tams st in
+  let best = ref !current in
+  let temperature =
+    ref
+      (if params.initial_temperature > 0. then params.initial_temperature
+       else 0.1 *. float_of_int !current)
+  in
+  let accepted = ref 0 in
+  let proposed = ref 0 in
+  let backup = copy_state ~max_tams st in
+  for _ = 1 to params.iterations do
+    copy_into ~src:st ~dst:backup;
+    let changed =
+      match Prng.int rng 10 with
+      | 0 -> move_split rng ~max_tams st
+      | 1 -> move_merge rng st
+      | 2 | 3 | 4 -> move_shift_wire rng st
+      | 5 | 6 | 7 | 8 | 9 -> move_reassign rng st
+      | _ -> assert false
+    in
+    if changed then begin
+      incr proposed;
+      let next = energy table st in
+      let delta = float_of_int (next - !current) in
+      let accept =
+        delta <= 0.
+        || Prng.float rng 1.0 < exp (-.delta /. max 1e-9 !temperature)
+      in
+      if accept then begin
+        incr accepted;
+        current := next;
+        if next < !best then begin
+          best := next;
+          copy_into ~src:st ~dst:best_state
+        end
+      end
+      else copy_into ~src:backup ~dst:st
+    end;
+    temperature := !temperature *. params.cooling
+  done;
+  {
+    widths = Array.sub best_state.widths 0 best_state.tams;
+    assignment = Array.copy best_state.assignment;
+    time = !best;
+    accepted = !accepted;
+    proposed = !proposed;
+  }

@@ -1,0 +1,39 @@
+(** Simulated annealing for P_NPAW: an alternative global optimizer used
+    as a yardstick for the paper's deterministic
+    [Partition_evaluate] + exact-final-step pipeline.
+
+    The state is a full architecture (TAM count, width partition, core
+    assignment); moves shift one wire between TAMs, reassign one core,
+    split a TAM in two, or merge two TAMs. The energy is the SOC testing
+    time from the precomputed core time tables. Classic geometric
+    cooling with a Metropolis acceptance rule; fully deterministic given
+    the seed. *)
+
+type params = {
+  iterations : int;  (** proposed moves, default 100_000 *)
+  initial_temperature : float;
+      (** in cycles; default: 10% of the initial energy *)
+  cooling : float;  (** geometric factor per iteration, default 0.99995 *)
+  seed : int64;
+}
+
+val default_params : params
+
+type result = {
+  widths : int array;
+  assignment : int array;
+  time : int;  (** best energy seen *)
+  accepted : int;  (** accepted moves *)
+  proposed : int;
+}
+
+val optimize :
+  ?params:params ->
+  table:Soctam_core.Time_table.t ->
+  total_width:int ->
+  max_tams:int ->
+  unit ->
+  result
+(** Starts from the single full-width TAM with every core on it.
+    @raise Invalid_argument on a table narrower than [total_width] or
+    [max_tams < 1]. *)

@@ -1,0 +1,1 @@
+lib/architect/tr_architect.ml: Array List Soctam_core Soctam_util

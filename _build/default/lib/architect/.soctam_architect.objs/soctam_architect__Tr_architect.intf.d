@@ -1,0 +1,1 @@
+lib/architect/tr_architect.mli: Soctam_core

@@ -1,0 +1,34 @@
+(** A TR-Architect-style local search for P_NPAW (after Goel &
+    Marinissen's TR-Architect, the successor of the paper's method).
+
+    Where [Partition_evaluate] sweeps the whole partition space under a
+    pruning threshold, this optimizer walks greedily: start from many
+    one-wire TAMs, then repeatedly try to help the bottleneck TAM —
+    take a wire from the TAM with the most slack, or merge the two
+    least-loaded TAMs and hand the freed wires to the bottleneck —
+    re-running [Core_assign] after each tentative move and keeping the
+    first move that lowers the SOC testing time. Terminates when no
+    move helps.
+
+    Complexity per accepted move is a constant number of [Core_assign]
+    runs, so the search is attractive exactly where exhaustive partition
+    enumeration explodes (large [W], many TAMs); the bench compares the
+    two on the paper's SOCs. *)
+
+type result = {
+  widths : int array;
+  assignment : int array;
+  time : int;
+  moves_tried : int;
+  moves_accepted : int;
+}
+
+val optimize :
+  ?max_tams:int ->
+  table:Soctam_core.Time_table.t ->
+  total_width:int ->
+  unit ->
+  result
+(** [optimize ~table ~total_width ()] with [max_tams] defaulting to 10.
+    @raise Invalid_argument when the table is narrower than
+    [total_width], or [total_width < 1], or [max_tams < 1]. *)

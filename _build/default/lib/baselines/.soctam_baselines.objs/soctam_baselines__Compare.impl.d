@@ -1,0 +1,1 @@
+lib/baselines/compare.ml: Array Daisychain Distribution Format List Multiplexing Printf Soctam_core Soctam_model Soctam_tam String

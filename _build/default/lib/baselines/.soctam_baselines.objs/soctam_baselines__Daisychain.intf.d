@@ -1,0 +1,1 @@
+lib/baselines/daisychain.mli: Soctam_core Soctam_model

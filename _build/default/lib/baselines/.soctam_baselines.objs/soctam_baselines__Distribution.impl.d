@@ -1,0 +1,1 @@
+lib/baselines/distribution.ml: Array List Soctam_core Soctam_model Soctam_util Soctam_wrapper

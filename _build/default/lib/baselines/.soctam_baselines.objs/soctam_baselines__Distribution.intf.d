@@ -1,0 +1,1 @@
+lib/baselines/distribution.mli: Soctam_core Soctam_model

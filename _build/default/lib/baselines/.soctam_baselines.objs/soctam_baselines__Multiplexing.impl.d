@@ -1,0 +1,1 @@
+lib/baselines/multiplexing.ml: Array Soctam_core Soctam_model Soctam_util Soctam_wrapper

@@ -1,0 +1,1 @@
+lib/baselines/multiplexing.mli: Soctam_core Soctam_model

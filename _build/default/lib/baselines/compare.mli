@@ -1,0 +1,20 @@
+(** Side-by-side comparison of test access architectures on one SOC:
+    multiplexing, daisychain, distribution, and the paper's partitioned
+    test bus (via the full co-optimization pipeline).
+
+    Reproduces the motivating observation of the paper's introduction:
+    the test bus wins because multiple TAMs match core requirements
+    (less idle width than multiplexing/daisychain) while keeping more
+    bandwidth per core than full distribution. *)
+
+type entry = {
+  architecture : string;  (** "multiplexing", "daisychain", ... *)
+  time : int;
+  detail : string;  (** partition / allocation / order summary *)
+}
+
+val run :
+  ?max_tams:int -> Soctam_model.Soc.t -> width:int -> entry list
+(** All four architectures at the given total width, fastest first.
+    The distribution entry is omitted when [width] is smaller than the
+    core count. [max_tams] (default 10) bounds the test-bus pipeline. *)

@@ -1,0 +1,63 @@
+type t = {
+  order : int array;
+  core_times : int array;
+  bypass_penalty : int;
+  time : int;
+}
+
+let time_of_order ~base_times ~patterns ~order =
+  let total = ref 0 in
+  Array.iteri
+    (fun slot core -> total := !total + base_times.(core) + (slot * patterns.(core)))
+    order;
+  !total
+
+let build ~base_times ~patterns =
+  let cores = Array.length base_times in
+  let order = Array.init cores (fun i -> i) in
+  (* Decreasing pattern count minimizes the bypass penalty. *)
+  Array.sort
+    (fun a b ->
+      match compare patterns.(b) patterns.(a) with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let core_times =
+    Array.mapi
+      (fun slot core -> base_times.(core) + (slot * patterns.(core)))
+      order
+  in
+  let time = Soctam_util.Intutil.sum core_times in
+  {
+    order;
+    core_times;
+    bypass_penalty = time - Soctam_util.Intutil.sum base_times;
+    time;
+  }
+
+let design soc ~width =
+  if width < 1 then invalid_arg "Daisychain.design: width must be >= 1";
+  let base_times =
+    Array.map
+      (fun core ->
+        (Soctam_wrapper.Design.design core ~width).Soctam_wrapper.Design.time)
+      (Soctam_model.Soc.cores soc)
+  in
+  let patterns =
+    Array.map
+      (fun core -> core.Soctam_model.Core_data.patterns)
+      (Soctam_model.Soc.cores soc)
+  in
+  build ~base_times ~patterns
+
+let design_from_table table ~soc ~width =
+  let base_times =
+    Array.init (Soctam_core.Time_table.core_count table) (fun core ->
+        Soctam_core.Time_table.time table ~core ~width)
+  in
+  let patterns =
+    Array.map
+      (fun core -> core.Soctam_model.Core_data.patterns)
+      (Soctam_model.Soc.cores soc)
+  in
+  build ~base_times ~patterns

@@ -1,0 +1,34 @@
+(** The daisychain test access architecture (Aerts & Marinissen,
+    ITC 1998): the full-width TAM threads through every core in a fixed
+    order; a tested core is accessed through the single-bit bypass
+    registers of the cores placed before it on the chain.
+
+    Model: cores are tested one after another at the full width, and the
+    shift path to the core at chain position [k] is lengthened by [k]
+    bypass flip-flops, costing one extra cycle per pattern per upstream
+    bypass stage:
+
+    {[ T = sum_k (T_(pi(k))(w) + k * p_(pi(k))) ]}
+
+    The bypass penalty depends on the order [pi]; by the rearrangement
+    inequality the total is minimized by placing cores in decreasing
+    pattern count (pattern-hungry cores near the chain head), which is
+    the order this module picks. *)
+
+type t = {
+  order : int array;  (** chain order: element [k] is the core at slot [k] *)
+  core_times : int array;  (** per-core time incl. its bypass penalty *)
+  bypass_penalty : int;  (** total extra cycles spent crossing bypasses *)
+  time : int;
+}
+
+val design : Soctam_model.Soc.t -> width:int -> t
+(** @raise Invalid_argument when [width < 1]. *)
+
+val design_from_table :
+  Soctam_core.Time_table.t -> soc:Soctam_model.Soc.t -> width:int -> t
+
+val time_of_order :
+  base_times:int array -> patterns:int array -> order:int array -> int
+(** Evaluate an arbitrary chain order (exposed for tests: the default
+    order must never lose to a permutation). *)

@@ -1,0 +1,27 @@
+(** The distribution test access architecture (Aerts & Marinissen,
+    ITC 1998; Chakrabarty, DAC 2000): the TAM width is divided over
+    {e all} cores at once - every core owns [w_i >= 1] dedicated wires
+    and all cores are tested fully in parallel.
+
+    Testing time is [max_i T_i(w_i)], minimized over the allocation
+    [sum w_i <= width]. Because each [T_i] is non-increasing in [w_i],
+    the optimum is found exactly by binary search over the target time:
+    a time [T] is achievable iff [sum_i minwidth_i(T) <= width], where
+    [minwidth_i(T)] is the narrowest width at which core [i] meets [T].
+
+    This is the paper's "limit case" of many TAMs (one TAM per core);
+    comparing it against the test-bus architecture shows why partitioned
+    test buses win at realistic widths. *)
+
+type t = {
+  allocation : int array;  (** dedicated wires per core, sums to <= width *)
+  core_times : int array;  (** time of each core at its allocation *)
+  time : int;  (** SOC testing time: the max *)
+}
+
+val design : Soctam_model.Soc.t -> width:int -> t
+(** @raise Invalid_argument when [width] is less than the core count
+    (every core needs at least one wire). *)
+
+val design_from_table : Soctam_core.Time_table.t -> width:int -> t
+(** Same, from a precomputed table covering [width]. *)

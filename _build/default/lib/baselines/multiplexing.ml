@@ -1,0 +1,20 @@
+type t = { order : int array; core_times : int array; time : int }
+
+let of_times core_times =
+  {
+    order = Array.init (Array.length core_times) (fun i -> i);
+    core_times;
+    time = Soctam_util.Intutil.sum core_times;
+  }
+
+let design soc ~width =
+  if width < 1 then invalid_arg "Multiplexing.design: width must be >= 1";
+  of_times
+    (Array.map
+       (fun core -> (Soctam_wrapper.Design.design core ~width).Soctam_wrapper.Design.time)
+       (Soctam_model.Soc.cores soc))
+
+let design_from_table table ~width =
+  of_times
+    (Array.init (Soctam_core.Time_table.core_count table) (fun core ->
+         Soctam_core.Time_table.time table ~core ~width))

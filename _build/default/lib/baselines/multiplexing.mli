@@ -1,0 +1,21 @@
+(** The multiplexing test access architecture (Aerts & Marinissen,
+    ITC 1998): every core is connected to the full TAM width through a
+    multiplexer, so cores are tested strictly one after another, each
+    enjoying all [w] wires.
+
+    Testing time is the sum of the cores' full-width times - excellent
+    wrapper bandwidth per core, zero test parallelism. The paper's
+    test-bus architecture generalizes this (one TAM of full width is
+    exactly a multiplexing architecture). *)
+
+type t = {
+  order : int array;  (** cores in test order (identity by default) *)
+  core_times : int array;  (** per-core time at full width *)
+  time : int;  (** SOC testing time: the sum *)
+}
+
+val design : Soctam_model.Soc.t -> width:int -> t
+(** @raise Invalid_argument when [width < 1]. *)
+
+val design_from_table : Soctam_core.Time_table.t -> width:int -> t
+(** Same, reusing a precomputed time table covering [width]. *)

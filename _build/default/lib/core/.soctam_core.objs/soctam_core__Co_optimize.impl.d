@@ -1,0 +1,1 @@
+lib/core/co_optimize.ml: Partition_evaluate Soctam_ilp Soctam_tam Time_table

@@ -1,0 +1,1 @@
+lib/core/co_optimize.mli: Partition_evaluate Soctam_model Soctam_tam Time_table

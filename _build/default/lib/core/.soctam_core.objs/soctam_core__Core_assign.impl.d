@@ -1,0 +1,1 @@
+lib/core/core_assign.ml: Array List Soctam_util Time_table

@@ -1,0 +1,1 @@
+lib/core/core_assign.mli: Soctam_util Time_table

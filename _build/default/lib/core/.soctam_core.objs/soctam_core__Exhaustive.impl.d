@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Option Soctam_ilp Soctam_partition Time_table Unix

@@ -1,0 +1,1 @@
+lib/core/partition_evaluate.ml: Array Core_assign List Soctam_partition Soctam_util Time_table

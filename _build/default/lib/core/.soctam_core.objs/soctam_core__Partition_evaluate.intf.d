@@ -1,0 +1,1 @@
+lib/core/partition_evaluate.mli: Time_table

@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Array Bounds Co_optimize Format List Soctam_tam Time_table

@@ -1,0 +1,1 @@
+lib/core/time_table.ml: Array Printf Soctam_model Soctam_util Soctam_wrapper

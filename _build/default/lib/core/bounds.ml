@@ -1,0 +1,32 @@
+type t = {
+  bottleneck : int;
+  bottleneck_core : int;
+  wire_volume : int;
+  combined : int;
+}
+
+let compute table ~total_width =
+  if Time_table.max_width table < total_width then
+    invalid_arg "Bounds.compute: table narrower than total width";
+  let bottleneck_core = Time_table.bottleneck_core table ~width:total_width in
+  let bottleneck = Time_table.bottleneck_bound table ~width:total_width in
+  let footprint core =
+    let best = ref max_int in
+    for w = 1 to total_width do
+      let v = w * Time_table.time table ~core ~width:w in
+      if v < !best then best := v
+    done;
+    !best
+  in
+  let volume = ref 0 in
+  for core = 0 to Time_table.core_count table - 1 do
+    volume := !volume + footprint core
+  done;
+  let wire_volume = Soctam_util.Intutil.ceil_div !volume total_width in
+  { bottleneck; bottleneck_core; wire_volume; combined = max bottleneck wire_volume }
+
+let gap_pct t ~time =
+  100. *. (float_of_int time -. float_of_int t.combined)
+  /. float_of_int t.combined
+
+let saturated t ~time = time = t.bottleneck

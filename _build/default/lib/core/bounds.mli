@@ -1,0 +1,33 @@
+(** Lower bounds on the SOC testing time of any test-bus architecture of
+    a given total width.
+
+    Two admissible bounds, both computable from the core time tables:
+
+    - {b bottleneck}: some core is slowest even with every wire to
+      itself; no architecture using at most [total_width] wires beats
+      [max_i T_i(W)]. This is the bound the paper's p31108 saturates at
+      (its core 18 pins the SOC at 544579 cycles).
+    - {b wire volume}: TAM [j] keeps its [w_j] wires busy for its whole
+      load, so [W * T >= sum_j w_j * load_j >= sum_i min_w (w * T_i(w))];
+      hence [T >= ceil(sum_i A_i / W)] with [A_i = min_w w * T_i(w)] the
+      core's cheapest wire-cycle footprint.
+
+    The published optimality gaps of heuristics are measured against
+    [combined = max] of the two. *)
+
+type t = {
+  bottleneck : int;
+  bottleneck_core : int;  (** 0-based core achieving the bottleneck *)
+  wire_volume : int;
+  combined : int;  (** the larger of the two bounds *)
+}
+
+val compute : Time_table.t -> total_width:int -> t
+(** @raise Invalid_argument when the table does not cover
+    [total_width]. *)
+
+val gap_pct : t -> time:int -> float
+(** [(time - combined) / combined * 100]; 0 means provably optimal. *)
+
+val saturated : t -> time:int -> bool
+(** [time = bottleneck]: adding wires or TAMs cannot help any more. *)

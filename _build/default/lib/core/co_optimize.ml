@@ -1,0 +1,50 @@
+type t = {
+  architecture : Soctam_tam.Architecture.t;
+  heuristic_time : int;
+  final_time : int;
+  final_proven_optimal : bool;
+  partition_stats : Partition_evaluate.b_stats array;
+  exact_nodes : int;
+}
+
+let finish ~table ~node_limit (pe : Partition_evaluate.result) =
+  let widths = pe.Partition_evaluate.widths in
+  let times = Time_table.matrix table ~widths in
+  let exact =
+    Soctam_ilp.Exact.solve_bb ~node_limit
+      ~initial:(pe.Partition_evaluate.assignment, pe.Partition_evaluate.time)
+      ~widths ~times ()
+  in
+  let architecture =
+    Soctam_tam.Architecture.of_times
+      ~times:(fun ~core ~width -> Time_table.time table ~core ~width)
+      ~cores:(Time_table.core_count table)
+      ~widths
+      ~assignment:exact.Soctam_ilp.Exact.assignment
+  in
+  {
+    architecture;
+    heuristic_time = pe.Partition_evaluate.time;
+    final_time = exact.Soctam_ilp.Exact.time;
+    final_proven_optimal = exact.Soctam_ilp.Exact.optimal;
+    partition_stats = pe.Partition_evaluate.per_b;
+    exact_nodes = exact.Soctam_ilp.Exact.nodes;
+  }
+
+let table_for ?table soc ~total_width =
+  match table with
+  | Some t ->
+      if Time_table.max_width t < total_width then
+        invalid_arg "Co_optimize: supplied table narrower than total width";
+      t
+  | None -> Time_table.build soc ~max_width:total_width
+
+let run ?(max_tams = 10) ?(node_limit = 2_000_000) ?table soc ~total_width =
+  let table = table_for ?table soc ~total_width in
+  let pe = Partition_evaluate.run ~table ~total_width ~max_tams () in
+  finish ~table ~node_limit pe
+
+let run_fixed_tams ?(node_limit = 2_000_000) ?table soc ~total_width ~tams =
+  let table = table_for ?table soc ~total_width in
+  let pe = Partition_evaluate.run_fixed ~table ~total_width ~tams () in
+  finish ~table ~node_limit pe

@@ -1,0 +1,42 @@
+(** The paper's end-to-end wrapper/TAM co-optimization methodology:
+
+    + build the per-core time table (wrapper designs, P_W);
+    + run {!Partition_evaluate} to pick the TAM count and width partition
+      (P_PAW / P_NPAW, heuristic);
+    + run one exact P_AW optimization on the winning partition (the
+      paper's "final optimization step", §3.2).
+
+    The result is a near-optimal test access architecture obtained in a
+    small fraction of the exhaustive method's CPU time. *)
+
+type t = {
+  architecture : Soctam_tam.Architecture.t;  (** final architecture *)
+  heuristic_time : int;  (** SOC time before the final exact step *)
+  final_time : int;  (** SOC time after it (= [architecture.time]) *)
+  final_proven_optimal : bool;
+      (** the exact step finished within its node budget, so [final_time]
+          is optimal for the chosen partition *)
+  partition_stats : Partition_evaluate.b_stats array;
+  exact_nodes : int;  (** nodes used by the final exact step *)
+}
+
+val run :
+  ?max_tams:int ->
+  ?node_limit:int ->
+  ?table:Time_table.t ->
+  Soctam_model.Soc.t ->
+  total_width:int ->
+  t
+(** [run soc ~total_width] solves P_NPAW with [max_tams] (default 10,
+    the paper's practical ceiling). [table] may be supplied to reuse a
+    previously built time table; it must cover [total_width].
+    [node_limit] bounds the final exact step (default 2_000_000). *)
+
+val run_fixed_tams :
+  ?node_limit:int ->
+  ?table:Time_table.t ->
+  Soctam_model.Soc.t ->
+  total_width:int ->
+  tams:int ->
+  t
+(** P_PAW variant: the TAM count is fixed. *)

@@ -1,0 +1,138 @@
+type outcome =
+  | Assigned of { assignment : int array; tam_times : int array; time : int }
+  | Exceeded of int
+
+let run ?(best = max_int) ~times ~widths () =
+  let cores = Array.length times in
+  if cores = 0 then invalid_arg "Core_assign.run: no cores";
+  let tams = Array.length widths in
+  if tams = 0 then invalid_arg "Core_assign.run: no TAMs";
+  Array.iter
+    (fun row ->
+      if Array.length row <> tams then invalid_arg "Core_assign.run: ragged times")
+    times;
+  let loads = Array.make tams 0 in
+  let assignment = Array.make cores (-1) in
+  let unassigned = Array.make cores true in
+  (* Lines 10-12: TAM with minimum summed time; ties to the widest. *)
+  let select_tam () =
+    let best_j = ref 0 in
+    for j = 1 to tams - 1 do
+      if
+        loads.(j) < loads.(!best_j)
+        || (loads.(j) = loads.(!best_j) && widths.(j) > widths.(!best_j))
+      then best_j := j
+    done;
+    !best_j
+  in
+  (* Lines 13-16: unassigned core with maximum time on TAM [j]; if tied,
+     compare the tied cores on the widest TAM narrower than [j] and take
+     the one that would be costliest there. *)
+  let select_core j =
+    let best_time = ref (-1) in
+    for i = 0 to cores - 1 do
+      if unassigned.(i) && times.(i).(j) > !best_time then
+        best_time := times.(i).(j)
+    done;
+    let tied = ref [] in
+    for i = cores - 1 downto 0 do
+      if unassigned.(i) && times.(i).(j) = !best_time then tied := i :: !tied
+    done;
+    match !tied with
+    | [] -> assert false
+    | [ i ] -> i
+    | first :: _ as candidates ->
+        let narrower = ref (-1) in
+        for k = 0 to tams - 1 do
+          if
+            widths.(k) < widths.(j)
+            && (!narrower < 0 || widths.(k) > widths.(!narrower))
+          then narrower := k
+        done;
+        if !narrower < 0 then first
+        else begin
+          let k = !narrower in
+          List.fold_left
+            (fun acc i -> if times.(i).(k) > times.(acc).(k) then i else acc)
+            first candidates
+        end
+  in
+  let rec loop remaining =
+    if remaining = 0 then
+      Assigned
+        {
+          assignment;
+          tam_times = loads;
+          time = Soctam_util.Intutil.max_element loads;
+        }
+    else begin
+      let j = select_tam () in
+      let i = select_core j in
+      assignment.(i) <- j;
+      unassigned.(i) <- false;
+      loads.(j) <- loads.(j) + times.(i).(j);
+      (* Lines 18-20: abandon the partition once it cannot beat [best]. *)
+      if Soctam_util.Intutil.max_element loads >= best then
+        Exceeded (cores - remaining + 1)
+      else loop (remaining - 1)
+    end
+  in
+  loop cores
+
+let run_table ?best ~table ~widths () =
+  run ?best ~times:(Time_table.matrix table ~widths) ~widths ()
+
+(* One pass of the same greedy loop with uniform random tie-breaking. *)
+let run_random_once ~rng ~times ~widths =
+  let cores = Array.length times in
+  let tams = Array.length widths in
+  let loads = Array.make tams 0 in
+  let assignment = Array.make cores (-1) in
+  let unassigned = Array.make cores true in
+  let pick_uniform candidates =
+    match candidates with
+    | [] -> assert false
+    | [ x ] -> x
+    | _ ->
+        Soctam_util.Prng.choose rng (Array.of_list candidates)
+  in
+  for _ = 1 to cores do
+    let min_load = Soctam_util.Intutil.min_element loads in
+    let j =
+      pick_uniform
+        (Soctam_util.Select.filter_indices (fun _ l -> l = min_load) loads)
+    in
+    let best_time = ref (-1) in
+    for i = 0 to cores - 1 do
+      if unassigned.(i) && times.(i).(j) > !best_time then
+        best_time := times.(i).(j)
+    done;
+    let tied = ref [] in
+    for i = cores - 1 downto 0 do
+      if unassigned.(i) && times.(i).(j) = !best_time then tied := i :: !tied
+    done;
+    let i = pick_uniform !tied in
+    assignment.(i) <- j;
+    unassigned.(i) <- false;
+    loads.(j) <- loads.(j) + times.(i).(j)
+  done;
+  (assignment, Soctam_util.Intutil.max_element loads)
+
+let run_randomized ~rng ~restarts ~times ~widths () =
+  if restarts < 1 then
+    invalid_arg "Core_assign.run_randomized: restarts must be >= 1";
+  if Array.length times = 0 then
+    invalid_arg "Core_assign.run_randomized: no cores";
+  if Array.length widths = 0 then
+    invalid_arg "Core_assign.run_randomized: no TAMs";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length widths then
+        invalid_arg "Core_assign.run_randomized: ragged times")
+    times;
+  let best = ref (run_random_once ~rng ~times ~widths) in
+  for _ = 2 to restarts do
+    let cand = run_random_once ~rng ~times ~widths in
+    if snd cand < snd !best then best := cand
+  done;
+  !best

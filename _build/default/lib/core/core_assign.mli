@@ -1,0 +1,50 @@
+(** The paper's [Core_assign] heuristic for P_AW (Figure 1).
+
+    Cores are scheduled onto TAMs like independent jobs on parallel
+    machines: repeatedly pick the TAM with the smallest summed testing
+    time (ties: the widest TAM) and give it the unassigned core with the
+    largest testing time on that TAM (ties: the core that would be most
+    expensive on the widest narrower TAM). If at any point some TAM's
+    summed time reaches the best-known SOC time [tau], evaluation stops
+    early — the partition under evaluation cannot improve on [tau]. This
+    early exit is the paper's second level of solution-space pruning and
+    is what lets [Partition_evaluate] discard most partitions cheaply.
+
+    Complexity O(m^2 + m*B) for [m] cores and [B] TAMs. *)
+
+type outcome =
+  | Assigned of {
+      assignment : int array;  (** core index -> TAM index *)
+      tam_times : int array;  (** summed testing time per TAM *)
+      time : int;  (** SOC testing time: max of [tam_times] *)
+    }
+  | Exceeded of int
+      (** Some TAM's summed time reached the supplied [best] after this
+          many cores were assigned; the partition was abandoned. *)
+
+val run :
+  ?best:int -> times:int array array -> widths:int array -> unit -> outcome
+(** [run ?best ~times ~widths ()] assigns every core given
+    [times.(i).(j)], the testing time of core [i] on TAM [j] (widths are
+    consulted only by the tie-breaking rules). [best] defaults to
+    [max_int], i.e. no early exit.
+    @raise Invalid_argument on empty or ragged inputs. *)
+
+val run_table :
+  ?best:int -> table:Time_table.t -> widths:int array -> unit -> outcome
+(** Convenience wrapper deriving [times] from a precomputed table. *)
+
+val run_randomized :
+  rng:Soctam_util.Prng.t ->
+  restarts:int ->
+  times:int array array ->
+  widths:int array ->
+  unit ->
+  int array * int
+(** Ablation variant: the same list-scheduling loop, but every tie (equal
+    TAM loads, equal core times) is broken uniformly at random instead of
+    by the paper's width-aware rules, and the best of [restarts]
+    independent runs is kept. Returns [(assignment, time)]. Comparing it
+    against {!run} quantifies how much the paper's deterministic
+    tie-breaking buys (see the bench ablation).
+    @raise Invalid_argument like {!run}, or when [restarts < 1]. *)

@@ -1,0 +1,58 @@
+type result = {
+  widths : int array;
+  time : int;
+  assignment : int array;
+  partitions_total : int;
+  partitions_solved : int;
+  complete : bool;
+  nodes : int;
+}
+
+let run ?(node_limit_per_partition = 2_000_000) ?time_budget ~table
+    ~total_width ~tams () =
+  if total_width < tams then
+    invalid_arg "Exhaustive.run: total_width must be >= tams";
+  let deadline =
+    Option.map (fun budget -> Unix.gettimeofday () +. budget) time_budget
+  in
+  let out_of_time () =
+    match deadline with
+    | None -> false
+    | Some d -> Unix.gettimeofday () > d
+  in
+  let best_time = ref max_int in
+  let best_widths = ref [||] in
+  let best_assignment = ref [||] in
+  let solved = ref 0 in
+  let total = ref 0 in
+  let nodes = ref 0 in
+  let truncated = ref false in
+  Soctam_partition.Enumerate.iter ~total:total_width ~parts:tams (fun widths ->
+      incr total;
+      if !truncated || out_of_time () then truncated := true
+      else begin
+        let times = Time_table.matrix table ~widths in
+        let exact =
+          Soctam_ilp.Exact.solve_bb ~node_limit:node_limit_per_partition
+            ~widths ~times ()
+        in
+        nodes := !nodes + exact.Soctam_ilp.Exact.nodes;
+        if exact.Soctam_ilp.Exact.optimal then incr solved
+        else truncated := true;
+        if exact.Soctam_ilp.Exact.time < !best_time then begin
+          best_time := exact.Soctam_ilp.Exact.time;
+          best_widths := Array.copy widths;
+          best_assignment := exact.Soctam_ilp.Exact.assignment
+        end
+      end);
+  if Array.length !best_widths = 0 then
+    invalid_arg "Exhaustive.run: no partition evaluated (budget too small)";
+  {
+    widths = !best_widths;
+    time = !best_time;
+    assignment = !best_assignment;
+    partitions_total = !total;
+    partitions_solved = !solved;
+    complete = not !truncated;
+    nodes = !nodes;
+  }

@@ -1,0 +1,37 @@
+(** The exhaustive baseline of [Iyengar et al., JETTA 2002] ([8]): solve
+    P_PAW by running an {e exact} P_AW optimization for every unique
+    partition of the TAM width.
+
+    This is the method the paper improves on. It produces optimal times
+    (when it finishes) but its CPU time grows with the number of
+    partitions times the cost of an exact solve, which is why the paper's
+    authors could not run it beyond three TAMs on industrial SOCs. Both a
+    per-partition node budget and a global wall-clock budget let it
+    degrade to "best found so far", mirroring the paper's "did not
+    complete even after two days" entries. *)
+
+type result = {
+  widths : int array;
+  time : int;
+  assignment : int array;
+  partitions_total : int;  (** unique partitions of the instance *)
+  partitions_solved : int;  (** partitions solved to proven optimality *)
+  complete : bool;
+      (** every partition solved optimally within the budgets; when
+          [false] the result is a best-effort incumbent *)
+  nodes : int;  (** total branch & bound nodes *)
+}
+
+val run :
+  ?node_limit_per_partition:int ->
+  ?time_budget:float ->
+  table:Time_table.t ->
+  total_width:int ->
+  tams:int ->
+  unit ->
+  result
+(** [run ~table ~total_width ~tams ()] enumerates every partition of
+    [total_width] into [tams] parts and solves each exactly with
+    {!Soctam_ilp.Exact.solve_bb}. [time_budget] is in wall-clock seconds
+    (default: unlimited); [node_limit_per_partition] defaults to
+    2_000_000. *)

@@ -1,0 +1,117 @@
+type b_stats = {
+  tams : int;
+  unique_partitions : int;
+  enumerated : int;
+  completed : int;
+  tau_terminated : int;
+  best_time : int option;
+}
+
+let efficiency s =
+  if s.unique_partitions = 0 then 0.
+  else float_of_int s.completed /. float_of_int s.unique_partitions
+
+type result = {
+  widths : int array;
+  time : int;
+  assignment : int array;
+  per_b : b_stats array;
+}
+
+type best = {
+  mutable b_widths : int array;
+  mutable b_time : int;
+  mutable b_assignment : int array;
+}
+
+let evaluate_b ~table ~total_width ~tams ~tau best =
+  let enumerated = ref 0 in
+  let completed = ref 0 in
+  let tau_terminated = ref 0 in
+  let best_time_b = ref None in
+  (match Soctam_partition.Enumerate.Odometer.create ~total:total_width
+           ~parts:tams
+   with
+  | None -> ()
+  | Some odometer ->
+      let continue = ref true in
+      while !continue do
+        let widths = Soctam_partition.Enumerate.Odometer.current odometer in
+        incr enumerated;
+        (match Core_assign.run_table ~best:!tau ~table ~widths () with
+        | Core_assign.Exceeded _ -> incr tau_terminated
+        | Core_assign.Assigned { assignment; time; _ } ->
+            incr completed;
+            if time < !tau then tau := time;
+            (match !best_time_b with
+            | Some t when t <= time -> ()
+            | Some _ | None -> best_time_b := Some time);
+            if time < best.b_time then begin
+              best.b_time <- time;
+              best.b_widths <- Array.copy widths;
+              best.b_assignment <- Array.copy assignment
+            end);
+        continue := Soctam_partition.Enumerate.Odometer.advance odometer
+      done);
+  {
+    tams;
+    unique_partitions =
+      Soctam_partition.Count.exact ~total:total_width ~parts:tams;
+    enumerated = !enumerated;
+    completed = !completed;
+    tau_terminated = !tau_terminated;
+    best_time = !best_time_b;
+  }
+
+let check_args ~table ~total_width ~max_tams =
+  if total_width < 1 then
+    invalid_arg "Partition_evaluate: total_width must be >= 1";
+  if max_tams < 1 then invalid_arg "Partition_evaluate: max_tams must be >= 1";
+  if Time_table.max_width table < total_width then
+    invalid_arg "Partition_evaluate: time table narrower than total width"
+
+let run_general ?initial_best ~carry_tau ~table ~total_width ~b_values () =
+  let initial = match initial_best with Some t -> t | None -> max_int in
+  let best = { b_widths = [||]; b_time = initial; b_assignment = [||] } in
+  let tau = ref initial in
+  let per_b =
+    List.map
+      (fun tams ->
+        if not carry_tau then tau := initial;
+        evaluate_b ~table ~total_width ~tams ~tau best)
+      b_values
+  in
+  if Array.length best.b_widths = 0 then begin
+    (* Nothing beat the seed: fall back to an even split over the first
+       permitted TAM count (1 for P_NPAW, the fixed B for P_PAW). *)
+    let parts =
+      match b_values with [] -> 1 | b :: _ -> min b total_width
+    in
+    let base = total_width / parts and extra = total_width mod parts in
+    let widths =
+      Array.init parts (fun i -> if i < extra then base + 1 else base)
+    in
+    match Core_assign.run_table ~table ~widths () with
+    | Core_assign.Assigned { assignment; time; _ } ->
+        { widths; time; assignment; per_b = Array.of_list per_b }
+    | Core_assign.Exceeded _ -> assert false
+  end
+  else
+    {
+      widths = best.b_widths;
+      time = best.b_time;
+      assignment = best.b_assignment;
+      per_b = Array.of_list per_b;
+    }
+
+let run ?initial_best ?(carry_tau = true) ~table ~total_width ~max_tams () =
+  check_args ~table ~total_width ~max_tams;
+  let b_values = Soctam_util.Intutil.range 1 (min max_tams total_width) in
+  run_general ?initial_best ~carry_tau ~table ~total_width ~b_values ()
+
+let run_fixed ?initial_best ~table ~total_width ~tams () =
+  check_args ~table ~total_width ~max_tams:tams;
+  if tams > total_width then
+    invalid_arg "Partition_evaluate.run_fixed: more TAMs than width";
+  run_general ?initial_best ~carry_tau:true ~table ~total_width
+    ~b_values:[ tams ] ()

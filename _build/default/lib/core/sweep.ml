@@ -1,0 +1,69 @@
+type point = {
+  width : int;
+  tams : int;
+  widths : int array;
+  time : int;
+  lower_bound : int;
+  gap_pct : float;
+  saturated : bool;
+}
+
+let run ?(max_tams = 10) ?(node_limit = 2_000_000) soc ~widths =
+  if widths = [] then invalid_arg "Sweep.run: empty width list";
+  List.iter
+    (fun w -> if w < 1 then invalid_arg "Sweep.run: widths must be >= 1")
+    widths;
+  let table =
+    Time_table.build soc ~max_width:(List.fold_left max 1 widths)
+  in
+  List.map
+    (fun width ->
+      let result =
+        Co_optimize.run ~max_tams ~node_limit ~table soc ~total_width:width
+      in
+      let bounds = Bounds.compute table ~total_width:width in
+      let partition =
+        result.Co_optimize.architecture.Soctam_tam.Architecture.widths
+      in
+      let time = result.Co_optimize.final_time in
+      {
+        width;
+        tams = Array.length partition;
+        widths = partition;
+        time;
+        lower_bound = bounds.Bounds.combined;
+        gap_pct = Bounds.gap_pct bounds ~time;
+        saturated = Bounds.saturated bounds ~time;
+      })
+    widths
+
+let knee ?(tolerance_pct = 5.) points =
+  match points with
+  | [] -> None
+  | _ ->
+      let best =
+        List.fold_left (fun acc p -> min acc p.time) max_int points
+      in
+      let admissible p =
+        float_of_int p.time
+        <= float_of_int best *. (1. +. (tolerance_pct /. 100.))
+      in
+      List.filter admissible points
+      |> List.fold_left
+           (fun acc p ->
+             match acc with
+             | Some q when q.width <= p.width -> acc
+             | Some _ | None -> Some p)
+           None
+
+let pp ppf points =
+  Format.fprintf ppf "@[<v>%6s %4s %-18s %10s %10s %7s %s@,"
+    "W" "B" "partition" "time" "bound" "gap%" "";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%6d %4d %-18s %10d %10d %7.2f %s@," p.width p.tams
+        (Format.asprintf "%a" Soctam_tam.Architecture.pp_partition p.widths)
+        p.time p.lower_bound p.gap_pct
+        (if p.saturated then "saturated" else ""))
+    points;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** TAM width design-space exploration: run the co-optimization pipeline
+    across a sweep of total widths and report, for each, the architecture,
+    the lower-bound gap and whether the SOC has saturated (more wires
+    cannot help). Answers the designer's question behind the paper's
+    W = 16..64 sweeps: how many test pins does this SOC actually need? *)
+
+type point = {
+  width : int;  (** total TAM width *)
+  tams : int;  (** TAM count of the best architecture found *)
+  widths : int array;  (** its partition *)
+  time : int;  (** its SOC testing time *)
+  lower_bound : int;  (** {!Bounds.t.combined} at this width *)
+  gap_pct : float;  (** optimality gap certificate *)
+  saturated : bool;  (** time equals the bottleneck bound *)
+}
+
+val run :
+  ?max_tams:int ->
+  ?node_limit:int ->
+  Soctam_model.Soc.t ->
+  widths:int list ->
+  point list
+(** One pipeline run per width, in the given order. The time table is
+    built once at the largest width and shared.
+    @raise Invalid_argument on an empty or non-positive width list. *)
+
+val knee : ?tolerance_pct:float -> point list -> point option
+(** The narrowest width whose time is within [tolerance_pct] (default 5%)
+    of the best time in the sweep — the economic choice of pin budget.
+    [None] on an empty list. *)
+
+val pp : Format.formatter -> point list -> unit
+(** Aligned textual rendering of a sweep. *)

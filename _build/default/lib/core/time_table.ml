@@ -1,0 +1,37 @@
+type t = {
+  soc : Soctam_model.Soc.t;
+  max_width : int;
+  times : int array array;  (* core -> width-1 -> time *)
+}
+
+let build soc ~max_width =
+  if max_width < 1 then invalid_arg "Time_table.build: max_width must be >= 1";
+  let times =
+    Array.map
+      (fun core -> Soctam_wrapper.Design.time_table core ~max_width)
+      (Soctam_model.Soc.cores soc)
+  in
+  { soc; max_width; times }
+
+let core_count t = Array.length t.times
+let max_width t = t.max_width
+let soc t = t.soc
+
+let time t ~core ~width =
+  if width < 1 || width > t.max_width then
+    invalid_arg
+      (Printf.sprintf "Time_table.time: width %d outside 1..%d" width
+         t.max_width);
+  t.times.(core).(width - 1)
+
+let matrix t ~widths =
+  Array.init (core_count t) (fun core ->
+      Array.map (fun width -> time t ~core ~width) widths)
+
+let bottleneck_core t ~width =
+  Soctam_util.Select.max_index_by
+    (fun row -> row.(width - 1))
+    t.times
+
+let bottleneck_bound t ~width =
+  time t ~core:(bottleneck_core t ~width) ~width

@@ -1,0 +1,32 @@
+(** Precomputed core testing times, [T_i(w)] for every core [i] and TAM
+    width [w].
+
+    All of the paper's algorithms consume core testing times through this
+    table: it is filled once per (SOC, total width) with
+    {!Soctam_wrapper.Design.time_table} and then read in O(1), which is
+    what makes evaluating hundreds of thousands of partitions cheap. *)
+
+type t
+
+val build : Soctam_model.Soc.t -> max_width:int -> t
+(** [build soc ~max_width] computes [T_i(w)] for all cores and
+    [w = 1 .. max_width]. @raise Invalid_argument when [max_width < 1]. *)
+
+val core_count : t -> int
+val max_width : t -> int
+val soc : t -> Soctam_model.Soc.t
+
+val time : t -> core:int -> width:int -> int
+(** [time t ~core ~width] with 0-based [core] and [width >= 1]. *)
+
+val matrix : t -> widths:int array -> int array array
+(** [matrix t ~widths] is the core-by-TAM time matrix for a concrete
+    partition: element [(i, j)] is [time t ~core:i ~width:widths.(j)]. *)
+
+val bottleneck_bound : t -> width:int -> int
+(** Lower bound on the SOC testing time at total width [width]: the
+    largest single-core time when that core enjoys the full width alone.
+    The paper's p31108 saturates at exactly this bound. *)
+
+val bottleneck_core : t -> width:int -> int
+(** The 0-based core achieving {!bottleneck_bound}. *)

@@ -1,0 +1,1 @@
+lib/ilp/exact.ml: Array Hashtbl List Printf Soctam_lp Soctam_util

@@ -1,0 +1,193 @@
+type result = {
+  time : int;
+  assignment : int array;
+  optimal : bool;
+  nodes : int;
+}
+
+let check_instance times =
+  let cores = Array.length times in
+  if cores = 0 then invalid_arg "Exact: no cores";
+  let tams = Array.length times.(0) in
+  if tams = 0 then invalid_arg "Exact: no TAMs";
+  Array.iter
+    (fun row ->
+      if Array.length row <> tams then invalid_arg "Exact: ragged times")
+    times;
+  (cores, tams)
+
+let makespan ~times ~assignment =
+  let _, tams = check_instance times in
+  let loads = Array.make tams 0 in
+  Array.iteri (fun i j -> loads.(j) <- loads.(j) + times.(i).(j)) assignment;
+  Soctam_util.Intutil.max_element loads
+
+let solve_bb ?(node_limit = 2_000_000) ?initial ?widths ~times () =
+  let cores, tams = check_instance times in
+  (* Symmetry breaking is only sound between TAMs of equal width (equal
+     width implies equal times for every core); without width information
+     each TAM gets a distinct sentinel so nothing is merged. *)
+  let widths =
+    match widths with Some w -> w | None -> Array.init tams (fun j -> -j - 1)
+  in
+  (* Explore the hardest cores first: decreasing best-machine time. *)
+  let order = Array.init cores (fun i -> i) in
+  let min_time i = Soctam_util.Intutil.min_element times.(i) in
+  Array.sort
+    (fun a b ->
+      match compare (min_time b) (min_time a) with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  (* Suffix sums of best-machine times for the average-load bound. *)
+  let suffix_min = Array.make (cores + 1) 0 in
+  for k = cores - 1 downto 0 do
+    suffix_min.(k) <- suffix_min.(k + 1) + min_time order.(k)
+  done;
+  let incumbent_time = ref max_int in
+  let incumbent = Array.make cores 0 in
+  (match initial with
+  | Some (assignment, time) ->
+      incumbent_time := time;
+      Array.blit assignment 0 incumbent 0 cores
+  | None -> ());
+  let loads = Array.make tams 0 in
+  let current = Array.make cores 0 in
+  let nodes = ref 0 in
+  let budget_hit = ref false in
+  let rec explore k current_max =
+    if !budget_hit then ()
+    else if k = cores then begin
+      if current_max < !incumbent_time then begin
+        incumbent_time := current_max;
+        Array.blit current 0 incumbent 0 cores
+      end
+    end
+    else begin
+      incr nodes;
+      if !nodes > node_limit then budget_hit := true
+      else begin
+        let total_load = Soctam_util.Intutil.sum loads in
+        let avg_bound =
+          Soctam_util.Intutil.ceil_div (total_load + suffix_min.(k)) tams
+        in
+        (* Each remaining core must land somewhere; its cheapest landing
+           spot bounds the final makespan. *)
+        let placement_bound = ref 0 in
+        for k' = k to cores - 1 do
+          let i = order.(k') in
+          let best = ref max_int in
+          for j = 0 to tams - 1 do
+            let v = loads.(j) + times.(i).(j) in
+            if v < !best then best := v
+          done;
+          if !best > !placement_bound then placement_bound := !best
+        done;
+        let bound = max current_max (max avg_bound !placement_bound) in
+        if bound < !incumbent_time then begin
+          let i = order.(k) in
+          (* Candidate TAMs sorted by resulting load; identical
+             (width, load) TAMs are symmetric - keep the first. *)
+          let cands =
+            Array.init tams (fun j -> (loads.(j) + times.(i).(j), j))
+          in
+          Array.sort compare cands;
+          let seen = Hashtbl.create 8 in
+          Array.iter
+            (fun (new_load, j) ->
+              if (not !budget_hit) && new_load < !incumbent_time then begin
+                let key = (widths.(j), loads.(j), times.(i).(j)) in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  loads.(j) <- new_load;
+                  current.(i) <- j;
+                  explore (k + 1) (max current_max new_load);
+                  loads.(j) <- loads.(j) - times.(i).(j)
+                end
+              end)
+            cands
+        end
+      end
+    end
+  in
+  explore 0 0;
+  if !incumbent_time = max_int then begin
+    (* No incumbent under an exhausted budget: fall back to greedy. *)
+    let assignment =
+      Array.init cores (fun i ->
+          Soctam_util.Select.min_index_by (fun x -> x) times.(i))
+    in
+    {
+      time = makespan ~times ~assignment;
+      assignment;
+      optimal = false;
+      nodes = !nodes;
+    }
+  end
+  else
+    {
+      time = !incumbent_time;
+      assignment = Array.copy incumbent;
+      optimal = not !budget_hit;
+      nodes = !nodes;
+    }
+
+let solve_milp ?(node_limit = 50_000) ~times () =
+  let cores, tams = check_instance times in
+  let module P = Soctam_lp.Problem in
+  let p = P.create ~name:"p_aw" () in
+  let t_var = P.add_var p "T" in
+  let x =
+    Array.init cores (fun i ->
+        Array.init tams (fun j -> P.binary p (Printf.sprintf "x_%d_%d" i j)))
+  in
+  for j = 0 to tams - 1 do
+    let terms =
+      (1., t_var)
+      :: List.init cores (fun i -> (-.float_of_int times.(i).(j), x.(i).(j)))
+    in
+    P.add_constraint p terms P.Ge 0.
+  done;
+  for i = 0 to cores - 1 do
+    let terms = List.init tams (fun j -> (1., x.(i).(j))) in
+    P.add_constraint p terms P.Eq 1.
+  done;
+  P.set_objective p P.Minimize [ (1., t_var) ];
+  let extract (s : Soctam_lp.Milp.solution) =
+    let assignment =
+      Array.init cores (fun i ->
+          let best = ref 0 in
+          for j = 1 to tams - 1 do
+            let v = s.Soctam_lp.Milp.values.(P.var_index x.(i).(j)) in
+            if v > s.Soctam_lp.Milp.values.(P.var_index x.(i).(!best)) then
+              best := j
+          done;
+          !best)
+    in
+    (assignment, makespan ~times ~assignment)
+  in
+  let outcome, stats =
+    Soctam_lp.Milp.solve ~node_limit ~objective_is_integral:true p
+  in
+  let nodes = stats.Soctam_lp.Milp.nodes in
+  match outcome with
+  | Soctam_lp.Milp.Optimal s ->
+      let assignment, time = extract s in
+      { time; assignment; optimal = true; nodes }
+  | Soctam_lp.Milp.Feasible s ->
+      let assignment, time = extract s in
+      { time; assignment; optimal = false; nodes }
+  | Soctam_lp.Milp.Infeasible | Soctam_lp.Milp.Unbounded
+  | Soctam_lp.Milp.No_solution_found ->
+      (* P_AW always has a feasible assignment; reaching here means the
+         node budget ran out before any integral point. Fall back. *)
+      let assignment =
+        Array.init cores (fun i ->
+            Soctam_util.Select.min_index_by (fun v -> v) times.(i))
+      in
+      {
+        time = makespan ~times ~assignment;
+        assignment;
+        optimal = false;
+        nodes;
+      }

@@ -1,0 +1,43 @@
+(** Exact solvers for P_AW: assign cores to TAMs of fixed widths so that
+    the SOC testing time (the maximum summed core time over TAMs) is
+    minimal.
+
+    Two engines are provided:
+    - {!solve_bb}: a dedicated combinatorial branch & bound on the
+      unrelated-machine makespan formulation — the scalable engine used
+      by the co-optimization pipeline's final step and by the exhaustive
+      baseline;
+    - {!solve_milp}: the paper's §3.2 ILP model (binary assignment
+      variables [x_ij], makespan variable [T]) solved with our
+      {!Soctam_lp} simplex/branch-and-bound — used for cross-checking.
+
+    Both accept [times.(i).(j)], the testing time of core [i] on TAM [j]
+    (already reflecting each TAM's width through the wrapper design). *)
+
+type result = {
+  time : int;  (** SOC testing time of the returned assignment *)
+  assignment : int array;  (** core index -> TAM index *)
+  optimal : bool;  (** proven optimal (budget not exhausted) *)
+  nodes : int;  (** search nodes explored *)
+}
+
+val solve_bb :
+  ?node_limit:int ->
+  ?initial:int array * int ->
+  ?widths:int array ->
+  times:int array array ->
+  unit ->
+  result
+(** Branch & bound. [initial] warm-starts the incumbent with a known
+    assignment and its makespan. [widths] enables symmetry breaking
+    between TAMs of equal width (safe to omit). [node_limit] defaults to
+    2_000_000.
+    @raise Invalid_argument on an empty instance or ragged [times]. *)
+
+val solve_milp :
+  ?node_limit:int -> times:int array array -> unit -> result
+(** The paper's ILP model via {!Soctam_lp.Milp}. [node_limit] defaults to
+    50_000 LP nodes. *)
+
+val makespan : times:int array array -> assignment:int array -> int
+(** Evaluate an assignment. *)

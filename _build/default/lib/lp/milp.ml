@@ -1,0 +1,91 @@
+type solution = { objective : float; values : float array }
+
+type outcome =
+  | Optimal of solution
+  | Feasible of solution
+  | Infeasible
+  | Unbounded
+  | No_solution_found
+
+type stats = { nodes : int; lp_solves : int }
+
+let frac x = Float.abs (x -. Float.round x)
+
+let solve ?(node_limit = 200_000) ?(integrality_eps = 1e-6)
+    ?(objective_is_integral = false) problem =
+  let direction, _, _ = Problem.objective problem in
+  let sign = match direction with Problem.Minimize -> 1. | Maximize -> -1. in
+  let integers = Array.of_list (Problem.integer_vars problem) in
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let lp_solves = ref 0 in
+  let budget_hit = ref false in
+  let relaxation_unbounded = ref false in
+  (* [better_than_incumbent bound] in the minimize-normalized space. *)
+  let better_than_incumbent bound =
+    match !incumbent with
+    | None -> true
+    | Some inc ->
+        let bound =
+          if objective_is_integral then Float.ceil (bound -. 1e-6) else bound
+        in
+        bound < (sign *. inc.objective) -. 1e-9
+  in
+  let rec explore bounds =
+    if !budget_hit || !relaxation_unbounded then ()
+    else if !nodes >= node_limit then budget_hit := true
+    else begin
+      incr nodes;
+      incr lp_solves;
+      match Simplex.solve ~bounds problem with
+      | Simplex.Infeasible -> ()
+      | Simplex.Unbounded -> relaxation_unbounded := true
+      | Simplex.Optimal { objective; values } ->
+          let norm_obj = sign *. objective in
+          if better_than_incumbent norm_obj then begin
+            (* Most fractional integer variable. *)
+            let branch_var = ref (-1) in
+            let worst = ref integrality_eps in
+            Array.iter
+              (fun v ->
+                let f = frac values.(v) in
+                if f > !worst then begin
+                  worst := f;
+                  branch_var := v
+                end)
+              integers;
+            if !branch_var < 0 then
+              incumbent := Some { objective; values = Array.copy values }
+            else begin
+              let v = !branch_var in
+              let lb, ub = bounds.(v) in
+              let x = values.(v) in
+              let down = Array.copy bounds in
+              down.(v) <- (lb, Float.of_int (int_of_float (Float.floor x)));
+              let up = Array.copy bounds in
+              up.(v) <- (Float.of_int (int_of_float (Float.ceil x)), ub);
+              (* Explore the branch nearer the fractional value first. *)
+              if x -. Float.floor x <= 0.5 then begin
+                explore down;
+                explore up
+              end
+              else begin
+                explore up;
+                explore down
+              end
+            end
+          end
+    end
+  in
+  explore (Problem.bounds problem);
+  let stats = { nodes = !nodes; lp_solves = !lp_solves } in
+  let outcome =
+    if !relaxation_unbounded then Unbounded
+    else
+      match (!incumbent, !budget_hit) with
+      | Some s, false -> Optimal s
+      | Some s, true -> Feasible s
+      | None, true -> No_solution_found
+      | None, false -> Infeasible
+  in
+  (outcome, stats)

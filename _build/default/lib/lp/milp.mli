@@ -1,0 +1,29 @@
+(** Mixed-integer optimization by LP-based branch & bound.
+
+    Depth-first search branching on the most fractional integer variable;
+    nodes are pruned against the incumbent. An optional node budget makes
+    the solver degrade gracefully on hard instances, mirroring the
+    paper's observation that the exact ILP "did not terminate within a
+    reasonable CPU time" on the largest problems. *)
+
+type solution = { objective : float; values : float array }
+
+type outcome =
+  | Optimal of solution  (** proven optimal *)
+  | Feasible of solution  (** node budget hit; best incumbent returned *)
+  | Infeasible
+  | Unbounded
+  | No_solution_found  (** node budget hit before any incumbent *)
+
+type stats = { nodes : int; lp_solves : int }
+
+val solve :
+  ?node_limit:int ->
+  ?integrality_eps:float ->
+  ?objective_is_integral:bool ->
+  Problem.t ->
+  outcome * stats
+(** [solve p] optimizes [p] honouring integer variable kinds.
+    [node_limit] defaults to 200_000. [objective_is_integral] (default
+    false) strengthens pruning by rounding node bounds to the next
+    integer, valid when every feasible objective value is integral. *)

@@ -1,0 +1,83 @@
+type var = int
+type sense = Le | Ge | Eq
+type direction = Minimize | Maximize
+
+type row = { coeffs : (int * float) list; sense : sense; rhs : float }
+
+type t = {
+  name : string;
+  mutable vars : (string * float * float * bool) list;  (* reversed *)
+  mutable nvars : int;
+  mutable constraints : row list;  (* reversed *)
+  mutable nrows : int;
+  mutable direction : direction;
+  mutable obj_constant : float;
+  mutable obj_terms : (int * float) list;
+}
+
+let create ?(name = "lp") () =
+  {
+    name;
+    vars = [];
+    nvars = 0;
+    constraints = [];
+    nrows = 0;
+    direction = Minimize;
+    obj_constant = 0.;
+    obj_terms = [];
+  }
+
+let add_var t ?(lb = 0.) ?(ub = infinity) ?(kind = `Continuous) name =
+  if not (Float.is_finite lb) then
+    invalid_arg "Problem.add_var: lower bound must be finite";
+  if lb > ub then invalid_arg "Problem.add_var: lb > ub";
+  let idx = t.nvars in
+  t.vars <- (name, lb, ub, kind = `Integer) :: t.vars;
+  t.nvars <- idx + 1;
+  idx
+
+let binary t name = add_var t ~lb:0. ~ub:1. ~kind:`Integer name
+
+let add_constraint t ?name:_ terms sense rhs =
+  let coeffs = List.map (fun (c, v) -> (v, c)) terms in
+  t.constraints <- { coeffs; sense; rhs } :: t.constraints;
+  t.nrows <- t.nrows + 1
+
+let set_objective t direction ?(constant = 0.) terms =
+  t.direction <- direction;
+  t.obj_constant <- constant;
+  t.obj_terms <- List.map (fun (c, v) -> (v, c)) terms
+
+let var_index v = v
+let var_count t = t.nvars
+let constraint_count t = t.nrows
+let name t = t.name
+
+let vars_array t = Array.of_list (List.rev t.vars)
+
+let var_name t v =
+  let name, _, _, _ = (vars_array t).(v) in
+  name
+
+let bounds t = Array.map (fun (_, lb, ub, _) -> (lb, ub)) (vars_array t)
+
+let integer_vars t =
+  let a = vars_array t in
+  let acc = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    let _, _, _, int_p = a.(i) in
+    if int_p then acc := i :: !acc
+  done;
+  !acc
+
+let dense_of_terms t terms =
+  let v = Array.make t.nvars 0. in
+  List.iter (fun (i, c) -> v.(i) <- v.(i) +. c) terms;
+  v
+
+let objective t = (t.direction, t.obj_constant, dense_of_terms t t.obj_terms)
+
+let rows t =
+  List.rev t.constraints
+  |> List.map (fun r -> (dense_of_terms t r.coeffs, r.sense, r.rhs))
+  |> Array.of_list

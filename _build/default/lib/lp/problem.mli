@@ -1,0 +1,51 @@
+(** Linear / mixed-integer program builder.
+
+    The paper solves the P_AW core-assignment model with lpsolve [2]; this
+    module plus {!Simplex} and {!Milp} is our from-scratch replacement.
+    Variables carry bounds and an integrality kind; constraints are linear
+    with [<=], [>=] or [=] sense. *)
+
+type var
+(** Opaque variable handle. *)
+
+type sense = Le | Ge | Eq
+type direction = Minimize | Maximize
+
+type t
+(** Mutable problem under construction. *)
+
+val create : ?name:string -> unit -> t
+
+val add_var :
+  t -> ?lb:float -> ?ub:float -> ?kind:[ `Continuous | `Integer ] ->
+  string -> var
+(** New variable. Defaults: [lb = 0.], [ub = infinity], continuous.
+    [lb] must be finite and [lb <= ub]. *)
+
+val binary : t -> string -> var
+(** Integer variable with bounds [0, 1]. *)
+
+val add_constraint : t -> ?name:string -> (float * var) list -> sense -> float -> unit
+(** [add_constraint t terms sense rhs] adds [sum terms {<=,>=,=} rhs].
+    Repeated variables in [terms] are summed. *)
+
+val set_objective : t -> direction -> ?constant:float -> (float * var) list -> unit
+(** Objective; default is minimize 0. *)
+
+val var_index : var -> int
+(** Dense 0-based index, usable with solution value arrays. *)
+
+val var_name : t -> var -> string
+val var_count : t -> int
+val constraint_count : t -> int
+val name : t -> string
+
+(** Internal accessors for the solvers. *)
+
+val bounds : t -> (float * float) array
+val integer_vars : t -> int list
+val objective : t -> direction * float * float array
+(** (direction, constant, dense coefficient vector). *)
+
+val rows : t -> (float array * sense * float) array
+(** Dense constraint rows. *)

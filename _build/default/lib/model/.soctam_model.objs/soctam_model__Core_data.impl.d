@@ -1,0 +1,1 @@
+lib/model/core_data.ml: Array Format List Soctam_util String

@@ -1,0 +1,1 @@
+lib/model/core_data.mli: Format

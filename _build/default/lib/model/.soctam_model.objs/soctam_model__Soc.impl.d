@@ -1,0 +1,1 @@
+lib/model/soc.ml: Array Core_data Format List Printf

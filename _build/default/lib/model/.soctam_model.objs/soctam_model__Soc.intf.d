@@ -1,0 +1,1 @@
+lib/model/soc.mli: Core_data Format

@@ -1,0 +1,49 @@
+type t = {
+  id : int;
+  name : string;
+  inputs : int;
+  outputs : int;
+  bidirs : int;
+  scan_chains : int array;
+  patterns : int;
+}
+
+let make ~id ~name ~inputs ~outputs ?(bidirs = 0) ?(scan_chains = [])
+    ~patterns () =
+  if id < 1 then invalid_arg "Core_data.make: id must be >= 1";
+  if inputs < 0 || outputs < 0 || bidirs < 0 then
+    invalid_arg "Core_data.make: negative terminal count";
+  if patterns < 1 then invalid_arg "Core_data.make: patterns must be >= 1";
+  if List.exists (fun l -> l < 1) scan_chains then
+    invalid_arg "Core_data.make: scan chain length must be >= 1";
+  {
+    id;
+    name;
+    inputs;
+    outputs;
+    bidirs;
+    scan_chains = Array.of_list scan_chains;
+    patterns;
+  }
+
+let scan_flip_flops t = Soctam_util.Intutil.sum t.scan_chains
+let scan_chain_count t = Array.length t.scan_chains
+let is_memory t = scan_chain_count t = 0
+let terminals t = t.inputs + t.outputs + t.bidirs
+
+let max_scan_chain t =
+  if Array.length t.scan_chains = 0 then 0
+  else Soctam_util.Intutil.max_element t.scan_chains
+
+let equal a b =
+  a.id = b.id && String.equal a.name b.name && a.inputs = b.inputs
+  && a.outputs = b.outputs && a.bidirs = b.bidirs
+  && a.scan_chains = b.scan_chains
+  && a.patterns = b.patterns
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>core %d (%s): %d in, %d out, %d bidir, %d patterns, %d chains \
+     (%d FFs)@]"
+    t.id t.name t.inputs t.outputs t.bidirs t.patterns (scan_chain_count t)
+    (scan_flip_flops t)

@@ -1,0 +1,48 @@
+(** Per-core test data.
+
+    A core is described by the quantities that determine its wrapper
+    design and testing time: functional terminal counts, internal scan
+    chain lengths, and the number of test patterns. This mirrors the
+    per-module data of the ITC'02 SOC test benchmarks that grew out of
+    the paper's experiments. *)
+
+type t = private {
+  id : int;  (** 1-based core number within its SOC *)
+  name : string;  (** circuit name, e.g. ["s38417"] *)
+  inputs : int;  (** functional input terminals *)
+  outputs : int;  (** functional output terminals *)
+  bidirs : int;  (** bidirectional terminals *)
+  scan_chains : int array;  (** internal scan chain lengths, fixed *)
+  patterns : int;  (** test patterns to apply *)
+}
+
+val make :
+  id:int ->
+  name:string ->
+  inputs:int ->
+  outputs:int ->
+  ?bidirs:int ->
+  ?scan_chains:int list ->
+  patterns:int ->
+  unit ->
+  t
+(** Smart constructor.
+    @raise Invalid_argument if any count is negative, [patterns < 1], or a
+    scan chain has length < 1. *)
+
+val scan_flip_flops : t -> int
+(** Total internal scan flip-flops (sum of chain lengths). *)
+
+val scan_chain_count : t -> int
+
+val is_memory : t -> bool
+(** A core with no internal scan chains (the paper's "memory cores"). *)
+
+val terminals : t -> int
+(** [inputs + outputs + bidirs]. *)
+
+val max_scan_chain : t -> int
+(** Longest internal scan chain, 0 when there is none. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

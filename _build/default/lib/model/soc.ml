@@ -1,0 +1,42 @@
+type t = { name : string; cores : Core_data.t array }
+
+let make ~name ~cores =
+  if cores = [] then invalid_arg "Soc.make: a SOC must have at least one core";
+  List.iteri
+    (fun i (c : Core_data.t) ->
+      if c.Core_data.id <> i + 1 then
+        invalid_arg
+          (Printf.sprintf "Soc.make: core at index %d has id %d, expected %d"
+             i c.Core_data.id (i + 1)))
+    cores;
+  { name; cores = Array.of_list cores }
+
+let core_count t = Array.length t.cores
+let core t i = t.cores.(i)
+let cores t = t.cores
+
+let logic_cores t =
+  Array.to_list t.cores |> List.filter (fun c -> not (Core_data.is_memory c))
+
+let memory_cores t = Array.to_list t.cores |> List.filter Core_data.is_memory
+
+let test_complexity t =
+  let weight (c : Core_data.t) =
+    c.Core_data.patterns
+    * (Core_data.terminals c + c.Core_data.bidirs + Core_data.scan_flip_flops c)
+  in
+  let total = Array.fold_left (fun acc c -> acc + weight c) 0 t.cores in
+  (total + 500) / 1000
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>SOC %s (%d cores):@," t.name (core_count t);
+  Array.iter (fun c -> Format.fprintf ppf "  %a@," Core_data.pp c) t.cores;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<h>SOC %s: %d cores (%d logic, %d memory), test complexity %d@]" t.name
+    (core_count t)
+    (List.length (logic_cores t))
+    (List.length (memory_cores t))
+    (test_complexity t)

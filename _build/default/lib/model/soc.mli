@@ -1,0 +1,35 @@
+(** A system-on-chip: a named collection of embedded cores.
+
+    Cores are stored in an array indexed [0 .. core_count - 1]; the
+    1-based [Core_data.id] of the core at index [i] is [i + 1]. *)
+
+type t = private { name : string; cores : Core_data.t array }
+
+val make : name:string -> cores:Core_data.t list -> t
+(** Smart constructor.
+    @raise Invalid_argument if the SOC is empty or core ids are not the
+    consecutive sequence [1 .. n] in order. *)
+
+val core_count : t -> int
+val core : t -> int -> Core_data.t
+(** [core t i] is the core at 0-based index [i]. *)
+
+val cores : t -> Core_data.t array
+(** The underlying array (do not mutate). *)
+
+val logic_cores : t -> Core_data.t list
+(** Cores with at least one internal scan chain. *)
+
+val memory_cores : t -> Core_data.t list
+(** Cores without internal scan chains. *)
+
+val test_complexity : t -> int
+(** The SOC test-complexity number of [Iyengar et al., JETTA 2002]: the
+    number embedded in SOC names such as p93791.
+    [round (sum_i patterns_i * (terminals_i + bidirs_i + scan_ffs_i)
+    / 1000)] — bidirectional terminals count twice (once as input cell,
+    once as output cell). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: name, core counts, complexity. *)

@@ -1,0 +1,1 @@
+lib/order/abort_order.ml: Array Soctam_model Soctam_tam

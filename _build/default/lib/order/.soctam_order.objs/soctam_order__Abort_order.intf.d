@@ -1,0 +1,1 @@
+lib/order/abort_order.mli: Soctam_model Soctam_tam

@@ -1,0 +1,67 @@
+module Arch = Soctam_tam.Architecture
+
+type yield_model = { fail_probability : int -> float }
+
+let uniform_yield ~fail_probability =
+  if fail_probability < 0. || fail_probability > 1. then
+    invalid_arg "Abort_order.uniform_yield: probability outside [0, 1]";
+  { fail_probability = (fun _ -> fail_probability) }
+
+let pattern_proportional_yield soc ~defect_per_pattern =
+  if defect_per_pattern < 0. || defect_per_pattern > 1. then
+    invalid_arg "Abort_order.pattern_proportional_yield: outside [0, 1]";
+  {
+    fail_probability =
+      (fun core ->
+        let patterns =
+          (Soctam_model.Soc.core soc core).Soctam_model.Core_data.patterns
+        in
+        1. -. ((1. -. defect_per_pattern) ** float_of_int patterns));
+  }
+
+let expected_time ~times ~fails ~order =
+  let expected = ref 0. in
+  let alive = ref 1. in
+  Array.iter
+    (fun core ->
+      expected := !expected +. (!alive *. float_of_int times.(core));
+      alive := !alive *. (1. -. fails.(core)))
+    order;
+  !expected
+
+let optimal_order ~times ~fails ~cores =
+  let order = Array.of_list cores in
+  let key core =
+    if fails.(core) <= 0. then (1, -.float_of_int times.(core), core)
+    else (0, float_of_int times.(core) /. fails.(core), core)
+  in
+  Array.sort (fun a b -> compare (key a) (key b)) order;
+  order
+
+type t = {
+  per_tam_order : int array array;
+  expected_cycles : float;
+  worst_case_cycles : int;
+}
+
+let schedule arch model =
+  let cores = Array.length arch.Arch.assignment in
+  let fails =
+    Array.init cores (fun core ->
+        let p = model.fail_probability core in
+        if p < 0. || p > 1. then
+          invalid_arg "Abort_order.schedule: probability outside [0, 1]";
+        p)
+  in
+  let times = arch.Arch.core_times in
+  let per_tam_order =
+    Array.mapi
+      (fun tam _ -> optimal_order ~times ~fails ~cores:(Arch.cores_on arch tam))
+      arch.Arch.widths
+  in
+  let expected_cycles =
+    Array.fold_left
+      (fun acc order -> max acc (expected_time ~times ~fails ~order))
+      0. per_tam_order
+  in
+  { per_tam_order; expected_cycles; worst_case_cycles = arch.Arch.time }

@@ -1,0 +1,53 @@
+(** Abort-on-fail test ordering within a TAM.
+
+    In production test, a die is rejected at the first failing core, so
+    the order in which a TAM applies its core tests changes the
+    {e expected} tester time even though the worst case is fixed. With
+    independent per-core fail probabilities [p_i] and test lengths
+    [t_i], testing core [i] before [j] is better exactly when
+    [t_i * p_j <= t_j * p_i] (exchange argument), so the optimal order
+    sorts by the ratio [t_i / p_i] ascending — short, likely-to-fail
+    tests first.
+
+    This post-processing does not change the SOC testing time the
+    wrapper/TAM co-optimization minimizes (the all-pass makespan); it
+    minimizes the mean over dies. *)
+
+type yield_model = {
+  fail_probability : int -> float;
+      (** per 0-based core, in [\[0, 1\]]; independence assumed *)
+}
+
+val uniform_yield : fail_probability:float -> yield_model
+(** The same fail probability for every core. *)
+
+val pattern_proportional_yield :
+  Soctam_model.Soc.t -> defect_per_pattern:float -> yield_model
+(** A core's fail probability grows with its pattern count:
+    [1 - (1 - defect_per_pattern)^patterns]. A crude but standard proxy:
+    bigger tests cover more logic that can be defective. *)
+
+val expected_time :
+  times:int array -> fails:float array -> order:int array -> float
+(** Expected applied-test time of one TAM testing its cores in [order],
+    aborting at the first fail. [times]/[fails] are indexed by core. *)
+
+val optimal_order :
+  times:int array -> fails:float array -> cores:int list -> int array
+(** The [t/p]-ascending order of the given cores (cores with
+    [p = 0] go last, mutually ordered by time descending). *)
+
+type t = {
+  per_tam_order : int array array;  (** test order for each TAM *)
+  expected_cycles : float;
+      (** max over TAMs of the expected per-TAM time. Within each TAM the
+          order is exactly optimal; across parallel TAMs this is a lower
+          bound on the expected session length (the expectation of a max
+          exceeds the max of expectations), reported as the standard
+          summary figure. *)
+  worst_case_cycles : int;  (** the architecture's testing time *)
+}
+
+val schedule :
+  Soctam_tam.Architecture.t -> yield_model -> t
+(** Optimal abort-on-fail order for every TAM of an architecture. *)

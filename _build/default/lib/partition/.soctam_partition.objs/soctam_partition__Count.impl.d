@@ -1,0 +1,1 @@
+lib/partition/count.ml: Float Hashtbl Intutil Soctam_util

@@ -1,0 +1,36 @@
+(* p(n, k) satisfies p(n, k) = p(n-1, k-1) + p(n-k, k): either the smallest
+   part is 1 (remove it) or all parts are >= 2 (subtract 1 from each). *)
+
+let table : (int * int, int) Hashtbl.t = Hashtbl.create 1024
+
+let rec exact ~total ~parts =
+  if parts <= 0 || total < parts then (if total = 0 && parts = 0 then 1 else 0)
+  else if parts = total || parts = 1 then 1
+  else
+    match Hashtbl.find_opt table (total, parts) with
+    | Some v -> v
+    | None ->
+        let v =
+          exact ~total:(total - 1) ~parts:(parts - 1)
+          + exact ~total:(total - parts) ~parts
+        in
+        Hashtbl.add table (total, parts) v;
+        v
+
+let at_most ~total ~max_parts =
+  let rec loop k acc =
+    if k > max_parts then acc else loop (k + 1) (acc + exact ~total ~parts:k)
+  in
+  loop 1 0
+
+let all n = at_most ~total:n ~max_parts:n
+
+let estimate ~total ~parts =
+  let open Soctam_util in
+  float_of_int (Intutil.pow total (parts - 1))
+  /. float_of_int (Intutil.factorial parts * Intutil.factorial (parts - 1))
+
+let exact_two n = if n < 2 then 0 else n / 2
+
+let exact_three n =
+  if n < 3 then 0 else int_of_float (Float.round (float_of_int (n * n) /. 12.))

@@ -1,0 +1,129 @@
+let fold ~total ~parts ~init ~f =
+  if parts < 1 || total < parts then init
+  else begin
+    let widths = Array.make parts 0 in
+    (* Position j chooses w_j >= w_(j-1) with enough left for the remaining
+       parts; the last part takes the remainder. *)
+    let rec go j minimum remaining acc =
+      if j = parts - 1 then begin
+        widths.(j) <- remaining;
+        f acc widths
+      end
+      else begin
+        let upper = remaining / (parts - j) in
+        let rec widths_loop w acc =
+          if w > upper then acc
+          else begin
+            widths.(j) <- w;
+            let acc = go (j + 1) w (remaining - w) acc in
+            widths_loop (w + 1) acc
+          end
+        in
+        widths_loop minimum acc
+      end
+    in
+    go 0 1 total init
+  end
+
+let iter ~total ~parts f = fold ~total ~parts ~init:() ~f:(fun () w -> f w)
+
+let to_list ~total ~parts =
+  fold ~total ~parts ~init:[] ~f:(fun acc w -> Array.copy w :: acc)
+  |> List.rev
+
+module Compositions = struct
+  type stats = { compositions : int; unique : int; memory_entries : int }
+
+  let fold ~total ~parts ~init ~f =
+    if parts < 1 || total < parts then
+      (init, { compositions = 0; unique = 0; memory_entries = 0 })
+    else begin
+      let seen = Hashtbl.create 1024 in
+      let compositions = ref 0 in
+      let unique = ref 0 in
+      let widths = Array.make parts 0 in
+      let rec go j remaining acc =
+        if j = parts - 1 then begin
+          widths.(j) <- remaining;
+          incr compositions;
+          let canonical = Array.copy widths in
+          Array.sort compare canonical;
+          let key = Array.to_list canonical in
+          if Hashtbl.mem seen key then acc
+          else begin
+            Hashtbl.add seen key ();
+            incr unique;
+            f acc canonical
+          end
+        end
+        else begin
+          (* Every position ranges over its full 1..remaining-(rest) span:
+             no bound, hence the duplicates. *)
+          let upper = remaining - (parts - 1 - j) in
+          let rec widths_loop w acc =
+            if w > upper then acc
+            else begin
+              widths.(j) <- w;
+              let acc = go (j + 1) (remaining - w) acc in
+              widths_loop (w + 1) acc
+            end
+          in
+          widths_loop 1 acc
+        end
+      in
+      let acc = go 0 total init in
+      ( acc,
+        {
+          compositions = !compositions;
+          unique = !unique;
+          memory_entries = Hashtbl.length seen;
+        } )
+    end
+
+  let count ~total ~parts =
+    snd (fold ~total ~parts ~init:() ~f:(fun () _ -> ()))
+end
+
+module Odometer = struct
+  type t = { total : int; parts : int; widths : int array }
+
+  let create ~total ~parts =
+    if parts < 1 || total < parts then None
+    else begin
+      let widths = Array.make parts 1 in
+      widths.(parts - 1) <- total - parts + 1;
+      Some { total; parts; widths }
+    end
+
+  let current t = t.widths
+
+  (* Paper Figure 3, procedure Increment: find the rightmost loop variable
+     w_j (j < parts) that can still grow under the bound
+     floor((total - prefix) / (parts - j)), grow it, reset every later
+     loop variable to the new w_j, and give the remainder to w_B. *)
+  let advance t =
+    if t.parts = 1 then false
+    else begin
+      let rec try_position j =
+        if j < 0 then false
+        else begin
+          let prefix = ref 0 in
+          for i = 0 to j - 1 do
+            prefix := !prefix + t.widths.(i)
+          done;
+          let bound = (t.total - !prefix) / (t.parts - j) in
+          if t.widths.(j) < bound then begin
+            let w = t.widths.(j) + 1 in
+            for i = j to t.parts - 2 do
+              t.widths.(i) <- w
+            done;
+            t.widths.(t.parts - 1) <-
+              t.total - !prefix - (w * (t.parts - 1 - j));
+            true
+          end
+          else try_position (j - 1)
+        end
+      in
+      try_position (t.parts - 2)
+    end
+end

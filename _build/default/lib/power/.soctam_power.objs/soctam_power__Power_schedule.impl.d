@@ -1,0 +1,1 @@
+lib/power/power_schedule.ml: Array Hashtbl List Option Power_model Printf Soctam_tam

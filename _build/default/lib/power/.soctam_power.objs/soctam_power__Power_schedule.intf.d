@@ -1,0 +1,1 @@
+lib/power/power_schedule.mli: Power_model Soctam_tam

@@ -1,0 +1,25 @@
+type t = int array
+
+let of_array powers =
+  Array.iter
+    (fun p ->
+      if p < 1 then invalid_arg "Power_model.of_array: power must be >= 1")
+    powers;
+  Array.copy powers
+
+let uniform ~cores ~power =
+  if power < 1 then invalid_arg "Power_model.uniform: power must be >= 1";
+  Array.make cores power
+
+let estimate soc =
+  Array.map
+    (fun core ->
+      Soctam_model.Core_data.scan_flip_flops core
+      + Soctam_model.Core_data.terminals core
+      + 1)
+    (Soctam_model.Soc.cores soc)
+
+let power t core = t.(core)
+let cores t = Array.length t
+let max_power t = Soctam_util.Intutil.max_element t
+let sum_power t = Soctam_util.Intutil.sum t

@@ -1,0 +1,34 @@
+(** Per-core test power model.
+
+    Scan testing dissipates far more power than functional operation -
+    the reason the paper's line of work grew power-constrained variants.
+    A model maps each core (by 0-based index) to a flat power figure in
+    arbitrary units, consumed for the whole duration of the core's
+    test. *)
+
+type t
+
+val of_array : int array -> t
+(** Explicit per-core powers (all must be >= 1).
+    @raise Invalid_argument otherwise. *)
+
+val uniform : cores:int -> power:int -> t
+(** Every core draws [power] units. *)
+
+val estimate : Soctam_model.Soc.t -> t
+(** Synthetic estimate from the test data: a core's switching activity
+    scales with the cells toggled per shift cycle, so
+    [power_i = scan_ffs_i + terminals_i + 1]. Deterministic and
+    proportional - adequate for studying schedule shapes (absolute watts
+    are irrelevant to the scheduling problem). *)
+
+val power : t -> int -> int
+(** [power t core]. *)
+
+val cores : t -> int
+val max_power : t -> int
+(** The largest single-core power (the minimum feasible budget). *)
+
+val sum_power : t -> int
+(** Total if everything tested at once (the peak of an unconstrained
+    fully-parallel schedule). *)

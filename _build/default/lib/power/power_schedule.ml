@@ -1,0 +1,210 @@
+module Arch = Soctam_tam.Architecture
+
+type slot = { core : int; tam : int; start : int; finish : int }
+
+type t = {
+  slots : slot list;
+  makespan : int;
+  peak_power : int;
+  budget : int option;
+}
+
+let peak_of_slots slots power =
+  (* Sweep the start/finish events in time order; finishes release power
+     before simultaneous starts claim it (tests are back-to-back). *)
+  let events =
+    List.concat_map
+      (fun s ->
+        [ (s.start, 1, Power_model.power power s.core);
+          (s.finish, 0, -Power_model.power power s.core) ])
+      slots
+    |> List.sort compare
+  in
+  let peak = ref 0 in
+  let current = ref 0 in
+  List.iter
+    (fun (_, _, delta) ->
+      current := !current + delta;
+      if !current > !peak then peak := !current)
+    events;
+  !peak
+
+let makespan_of_slots slots =
+  List.fold_left (fun acc s -> max acc s.finish) 0 slots
+
+let by_start slots =
+  List.sort
+    (fun a b ->
+      match compare a.start b.start with 0 -> compare a.core b.core | c -> c)
+    slots
+
+let unconstrained arch power =
+  let slots = ref [] in
+  Array.iteri
+    (fun tam _ ->
+      let t = ref 0 in
+      List.iter
+        (fun core ->
+          let d = arch.Arch.core_times.(core) in
+          slots := { core; tam; start = !t; finish = !t + d } :: !slots;
+          t := !t + d)
+        (Arch.cores_on arch tam))
+    arch.Arch.widths;
+  let slots = by_start !slots in
+  {
+    slots;
+    makespan = makespan_of_slots slots;
+    peak_power = peak_of_slots slots power;
+    budget = None;
+  }
+
+let constrained arch power ~budget =
+  let cores = Array.length arch.Arch.assignment in
+  if Power_model.cores power <> cores then
+    Error "power model size does not match the architecture"
+  else if budget < Power_model.max_power power then
+    Error
+      (Printf.sprintf
+         "budget %d below the largest single-core power %d: infeasible"
+         budget (Power_model.max_power power))
+  else begin
+    let tams = Array.length arch.Arch.widths in
+    (* Per-TAM pending queues, longest test first (LPT within the TAM). *)
+    let pending =
+      Array.init tams (fun tam ->
+          Arch.cores_on arch tam
+          |> List.sort (fun a b ->
+                 match
+                   compare arch.Arch.core_times.(b) arch.Arch.core_times.(a)
+                 with
+                 | 0 -> compare a b
+                 | c -> c)
+          |> ref)
+    in
+    let tam_free_at = Array.make tams 0 in
+    let running = ref [] in
+    (* (finish, core) *)
+    let in_use = ref 0 in
+    let now = ref 0 in
+    let slots = ref [] in
+    let remaining = ref cores in
+    while !remaining > 0 do
+      (* Start everything startable at the current instant. *)
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        for tam = 0 to tams - 1 do
+          if tam_free_at.(tam) <= !now then begin
+            match !(pending.(tam)) with
+            | [] -> ()
+            | core :: rest ->
+                if !in_use + Power_model.power power core <= budget then begin
+                  let d = arch.Arch.core_times.(core) in
+                  pending.(tam) := rest;
+                  tam_free_at.(tam) <- !now + d;
+                  in_use := !in_use + Power_model.power power core;
+                  running := (!now + d, core) :: !running;
+                  slots :=
+                    { core; tam; start = !now; finish = !now + d } :: !slots;
+                  decr remaining;
+                  progress := true
+                end
+          end
+        done
+      done;
+      (* Advance to the next completion and release its power. *)
+      if !remaining > 0 then begin
+        match !running with
+        | [] ->
+            (* Nothing running and nothing startable: impossible, since an
+               empty machine always admits the next core under the budget
+               check above. *)
+            assert false
+        | _ ->
+            let next_finish =
+              List.fold_left (fun acc (f, _) -> min acc f) max_int !running
+            in
+            now := next_finish;
+            let finished, still =
+              List.partition (fun (f, _) -> f <= !now) !running
+            in
+            running := still;
+            List.iter
+              (fun (_, core) ->
+                in_use := !in_use - Power_model.power power core)
+              finished
+      end
+    done;
+    let slots = by_start !slots in
+    Ok
+      {
+        slots;
+        makespan = makespan_of_slots slots;
+        peak_power = peak_of_slots slots power;
+        budget = Some budget;
+      }
+  end
+
+let validate t arch power =
+  let cores = Array.length arch.Arch.assignment in
+  let seen = Array.make cores false in
+  let check_slot s =
+    if s.core < 0 || s.core >= cores then Error "slot core out of range"
+    else if seen.(s.core) then Error "core scheduled twice"
+    else begin
+      seen.(s.core) <- true;
+      if s.tam <> arch.Arch.assignment.(s.core) then
+        Error "core scheduled on the wrong TAM"
+      else if s.finish - s.start <> arch.Arch.core_times.(s.core) then
+        Error "slot duration differs from the core testing time"
+      else if s.start < 0 then Error "negative start time"
+      else Ok ()
+    end
+  in
+  let rec check_all = function
+    | [] -> Ok ()
+    | s :: rest -> ( match check_slot s with Ok () -> check_all rest | e -> e)
+  in
+  let check_no_overlap () =
+    let per_tam = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        let l = Option.value (Hashtbl.find_opt per_tam s.tam) ~default:[] in
+        Hashtbl.replace per_tam s.tam (s :: l))
+      t.slots;
+    Hashtbl.fold
+      (fun _ slots acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            let sorted =
+              List.sort (fun a b -> compare a.start b.start) slots
+            in
+            let rec no_overlap = function
+              | a :: (b :: _ as rest) ->
+                  if a.finish > b.start then
+                    Error "overlapping tests on one TAM"
+                  else no_overlap rest
+              | _ -> Ok ()
+            in
+            no_overlap sorted)
+      per_tam (Ok ())
+  in
+  match check_all t.slots with
+  | Error _ as e -> e
+  | Ok () ->
+      if not (Array.for_all (fun b -> b) seen) then
+        Error "some core never scheduled"
+      else if t.makespan <> makespan_of_slots t.slots then
+        Error "makespan inconsistent with slots"
+      else if t.peak_power <> peak_of_slots t.slots power then
+        Error "peak power inconsistent with slots"
+      else begin
+        match check_no_overlap () with
+        | Error _ as e -> e
+        | Ok () -> (
+            match t.budget with
+            | Some budget when t.peak_power > budget ->
+                Error "peak power exceeds the budget"
+            | Some _ | None -> Ok ())
+      end

@@ -1,0 +1,45 @@
+(** Power-constrained test scheduling on a fixed test-bus architecture.
+
+    Cores sharing a TAM are tested sequentially; different TAMs run in
+    parallel, so the instantaneous power is the sum over TAMs of the
+    power of the core each is currently testing. Under a power budget
+    the schedule may have to delay tests (keep a TAM idle), stretching
+    the SOC testing time beyond the unconstrained makespan.
+
+    The scheduler is an event-driven greedy: whenever a TAM is free, it
+    starts that TAM's longest pending core test if the budget allows,
+    otherwise the TAM waits for running tests to release power. This is
+    the standard list-scheduling approach for resource-constrained
+    parallel machines; optimality is NP-hard, but the greedy schedule is
+    always feasible and never idles the whole SOC while work remains. *)
+
+type slot = {
+  core : int;  (** 0-based core *)
+  tam : int;  (** 0-based TAM *)
+  start : int;  (** cycle the test starts *)
+  finish : int;  (** [start] + core testing time *)
+}
+
+type t = {
+  slots : slot list;  (** one per core, in start order *)
+  makespan : int;
+  peak_power : int;  (** highest instantaneous power actually reached *)
+  budget : int option;  (** the cap the schedule was built under *)
+}
+
+val unconstrained : Soctam_tam.Architecture.t -> Power_model.t -> t
+(** Back-to-back schedule (each TAM tests its cores without gaps, in
+    assignment order); reports the resulting peak power. Its makespan
+    always equals the architecture's testing time. *)
+
+val constrained :
+  Soctam_tam.Architecture.t -> Power_model.t -> budget:int -> (t, string) result
+(** Greedy power-capped schedule. [Error] when some single core already
+    exceeds the budget (no feasible schedule exists). *)
+
+val validate :
+  t -> Soctam_tam.Architecture.t -> Power_model.t -> (unit, string) result
+(** Check schedule invariants: every core exactly once, on its assigned
+    TAM, with its architecture testing time, no overlap within a TAM,
+    peak power consistent, and under the budget when one was set. Used
+    by the property tests and available to downstream users. *)

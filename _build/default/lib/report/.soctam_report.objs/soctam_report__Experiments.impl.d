@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Array Hashtbl List Option Paper_ref Printf Soctam_core Soctam_model Soctam_partition Soctam_soc_data Soctam_tam Soctam_util String Texttable

@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Soctam_core Soctam_model Texttable

@@ -1,0 +1,1 @@
+lib/report/texttable.ml: Array Buffer List Printf String

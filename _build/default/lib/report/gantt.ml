@@ -1,0 +1,35 @@
+type item = { label : string; lane : int; start : int; finish : int }
+
+let render ?(columns = 60) ~lanes ~total items =
+  if lanes < 1 then invalid_arg "Gantt.render: lanes must be >= 1";
+  if total < 1 then invalid_arg "Gantt.render: total must be >= 1";
+  List.iter
+    (fun it ->
+      if it.lane < 0 || it.lane >= lanes then
+        invalid_arg "Gantt.render: item lane out of range";
+      if it.start < 0 || it.finish > total || it.start > it.finish then
+        invalid_arg "Gantt.render: item outside the time range")
+    items;
+  let rows = Array.init lanes (fun _ -> Bytes.make columns '-') in
+  let cell_of_time t = min (columns - 1) (t * columns / total) in
+  List.iter
+    (fun it ->
+      if it.finish > it.start then begin
+        let glyph = if String.length it.label > 0 then it.label.[0] else '?' in
+        let first = cell_of_time it.start in
+        let last = cell_of_time (it.finish - 1) in
+        for c = first to last do
+          Bytes.set rows.(it.lane) c glyph
+        done
+      end)
+    items;
+  let buf = Buffer.create ((columns + 12) * lanes) in
+  Array.iteri
+    (fun lane row ->
+      Buffer.add_string buf (Printf.sprintf "TAM %-2d |%s|\n" (lane + 1) (Bytes.to_string row)))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "        0%s%d cycles\n"
+       (String.make (max 1 (columns - 8 - String.length (string_of_int total))) ' ')
+       total);
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** ASCII Gantt charts of test schedules.
+
+    Lanes are TAMs; items are core tests with start/finish times in
+    cycles. Used by the power-scheduling example and the CLI to make a
+    schedule inspectable at a glance:
+
+    {v
+    TAM 1 |111111111111----4444|
+    TAM 2 |22222333333333333333|
+    v} *)
+
+type item = {
+  label : string;  (** one glyph is taken from this label per cell *)
+  lane : int;  (** 0-based lane *)
+  start : int;
+  finish : int;  (** exclusive *)
+}
+
+val render :
+  ?columns:int -> lanes:int -> total:int -> item list -> string
+(** [render ~lanes ~total items] draws [lanes] rows scaled so that
+    [total] time units span [columns] characters (default 60). Gaps show
+    as ['-']; overlapping items within a lane are drawn last-writer-wins
+    (validate schedules separately). Zero-duration renders nothing.
+    @raise Invalid_argument when [lanes < 1], [total < 1], or an item
+    lies outside [0, total] or its lane outside the range. *)

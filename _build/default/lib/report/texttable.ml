@@ -1,0 +1,114 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list;  (* reversed *)
+  mutable notes : string list;  (* reversed *)
+}
+
+let create ~title ~columns =
+  {
+    title;
+    headers = Array.of_list (List.map fst columns);
+    aligns = Array.of_list (List.map snd columns);
+    rows = [];
+    notes = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> Array.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Texttable.add_row: %d cells for %d columns"
+         (List.length cells) (Array.length t.headers));
+  t.rows <- Array.of_list cells :: t.rows
+
+let add_note t note = t.notes <- note :: t.notes
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (String.length row.(c)))
+      (String.length t.headers.(c))
+      rows
+  in
+  let widths = Array.init ncols width in
+  let pad align w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line row =
+    let cells =
+      List.init ncols (fun c -> pad t.aligns.(c) widths.(c) row.(c))
+    in
+    String.concat "  " cells
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.make
+       (Array.fold_left ( + ) (2 * (ncols - 1)) widths)
+       '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  List.iter
+    (fun note ->
+      Buffer.add_string buf ("  note: " ^ note);
+      Buffer.add_char buf '\n')
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let render_markdown t =
+  let escape s = String.concat "\\|" (String.split_on_char '|' s) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "**%s**\n\n" t.title);
+  let row cells =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (String.concat " | " (List.map escape cells));
+    Buffer.add_string buf " |\n"
+  in
+  row (Array.to_list t.headers);
+  Buffer.add_string buf "|";
+  Array.iter
+    (fun align ->
+      Buffer.add_string buf
+        (match align with Left -> " :--- |" | Right -> " ---: |"))
+    t.aligns;
+  Buffer.add_char buf '\n';
+  List.iter (fun r -> row (Array.to_list r)) (List.rev t.rows);
+  List.iter
+    (fun note -> Buffer.add_string buf (Printf.sprintf "\n*%s*\n" (escape note)))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let render_csv t =
+  let field s =
+    if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" t.title);
+  let row cells =
+    Buffer.add_string buf
+      (String.concat "," (List.map field (Array.to_list cells)));
+    Buffer.add_char buf '\n'
+  in
+  row t.headers;
+  List.iter row (List.rev t.rows);
+  List.iter
+    (fun note -> Buffer.add_string buf (Printf.sprintf "# %s\n" note))
+    (List.rev t.notes);
+  Buffer.contents buf

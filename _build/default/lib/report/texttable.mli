@@ -1,0 +1,25 @@
+(** Minimal aligned ASCII tables for the experiment harness. *)
+
+type align = Left | Right
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the row length differs from the header. *)
+
+val add_note : t -> string -> unit
+(** Free-form footnote printed under the table. *)
+
+val render : t -> string
+val print : t -> unit
+(** [render] to stdout. *)
+
+val render_markdown : t -> string
+(** GitHub-flavoured markdown: a bold title line, a pipe table with
+    alignment markers, and notes as italic bullet lines. Cell content is
+    escaped for [|]. *)
+
+val render_csv : t -> string
+(** RFC-4180-style CSV: a header row then data rows; fields containing
+    commas, quotes or newlines are quoted. The title and notes are
+    emitted as [#]-prefixed comment lines. *)

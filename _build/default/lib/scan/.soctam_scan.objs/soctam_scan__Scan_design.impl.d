@@ -1,0 +1,1 @@
+lib/scan/scan_design.ml: Array List Soctam_model Soctam_wrapper

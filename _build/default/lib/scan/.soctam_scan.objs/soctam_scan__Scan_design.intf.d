@@ -1,0 +1,1 @@
+lib/scan/scan_design.mli: Soctam_model

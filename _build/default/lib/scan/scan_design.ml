@@ -1,0 +1,58 @@
+module Core_data = Soctam_model.Core_data
+
+let divide ~flip_flops ~chains =
+  if flip_flops < 0 then invalid_arg "Scan_design.divide: negative flip_flops";
+  if chains < 1 then invalid_arg "Scan_design.divide: chains must be >= 1";
+  if flip_flops = 0 then []
+  else begin
+    let chains = min chains flip_flops in
+    let base = flip_flops / chains in
+    let extra = flip_flops mod chains in
+    List.init chains (fun i -> if i < extra then base + 1 else base)
+  end
+
+let restitch core ~chains =
+  let flip_flops = Core_data.scan_flip_flops core in
+  if flip_flops = 0 then core
+  else
+    Core_data.make ~id:core.Core_data.id ~name:core.Core_data.name
+      ~inputs:core.Core_data.inputs ~outputs:core.Core_data.outputs
+      ~bidirs:core.Core_data.bidirs
+      ~scan_chains:(divide ~flip_flops ~chains)
+      ~patterns:core.Core_data.patterns ()
+
+let best_chain_count core ~width ~max_chains =
+  if width < 1 then invalid_arg "Scan_design.best_chain_count: width < 1";
+  if max_chains < 1 then
+    invalid_arg "Scan_design.best_chain_count: max_chains < 1";
+  let flip_flops = Core_data.scan_flip_flops core in
+  if flip_flops = 0 then
+    (0, (Soctam_wrapper.Design.design core ~width).Soctam_wrapper.Design.time)
+  else begin
+    let limit = min max_chains flip_flops in
+    let best = ref (0, max_int) in
+    for chains = 1 to limit do
+      let candidate = restitch core ~chains in
+      let time =
+        (Soctam_wrapper.Design.design candidate ~width)
+          .Soctam_wrapper.Design.time
+      in
+      let _, best_time = !best in
+      if time < best_time then best := (chains, time)
+    done;
+    !best
+  end
+
+let restitch_soc ?(max_chains = 32) soc ~width =
+  let cores =
+    Array.to_list (Soctam_model.Soc.cores soc)
+    |> List.map (fun core ->
+           if Core_data.is_memory core then core
+           else begin
+             let chains, _ = best_chain_count core ~width ~max_chains in
+             restitch core ~chains
+           end)
+  in
+  Soctam_model.Soc.make
+    ~name:(soc.Soctam_model.Soc.name ^ "-restitched")
+    ~cores

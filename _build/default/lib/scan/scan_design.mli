@@ -1,0 +1,35 @@
+(** Core-internal scan chain design (Aerts & Marinissen, ITC 1998 [1]).
+
+    The wrapper optimizer must take a core's internal scan chains as
+    fixed — they were stitched when the core was designed. This module
+    models the step {e before} that: choosing how to divide a core's
+    scan flip-flops into chains. It lets the benchmarks ask the paper's
+    implicit counterfactual: how much testing time is lost to
+    unfortunate internal chain granularity (e.g. one unsplittable
+    806-bit chain pinning a whole SOC)?
+
+    Chains are balanced: [divide] spreads [flip_flops] over [chains]
+    parts differing by at most one bit. *)
+
+val divide : flip_flops:int -> chains:int -> int list
+(** Balanced division; lengths differ by at most 1 and sum to
+    [flip_flops]. An empty list when [flip_flops = 0].
+    @raise Invalid_argument when [flip_flops < 0] or [chains < 1]. *)
+
+val restitch : Soctam_model.Core_data.t -> chains:int -> Soctam_model.Core_data.t
+(** The same core with its scan flip-flops re-divided into [chains]
+    balanced chains (capped at the flip-flop count). Terminals and
+    patterns are untouched. Memory cores are returned unchanged. *)
+
+val best_chain_count :
+  Soctam_model.Core_data.t -> width:int -> max_chains:int -> int * int
+(** [(chains, time)] minimizing the core's testing time at TAM width
+    [width] when the core may be restitched into up to [max_chains]
+    chains. Ties prefer fewer chains (less DfT routing).
+    @raise Invalid_argument when [width < 1] or [max_chains < 1]. *)
+
+val restitch_soc :
+  ?max_chains:int -> Soctam_model.Soc.t -> width:int -> Soctam_model.Soc.t
+(** Every logic core restitched to its [best_chain_count] at [width]
+    (chain count capped at [max_chains], default 32). Used by the
+    "what if the SOC were scan-stitched for this TAM budget?" ablation. *)

@@ -1,0 +1,1 @@
+lib/schedule/makespan.ml: Array Soctam_util

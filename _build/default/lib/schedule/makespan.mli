@@ -1,0 +1,37 @@
+(** Minimum-makespan scheduling of independent jobs on parallel machines.
+
+    [Design_wrapper] partitions internal scan chains over wrapper chains
+    (identical machines); [Core_assign] schedules cores over TAMs
+    (unrelated machines, the duration of a job depends on its machine).
+    This module provides the shared primitives: LPT list scheduling and
+    admissible lower bounds used by the exact branch-and-bound. *)
+
+type schedule = {
+  assignment : int array;  (** job index -> machine index *)
+  loads : int array;  (** machine index -> summed duration *)
+  makespan : int;  (** maximum load *)
+}
+
+val lpt : durations:int array -> machines:int -> schedule
+(** Longest-processing-time list scheduling on identical machines: jobs in
+    decreasing duration, each placed on the currently least-loaded machine
+    (lowest index on ties). Guarantees makespan <= (4/3 - 1/(3m)) * OPT.
+    @raise Invalid_argument when [machines < 1]. *)
+
+val makespan_of : loads:int array -> int
+
+val loads_of_assignment :
+  durations:(int -> int -> int) -> assignment:int array -> machines:int ->
+  int array
+(** [loads_of_assignment ~durations ~assignment ~machines] sums
+    [durations job machine] per machine; [durations] is evaluated only at
+    [(j, assignment.(j))]. *)
+
+val lower_bound_identical : durations:int array -> machines:int -> int
+(** max(ceil(total / m), longest job): admissible for identical machines. *)
+
+val lower_bound_unrelated :
+  duration:(job:int -> machine:int -> int) -> jobs:int -> machines:int -> int
+(** max over jobs of the job's best-machine duration, combined with the
+    average-load bound ceil(sum_j min_m d(j,m) / machines): admissible for
+    unrelated machines. *)

@@ -1,0 +1,1 @@
+lib/sim/core_sim.ml: Array Soctam_model Soctam_wrapper

@@ -1,0 +1,1 @@
+lib/sim/core_sim.mli: Soctam_model Soctam_wrapper

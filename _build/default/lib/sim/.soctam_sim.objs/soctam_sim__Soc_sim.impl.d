@@ -1,0 +1,1 @@
+lib/sim/soc_sim.ml: Array Core_sim List Soctam_model Soctam_tam Soctam_util Soctam_wrapper

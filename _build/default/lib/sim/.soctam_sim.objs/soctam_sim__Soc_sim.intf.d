@@ -1,0 +1,1 @@
+lib/sim/soc_sim.mli: Soctam_model Soctam_tam

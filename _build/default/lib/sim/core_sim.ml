@@ -1,0 +1,74 @@
+type t = {
+  cycles : int;
+  shift_cycles : int;
+  capture_cycles : int;
+  bits_in : int;
+  bits_out : int;
+  wire_cycles_in : int;
+  idle_in : int;
+  idle_out : int;
+  utilization_in : float;
+  utilization_out : float;
+}
+
+let run core (design : Soctam_wrapper.Design.t) =
+  (match Soctam_wrapper.Design.validate_layout core design with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Core_sim.run: inconsistent design: " ^ msg));
+  let patterns = core.Soctam_model.Core_data.patterns in
+  let si = design.Soctam_wrapper.Design.scan_in in
+  let so = design.Soctam_wrapper.Design.scan_out in
+  let si_max = design.Soctam_wrapper.Design.scan_in_max in
+  let so_max = design.Soctam_wrapper.Design.scan_out_max in
+  let chains = Array.length si in
+  let shift_cycles = ref 0 in
+  let bits_in = ref 0 in
+  let bits_out = ref 0 in
+  let idle_in = ref 0 in
+  let idle_out = ref 0 in
+  (* One shift phase: pattern [with_in] goes in while response [with_out]
+     comes out. Every active chain occupies its wire for the whole phase;
+     a chain shorter than the phase idles for the difference. *)
+  let phase ~with_in ~with_out =
+    let length =
+      max (if with_in then si_max else 0) (if with_out then so_max else 0)
+    in
+    shift_cycles := !shift_cycles + length;
+    for j = 0 to chains - 1 do
+      if with_in then begin
+        bits_in := !bits_in + si.(j);
+        idle_in := !idle_in + (length - si.(j))
+      end
+      else idle_in := !idle_in + length;
+      if with_out then begin
+        bits_out := !bits_out + so.(j);
+        idle_out := !idle_out + (length - so.(j))
+      end
+      else idle_out := !idle_out + length
+    done
+  in
+  (* p patterns: in-only, (p-1) overlapped, out-only; p captures. *)
+  phase ~with_in:true ~with_out:false;
+  for _ = 2 to patterns do
+    phase ~with_in:true ~with_out:true
+  done;
+  phase ~with_in:false ~with_out:true;
+  let capture_cycles = patterns in
+  (* Capture cycles occupy the wires without moving TAM data. *)
+  idle_in := !idle_in + (chains * capture_cycles);
+  idle_out := !idle_out + (chains * capture_cycles);
+  let cycles = !shift_cycles + capture_cycles in
+  let wire_cycles = chains * cycles in
+  let ratio bits = float_of_int bits /. float_of_int (max 1 wire_cycles) in
+  {
+    cycles;
+    shift_cycles = !shift_cycles;
+    capture_cycles;
+    bits_in = !bits_in;
+    bits_out = !bits_out;
+    wire_cycles_in = wire_cycles;
+    idle_in = !idle_in;
+    idle_out = !idle_out;
+    utilization_in = ratio !bits_in;
+    utilization_out = ratio !bits_out;
+  }

@@ -1,0 +1,35 @@
+(** Phase-accurate simulation of one core's test through its wrapper.
+
+    The closed-form testing time [(1 + max(si, so)) * p + min(si, so)]
+    used throughout the optimizer is an analytical shortcut; this module
+    {e executes} the test protocol instead and counts cycles, giving an
+    independent check of the formula and detailed wire-utilization
+    figures the formula cannot provide.
+
+    Protocol (test-bus model): a test is [p] capture cycles interleaved
+    with [p + 1] shift phases. The first phase shifts pattern 1 in
+    ([si_max] cycles); phases 2..p shift pattern [k] in while pattern
+    [k-1]'s response shifts out (pipelined: [max(si_max, so_max)]
+    cycles); the last phase flushes the final response ([so_max]
+    cycles). Within a phase, a wrapper chain shorter than the phase
+    leaves its TAM wire idle for the difference — the source of
+    intra-core idle bits. Granularity is per phase (cycle counts are
+    exact; no per-cycle loop is needed). *)
+
+type t = {
+  cycles : int;  (** total test length; equals [Design.time] *)
+  shift_cycles : int;
+  capture_cycles : int;  (** = patterns *)
+  bits_in : int;  (** stimulus bits delivered to wrapper chains *)
+  bits_out : int;  (** response bits retrieved *)
+  wire_cycles_in : int;  (** used-width wire-cycles on the input side *)
+  idle_in : int;  (** input wire-cycles carrying no data *)
+  idle_out : int;
+  utilization_in : float;  (** [bits_in / wire_cycles_in] *)
+  utilization_out : float;
+}
+
+val run : Soctam_model.Core_data.t -> Soctam_wrapper.Design.t -> t
+(** Simulate the core's full pattern set through the given design.
+    @raise Invalid_argument when the design's layout fails
+    {!Soctam_wrapper.Design.validate_layout} for the core. *)

@@ -1,0 +1,91 @@
+module Arch = Soctam_tam.Architecture
+
+type tam_report = {
+  width : int;
+  busy_cycles : int;
+  tail_idle_wire_cycles : int;
+  unused_width_wire_cycles : int;
+  intra_core_idle_in : int;
+  intra_core_idle_out : int;
+}
+
+type t = {
+  soc_cycles : int;
+  per_tam : tam_report array;
+  total_wire_cycles : int;
+  total_idle_in : int;
+  utilization_in : float;
+}
+
+let run soc arch =
+  if Soctam_model.Soc.core_count soc <> Array.length arch.Arch.assignment then
+    invalid_arg "Soc_sim.run: architecture does not match the SOC";
+  let soc_cycles = ref 0 in
+  let bits_in_total = ref 0 in
+  let per_tam =
+    Array.mapi
+      (fun tam width ->
+        let busy = ref 0 in
+        let unused_width = ref 0 in
+        let idle_in = ref 0 in
+        let idle_out = ref 0 in
+        List.iter
+          (fun core_index ->
+            let core = Soctam_model.Soc.core soc core_index in
+            let design = Soctam_wrapper.Design.design core ~width in
+            let sim = Core_sim.run core design in
+            if sim.Core_sim.cycles <> arch.Arch.core_times.(core_index) then
+              invalid_arg
+                "Soc_sim.run: simulated core time disagrees with the \
+                 architecture (stale architecture?)";
+            busy := !busy + sim.Core_sim.cycles;
+            (* Core_sim accounts for every chain the design instantiated,
+               including empty ones; here we add the TAM wires the design
+               did not instantiate at all. *)
+            unused_width :=
+              !unused_width
+              + ((width - Array.length design.Soctam_wrapper.Design.scan_in)
+                * sim.Core_sim.cycles);
+            idle_in := !idle_in + sim.Core_sim.idle_in;
+            idle_out := !idle_out + sim.Core_sim.idle_out;
+            bits_in_total := !bits_in_total + sim.Core_sim.bits_in)
+          (Arch.cores_on arch tam);
+        if !busy > !soc_cycles then soc_cycles := !busy;
+        ( width,
+          !busy,
+          !unused_width,
+          !idle_in,
+          !idle_out ))
+      arch.Arch.widths
+  in
+  let soc_cycles = !soc_cycles in
+  let per_tam =
+    Array.map
+      (fun (width, busy, unused_width, idle_in, idle_out) ->
+        {
+          width;
+          busy_cycles = busy;
+          tail_idle_wire_cycles = width * (soc_cycles - busy);
+          unused_width_wire_cycles = unused_width;
+          intra_core_idle_in = idle_in;
+          intra_core_idle_out = idle_out;
+        })
+      per_tam
+  in
+  let total_width = Soctam_util.Intutil.sum arch.Arch.widths in
+  let total_wire_cycles = total_width * soc_cycles in
+  let total_idle_in =
+    Array.fold_left
+      (fun acc r ->
+        acc + r.tail_idle_wire_cycles + r.unused_width_wire_cycles
+        + r.intra_core_idle_in)
+      0 per_tam
+  in
+  {
+    soc_cycles;
+    per_tam;
+    total_wire_cycles;
+    total_idle_in;
+    utilization_in =
+      float_of_int !bits_in_total /. float_of_int (max 1 total_wire_cycles);
+  }

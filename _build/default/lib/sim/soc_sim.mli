@@ -1,0 +1,36 @@
+(** Simulation of a complete SOC test session on a test-bus
+    architecture.
+
+    Every core's test is simulated with {!Core_sim} on the wrapper design
+    at its TAM's width; cores on one TAM run back to back, TAMs run in
+    parallel. The result independently confirms the analytical SOC
+    testing time and breaks the idle TAM capacity into its two causes:
+    {e tail idle} (a TAM finished before the slowest TAM — what the
+    partition optimizer fights) and {e intra-core idle} (wrapper chains
+    shorter than their phase, capture cycles, and cores using fewer
+    wires than their TAM provides). *)
+
+type tam_report = {
+  width : int;
+  busy_cycles : int;  (** summed core test lengths on this TAM *)
+  tail_idle_wire_cycles : int;  (** width * (soc - busy) *)
+  unused_width_wire_cycles : int;
+      (** TAM wires the core's wrapper did not instantiate at all,
+          for the duration of that core's test *)
+  intra_core_idle_in : int;  (** from {!Core_sim.t.idle_in} *)
+  intra_core_idle_out : int;
+}
+
+type t = {
+  soc_cycles : int;  (** equals the architecture's testing time *)
+  per_tam : tam_report array;
+  total_wire_cycles : int;  (** total width * soc_cycles *)
+  total_idle_in : int;
+      (** tail + unused-width + intra-core input-side idle *)
+  utilization_in : float;
+      (** stimulus bits delivered / total wire-cycles *)
+}
+
+val run : Soctam_model.Soc.t -> Soctam_tam.Architecture.t -> t
+(** @raise Invalid_argument when the architecture does not belong to the
+    SOC (core count mismatch). *)

@@ -1,0 +1,1 @@
+lib/soc_data/d695.ml: List Soctam_model

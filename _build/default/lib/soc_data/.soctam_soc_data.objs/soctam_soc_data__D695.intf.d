@@ -1,0 +1,1 @@
+lib/soc_data/d695.mli: Soctam_model

@@ -1,0 +1,1 @@
+lib/soc_data/family.ml: Int64 Printf Random_soc Soctam_util

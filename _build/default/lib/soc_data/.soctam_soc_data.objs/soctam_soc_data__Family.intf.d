@@ -1,0 +1,1 @@
+lib/soc_data/family.mli: Random_soc Soctam_model

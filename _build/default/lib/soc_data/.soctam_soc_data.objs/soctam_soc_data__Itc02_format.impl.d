@@ -1,0 +1,1 @@
+lib/soc_data/itc02_format.ml: Array Buffer Fun List Printf Soctam_model String

@@ -1,0 +1,1 @@
+lib/soc_data/itc02_format.mli: Soctam_model

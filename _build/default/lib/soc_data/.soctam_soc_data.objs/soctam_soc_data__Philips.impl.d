@@ -1,0 +1,1 @@
+lib/soc_data/philips.ml: Array D695 Float Lazy List Printf Soctam_model Soctam_util

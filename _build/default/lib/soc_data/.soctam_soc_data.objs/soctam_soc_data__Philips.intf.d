@@ -1,0 +1,1 @@
+lib/soc_data/philips.mli: Soctam_model

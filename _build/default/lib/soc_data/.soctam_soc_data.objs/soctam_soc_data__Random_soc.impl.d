@@ -1,0 +1,1 @@
+lib/soc_data/random_soc.ml: List Printf Soctam_model Soctam_util

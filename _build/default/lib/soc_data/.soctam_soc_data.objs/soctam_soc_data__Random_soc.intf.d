@@ -1,0 +1,1 @@
+lib/soc_data/random_soc.mli: Soctam_model Soctam_util

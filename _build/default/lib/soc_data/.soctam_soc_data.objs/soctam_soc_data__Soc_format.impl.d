@@ -1,0 +1,1 @@
+lib/soc_data/soc_format.ml: Array Buffer Fun List Printf Soctam_model String

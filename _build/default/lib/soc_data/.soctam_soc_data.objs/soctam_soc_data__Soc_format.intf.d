@@ -1,0 +1,1 @@
+lib/soc_data/soc_format.mli: Soctam_model

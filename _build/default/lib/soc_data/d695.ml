@@ -1,0 +1,40 @@
+(* Chain lengths: total flip-flops split as evenly as possible over the
+   published chain count (ITC'02 d695 balances its chains the same way). *)
+let balanced ~flip_flops ~chains =
+  let base = flip_flops / chains in
+  let extra = flip_flops mod chains in
+  List.init chains (fun i -> if i < extra then base + 1 else base)
+
+let core = Soctam_model.Core_data.make
+
+let soc =
+  Soctam_model.Soc.make ~name:"d695"
+    ~cores:
+      [
+        core ~id:1 ~name:"c6288" ~inputs:32 ~outputs:32 ~patterns:12 ();
+        core ~id:2 ~name:"c7552" ~inputs:207 ~outputs:108 ~patterns:73 ();
+        core ~id:3 ~name:"s838" ~inputs:35 ~outputs:2
+          ~scan_chains:(balanced ~flip_flops:32 ~chains:1)
+          ~patterns:75 ();
+        core ~id:4 ~name:"s9234" ~inputs:36 ~outputs:39
+          ~scan_chains:(balanced ~flip_flops:211 ~chains:4)
+          ~patterns:105 ();
+        core ~id:5 ~name:"s38417" ~inputs:28 ~outputs:106
+          ~scan_chains:(balanced ~flip_flops:1636 ~chains:32)
+          ~patterns:68 ();
+        core ~id:6 ~name:"s13207" ~inputs:62 ~outputs:152
+          ~scan_chains:(balanced ~flip_flops:638 ~chains:16)
+          ~patterns:236 ();
+        core ~id:7 ~name:"s15850" ~inputs:77 ~outputs:150
+          ~scan_chains:(balanced ~flip_flops:534 ~chains:16)
+          ~patterns:95 ();
+        core ~id:8 ~name:"s5378" ~inputs:35 ~outputs:49
+          ~scan_chains:(balanced ~flip_flops:179 ~chains:4)
+          ~patterns:97 ();
+        core ~id:9 ~name:"s35932" ~inputs:35 ~outputs:320
+          ~scan_chains:(balanced ~flip_flops:1728 ~chains:32)
+          ~patterns:12 ();
+        core ~id:10 ~name:"s38584" ~inputs:38 ~outputs:304
+          ~scan_chains:(balanced ~flip_flops:1426 ~chains:32)
+          ~patterns:110 ();
+      ]

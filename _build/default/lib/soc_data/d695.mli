@@ -1,0 +1,12 @@
+(** The academic benchmark SOC d695 (Duke University).
+
+    Two ISCAS'85 combinational circuits and eight ISCAS'89 scan circuits,
+    reconstructed from the public ITC'02 SOC test benchmark description:
+    standard flip-flop and terminal counts for each circuit, scan chains
+    balanced over the published chain counts. Testing times computed from
+    this reconstruction are within a few percent of the numbers in the
+    paper's Table 2. *)
+
+val soc : Soctam_model.Soc.t
+(** The d695 SOC: cores 1..10 = c6288, c7552, s838, s9234, s38417,
+    s13207, s15850, s5378, s35932, s38584. *)

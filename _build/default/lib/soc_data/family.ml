@@ -1,0 +1,79 @@
+type profile =
+  | Tiny
+  | Small
+  | Medium
+  | Large
+  | Huge
+  | Memory_heavy
+  | Scan_heavy
+
+let all = [ Tiny; Small; Medium; Large; Huge; Memory_heavy; Scan_heavy ]
+
+let name = function
+  | Tiny -> "tiny"
+  | Small -> "small"
+  | Medium -> "medium"
+  | Large -> "large"
+  | Huge -> "huge"
+  | Memory_heavy -> "memory-heavy"
+  | Scan_heavy -> "scan-heavy"
+
+let params profile =
+  let base = Random_soc.default_params in
+  match profile with
+  | Tiny -> { base with Random_soc.cores = 4; max_ios = 60; max_patterns = 200 }
+  | Small -> { base with Random_soc.cores = 8 }
+  | Medium -> { base with Random_soc.cores = 16 }
+  | Large ->
+      {
+        base with
+        Random_soc.cores = 32;
+        max_patterns = 3000;
+        max_chains = 32;
+        max_chain_length = 400;
+      }
+  | Huge ->
+      {
+        base with
+        Random_soc.cores = 64;
+        max_patterns = 3000;
+        max_chains = 32;
+        max_chain_length = 400;
+      }
+  | Memory_heavy ->
+      {
+        base with
+        Random_soc.cores = 20;
+        memory_fraction = 0.7;
+        max_patterns = 8000;
+        max_ios = 120;
+      }
+  | Scan_heavy ->
+      {
+        base with
+        Random_soc.cores = 12;
+        memory_fraction = 0.05;
+        max_patterns = 150;
+        max_chains = 24;
+        max_chain_length = 600;
+      }
+
+let seed_of profile index =
+  let tag =
+    match profile with
+    | Tiny -> 1
+    | Small -> 2
+    | Medium -> 3
+    | Large -> 4
+    | Huge -> 5
+    | Memory_heavy -> 6
+    | Scan_heavy -> 7
+  in
+  Int64.of_int ((tag * 1_000_003) + index)
+
+let instance profile ~index =
+  if index < 0 then invalid_arg "Family.instance: index must be >= 0";
+  let rng = Soctam_util.Prng.create (seed_of profile index) in
+  Random_soc.generate rng
+    ~name:(Printf.sprintf "%s-%d" (name profile) index)
+    (params profile)

@@ -1,0 +1,26 @@
+(** A deterministic family of synthetic benchmark SOCs.
+
+    The paper evaluates one academic and three industrial SOCs; scaling
+    studies need a broader, reproducible corpus. Each profile describes a
+    class of designs; [instance] derives the [index]-th member of a
+    profile from a fixed seed, so "Medium #3" is the same SOC on every
+    machine and in every run. *)
+
+type profile =
+  | Tiny  (** 4 cores - debugging and exact cross-checks *)
+  | Small  (** 8 cores *)
+  | Medium  (** 16 cores - d695 scale *)
+  | Large  (** 32 cores - p93791 scale *)
+  | Huge  (** 64 cores - beyond the paper *)
+  | Memory_heavy  (** 20 cores, 70% without internal scan *)
+  | Scan_heavy  (** 12 cores, deep scan chains, few patterns *)
+
+val all : profile list
+val name : profile -> string
+val params : profile -> Random_soc.params
+(** The envelope the profile draws from. *)
+
+val instance : profile -> index:int -> Soctam_model.Soc.t
+(** [instance p ~index] is deterministic in [(p, index)]; the SOC is
+    named ["<profile>-<index>"]. @raise Invalid_argument when
+    [index < 0]. *)

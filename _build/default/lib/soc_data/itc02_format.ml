@@ -1,0 +1,188 @@
+module Core_data = Soctam_model.Core_data
+module Soc = Soctam_model.Soc
+
+let to_string soc =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "SocName %s\n" soc.Soc.name);
+  Buffer.add_string buf
+    (Printf.sprintf "TotalModules %d\n" (Soc.core_count soc));
+  Array.iter
+    (fun (c : Core_data.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "Module %d '%s'\n" c.Core_data.id c.Core_data.name);
+      Buffer.add_string buf (Printf.sprintf "  Level 1\n");
+      Buffer.add_string buf (Printf.sprintf "  Inputs %d\n" c.Core_data.inputs);
+      Buffer.add_string buf
+        (Printf.sprintf "  Outputs %d\n" c.Core_data.outputs);
+      Buffer.add_string buf (Printf.sprintf "  Bidirs %d\n" c.Core_data.bidirs);
+      let chains = Array.to_list c.Core_data.scan_chains in
+      (match chains with
+      | [] -> Buffer.add_string buf "  ScanChains 0\n"
+      | _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "  ScanChains %d : %s\n" (List.length chains)
+               (String.concat " " (List.map string_of_int chains))));
+      Buffer.add_string buf "  TotalTests 1\n";
+      Buffer.add_string buf "  Test 1\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    TestPatterns %d\n" c.Core_data.patterns);
+      Buffer.add_string buf "  EndTest\nEndModule\n")
+    (Soc.cores soc);
+  Buffer.contents buf
+
+type module_builder = {
+  m_name : string;
+  mutable inputs : int;
+  mutable outputs : int;
+  mutable bidirs : int;
+  mutable scan_chains : int list;
+  mutable patterns : int;
+}
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let parse_int line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "%s: %S is not an integer" what s
+
+let strip_quotes s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '\'' && s.[n - 1] = '\'' then String.sub s 1 (n - 2)
+  else s
+
+let of_string text =
+  let soc_name = ref None in
+  let declared_modules = ref None in
+  let modules_rev = ref [] in
+  let current = ref None in
+  let require_module line =
+    match !current with
+    | Some m -> m
+    | None -> fail line "directive outside a Module block"
+  in
+  try
+    String.split_on_char '\n' text
+    |> List.iteri (fun i raw ->
+           let line = i + 1 in
+           let content =
+             match String.index_opt raw '#' with
+             | Some j -> String.sub raw 0 j
+             | None -> raw
+           in
+           let words =
+             String.split_on_char ' ' (String.trim content)
+             |> List.filter (fun w -> w <> "")
+           in
+           match words with
+           | [] -> ()
+           | [ "SocName"; name ] -> soc_name := Some name
+           | [ "TotalModules"; n ] ->
+               declared_modules := Some (parse_int line "TotalModules" n)
+           | "Module" :: id :: rest ->
+               ignore (parse_int line "Module id" id);
+               (match !current with
+               | Some m -> modules_rev := m :: !modules_rev
+               | None -> ());
+               let m_name =
+                 match rest with
+                 | [] ->
+                     Printf.sprintf "module%d" (List.length !modules_rev + 1)
+                 | name :: _ -> strip_quotes name
+               in
+               current :=
+                 Some
+                   {
+                     m_name;
+                     inputs = 0;
+                     outputs = 0;
+                     bidirs = 0;
+                     scan_chains = [];
+                     patterns = 0;
+                   }
+           | [ "EndModule" ] -> (
+               match !current with
+               | Some m ->
+                   modules_rev := m :: !modules_rev;
+                   current := None
+               | None -> fail line "EndModule without Module")
+           | [ "Inputs"; v ] -> (require_module line).inputs <- parse_int line "Inputs" v
+           | [ "Outputs"; v ] ->
+               (require_module line).outputs <- parse_int line "Outputs" v
+           | [ "Bidirs"; v ] -> (require_module line).bidirs <- parse_int line "Bidirs" v
+           | "ScanChains" :: count :: rest ->
+               let m = require_module line in
+               let count = parse_int line "ScanChains" count in
+               let lengths =
+                 match rest with
+                 | ":" :: lengths -> List.map (parse_int line "chain length") lengths
+                 | [] -> []
+                 | _ -> fail line "expected ': lengths...' after ScanChains"
+               in
+               if count = 0 then begin
+                 if lengths <> [] then
+                   fail line "ScanChains 0 cannot list lengths"
+               end
+               else if List.length lengths <> count then
+                 fail line "ScanChains %d but %d lengths given" count
+                   (List.length lengths)
+               else m.scan_chains <- lengths
+           | [ "TestPatterns"; v ] ->
+               let m = require_module line in
+               m.patterns <- m.patterns + parse_int line "TestPatterns" v
+           | [ "Level"; _ ] | [ "TotalTests"; _ ] | [ "Test"; _ ]
+           | [ "EndTest" ] ->
+               ignore (require_module line)
+           | word :: _ -> fail line "unknown directive %S" word);
+    (match !current with
+    | Some m ->
+        modules_rev := m :: !modules_rev;
+        current := None
+    | None -> ());
+    let modules = List.rev !modules_rev in
+    (match !declared_modules with
+    | Some n when n <> List.length modules ->
+        raise
+          (Parse_error
+             ( 0,
+               Printf.sprintf "TotalModules says %d but %d modules found" n
+                 (List.length modules) ))
+    | Some _ | None -> ());
+    match !soc_name with
+    | None -> Error "missing SocName"
+    | Some name -> (
+        let cores =
+          List.mapi
+            (fun i m ->
+              Core_data.make ~id:(i + 1) ~name:m.m_name ~inputs:m.inputs
+                ~outputs:m.outputs ~bidirs:m.bidirs
+                ~scan_chains:m.scan_chains
+                ~patterns:(max 1 m.patterns) ())
+            modules
+        in
+        try Ok (Soc.make ~name ~cores)
+        with Invalid_argument msg -> Error msg)
+  with
+  | Parse_error (0, msg) -> Error msg
+  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Invalid_argument msg -> Error msg
+
+let save path soc =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (to_string soc);
+        Ok ())
+  with Sys_error msg -> Error msg
+
+let load path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg

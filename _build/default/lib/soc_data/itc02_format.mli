@@ -1,0 +1,41 @@
+(** Reader/writer for an ITC'02-style hierarchical SOC description.
+
+    The ITC'02 SOC test benchmarks (which grew out of the experiments in
+    this paper) describe each module with nested attribute lines rather
+    than the one-line records of {!Soc_format}. This module accepts that
+    style of file. Grammar (one directive per line; [#] comments and
+    blank lines ignored; indentation free):
+
+    {v
+    SocName d695
+    TotalModules 10
+    Module 1 'c6288'
+      Level 1
+      Inputs 32
+      Outputs 32
+      Bidirs 0
+      ScanChains 4 : 53 53 53 52
+      TotalTests 1
+      Test 1
+        TestPatterns 12
+      EndTest
+    EndModule
+    v}
+
+    Semantics on import:
+    - modules are renumbered 1..n in file order (ids in the file may
+      start at 0 or 1 and only need to be distinct);
+    - multiple [Test]/[TestPatterns] blocks per module are summed into
+      one pattern count (our flat model applies all tests back to back);
+    - [Level], [TotalTests] and [EndTest]/[EndModule] markers are
+      accepted and ignored where redundant;
+    - [ScanChains 0] or a missing [ScanChains] line means no internal
+      scan (a "memory" module);
+    - a module without any [TestPatterns] line gets one pattern.
+
+    [to_string] emits the same dialect. *)
+
+val to_string : Soctam_model.Soc.t -> string
+val of_string : string -> (Soctam_model.Soc.t, string) result
+val save : string -> Soctam_model.Soc.t -> (unit, string) result
+val load : string -> (Soctam_model.Soc.t, string) result

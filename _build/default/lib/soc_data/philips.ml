@@ -1,0 +1,225 @@
+module Core_data = Soctam_model.Core_data
+module Soc = Soctam_model.Soc
+module Prng = Soctam_util.Prng
+
+type range = { lo : int; hi : int }
+
+type profile = {
+  soc_name : string;
+  target_complexity : int;
+  logic_count : int;
+  memory_count : int;
+  logic_patterns : range;
+  logic_ios : range;
+  logic_chains : range;
+  logic_chain_length : range;
+  memory_patterns : range;
+  memory_ios : range;
+  seed : int64;
+}
+
+let p21241 =
+  {
+    soc_name = "p21241";
+    target_complexity = 21241;
+    logic_count = 22;
+    memory_count = 6;
+    logic_patterns = { lo = 1; hi = 785 };
+    logic_ios = { lo = 37; hi = 1197 };
+    logic_chains = { lo = 1; hi = 31 };
+    logic_chain_length = { lo = 1; hi = 400 };
+    memory_patterns = { lo = 222; hi = 12324 };
+    memory_ios = { lo = 52; hi = 148 };
+    seed = 0x21241L;
+  }
+
+let p31108 =
+  {
+    soc_name = "p31108";
+    target_complexity = 31108;
+    logic_count = 4;
+    memory_count = 15;
+    logic_patterns = { lo = 210; hi = 745 };
+    logic_ios = { lo = 109; hi = 428 };
+    logic_chains = { lo = 1; hi = 29 };
+    logic_chain_length = { lo = 8; hi = 806 };
+    memory_patterns = { lo = 128; hi = 12236 };
+    memory_ios = { lo = 11; hi = 87 };
+    seed = 0x31108L;
+  }
+
+let p93791 =
+  {
+    soc_name = "p93791";
+    target_complexity = 93791;
+    logic_count = 14;
+    memory_count = 18;
+    logic_patterns = { lo = 11; hi = 6127 };
+    logic_ios = { lo = 109; hi = 813 };
+    logic_chains = { lo = 11; hi = 46 };
+    logic_chain_length = { lo = 1; hi = 521 };
+    memory_patterns = { lo = 42; hi = 3085 };
+    memory_ios = { lo = 21; hi = 396 };
+    seed = 0x93791L;
+  }
+
+let clamp r v = max r.lo (min r.hi v)
+
+(* Test data magnitudes are heavy-tailed across industrial cores, so
+   ranges are sampled log-uniformly. *)
+let log_uniform rng r =
+  if r.lo = r.hi then r.lo
+  else begin
+    let lo = log (float_of_int r.lo) in
+    let hi = log (float_of_int (r.hi + 1)) in
+    let v = exp (lo +. Prng.float rng (hi -. lo)) in
+    clamp r (int_of_float v)
+  end
+
+type blueprint = {
+  name : string;
+  mutable inputs : int;
+  mutable outputs : int;
+  mutable chain_lengths : int list;
+  mutable patterns : int;
+  patterns_range : range;
+  chain_length_range : range option;
+  ios_range : range;
+}
+
+let blueprint_complexity_weight b =
+  let ffs = Soctam_util.Intutil.sum_list b.chain_lengths in
+  b.patterns * (b.inputs + b.outputs + ffs)
+
+let split_ios rng total =
+  (* Industrial cores skew between input- and output-heavy designs. *)
+  let share = 0.3 +. Prng.float rng 0.4 in
+  let inputs = max 1 (int_of_float (float_of_int total *. share)) in
+  (min inputs (total - 1), max 1 (total - inputs))
+
+let make_logic rng profile index =
+  let total_ios = log_uniform rng profile.logic_ios in
+  let inputs, outputs = split_ios rng (max 2 total_ios) in
+  let chains = Prng.int_in rng profile.logic_chains.lo profile.logic_chains.hi in
+  let mean_length = log_uniform rng profile.logic_chain_length in
+  let jitter () =
+    let spread = max 1 (mean_length / 5) in
+    clamp profile.logic_chain_length
+      (mean_length + Prng.int_in rng (-spread) spread)
+  in
+  {
+    name = Printf.sprintf "logic%d" index;
+    inputs;
+    outputs;
+    chain_lengths = List.init chains (fun _ -> jitter ());
+    patterns = log_uniform rng profile.logic_patterns;
+    patterns_range = profile.logic_patterns;
+    chain_length_range = Some profile.logic_chain_length;
+    ios_range = profile.logic_ios;
+  }
+
+let make_memory rng profile index =
+  let total_ios = log_uniform rng profile.memory_ios in
+  let inputs, outputs = split_ios rng (max 2 total_ios) in
+  {
+    name = Printf.sprintf "mem%d" index;
+    inputs;
+    outputs;
+    chain_lengths = [];
+    patterns = log_uniform rng profile.memory_patterns;
+    patterns_range = profile.memory_patterns;
+    chain_length_range = None;
+    ios_range = profile.memory_ios;
+  }
+
+(* Pull the SOC's total complexity towards the target by rescaling the
+   free magnitudes (patterns first, then scan chain lengths), clamped to
+   the published ranges at every step. *)
+let calibrate blueprints ~target =
+  let total () =
+    Array.fold_left (fun acc b -> acc + blueprint_complexity_weight b) 0
+      blueprints
+  in
+  let target_weight = target * 1000 in
+  let scale_patterns factor =
+    Array.iter
+      (fun b ->
+        let scaled = int_of_float (float_of_int b.patterns *. factor) in
+        b.patterns <- clamp b.patterns_range (max 1 scaled))
+      blueprints
+  in
+  let scale_chains factor =
+    Array.iter
+      (fun b ->
+        match b.chain_length_range with
+        | None -> ()
+        | Some r ->
+            b.chain_lengths <-
+              List.map
+                (fun l ->
+                  clamp r (max 1 (int_of_float (float_of_int l *. factor))))
+                b.chain_lengths)
+      blueprints
+  in
+  let scale_ios factor =
+    Array.iter
+      (fun b ->
+        let scaled_total =
+          int_of_float (float_of_int (b.inputs + b.outputs) *. factor)
+        in
+        let total = clamp b.ios_range (max 2 scaled_total) in
+        let share = float_of_int b.inputs /. float_of_int (b.inputs + b.outputs) in
+        let inputs = max 1 (int_of_float (float_of_int total *. share)) in
+        b.inputs <- min inputs (total - 1);
+        b.outputs <- max 1 (total - b.inputs))
+      blueprints
+  in
+  let residual () =
+    let current = total () in
+    if current <= 0 then 1.
+    else float_of_int target_weight /. float_of_int current
+  in
+  for _ = 1 to 40 do
+    scale_patterns (residual ());
+    (* Whatever clamping absorbed, recover via chain lengths, then via
+       terminal counts. *)
+    let r = residual () in
+    if Float.abs (r -. 1.) > 0.002 then scale_chains r;
+    let r = residual () in
+    if Float.abs (r -. 1.) > 0.002 then scale_ios r
+  done
+
+let generate profile =
+  let rng = Prng.create profile.seed in
+  let logic =
+    List.init profile.logic_count (fun i -> make_logic rng profile (i + 1))
+  in
+  let memory =
+    List.init profile.memory_count (fun i -> make_memory rng profile (i + 1))
+  in
+  let blueprints = Array.of_list (logic @ memory) in
+  Prng.shuffle rng blueprints;
+  calibrate blueprints ~target:profile.target_complexity;
+  let cores =
+    Array.to_list blueprints
+    |> List.mapi (fun i b ->
+           Core_data.make ~id:(i + 1) ~name:b.name ~inputs:b.inputs
+             ~outputs:b.outputs ~scan_chains:b.chain_lengths
+             ~patterns:b.patterns ())
+  in
+  Soc.make ~name:profile.soc_name ~cores
+
+let cached profile =
+  let cell = lazy (generate profile) in
+  fun () -> Lazy.force cell
+
+let soc_p21241 = cached p21241
+let soc_p31108 = cached p31108
+let soc_p93791 = cached p93791
+
+let by_name = function
+  | "d695" -> Some D695.soc
+  | "p21241" -> Some (soc_p21241 ())
+  | "p31108" -> Some (soc_p31108 ())
+  | "p93791" -> Some (soc_p93791 ())
+  | _ -> None

@@ -1,0 +1,51 @@
+(** Synthetic stand-ins for the proprietary Philips SOCs.
+
+    The paper evaluates three industrial SOCs whose per-core test data
+    was never published; only summary ranges appear (Tables 4, 8, 14) and
+    the SOC name encodes the test-complexity number. Each profile below
+    reproduces those published marginals — core count, memory/logic
+    split, pattern/IO/scan-chain/chain-length ranges — and the generator
+    calibrates pattern counts (then chain lengths) so the resulting
+    test-complexity number matches the SOC name. Generation is fully
+    deterministic (seeded splitmix64).
+
+    See DESIGN.md §3 for why this substitution preserves the paper's
+    experimental shape. *)
+
+type range = { lo : int; hi : int }
+
+type profile = {
+  soc_name : string;
+  target_complexity : int;  (** the number in the SOC name *)
+  logic_count : int;
+  memory_count : int;
+  logic_patterns : range;
+  logic_ios : range;  (** functional terminals per logic core *)
+  logic_chains : range;
+  logic_chain_length : range;
+  memory_patterns : range;
+  memory_ios : range;
+  seed : int64;
+}
+
+val p21241 : profile
+(** 28 cores (22 logic, 6 memory); ranges from the paper's Table 4. *)
+
+val p31108 : profile
+(** 19 cores (4 logic, 15 memory); ranges from the paper's Table 8. *)
+
+val p93791 : profile
+(** 32 cores (14 logic, 18 memory); ranges from the paper's Table 14. *)
+
+val generate : profile -> Soctam_model.Soc.t
+(** Generate (deterministically) and calibrate. The achieved complexity
+    is within about 1% of [target_complexity]. *)
+
+val soc_p21241 : unit -> Soctam_model.Soc.t
+(** Cached [generate p21241]. *)
+
+val soc_p31108 : unit -> Soctam_model.Soc.t
+val soc_p93791 : unit -> Soctam_model.Soc.t
+
+val by_name : string -> Soctam_model.Soc.t option
+(** ["d695" | "p21241" | "p31108" | "p93791"] -> the benchmark SOC. *)

@@ -1,0 +1,40 @@
+module Prng = Soctam_util.Prng
+
+type params = {
+  cores : int;
+  memory_fraction : float;
+  max_ios : int;
+  max_patterns : int;
+  max_chains : int;
+  max_chain_length : int;
+}
+
+let default_params =
+  {
+    cores = 16;
+    memory_fraction = 0.25;
+    max_ios = 300;
+    max_patterns = 1000;
+    max_chains = 16;
+    max_chain_length = 200;
+  }
+
+let generate ?(name = "random") rng p =
+  if p.cores < 1 then invalid_arg "Random_soc.generate: cores must be >= 1";
+  let core i =
+    let memory = Prng.float rng 1.0 < p.memory_fraction in
+    let inputs = 1 + Prng.int rng (max 1 p.max_ios) in
+    let outputs = 1 + Prng.int rng (max 1 p.max_ios) in
+    let patterns = 1 + Prng.int rng (max 1 p.max_patterns) in
+    let scan_chains =
+      if memory then []
+      else begin
+        let chains = 1 + Prng.int rng (max 1 p.max_chains) in
+        List.init chains (fun _ -> 1 + Prng.int rng (max 1 p.max_chain_length))
+      end
+    in
+    Soctam_model.Core_data.make ~id:(i + 1)
+      ~name:(Printf.sprintf "rc%d" (i + 1))
+      ~inputs ~outputs ~scan_chains ~patterns ()
+  in
+  Soctam_model.Soc.make ~name ~cores:(List.init p.cores core)

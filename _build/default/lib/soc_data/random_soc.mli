@@ -1,0 +1,22 @@
+(** Generic random SOC workload generator.
+
+    Used by the property-based tests and the scaling benchmarks; for the
+    paper's industrial SOCs use {!Philips} instead. *)
+
+type params = {
+  cores : int;
+  memory_fraction : float;  (** share of cores without scan chains *)
+  max_ios : int;
+  max_patterns : int;
+  max_chains : int;
+  max_chain_length : int;
+}
+
+val default_params : params
+(** 16 cores, 25% memory, <= 300 I/Os, <= 1000 patterns, <= 16 chains of
+    <= 200 bits. *)
+
+val generate :
+  ?name:string -> Soctam_util.Prng.t -> params -> Soctam_model.Soc.t
+(** Draw an SOC from the parameter envelope. Every core has at least one
+    terminal and one pattern. @raise Invalid_argument when [cores < 1]. *)

@@ -1,0 +1,134 @@
+module Core_data = Soctam_model.Core_data
+module Soc = Soctam_model.Soc
+
+let core_line (c : Core_data.t) =
+  let buf = Buffer.create 80 in
+  Buffer.add_string buf
+    (Printf.sprintf "core %d %s inputs=%d outputs=%d" c.Core_data.id
+       c.Core_data.name c.Core_data.inputs c.Core_data.outputs);
+  if c.Core_data.bidirs > 0 then
+    Buffer.add_string buf (Printf.sprintf " bidirs=%d" c.Core_data.bidirs);
+  Buffer.add_string buf (Printf.sprintf " patterns=%d" c.Core_data.patterns);
+  if Array.length c.Core_data.scan_chains > 0 then begin
+    let lengths =
+      Array.to_list c.Core_data.scan_chains
+      |> List.map string_of_int |> String.concat ","
+    in
+    Buffer.add_string buf (" scan=" ^ lengths)
+  end;
+  Buffer.contents buf
+
+let to_string soc =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "soc %s\n" soc.Soc.name);
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf (core_line c);
+      Buffer.add_char buf '\n')
+    (Soc.cores soc);
+  Buffer.contents buf
+
+type parse_state = {
+  mutable soc_name : string option;
+  mutable cores_rev : Core_data.t list;
+}
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse_int line name s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "field %s: %S is not an integer" name s
+
+let parse_core line words =
+  match words with
+  | id :: name :: fields ->
+      let id = parse_int line "id" id in
+      let inputs = ref None
+      and outputs = ref None
+      and bidirs = ref 0
+      and patterns = ref None
+      and scan = ref [] in
+      List.iter
+        (fun field ->
+          match String.index_opt field '=' with
+          | None -> fail line "malformed field %S (expected key=value)" field
+          | Some i ->
+              let key = String.sub field 0 i in
+              let value =
+                String.sub field (i + 1) (String.length field - i - 1)
+              in
+              (match key with
+              | "inputs" -> inputs := Some (parse_int line key value)
+              | "outputs" -> outputs := Some (parse_int line key value)
+              | "bidirs" -> bidirs := parse_int line key value
+              | "patterns" -> patterns := Some (parse_int line key value)
+              | "scan" ->
+                  scan :=
+                    String.split_on_char ',' value
+                    |> List.map (parse_int line "scan")
+              | _ -> fail line "unknown field %S" key))
+        fields;
+      let require what = function
+        | Some v -> v
+        | None -> fail line "core %d: missing field %s" id what
+      in
+      (try
+         Core_data.make ~id ~name ~inputs:(require "inputs" !inputs)
+           ~outputs:(require "outputs" !outputs)
+           ~bidirs:!bidirs ~scan_chains:!scan
+           ~patterns:(require "patterns" !patterns)
+           ()
+       with Invalid_argument msg -> fail line "core %d: %s" id msg)
+  | _ -> fail line "core line needs at least an id and a name"
+
+let of_string text =
+  let state = { soc_name = None; cores_rev = [] } in
+  try
+    String.split_on_char '\n' text
+    |> List.iteri (fun i raw ->
+           let line = i + 1 in
+           let content =
+             match String.index_opt raw '#' with
+             | Some j -> String.sub raw 0 j
+             | None -> raw
+           in
+           match split_words (String.trim content) with
+           | [] -> ()
+           | "soc" :: rest -> (
+               match (state.soc_name, rest) with
+               | Some _, _ -> fail line "duplicate soc line"
+               | None, [ name ] -> state.soc_name <- Some name
+               | None, _ -> fail line "soc line needs exactly one name")
+           | "core" :: rest ->
+               state.cores_rev <- parse_core line rest :: state.cores_rev
+           | word :: _ -> fail line "unknown directive %S" word);
+    match state.soc_name with
+    | None -> Error "missing soc line"
+    | Some name -> (
+        try Ok (Soc.make ~name ~cores:(List.rev state.cores_rev))
+        with Invalid_argument msg -> Error msg)
+  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+let save path soc =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (to_string soc);
+        Ok ())
+  with Sys_error msg -> Error msg
+
+let load path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg

@@ -1,0 +1,27 @@
+(** Textual SOC description format (read and write).
+
+    A small line-oriented format in the spirit of the ITC'02 benchmark
+    files, so workloads can be stored, exchanged and edited:
+
+    {v
+    # comment
+    soc d695
+    core 1 c6288 inputs=32 outputs=32 bidirs=0 patterns=12
+    core 3 s838 inputs=35 outputs=2 patterns=75 scan=32
+    core 4 s9234 inputs=36 outputs=39 patterns=105 scan=53,53,53,52
+    v}
+
+    One [soc] line, then one [core] line per core with [key=value]
+    fields. [bidirs] and [scan] default to 0 / none. Blank lines and
+    [#] comments are ignored. *)
+
+val to_string : Soctam_model.Soc.t -> string
+
+val of_string : string -> (Soctam_model.Soc.t, string) result
+(** Parse; errors carry a line number and reason. *)
+
+val save : string -> Soctam_model.Soc.t -> (unit, string) result
+(** Write to a file path. *)
+
+val load : string -> (Soctam_model.Soc.t, string) result
+(** Read from a file path. *)

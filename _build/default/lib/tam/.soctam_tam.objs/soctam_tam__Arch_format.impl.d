@@ -1,0 +1,1 @@
+lib/tam/arch_format.ml: Architecture Array Buffer Format Fun List Printf Result String

@@ -1,0 +1,1 @@
+lib/tam/arch_format.mli: Architecture

@@ -1,0 +1,1 @@
+lib/tam/architecture.ml: Array Format List Soctam_model Soctam_util Soctam_wrapper String

@@ -1,0 +1,1 @@
+lib/tam/architecture.mli: Format Soctam_model

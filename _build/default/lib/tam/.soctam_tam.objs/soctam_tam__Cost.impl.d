@@ -1,0 +1,1 @@
+lib/tam/cost.ml: Architecture Array Format List Soctam_model Soctam_util

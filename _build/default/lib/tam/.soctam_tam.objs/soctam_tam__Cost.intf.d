@@ -1,0 +1,1 @@
+lib/tam/cost.mli: Architecture Format Soctam_model

@@ -1,0 +1,107 @@
+type parsed = {
+  soc_name : string option;
+  widths : int array;
+  assignment : int array;
+}
+
+let to_string ?soc_name arch =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "# soctam architecture\n";
+  (match soc_name with
+  | Some name -> Buffer.add_string buf (Printf.sprintf "soc %s\n" name)
+  | None -> ());
+  Buffer.add_string buf
+    (Format.asprintf "widths %a\n" Architecture.pp_partition
+       arch.Architecture.widths);
+  Buffer.add_string buf
+    (Printf.sprintf "assign %s\n"
+       (Array.to_list (Architecture.assignment_vector arch)
+       |> List.map string_of_int |> String.concat ","));
+  Buffer.contents buf
+
+let parse_ints ~sep ~what s =
+  String.split_on_char sep s
+  |> List.map (fun tok ->
+         match int_of_string_opt (String.trim tok) with
+         | Some v -> Ok v
+         | None -> Error (Printf.sprintf "%s: %S is not an integer" what tok))
+  |> List.fold_left
+       (fun acc r ->
+         match (acc, r) with
+         | Error _, _ -> acc
+         | _, Error e -> Error e
+         | Ok l, Ok v -> Ok (v :: l))
+       (Ok [])
+  |> Result.map List.rev
+
+let of_string text =
+  let soc_name = ref None in
+  let widths = ref None in
+  let assignment = ref None in
+  let error = ref None in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i raw ->
+         if !error = None then begin
+           let line = i + 1 in
+           let content =
+             match String.index_opt raw '#' with
+             | Some j -> String.sub raw 0 j
+             | None -> raw
+           in
+           let fail msg = error := Some (Printf.sprintf "line %d: %s" line msg) in
+           match
+             String.split_on_char ' ' (String.trim content)
+             |> List.filter (fun w -> w <> "")
+           with
+           | [] -> ()
+           | [ "soc"; name ] -> soc_name := Some name
+           | [ "widths"; spec ] -> (
+               match parse_ints ~sep:'+' ~what:"widths" spec with
+               | Ok l -> widths := Some (Array.of_list l)
+               | Error e -> fail e)
+           | [ "assign"; spec ] -> (
+               match parse_ints ~sep:',' ~what:"assign" spec with
+               | Ok l -> assignment := Some (Array.of_list l)
+               | Error e -> fail e)
+           | word :: _ -> fail (Printf.sprintf "unknown directive %S" word)
+         end);
+  match (!error, !widths, !assignment) with
+  | Some e, _, _ -> Error e
+  | None, None, _ -> Error "missing widths line"
+  | None, _, None -> Error "missing assign line"
+  | None, Some widths, Some assignment_1based ->
+      if Array.exists (fun w -> w < 1) widths then
+        Error "widths must be >= 1"
+      else begin
+        let tams = Array.length widths in
+        if
+          Array.exists
+            (fun j -> j < 1 || j > tams)
+            assignment_1based
+        then Error "assign entries must name a TAM between 1 and the count"
+        else
+          Ok
+            {
+              soc_name = !soc_name;
+              widths;
+              assignment = Array.map (fun j -> j - 1) assignment_1based;
+            }
+      end
+
+let save path ?soc_name arch =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (to_string ?soc_name arch);
+        Ok ())
+  with Sys_error msg -> Error msg
+
+let load path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg

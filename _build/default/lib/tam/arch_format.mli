@@ -1,0 +1,29 @@
+(** Textual serialization of test access architectures, so a computed
+    wrapper/TAM design can be stored next to its [.soc] file and reloaded
+    without re-running the optimizer:
+
+    {v
+    # soctam architecture
+    soc d695
+    widths 5+3+8
+    assign 2,1,2,3,1,1,2,3,1,2
+    v}
+
+    [assign] lists the 1-based TAM of each core in core order (the
+    notation of the paper's tables). *)
+
+val to_string : ?soc_name:string -> Architecture.t -> string
+
+type parsed = {
+  soc_name : string option;
+  widths : int array;
+  assignment : int array;  (** 0-based TAM per core *)
+}
+
+val of_string : string -> (parsed, string) result
+(** Syntactic parse plus sanity checks (widths >= 1, assignment entries
+    within range). Rebuild a full {!Architecture.t} with
+    {!Architecture.make} against the matching SOC. *)
+
+val save : string -> ?soc_name:string -> Architecture.t -> (unit, string) result
+val load : string -> (parsed, string) result

@@ -1,0 +1,80 @@
+type t = {
+  widths : int array;
+  assignment : int array;
+  core_times : int array;
+  tam_times : int array;
+  time : int;
+}
+
+let validate ~cores ~widths ~assignment =
+  if Array.length widths = 0 then
+    invalid_arg "Architecture: at least one TAM required";
+  Array.iter
+    (fun w -> if w < 1 then invalid_arg "Architecture: TAM width must be >= 1")
+    widths;
+  if Array.length assignment <> cores then
+    invalid_arg "Architecture: assignment length must equal core count";
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= Array.length widths then
+        invalid_arg "Architecture: assignment refers to a non-existent TAM")
+    assignment
+
+let of_times ~times ~cores ~widths ~assignment =
+  validate ~cores ~widths ~assignment;
+  let core_times =
+    Array.init cores (fun i ->
+        times ~core:i ~width:widths.(assignment.(i)))
+  in
+  let tam_times = Array.make (Array.length widths) 0 in
+  Array.iteri
+    (fun i j -> tam_times.(j) <- tam_times.(j) + core_times.(i))
+    assignment;
+  {
+    widths = Array.copy widths;
+    assignment = Array.copy assignment;
+    core_times;
+    tam_times;
+    time = Soctam_util.Intutil.max_element tam_times;
+  }
+
+let make ~soc ~widths ~assignment =
+  let times ~core ~width =
+    (Soctam_wrapper.Design.design (Soctam_model.Soc.core soc core) ~width)
+      .Soctam_wrapper.Design.time
+  in
+  of_times ~times ~cores:(Soctam_model.Soc.core_count soc) ~widths ~assignment
+
+let tam_count t = Array.length t.widths
+
+let cores_on t j =
+  Soctam_util.Select.filter_indices (fun _ tam -> tam = j) t.assignment
+
+let assignment_vector t = Array.map (fun j -> j + 1) t.assignment
+
+let idle_wire_cycles t =
+  let idle = ref 0 in
+  Array.iteri
+    (fun j w -> idle := !idle + (w * (t.time - t.tam_times.(j))))
+    t.widths;
+  !idle
+
+let pp_partition ppf widths =
+  Array.iteri
+    (fun j w ->
+      if j > 0 then Format.pp_print_char ppf '+';
+      Format.pp_print_int ppf w)
+    widths
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>architecture: %d TAMs (%a), time %d@,"
+    (tam_count t) pp_partition t.widths t.time;
+  Array.iteri
+    (fun j w ->
+      Format.fprintf ppf "  TAM %d (width %2d): time %8d, cores %s@," (j + 1) w
+        t.tam_times.(j)
+        (cores_on t j
+        |> List.map (fun i -> string_of_int (i + 1))
+        |> String.concat ","))
+    t.widths;
+  Format.fprintf ppf "@]"

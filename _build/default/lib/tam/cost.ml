@@ -1,0 +1,40 @@
+type t = {
+  wrapper_cells : int;
+  bypass_bits : int;
+  tam_wire_segments : int;
+  total : int;
+}
+
+let estimate soc arch =
+  if
+    Soctam_model.Soc.core_count soc <> Array.length arch.Architecture.assignment
+  then invalid_arg "Cost.estimate: architecture does not match the SOC";
+  let wrapper_cells =
+    Array.fold_left
+      (fun acc core -> acc + Soctam_model.Core_data.terminals core)
+      0
+      (Soctam_model.Soc.cores soc)
+  in
+  let bypass_bits =
+    Array.fold_left
+      (fun acc tam -> acc + arch.Architecture.widths.(tam))
+      0 arch.Architecture.assignment
+  in
+  let tam_wire_segments =
+    Array.to_list arch.Architecture.widths
+    |> List.mapi (fun tam width ->
+           width * (List.length (Architecture.cores_on arch tam) + 1))
+    |> Soctam_util.Intutil.sum_list
+  in
+  {
+    wrapper_cells;
+    bypass_bits;
+    tam_wire_segments;
+    total = wrapper_cells + bypass_bits + tam_wire_segments;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>cost: %d wrapper cells, %d bypass bits, %d wire segments (total \
+     %d)@]"
+    t.wrapper_cells t.bypass_bits t.tam_wire_segments t.total

@@ -1,0 +1,27 @@
+(** Hardware cost proxies of a test-bus architecture.
+
+    Testing time is only half of the trade-off the paper's introduction
+    sets up; the other half is silicon. This module gives
+    architecture-dependent first-order area proxies (in "bit" and
+    "segment" units, not square microns — the relative comparison across
+    architectures is what matters):
+
+    - {b wrapper cells}: one boundary cell per functional terminal
+      (bidirectionals count once) — independent of the TAM split;
+    - {b bypass bits}: a test-bus core must pass its TAM along when not
+      under test, one register bit per wire of its TAM;
+    - {b TAM wire segments}: each TAM of width [w] with [k] cores is
+      routed through [k + 1] hops of [w] wires. *)
+
+type t = {
+  wrapper_cells : int;
+  bypass_bits : int;
+  tam_wire_segments : int;
+  total : int;  (** plain sum of the above — a single comparison figure *)
+}
+
+val estimate : Soctam_model.Soc.t -> Architecture.t -> t
+(** @raise Invalid_argument when the architecture does not match the SOC
+    (core count mismatch). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Small integer helpers shared across the project. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [a / b] rounded towards positive infinity.
+    Requires [a >= 0] and [b > 0]. *)
+
+val sum : int array -> int
+(** Sum of all elements. *)
+
+val sum_list : int list -> int
+
+val max_element : int array -> int
+(** Maximum element. @raise Invalid_argument on an empty array. *)
+
+val min_element : int array -> int
+(** Minimum element. @raise Invalid_argument on an empty array. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [\[lo; lo+1; ...; hi\]], empty when [lo > hi]. *)
+
+val pow : int -> int -> int
+(** [pow b e] for [e >= 0]; no overflow checking. *)
+
+val factorial : int -> int
+(** [factorial n] for small [n >= 0]; no overflow checking. *)

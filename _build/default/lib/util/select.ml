@@ -1,0 +1,19 @@
+let best_index better a =
+  if Array.length a = 0 then invalid_arg "Select: empty array";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if better a.(i) a.(!best) then best := i
+  done;
+  !best
+
+let min_index compare a = best_index (fun x y -> compare x y < 0) a
+let max_index compare a = best_index (fun x y -> compare x y > 0) a
+let min_index_by key a = best_index (fun x y -> key x < key y) a
+let max_index_by key a = best_index (fun x y -> key x > key y) a
+
+let filter_indices p a =
+  let acc = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    if p i a.(i) then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,8 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_ms f =
+  let result, seconds = time f in
+  (result, seconds *. 1000.0)

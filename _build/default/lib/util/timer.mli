@@ -1,0 +1,11 @@
+(** Wall-clock timing for the experiment harness.
+
+    CPU-time comparisons in the paper (heuristic vs exhaustive) are
+    reproduced as wall-clock ratios measured on the same machine. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** Like {!time} but in milliseconds. *)

@@ -1,0 +1,1 @@
+lib/wrapper/design.ml: Array Format List Printf Soctam_model Soctam_schedule Soctam_util String

@@ -1,0 +1,1 @@
+lib/wrapper/design.mli: Format Soctam_model

@@ -1,0 +1,232 @@
+module Core_data = Soctam_model.Core_data
+
+type chain_layout = {
+  internal_chains : int list;
+  input_cells : int;
+  output_cells : int;
+  bidir_cells : int;
+}
+
+type t = {
+  requested_width : int;
+  used_width : int;
+  scan_in : int array;
+  scan_out : int array;
+  scan_in_max : int;
+  scan_out_max : int;
+  time : int;
+  layout : chain_layout array;
+}
+
+let test_time ~patterns ~scan_in ~scan_out =
+  ((1 + max scan_in scan_out) * patterns) + min scan_in scan_out
+
+let with_chain_count (core : Core_data.t) ~chains =
+  if chains < 1 then invalid_arg "Design.with_chain_count: chains must be >= 1";
+  let scan_groups = min chains (Core_data.scan_chain_count core) in
+  let scan_in = Array.make chains 0 in
+  let scan_out = Array.make chains 0 in
+  let internal = Array.make chains [] in
+  let input_cells = Array.make chains 0 in
+  let output_cells = Array.make chains 0 in
+  let bidir_cells = Array.make chains 0 in
+  (* Internal scan chains: LPT-balance over the scan-bearing chains. *)
+  if scan_groups > 0 then begin
+    let packing =
+      Soctam_schedule.Makespan.lpt ~durations:core.Core_data.scan_chains
+        ~machines:scan_groups
+    in
+    Array.iteri
+      (fun g load ->
+        scan_in.(g) <- load;
+        scan_out.(g) <- load)
+      packing.Soctam_schedule.Makespan.loads;
+    Array.iteri
+      (fun chain g -> internal.(g) <- chain :: internal.(g))
+      packing.Soctam_schedule.Makespan.assignment
+  end;
+  (* Bidirectional cells: lengthen both sides of the chosen chain; place
+     where the max of the two resulting lengths is smallest. *)
+  for _ = 1 to core.Core_data.bidirs do
+    let best = ref 0 in
+    for j = 1 to chains - 1 do
+      let cand = (max (scan_in.(j) + 1) (scan_out.(j) + 1), scan_in.(j)) in
+      let cur =
+        (max (scan_in.(!best) + 1) (scan_out.(!best) + 1), scan_in.(!best))
+      in
+      if cand < cur then best := j
+    done;
+    scan_in.(!best) <- scan_in.(!best) + 1;
+    scan_out.(!best) <- scan_out.(!best) + 1;
+    bidir_cells.(!best) <- bidir_cells.(!best) + 1
+  done;
+  (* Input cells lengthen scan-in only; output cells scan-out only. *)
+  for _ = 1 to core.Core_data.inputs do
+    let j = Soctam_util.Select.min_index_by (fun x -> x) scan_in in
+    scan_in.(j) <- scan_in.(j) + 1;
+    input_cells.(j) <- input_cells.(j) + 1
+  done;
+  for _ = 1 to core.Core_data.outputs do
+    let j = Soctam_util.Select.min_index_by (fun x -> x) scan_out in
+    scan_out.(j) <- scan_out.(j) + 1;
+    output_cells.(j) <- output_cells.(j) + 1
+  done;
+  let used = ref 0 in
+  for j = 0 to chains - 1 do
+    if scan_in.(j) + scan_out.(j) > 0 then incr used
+  done;
+  let scan_in_max = Soctam_util.Intutil.max_element scan_in in
+  let scan_out_max = Soctam_util.Intutil.max_element scan_out in
+  {
+    requested_width = chains;
+    used_width = !used;
+    scan_in;
+    scan_out;
+    scan_in_max;
+    scan_out_max;
+    time =
+      test_time ~patterns:core.Core_data.patterns ~scan_in:scan_in_max
+        ~scan_out:scan_out_max;
+    layout =
+      Array.init chains (fun j ->
+          {
+            internal_chains = List.rev internal.(j);
+            input_cells = input_cells.(j);
+            output_cells = output_cells.(j);
+            bidir_cells = bidir_cells.(j);
+          });
+  }
+
+let validate_layout (core : Core_data.t) design =
+  let chains = Array.length design.layout in
+  if
+    Array.length design.scan_in <> chains
+    || Array.length design.scan_out <> chains
+  then Error "layout and length arrays disagree on the chain count"
+  else begin
+    let seen = Array.make (Core_data.scan_chain_count core) false in
+    let problem = ref None in
+    Array.iteri
+      (fun j part ->
+        if !problem = None then begin
+          let ffs = ref 0 in
+          List.iter
+            (fun chain ->
+              if chain < 0 || chain >= Array.length seen then
+                problem := Some "layout names a non-existent internal chain"
+              else if seen.(chain) then
+                problem := Some "internal chain placed twice"
+              else begin
+                seen.(chain) <- true;
+                ffs := !ffs + core.Core_data.scan_chains.(chain)
+              end)
+            part.internal_chains;
+          if !problem = None then begin
+            if part.input_cells < 0 || part.output_cells < 0
+               || part.bidir_cells < 0
+            then problem := Some "negative cell count"
+            else if
+              design.scan_in.(j)
+              <> !ffs + part.input_cells + part.bidir_cells
+            then problem := Some "scan-in length does not match the layout"
+            else if
+              design.scan_out.(j)
+              <> !ffs + part.output_cells + part.bidir_cells
+            then problem := Some "scan-out length does not match the layout"
+          end
+        end)
+      design.layout;
+    match !problem with
+    | Some msg -> Error msg
+    | None ->
+        if not (Array.for_all (fun b -> b) seen) then
+          Error "some internal chain never placed"
+        else begin
+          let total f =
+            Array.fold_left (fun acc p -> acc + f p) 0 design.layout
+          in
+          if total (fun p -> p.input_cells) <> core.Core_data.inputs then
+            Error "input cells lost or invented"
+          else if total (fun p -> p.output_cells) <> core.Core_data.outputs
+          then Error "output cells lost or invented"
+          else if total (fun p -> p.bidir_cells) <> core.Core_data.bidirs then
+            Error "bidir cells lost or invented"
+          else Ok ()
+        end
+  end
+
+let better a b =
+  a.time < b.time || (a.time = b.time && a.used_width < b.used_width)
+
+let design core ~width =
+  if width < 1 then invalid_arg "Design.design: width must be >= 1";
+  let best = ref (with_chain_count core ~chains:1) in
+  for n = 2 to width do
+    let cand = with_chain_count core ~chains:n in
+    if better cand !best then best := cand
+  done;
+  { !best with requested_width = width }
+
+let time_table core ~max_width =
+  if max_width < 1 then invalid_arg "Design.time_table: max_width must be >= 1";
+  let times = Array.make max_width 0 in
+  let best = ref max_int in
+  for n = 1 to max_width do
+    let cand = with_chain_count core ~chains:n in
+    if cand.time < !best then best := cand.time;
+    times.(n - 1) <- !best
+  done;
+  times
+
+let max_useful_width ?(cap = 256) core =
+  (* Enough chains to isolate every internal chain and every cell reach
+     the floor, so the search below this bound is exhaustive. *)
+  let open Core_data in
+  let natural =
+    scan_chain_count core
+    + max (core.inputs + core.bidirs) (core.outputs + core.bidirs)
+  in
+  let limit = max 1 (min cap natural) in
+  let times = time_table core ~max_width:limit in
+  let rec first_stable w =
+    if w <= 1 then 1
+    else if times.(w - 2) > times.(w - 1) then w
+    else first_stable (w - 1)
+  in
+  first_stable limit
+
+let pareto_widths core ~max_width =
+  let times = time_table core ~max_width in
+  let rec collect w prev acc =
+    if w > max_width then List.rev acc
+    else begin
+      let t = times.(w - 1) in
+      if t < prev then collect (w + 1) t ((w, t) :: acc)
+      else collect (w + 1) prev acc
+    end
+  in
+  collect 1 max_int []
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>wrapper: width %d (used %d), si_max %d, so_max %d, time %d@]"
+    t.requested_width t.used_width t.scan_in_max t.scan_out_max t.time
+
+let pp_layout ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun j part ->
+      let internal =
+        match part.internal_chains with
+        | [] -> "no internal chains"
+        | chains ->
+            Printf.sprintf "internal %s"
+              (String.concat ","
+                 (List.map (fun c -> string_of_int (c + 1)) chains))
+      in
+      Format.fprintf ppf
+        "chain %2d: %s + %d in + %d out + %d bidir  (si %d, so %d)@," (j + 1)
+        internal part.input_cells part.output_cells part.bidir_cells
+        t.scan_in.(j) t.scan_out.(j))
+    t.layout;
+  Format.fprintf ppf "@]"

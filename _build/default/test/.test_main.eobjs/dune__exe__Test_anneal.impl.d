@@ -1,0 +1,1 @@
+test/test_anneal.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Soctam_anneal Soctam_core Soctam_ilp Soctam_soc_data Soctam_util

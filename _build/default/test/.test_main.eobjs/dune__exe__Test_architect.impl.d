@@ -1,0 +1,1 @@
+test/test_architect.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Soctam_architect Soctam_core Soctam_ilp Soctam_soc_data Soctam_util

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Soctam_baselines Soctam_core Soctam_model Soctam_soc_data Soctam_util Soctam_wrapper

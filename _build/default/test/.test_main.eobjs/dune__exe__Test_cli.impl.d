@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Buffer Filename List Printf Soctam_tam Soctam_util String Sys Unix

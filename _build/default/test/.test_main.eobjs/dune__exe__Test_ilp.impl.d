@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Int64 QCheck QCheck_alcotest Soctam_ilp Soctam_util

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Int64 List Printf QCheck QCheck_alcotest Soctam_lp Soctam_util

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Soctam_core Soctam_order Soctam_soc_data Soctam_tam Soctam_util

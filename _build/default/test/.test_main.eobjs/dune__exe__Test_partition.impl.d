@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Soctam_partition Soctam_util

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Int64 QCheck QCheck_alcotest Soctam_core Soctam_power Soctam_soc_data Soctam_tam Soctam_util

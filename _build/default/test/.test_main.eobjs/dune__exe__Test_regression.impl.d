@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Array Lazy List Printf Soctam_core Soctam_soc_data Soctam_tam

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Lazy List Printf Soctam_report Soctam_soc_data Soctam_tam Soctam_util String

@@ -1,0 +1,1 @@
+test/test_scan.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Soctam_model Soctam_scan Soctam_soc_data Soctam_util Soctam_wrapper

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Gen Int64 QCheck QCheck_alcotest Soctam_schedule Soctam_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format Int64 QCheck QCheck_alcotest Soctam_core Soctam_model Soctam_sim Soctam_soc_data Soctam_tam Soctam_util Soctam_wrapper

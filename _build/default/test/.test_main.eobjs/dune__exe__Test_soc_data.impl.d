@@ -1,0 +1,1 @@
+test/test_soc_data.ml: Alcotest Array Filename Int64 List Printf QCheck QCheck_alcotest Soctam_core Soctam_model Soctam_soc_data Soctam_util String Sys

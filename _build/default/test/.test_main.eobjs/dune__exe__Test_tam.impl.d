@@ -1,0 +1,1 @@
+test/test_tam.ml: Alcotest Array Filename Format List Soctam_core Soctam_model Soctam_soc_data Soctam_tam Soctam_wrapper String Sys

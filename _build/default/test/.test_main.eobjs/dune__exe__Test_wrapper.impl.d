@@ -1,0 +1,1 @@
+test/test_wrapper.ml: Alcotest Array Format List QCheck QCheck_alcotest Soctam_model Soctam_util Soctam_wrapper String

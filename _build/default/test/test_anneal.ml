@@ -1,0 +1,128 @@
+(* Tests for Soctam_anneal: the simulated-annealing P_NPAW optimizer. *)
+
+module Sa = Soctam_anneal.Annealer
+module Tt = Soctam_core.Time_table
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let small_soc seed ~cores =
+  let rng = Soctam_util.Prng.create seed in
+  Soctam_soc_data.Random_soc.generate rng
+    {
+      Soctam_soc_data.Random_soc.default_params with
+      Soctam_soc_data.Random_soc.cores;
+      max_ios = 40;
+      max_patterns = 100;
+      max_chains = 4;
+      max_chain_length = 30;
+    }
+
+let quick_params seed =
+  { Sa.default_params with Sa.iterations = 15_000; seed }
+
+let result_is_consistent =
+  QCheck.Test.make ~name:"annealer: result invariants" ~count:15
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:6 in
+      let table = Tt.build soc ~max_width:12 in
+      let r =
+        Sa.optimize
+          ~params:(quick_params (Int64.of_int seed))
+          ~table ~total_width:12 ~max_tams:4 ()
+      in
+      let tams = Array.length r.Sa.widths in
+      tams >= 1 && tams <= 4
+      && Soctam_util.Intutil.sum r.Sa.widths = 12
+      && Array.for_all (fun w -> w >= 1) r.Sa.widths
+      && Array.for_all (fun j -> j >= 0 && j < tams) r.Sa.assignment
+      && r.Sa.time
+         = Soctam_ilp.Exact.makespan
+             ~times:(Tt.matrix table ~widths:r.Sa.widths)
+             ~assignment:r.Sa.assignment
+      && r.Sa.accepted <= r.Sa.proposed)
+
+let deterministic_given_seed () =
+  let soc = small_soc 77L ~cores:6 in
+  let table = Tt.build soc ~max_width:10 in
+  let run () =
+    Sa.optimize ~params:(quick_params 5L) ~table ~total_width:10 ~max_tams:4 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same time" a.Sa.time b.Sa.time;
+  Alcotest.(check (list int)) "same widths" (Array.to_list a.Sa.widths)
+    (Array.to_list b.Sa.widths)
+
+let improves_on_single_tam =
+  QCheck.Test.make ~name:"annealer: never worse than the starting point"
+    ~count:15
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:6 in
+      let table = Tt.build soc ~max_width:12 in
+      let single =
+        match
+          Soctam_core.Core_assign.run_table ~table ~widths:[| 12 |] ()
+        with
+        | Soctam_core.Core_assign.Assigned { time; _ } -> time
+        | Soctam_core.Core_assign.Exceeded _ -> assert false
+      in
+      let r =
+        Sa.optimize
+          ~params:(quick_params (Int64.of_int (seed * 3)))
+          ~table ~total_width:12 ~max_tams:4 ()
+      in
+      r.Sa.time <= single)
+
+let never_beats_global_optimum =
+  QCheck.Test.make ~name:"annealer: bounded below by the exhaustive optimum"
+    ~count:6
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:5 in
+      let table = Tt.build soc ~max_width:8 in
+      let optimum =
+        List.fold_left
+          (fun acc tams ->
+            let e =
+              Soctam_core.Exhaustive.run ~table ~total_width:8 ~tams ()
+            in
+            min acc e.Soctam_core.Exhaustive.time)
+          max_int [ 1; 2; 3 ]
+      in
+      let r =
+        Sa.optimize
+          ~params:(quick_params (Int64.of_int seed))
+          ~table ~total_width:8 ~max_tams:3 ()
+      in
+      r.Sa.time >= optimum)
+
+let validation () =
+  let soc = small_soc 9L ~cores:4 in
+  let table = Tt.build soc ~max_width:6 in
+  (match Sa.optimize ~table ~total_width:10 ~max_tams:3 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "narrow table accepted");
+  match Sa.optimize ~table ~total_width:6 ~max_tams:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_tams 0 accepted"
+
+let single_tam_degenerate () =
+  let soc = small_soc 10L ~cores:4 in
+  let table = Tt.build soc ~max_width:6 in
+  let r =
+    Sa.optimize ~params:(quick_params 1L) ~table ~total_width:6 ~max_tams:1 ()
+  in
+  Alcotest.(check (list int)) "single full-width TAM" [ 6 ]
+    (Array.to_list r.Sa.widths)
+
+let suite =
+  [
+    qtest result_is_consistent;
+    test "annealer: deterministic" deterministic_given_seed;
+    qtest improves_on_single_tam;
+    qtest never_beats_global_optimum;
+    test "annealer: validation" validation;
+    test "annealer: max_tams = 1" single_tam_degenerate;
+  ]

@@ -1,0 +1,108 @@
+(* Tests for Soctam_architect.Tr_architect: the local-search alternative
+   optimizer. *)
+
+module Tr = Soctam_architect.Tr_architect
+module Tt = Soctam_core.Time_table
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let small_soc seed ~cores =
+  let rng = Soctam_util.Prng.create seed in
+  Soctam_soc_data.Random_soc.generate rng
+    {
+      Soctam_soc_data.Random_soc.default_params with
+      Soctam_soc_data.Random_soc.cores;
+      max_ios = 40;
+      max_patterns = 100;
+      max_chains = 4;
+      max_chain_length = 30;
+    }
+
+let result_invariants =
+  QCheck.Test.make ~name:"tr: result invariants" ~count:25
+    QCheck.(pair (int_range 1 300) (int_range 4 14))
+    (fun (seed, total_width) ->
+      let soc = small_soc (Int64.of_int seed) ~cores:6 in
+      let table = Tt.build soc ~max_width:total_width in
+      let r = Tr.optimize ~max_tams:4 ~table ~total_width () in
+      let tams = Array.length r.Tr.widths in
+      tams >= 1 && tams <= 4
+      && Soctam_util.Intutil.sum r.Tr.widths = total_width
+      && Array.for_all (fun w -> w >= 1) r.Tr.widths
+      && Array.for_all (fun j -> j >= 0 && j < tams) r.Tr.assignment
+      && r.Tr.time
+         = Soctam_ilp.Exact.makespan
+             ~times:(Tt.matrix table ~widths:r.Tr.widths)
+             ~assignment:r.Tr.assignment
+      && r.Tr.moves_accepted <= r.Tr.moves_tried)
+
+let never_beats_global_optimum =
+  QCheck.Test.make ~name:"tr: bounded below by the exhaustive optimum"
+    ~count:6
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:5 in
+      let table = Tt.build soc ~max_width:8 in
+      let optimum =
+        List.fold_left
+          (fun acc tams ->
+            min acc
+              (Soctam_core.Exhaustive.run ~table ~total_width:8 ~tams ())
+                .Soctam_core.Exhaustive.time)
+          max_int [ 1; 2; 3 ]
+      in
+      let r = Tr.optimize ~max_tams:3 ~table ~total_width:8 () in
+      r.Tr.time >= optimum)
+
+let close_to_partition_evaluate =
+  (* Quality tripwire: within 25% of Partition_evaluate on small SOCs. *)
+  QCheck.Test.make ~name:"tr: within 25% of Partition_evaluate" ~count:12
+    QCheck.(int_range 1 200)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:6 in
+      let table = Tt.build soc ~max_width:12 in
+      let tr = Tr.optimize ~max_tams:4 ~table ~total_width:12 () in
+      let pe =
+        Soctam_core.Partition_evaluate.run ~table ~total_width:12 ~max_tams:4 ()
+      in
+      float_of_int tr.Tr.time
+      <= 1.25 *. float_of_int pe.Soctam_core.Partition_evaluate.time)
+
+let deterministic () =
+  let soc = small_soc 50L ~cores:6 in
+  let table = Tt.build soc ~max_width:10 in
+  let a = Tr.optimize ~table ~total_width:10 () in
+  let b = Tr.optimize ~table ~total_width:10 () in
+  Alcotest.(check int) "same time" a.Tr.time b.Tr.time;
+  Alcotest.(check (list int)) "same widths" (Array.to_list a.Tr.widths)
+    (Array.to_list b.Tr.widths)
+
+let validation () =
+  let soc = small_soc 51L ~cores:4 in
+  let table = Tt.build soc ~max_width:6 in
+  (match Tr.optimize ~table ~total_width:8 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "narrow table accepted");
+  (match Tr.optimize ~max_tams:0 ~table ~total_width:6 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_tams 0 accepted");
+  match Tr.optimize ~table ~total_width:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero width accepted"
+
+let single_tam_trivial () =
+  let soc = small_soc 52L ~cores:4 in
+  let table = Tt.build soc ~max_width:6 in
+  let r = Tr.optimize ~max_tams:1 ~table ~total_width:6 () in
+  Alcotest.(check (list int)) "one TAM" [ 6 ] (Array.to_list r.Tr.widths)
+
+let suite =
+  [
+    qtest result_invariants;
+    qtest never_beats_global_optimum;
+    qtest close_to_partition_evaluate;
+    test "tr: deterministic" deterministic;
+    test "tr: validation" validation;
+    test "tr: single TAM" single_tam_trivial;
+  ]

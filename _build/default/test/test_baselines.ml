@@ -1,0 +1,194 @@
+(* Tests for Soctam_baselines: the multiplexing, daisychain and
+   distribution architectures and the four-way comparison. *)
+
+module Mux = Soctam_baselines.Multiplexing
+module Daisy = Soctam_baselines.Daisychain
+module Dist = Soctam_baselines.Distribution
+module Compare = Soctam_baselines.Compare
+module Tt = Soctam_core.Time_table
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let small_soc seed ~cores =
+  let rng = Soctam_util.Prng.create seed in
+  Soctam_soc_data.Random_soc.generate rng
+    {
+      Soctam_soc_data.Random_soc.default_params with
+      Soctam_soc_data.Random_soc.cores;
+      max_ios = 50;
+      max_patterns = 120;
+      max_chains = 5;
+      max_chain_length = 40;
+    }
+
+(* -- multiplexing ---------------------------------------------------------- *)
+
+let mux_is_sum () =
+  let soc = small_soc 1L ~cores:5 in
+  let m = Mux.design soc ~width:8 in
+  Alcotest.(check int) "sum" (Soctam_util.Intutil.sum m.Mux.core_times) m.Mux.time;
+  let table = Tt.build soc ~max_width:8 in
+  let m2 = Mux.design_from_table table ~width:8 in
+  Alcotest.(check int) "table agrees" m.Mux.time m2.Mux.time
+
+let mux_uses_full_width () =
+  let soc = small_soc 2L ~cores:4 in
+  let table = Tt.build soc ~max_width:10 in
+  let m = Mux.design_from_table table ~width:10 in
+  Array.iteri
+    (fun core t ->
+      Alcotest.(check int) "full-width time" (Tt.time table ~core ~width:10) t)
+    m.Mux.core_times
+
+let mux_validates () =
+  match Mux.design (small_soc 3L ~cores:2) ~width:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* -- daisychain ------------------------------------------------------------ *)
+
+let daisy_penalty_accounting () =
+  let soc = small_soc 4L ~cores:5 in
+  let d = Daisy.design soc ~width:8 in
+  let base = (Mux.design soc ~width:8).Mux.time in
+  Alcotest.(check int) "time = base + penalty" (base + d.Daisy.bypass_penalty)
+    d.Daisy.time;
+  Alcotest.(check bool) "penalty non-negative" true (d.Daisy.bypass_penalty >= 0)
+
+let daisy_order_is_permutation () =
+  let soc = small_soc 5L ~cores:6 in
+  let d = Daisy.design soc ~width:8 in
+  let sorted = Array.copy d.Daisy.order in
+  Array.sort compare sorted;
+  Alcotest.(check (list int)) "permutation" [ 0; 1; 2; 3; 4; 5 ]
+    (Array.to_list sorted)
+
+let daisy_order_beats_random_permutations =
+  QCheck.Test.make ~name:"daisychain: chosen order is optimal" ~count:60
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let rng = Soctam_util.Prng.create (Int64.of_int seed) in
+      let soc = small_soc (Int64.of_int (seed + 7)) ~cores:5 in
+      let d = Daisy.design soc ~width:6 in
+      let base_times =
+        Array.map
+          (fun core ->
+            (Soctam_wrapper.Design.design core ~width:6).Soctam_wrapper.Design.time)
+          (Soctam_model.Soc.cores soc)
+      in
+      let patterns =
+        Array.map
+          (fun c -> c.Soctam_model.Core_data.patterns)
+          (Soctam_model.Soc.cores soc)
+      in
+      let perm = Array.init 5 (fun i -> i) in
+      Soctam_util.Prng.shuffle rng perm;
+      Daisy.time_of_order ~base_times ~patterns ~order:perm >= d.Daisy.time)
+
+let daisy_single_core_no_penalty () =
+  let soc = small_soc 6L ~cores:1 in
+  let d = Daisy.design soc ~width:4 in
+  Alcotest.(check int) "no bypass" 0 d.Daisy.bypass_penalty
+
+(* -- distribution ---------------------------------------------------------- *)
+
+let dist_structure =
+  QCheck.Test.make ~name:"distribution: allocation valid and time consistent"
+    ~count:60
+    QCheck.(pair (int_range 1 500) (int_range 6 16))
+    (fun (seed, width) ->
+      let soc = small_soc (Int64.of_int seed) ~cores:5 in
+      let d = Dist.design soc ~width in
+      Array.length d.Dist.allocation = 5
+      && Array.for_all (fun w -> w >= 1) d.Dist.allocation
+      && Soctam_util.Intutil.sum d.Dist.allocation <= width
+      && d.Dist.time = Soctam_util.Intutil.max_element d.Dist.core_times)
+
+let dist_optimal_small =
+  QCheck.Test.make ~name:"distribution: optimal on tiny instances" ~count:30
+    QCheck.(pair (int_range 1 200) (int_range 3 7))
+    (fun (seed, width) ->
+      let soc = small_soc (Int64.of_int seed) ~cores:3 in
+      let table = Tt.build soc ~max_width:width in
+      let d = Dist.design_from_table table ~width in
+      (* brute force over all allocations of [width] to 3 cores *)
+      let best = ref max_int in
+      for w1 = 1 to width - 2 do
+        for w2 = 1 to width - w1 - 1 do
+          let w3 = width - w1 - w2 in
+          let t =
+            max
+              (Tt.time table ~core:0 ~width:w1)
+              (max
+                 (Tt.time table ~core:1 ~width:w2)
+                 (Tt.time table ~core:2 ~width:w3))
+          in
+          if t < !best then best := t
+        done
+      done;
+      d.Dist.time = !best)
+
+let dist_monotone_in_width =
+  QCheck.Test.make ~name:"distribution: wider never slower" ~count:30
+    QCheck.(int_range 1 200)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:4 in
+      let t1 = (Dist.design soc ~width:6).Dist.time in
+      let t2 = (Dist.design soc ~width:12).Dist.time in
+      t2 <= t1)
+
+let dist_needs_enough_width () =
+  match Dist.design (small_soc 7L ~cores:5) ~width:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* -- comparison ------------------------------------------------------------ *)
+
+let compare_sorted_and_complete () =
+  let soc = small_soc 8L ~cores:6 in
+  let entries = Compare.run soc ~width:12 in
+  Alcotest.(check int) "four architectures" 4 (List.length entries);
+  let times = List.map (fun e -> e.Compare.time) entries in
+  Alcotest.(check (list int)) "sorted" (List.sort compare times) times
+
+let compare_omits_distribution_when_narrow () =
+  let soc = small_soc 9L ~cores:6 in
+  let entries = Compare.run soc ~width:4 in
+  Alcotest.(check int) "three architectures" 3 (List.length entries);
+  Alcotest.(check bool) "no distribution" true
+    (List.for_all
+       (fun e -> e.Compare.architecture <> "distribution")
+       entries)
+
+let test_bus_never_loses_to_multiplexing =
+  (* A single full-width TAM is a multiplexing architecture, and P_NPAW
+     considers it, so the test bus result can never be worse. *)
+  QCheck.Test.make ~name:"comparison: test bus <= multiplexing" ~count:15
+    QCheck.(int_range 1 200)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:5 in
+      let entries = Compare.run soc ~width:10 in
+      let time_of name =
+        (List.find (fun e -> e.Compare.architecture = name) entries)
+          .Compare.time
+      in
+      time_of "test bus (this paper)" <= time_of "multiplexing")
+
+let suite =
+  [
+    test "multiplexing: time is the sum" mux_is_sum;
+    test "multiplexing: full width per core" mux_uses_full_width;
+    test "multiplexing: validation" mux_validates;
+    test "daisychain: penalty accounting" daisy_penalty_accounting;
+    test "daisychain: order is a permutation" daisy_order_is_permutation;
+    qtest daisy_order_beats_random_permutations;
+    test "daisychain: single core" daisy_single_core_no_penalty;
+    qtest dist_structure;
+    qtest dist_optimal_small;
+    qtest dist_monotone_in_width;
+    test "distribution: width check" dist_needs_enough_width;
+    test "compare: sorted, complete" compare_sorted_and_complete;
+    test "compare: narrow omits distribution" compare_omits_distribution_when_narrow;
+    qtest test_bus_never_loses_to_multiplexing;
+  ]

@@ -1,0 +1,164 @@
+(* End-to-end tests of the soctam CLI binary: spawn the real executable
+   and check exit codes and output. The dune test stanza declares the
+   binary as a dependency, and tests run from _build/default/test. *)
+
+let test case f = Alcotest.test_case case `Quick f
+
+let binary = "../bin/soctam.exe"
+
+let run args =
+  let command =
+    Filename.quote_command binary args ^ " 2>&1"
+  in
+  let ic = Unix.open_process_in command in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1
+  in
+  (code, Buffer.contents buf)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let check_output ?(code = 0) args needles =
+  let actual_code, out = run args in
+  Alcotest.(check int)
+    (Printf.sprintf "exit code of %s" (String.concat " " args))
+    code actual_code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "output of %s mentions %S" (String.concat " " args)
+           needle)
+        true (contains out needle))
+    needles
+
+let info () = check_output [ "info"; "d695" ] [ "SOC d695"; "10 cores" ]
+
+let info_verbose () =
+  check_output [ "info"; "d695"; "-v" ] [ "s38417"; "s35932" ]
+
+let info_unknown_soc () =
+  check_output ~code:1 [ "info"; "nope" ] [ "neither a built-in SOC" ]
+
+let optimize_fixed_b () =
+  check_output
+    [ "optimize"; "d695"; "-w"; "16"; "-b"; "2" ]
+    [ "architecture: 2 TAMs"; "lower bounds"; "final time" ]
+
+let optimize_npaw_and_arch_roundtrip () =
+  let path = Filename.temp_file "cli_arch" ".arch" in
+  check_output
+    [ "optimize"; "d695"; "-w"; "16"; "--save-arch"; path ]
+    [ "architecture written to" ];
+  (match Soctam_tam.Arch_format.load path with
+  | Ok parsed ->
+      Alcotest.(check (option string)) "soc recorded" (Some "d695")
+        parsed.Soctam_tam.Arch_format.soc_name;
+      Alcotest.(check int) "widths sum" 16
+        (Soctam_util.Intutil.sum parsed.Soctam_tam.Arch_format.widths)
+  | Error msg -> Alcotest.failf "arch load: %s" msg);
+  Sys.remove path
+
+let wrapper_command () =
+  check_output
+    [ "wrapper"; "d695"; "-c"; "6"; "-w"; "16" ]
+    [ "pareto widths"; "max useful width" ]
+
+let wrapper_bad_core () =
+  check_output ~code:1 [ "wrapper"; "d695"; "-c"; "99"; "-w"; "8" ]
+    [ "out of range" ]
+
+let exhaustive_command () =
+  check_output
+    [ "exhaustive"; "d695"; "-w"; "16"; "-b"; "2" ]
+    [ "partitions solved"; "exhaustive: partition" ]
+
+let compare_command () =
+  check_output
+    [ "compare"; "d695"; "-w"; "16" ]
+    [ "test bus (this paper)"; "multiplexing"; "daisychain" ]
+
+let sweep_command () =
+  check_output
+    [ "sweep"; "d695"; "--from"; "8"; "--to"; "16"; "--step"; "8" ]
+    [ "partition"; "knee: W =" ]
+
+let schedule_command () =
+  check_output
+    [ "schedule"; "d695"; "-w"; "16"; "--budget-pct"; "60" ]
+    [ "power-capped"; "TAM 1" ]
+
+let gen_and_load () =
+  let path = Filename.temp_file "cli_soc" ".soc" in
+  check_output [ "gen"; "p31108"; "-o"; path ] [ "wrote" ];
+  check_output [ "info"; path ] [ "19 cores" ];
+  Sys.remove path
+
+let gen_unknown_profile () =
+  check_output ~code:1 [ "gen"; "p999" ] [ "unknown profile" ]
+
+let verify_roundtrip () =
+  let path = Filename.temp_file "cli_verify" ".arch" in
+  check_output
+    [ "optimize"; "d695"; "-w"; "16"; "-b"; "2"; "--save-arch"; path ]
+    [ "architecture written" ];
+  check_output [ "verify"; "d695"; "--arch"; path ] [ "VERIFIED" ];
+  (* Verifying against the wrong SOC warns (and may fail validation). *)
+  let code, out = run [ "verify"; "p31108"; "--arch"; path ] in
+  Alcotest.(check bool) "wrong soc flagged" true
+    (code = 1 || contains out "warning");
+  Sys.remove path
+
+let gen_itc02_and_load () =
+  let path = Filename.temp_file "cli_soc" ".itc02" in
+  check_output [ "gen"; "p93791"; "--itc02"; "-o"; path ] [ "wrote" ];
+  check_output [ "info"; path ] [ "32 cores" ];
+  Sys.remove path
+
+let tables_single () = check_output [ "tables"; "--id"; "t4" ] [ "logic"; "memory" ]
+
+let tables_unknown_id () =
+  check_output ~code:1 [ "tables"; "--id"; "t99" ] [ "unknown table id" ]
+
+let tables_markdown_and_csv () =
+  check_output [ "tables"; "--id"; "t4"; "--markdown" ] [ "| :--- |"; "**t4" ];
+  check_output [ "tables"; "--id"; "t4"; "--csv" ] [ "circuit,count"; "# t4" ]
+
+let wrapper_layout_flag () =
+  check_output
+    [ "wrapper"; "d695"; "-c"; "4"; "-w"; "6"; "--layout" ]
+    [ "chain  1:"; "internal" ]
+
+let suite =
+  [
+    test "info" info;
+    test "info -v" info_verbose;
+    test "info: unknown soc" info_unknown_soc;
+    test "optimize: fixed B" optimize_fixed_b;
+    test "optimize: save-arch roundtrip" optimize_npaw_and_arch_roundtrip;
+    test "wrapper" wrapper_command;
+    test "wrapper: bad core" wrapper_bad_core;
+    test "exhaustive" exhaustive_command;
+    test "compare" compare_command;
+    test "sweep" sweep_command;
+    test "schedule" schedule_command;
+    test "gen + load" gen_and_load;
+    test "gen: unknown profile" gen_unknown_profile;
+    test "verify: roundtrip" verify_roundtrip;
+    test "gen: itc02 dialect" gen_itc02_and_load;
+    test "tables: t4" tables_single;
+    test "tables: unknown id" tables_unknown_id;
+    test "tables: markdown and csv" tables_markdown_and_csv;
+    test "wrapper: layout flag" wrapper_layout_flag;
+  ]

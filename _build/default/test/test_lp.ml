@@ -1,0 +1,343 @@
+(* Tests for Soctam_lp: problem building, two-phase simplex, MILP branch
+   and bound. *)
+
+module P = Soctam_lp.Problem
+module Simplex = Soctam_lp.Simplex
+module Milp = Soctam_lp.Milp
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let check_opt ~objective:expected ?(values = []) outcome =
+  match outcome with
+  | Simplex.Optimal { objective; values = solution } ->
+      Alcotest.(check (float 1e-6)) "objective" expected objective;
+      List.iter
+        (fun (i, v) ->
+          Alcotest.(check (float 1e-6)) (Printf.sprintf "x%d" i) v solution.(i))
+        values
+  | Simplex.Infeasible -> Alcotest.fail "unexpected Infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected Unbounded"
+
+(* -- problem builder ------------------------------------------------------ *)
+
+let builder_accessors () =
+  let p = P.create ~name:"test" () in
+  let x = P.add_var p "x" in
+  let y = P.add_var p ~lb:1. ~ub:4. "y" in
+  let z = P.binary p "z" in
+  P.add_constraint p [ (1., x); (2., y) ] P.Le 10.;
+  P.set_objective p P.Minimize [ (3., x); (1., z) ];
+  Alcotest.(check string) "name" "test" (P.name p);
+  Alcotest.(check int) "vars" 3 (P.var_count p);
+  Alcotest.(check int) "rows" 1 (P.constraint_count p);
+  Alcotest.(check string) "var name" "y" (P.var_name p y);
+  Alcotest.(check (list int)) "integers" [ P.var_index z ] (P.integer_vars p);
+  let lb, ub = (P.bounds p).(P.var_index y) in
+  Alcotest.(check (float 0.)) "lb" 1. lb;
+  Alcotest.(check (float 0.)) "ub" 4. ub
+
+let builder_merges_duplicate_terms () =
+  let p = P.create () in
+  let x = P.add_var p "x" in
+  P.add_constraint p [ (1., x); (2., x) ] P.Le 6.;
+  let row, _, rhs = (P.rows p).(0) in
+  Alcotest.(check (float 0.)) "merged coeff" 3. row.(P.var_index x);
+  Alcotest.(check (float 0.)) "rhs" 6. rhs
+
+let builder_rejects_bad_bounds () =
+  let p = P.create () in
+  (match P.add_var p ~lb:5. ~ub:1. "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "lb > ub accepted");
+  match P.add_var p ~lb:neg_infinity "y" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "infinite lb accepted"
+
+(* -- simplex -------------------------------------------------------------- *)
+
+let lp_max_le () =
+  let p = P.create () in
+  let x = P.add_var p "x" and y = P.add_var p "y" in
+  P.add_constraint p [ (1., x); (1., y) ] P.Le 4.;
+  P.add_constraint p [ (1., x); (3., y) ] P.Le 6.;
+  P.set_objective p P.Maximize [ (3., x); (2., y) ];
+  check_opt ~objective:12. ~values:[ (0, 4.); (1, 0.) ] (Simplex.solve p)
+
+let lp_min_ge_eq () =
+  let p = P.create () in
+  let x = P.add_var p "x" and y = P.add_var p "y" in
+  P.add_constraint p [ (1., x); (1., y) ] P.Ge 3.;
+  P.add_constraint p [ (1., x); (-1., y) ] P.Eq 1.;
+  P.set_objective p P.Minimize [ (1., x); (1., y) ];
+  check_opt ~objective:3. ~values:[ (0, 2.); (1, 1.) ] (Simplex.solve p)
+
+let lp_infeasible () =
+  let p = P.create () in
+  let x = P.add_var p "x" in
+  P.add_constraint p [ (1., x) ] P.Le 1.;
+  P.add_constraint p [ (1., x) ] P.Ge 2.;
+  match Simplex.solve p with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected Infeasible"
+
+let lp_unbounded () =
+  let p = P.create () in
+  let x = P.add_var p "x" in
+  P.set_objective p P.Maximize [ (1., x) ];
+  match Simplex.solve p with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected Unbounded"
+
+let lp_bounds_respected () =
+  let p = P.create () in
+  let x = P.add_var p ~lb:2. ~ub:5. "x" in
+  P.set_objective p P.Maximize [ (1., x) ];
+  check_opt ~objective:5. ~values:[ (P.var_index x, 5.) ] (Simplex.solve p);
+  let q = P.create () in
+  let y = P.add_var q ~lb:2. ~ub:5. "y" in
+  P.set_objective q P.Minimize [ (1., y) ];
+  check_opt ~objective:2. ~values:[ (P.var_index y, 2.) ] (Simplex.solve q)
+
+let lp_negative_rhs () =
+  (* -x <= -3 is x >= 3. *)
+  let p = P.create () in
+  let x = P.add_var p "x" in
+  P.add_constraint p [ (-1., x) ] P.Le (-3.);
+  P.set_objective p P.Minimize [ (1., x) ];
+  check_opt ~objective:3. (Simplex.solve p)
+
+let lp_objective_constant () =
+  let p = P.create () in
+  let x = P.add_var p ~ub:2. "x" in
+  P.set_objective p P.Maximize ~constant:10. [ (1., x) ];
+  check_opt ~objective:12. (Simplex.solve p)
+
+let lp_bounds_override () =
+  let p = P.create () in
+  let x = P.add_var p ~lb:0. ~ub:10. "x" in
+  P.set_objective p P.Maximize [ (1., x) ];
+  (match Simplex.solve ~bounds:[| (0., 4.) |] p with
+  | Simplex.Optimal { objective; _ } ->
+      Alcotest.(check (float 1e-6)) "tightened" 4. objective
+  | _ -> Alcotest.fail "expected optimal");
+  match Simplex.solve ~bounds:[| (7., 3.) |] p with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "crossed override bounds must be infeasible"
+
+let lp_degenerate_equalities () =
+  (* Redundant equality rows exercise the artificial-variable cleanup. *)
+  let p = P.create () in
+  let x = P.add_var p "x" and y = P.add_var p "y" in
+  P.add_constraint p [ (1., x); (1., y) ] P.Eq 4.;
+  P.add_constraint p [ (2., x); (2., y) ] P.Eq 8.;
+  P.set_objective p P.Minimize [ (1., x) ];
+  check_opt ~objective:0. (Simplex.solve p)
+
+let lp_random_feasibility =
+  (* For random bounded problems with non-negative rows and rhs, x = 0 is
+     feasible, so the simplex must find an optimum with objective <= 0 for
+     minimization of non-negative costs: exactly 0. *)
+  QCheck.Test.make ~name:"simplex: trivially feasible minimizations hit zero"
+    ~count:100
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (nvars, nrows) ->
+      let rng =
+        Soctam_util.Prng.create (Int64.of_int ((nvars * 131) + nrows))
+      in
+      let p = P.create () in
+      let vars =
+        List.init nvars (fun i -> P.add_var p (Printf.sprintf "x%d" i))
+      in
+      for _ = 1 to nrows do
+        let terms =
+          List.map
+            (fun v -> (float_of_int (Soctam_util.Prng.int rng 5), v))
+            vars
+        in
+        P.add_constraint p terms P.Le
+          (float_of_int (Soctam_util.Prng.int rng 20))
+      done;
+      P.set_objective p P.Minimize
+        (List.map (fun v -> (1. +. Soctam_util.Prng.float rng 3., v)) vars);
+      match Simplex.solve p with
+      | Simplex.Optimal { objective; _ } -> Float.abs objective < 1e-9
+      | _ -> false)
+
+let lp_strong_duality =
+  (* For max c'x s.t. Ax <= b, x >= 0 with b >= 0 (so x = 0 is feasible
+     and the primal is bounded when every column has a positive entry),
+     the dual min b'y s.t. A'y >= c, y >= 0 must reach the same value -
+     a sharp end-to-end check of the simplex. *)
+  QCheck.Test.make ~name:"simplex: strong duality on random primal/dual pairs"
+    ~count:60
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Soctam_util.Prng.create (Int64.of_int seed) in
+      let n = 1 + Soctam_util.Prng.int rng 4 in
+      let m = 1 + Soctam_util.Prng.int rng 4 in
+      let a =
+        Array.init m (fun _ ->
+            Array.init n (fun _ -> float_of_int (Soctam_util.Prng.int rng 6)))
+      in
+      (* Guarantee boundedness: every variable appears in some row. *)
+      for j = 0 to n - 1 do
+        a.(Soctam_util.Prng.int rng m).(j) <- 1. +. Soctam_util.Prng.float rng 5.
+      done;
+      let b = Array.init m (fun _ -> Soctam_util.Prng.float rng 20.) in
+      let c = Array.init n (fun _ -> Soctam_util.Prng.float rng 10.) in
+      let primal = P.create () in
+      let xs = Array.init n (fun j -> P.add_var primal (Printf.sprintf "x%d" j)) in
+      Array.iteri
+        (fun i row ->
+          P.add_constraint primal
+            (Array.to_list (Array.mapi (fun j coef -> (coef, xs.(j))) row))
+            P.Le b.(i))
+        a;
+      P.set_objective primal P.Maximize
+        (Array.to_list (Array.mapi (fun j coef -> (coef, xs.(j))) c));
+      let dual = P.create () in
+      let ys = Array.init m (fun i -> P.add_var dual (Printf.sprintf "y%d" i)) in
+      for j = 0 to n - 1 do
+        P.add_constraint dual
+          (List.init m (fun i -> (a.(i).(j), ys.(i))))
+          P.Ge c.(j)
+      done;
+      P.set_objective dual P.Minimize
+        (Array.to_list (Array.mapi (fun i coef -> (coef, ys.(i))) b));
+      match (Simplex.solve primal, Simplex.solve dual) with
+      | Simplex.Optimal p, Simplex.Optimal d ->
+          Float.abs (p.objective -. d.objective)
+          <= 1e-6 *. (1. +. Float.abs p.objective)
+      | _ -> false)
+
+(* -- MILP ----------------------------------------------------------------- *)
+
+let milp_knapsack () =
+  let p = P.create () in
+  let items = [ (8., 5.); (11., 7.); (6., 4.); (4., 3.) ] in
+  let vars =
+    List.mapi (fun i _ -> P.binary p (Printf.sprintf "b%d" i)) items
+  in
+  P.add_constraint p
+    (List.map2 (fun (_, w) v -> (w, v)) items vars)
+    P.Le 14.;
+  P.set_objective p P.Maximize
+    (List.map2 (fun (value, _) v -> (value, v)) items vars);
+  match Milp.solve p with
+  | Milp.Optimal s, _ ->
+      Alcotest.(check (float 1e-6)) "objective" 21. s.Milp.objective
+  | _ -> Alcotest.fail "expected Optimal"
+
+let milp_pure_lp_passthrough () =
+  (* No integer variables: one node, same answer as the simplex. *)
+  let p = P.create () in
+  let x = P.add_var p ~ub:3.5 "x" in
+  P.set_objective p P.Maximize [ (2., x) ];
+  match Milp.solve p with
+  | Milp.Optimal s, stats ->
+      Alcotest.(check (float 1e-6)) "objective" 7. s.Milp.objective;
+      Alcotest.(check int) "single node" 1 stats.Milp.nodes
+  | _ -> Alcotest.fail "expected Optimal"
+
+let milp_integer_rounding_matters () =
+  (* max x, x <= 2.5, x integer -> 2. *)
+  let p = P.create () in
+  let x = P.add_var p ~kind:`Integer "x" in
+  P.add_constraint p [ (1., x) ] P.Le 2.5;
+  P.set_objective p P.Maximize [ (1., x) ];
+  match Milp.solve p with
+  | Milp.Optimal s, _ ->
+      Alcotest.(check (float 1e-6)) "objective" 2. s.Milp.objective
+  | _ -> Alcotest.fail "expected Optimal"
+
+let milp_infeasible () =
+  let p = P.create () in
+  let x = P.binary p "x" in
+  P.add_constraint p [ (1., x) ] P.Ge 2.;
+  match Milp.solve p with
+  | Milp.Infeasible, _ -> ()
+  | _ -> Alcotest.fail "expected Infeasible"
+
+let milp_node_budget () =
+  (* A 12-item knapsack with node_limit 1 returns No_solution_found or a
+     feasible incumbent - never claims optimality proof exhaustively. *)
+  let p = P.create () in
+  let vars = List.init 12 (fun i -> P.binary p (Printf.sprintf "b%d" i)) in
+  P.add_constraint p (List.map (fun v -> (3., v)) vars) P.Le 10.;
+  P.set_objective p P.Maximize (List.map (fun v -> (2., v)) vars);
+  match Milp.solve ~node_limit:1 p with
+  | (Milp.Feasible _ | Milp.No_solution_found), stats ->
+      Alcotest.(check bool) "at most 1 node" true (stats.Milp.nodes <= 1)
+  | (Milp.Optimal _ | Milp.Infeasible | Milp.Unbounded), _ ->
+      Alcotest.fail "budget of one node cannot prove optimality here"
+
+let milp_binary_assignment_brute_force =
+  QCheck.Test.make
+    ~name:"milp: small assignment problems match brute force" ~count:25
+    QCheck.(pair (int_range 2 4) (int_range 2 3))
+    (fun (jobs, machines) ->
+      let rng =
+        Soctam_util.Prng.create (Int64.of_int ((jobs * 37) + machines))
+      in
+      let cost =
+        Array.init jobs (fun _ ->
+            Array.init machines (fun _ -> 1 + Soctam_util.Prng.int rng 20))
+      in
+      (* Minimize total cost: each job on exactly one machine. *)
+      let p = P.create () in
+      let x =
+        Array.init jobs (fun i ->
+            Array.init machines (fun j ->
+                P.binary p (Printf.sprintf "x%d%d" i j)))
+      in
+      for i = 0 to jobs - 1 do
+        P.add_constraint p
+          (List.init machines (fun j -> (1., x.(i).(j))))
+          P.Eq 1.
+      done;
+      P.set_objective p P.Minimize
+        (List.concat
+           (List.init jobs (fun i ->
+                List.init machines (fun j ->
+                    (float_of_int cost.(i).(j), x.(i).(j))))));
+      let brute =
+        let best = ref max_int in
+        let rec go i acc =
+          if i = jobs then best := min !best acc
+          else
+            for j = 0 to machines - 1 do
+              go (i + 1) (acc + cost.(i).(j))
+            done
+        in
+        go 0 0;
+        !best
+      in
+      match Milp.solve ~objective_is_integral:true p with
+      | Milp.Optimal s, _ ->
+          Float.abs (s.Milp.objective -. float_of_int brute) < 1e-6
+      | _ -> false)
+
+let suite =
+  [
+    test "problem: accessors" builder_accessors;
+    test "problem: duplicate terms merged" builder_merges_duplicate_terms;
+    test "problem: bad bounds rejected" builder_rejects_bad_bounds;
+    test "simplex: max with <=" lp_max_le;
+    test "simplex: min with >= and =" lp_min_ge_eq;
+    test "simplex: infeasible" lp_infeasible;
+    test "simplex: unbounded" lp_unbounded;
+    test "simplex: variable bounds" lp_bounds_respected;
+    test "simplex: negative rhs" lp_negative_rhs;
+    test "simplex: objective constant" lp_objective_constant;
+    test "simplex: bounds override" lp_bounds_override;
+    test "simplex: degenerate equalities" lp_degenerate_equalities;
+    qtest lp_random_feasibility;
+    qtest lp_strong_duality;
+    test "milp: knapsack" milp_knapsack;
+    test "milp: pure LP passthrough" milp_pure_lp_passthrough;
+    test "milp: integer rounding" milp_integer_rounding_matters;
+    test "milp: infeasible" milp_infeasible;
+    test "milp: node budget" milp_node_budget;
+    qtest milp_binary_assignment_brute_force;
+  ]

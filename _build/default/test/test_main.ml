@@ -1,0 +1,26 @@
+(* Aggregated alcotest runner for the whole project. *)
+
+let () =
+  Alcotest.run "soctam"
+    [
+      ("util", Test_util.suite);
+      ("model", Test_model.suite);
+      ("partition", Test_partition.suite);
+      ("schedule", Test_schedule.suite);
+      ("wrapper", Test_wrapper.suite);
+      ("tam", Test_tam.suite);
+      ("lp", Test_lp.suite);
+      ("ilp", Test_ilp.suite);
+      ("core", Test_core.suite);
+      ("soc_data", Test_soc_data.suite);
+      ("baselines", Test_baselines.suite);
+      ("power", Test_power.suite);
+      ("anneal", Test_anneal.suite);
+      ("sim", Test_sim.suite);
+      ("scan", Test_scan.suite);
+      ("order", Test_order.suite);
+      ("architect", Test_architect.suite);
+      ("regression", Test_regression.suite);
+      ("report", Test_report.suite);
+      ("cli", Test_cli.suite);
+    ]

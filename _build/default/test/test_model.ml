@@ -1,0 +1,123 @@
+(* Tests for Soctam_model: core data, SOC, test complexity. *)
+
+module Core_data = Soctam_model.Core_data
+module Soc = Soctam_model.Soc
+
+let test case f = Alcotest.test_case case `Quick f
+
+let sample_core ?(id = 1) ?(scan_chains = [ 10; 8 ]) ?(patterns = 5) () =
+  Core_data.make ~id ~name:"c" ~inputs:3 ~outputs:4 ~bidirs:2 ~scan_chains
+    ~patterns ()
+
+let invalid expected f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "expected Invalid_argument (%s)" expected
+
+let make_validates () =
+  invalid "id" (fun () ->
+      Core_data.make ~id:0 ~name:"x" ~inputs:1 ~outputs:1 ~patterns:1 ());
+  invalid "negative inputs" (fun () ->
+      Core_data.make ~id:1 ~name:"x" ~inputs:(-1) ~outputs:1 ~patterns:1 ());
+  invalid "negative bidirs" (fun () ->
+      Core_data.make ~id:1 ~name:"x" ~inputs:1 ~outputs:1 ~bidirs:(-2)
+        ~patterns:1 ());
+  invalid "patterns" (fun () ->
+      Core_data.make ~id:1 ~name:"x" ~inputs:1 ~outputs:1 ~patterns:0 ());
+  invalid "scan chain length" (fun () ->
+      Core_data.make ~id:1 ~name:"x" ~inputs:1 ~outputs:1 ~scan_chains:[ 0 ]
+        ~patterns:1 ())
+
+let derived_quantities () =
+  let c = sample_core () in
+  Alcotest.(check int) "ffs" 18 (Core_data.scan_flip_flops c);
+  Alcotest.(check int) "chains" 2 (Core_data.scan_chain_count c);
+  Alcotest.(check int) "terminals" 9 (Core_data.terminals c);
+  Alcotest.(check int) "max chain" 10 (Core_data.max_scan_chain c);
+  Alcotest.(check bool) "not memory" false (Core_data.is_memory c)
+
+let memory_core () =
+  let c = sample_core ~scan_chains:[] () in
+  Alcotest.(check bool) "memory" true (Core_data.is_memory c);
+  Alcotest.(check int) "no ffs" 0 (Core_data.scan_flip_flops c);
+  Alcotest.(check int) "max chain 0" 0 (Core_data.max_scan_chain c)
+
+let equality () =
+  let a = sample_core () and b = sample_core () in
+  Alcotest.(check bool) "equal" true (Core_data.equal a b);
+  Alcotest.(check bool) "patterns differ" false
+    (Core_data.equal a (sample_core ~patterns:6 ()));
+  Alcotest.(check bool) "chains differ" false
+    (Core_data.equal a (sample_core ~scan_chains:[ 10; 9 ] ()))
+
+let soc_validates () =
+  invalid "empty" (fun () -> Soc.make ~name:"s" ~cores:[]);
+  invalid "ids must be 1..n" (fun () ->
+      Soc.make ~name:"s" ~cores:[ sample_core ~id:2 () ]);
+  invalid "ids in order" (fun () ->
+      Soc.make ~name:"s"
+        ~cores:[ sample_core ~id:1 (); sample_core ~id:3 () ])
+
+let soc_accessors () =
+  let soc =
+    Soc.make ~name:"s"
+      ~cores:
+        [
+          sample_core ~id:1 ();
+          sample_core ~id:2 ~scan_chains:[] ();
+          sample_core ~id:3 ();
+        ]
+  in
+  Alcotest.(check int) "count" 3 (Soc.core_count soc);
+  Alcotest.(check int) "core 1 id" 2 (Soc.core soc 1).Core_data.id;
+  Alcotest.(check int) "logic" 2 (List.length (Soc.logic_cores soc));
+  Alcotest.(check int) "memory" 1 (List.length (Soc.memory_cores soc))
+
+let complexity_formula () =
+  (* One core: 5 patterns * (9 terminals + 2 bidirs + 18 ffs) = 145;
+     round(145 / 1000) = 0. *)
+  let soc = Soc.make ~name:"s" ~cores:[ sample_core () ] in
+  Alcotest.(check int) "small rounds to 0" 0 (Soc.test_complexity soc);
+  let big =
+    Core_data.make ~id:1 ~name:"b" ~inputs:100 ~outputs:100
+      ~scan_chains:[ 800 ] ~patterns:1000 ()
+  in
+  (* 1000 * (200 + 0 + 800) = 1_000_000 -> 1000 *)
+  let soc = Soc.make ~name:"s" ~cores:[ big ] in
+  Alcotest.(check int) "exact thousand" 1000 (Soc.test_complexity soc)
+
+let complexity_rounding () =
+  (* weight 1499 rounds to 1; weight 1500 rounds to 2. *)
+  let core weight =
+    Core_data.make ~id:1 ~name:"w" ~inputs:weight ~outputs:0 ~patterns:1 ()
+  in
+  Alcotest.(check int) "1499 -> 1" 1
+    (Soc.test_complexity (Soc.make ~name:"s" ~cores:[ core 1499 ]));
+  Alcotest.(check int) "1500 -> 2" 2
+    (Soc.test_complexity (Soc.make ~name:"s" ~cores:[ core 1500 ]))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let pp_smoke () =
+  let soc = Soc.make ~name:"s" ~cores:[ sample_core () ] in
+  let s = Format.asprintf "%a" Soc.pp soc in
+  Alcotest.(check bool) "mentions soc name" true (contains s "SOC s");
+  let summary = Format.asprintf "%a" Soc.pp_summary soc in
+  Alcotest.(check bool) "summary mentions core count" true
+    (contains summary "1 cores")
+
+let suite =
+  [
+    test "core: validation" make_validates;
+    test "core: derived quantities" derived_quantities;
+    test "core: memory core" memory_core;
+    test "core: equality" equality;
+    test "soc: validation" soc_validates;
+    test "soc: accessors" soc_accessors;
+    test "soc: complexity formula" complexity_formula;
+    test "soc: complexity rounding" complexity_rounding;
+    test "soc: pp smoke" pp_smoke;
+  ]

@@ -1,0 +1,118 @@
+(* Tests for Soctam_order.Abort_order: expected-time-optimal test
+   ordering under an abort-on-first-fail policy. *)
+
+module Ao = Soctam_order.Abort_order
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let expected_time_hand_check () =
+  (* Two cores: t = [10; 20], p = [0.5; 0.1], order 0 then 1:
+     E = 10 + 0.5 * 20 = 20. Reversed: 20 + 0.9 * 10 = 29. *)
+  let times = [| 10; 20 |] and fails = [| 0.5; 0.1 |] in
+  Alcotest.(check (float 1e-9)) "forward" 20.
+    (Ao.expected_time ~times ~fails ~order:[| 0; 1 |]);
+  Alcotest.(check (float 1e-9)) "reverse" 29.
+    (Ao.expected_time ~times ~fails ~order:[| 1; 0 |])
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let optimal_order_beats_all_permutations =
+  QCheck.Test.make ~name:"abort order: optimal among all permutations"
+    ~count:80
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Soctam_util.Prng.create (Int64.of_int seed) in
+      let n = 2 + Soctam_util.Prng.int rng 4 in
+      let times = Array.init n (fun _ -> 1 + Soctam_util.Prng.int rng 100) in
+      let fails =
+        Array.init n (fun _ -> Soctam_util.Prng.float rng 1.0)
+      in
+      let cores = List.init n (fun i -> i) in
+      let best =
+        Ao.expected_time ~times ~fails
+          ~order:(Ao.optimal_order ~times ~fails ~cores)
+      in
+      List.for_all
+        (fun perm ->
+          Ao.expected_time ~times ~fails ~order:(Array.of_list perm)
+          >= best -. 1e-9)
+        (permutations cores))
+
+let zero_probability_goes_last () =
+  let times = [| 5; 50; 7 |] and fails = [| 0.0; 0.2; 0.3 |] in
+  let order = Ao.optimal_order ~times ~fails ~cores:[ 0; 1; 2 ] in
+  Alcotest.(check int) "never-failing core last" 0 order.(2)
+
+let uniform_yield_bounds () =
+  (match Ao.uniform_yield ~fail_probability:1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "probability > 1 accepted");
+  let m = Ao.uniform_yield ~fail_probability:0.25 in
+  Alcotest.(check (float 0.)) "constant" 0.25 (m.Ao.fail_probability 3)
+
+let pattern_yield_monotone () =
+  let soc = Soctam_soc_data.D695.soc in
+  let m = Ao.pattern_proportional_yield soc ~defect_per_pattern:0.0001 in
+  (* s13207 (236 patterns) must be likelier to fail than c6288 (12). *)
+  Alcotest.(check bool) "more patterns, more risk" true
+    (m.Ao.fail_probability 5 > m.Ao.fail_probability 0);
+  Alcotest.(check bool) "valid probabilities" true
+    (List.for_all
+       (fun i ->
+         let p = m.Ao.fail_probability i in
+         p >= 0. && p <= 1.)
+       (List.init 10 (fun i -> i)))
+
+let schedule_structure () =
+  let soc = Soctam_soc_data.D695.soc in
+  let r = Soctam_core.Co_optimize.run ~max_tams:3 soc ~total_width:16 in
+  let arch = r.Soctam_core.Co_optimize.architecture in
+  let sched =
+    Ao.schedule arch (Ao.uniform_yield ~fail_probability:0.05)
+  in
+  (* Every core appears exactly once, on its own TAM's order. *)
+  let seen = Array.make 10 0 in
+  Array.iteri
+    (fun tam order ->
+      Array.iter
+        (fun core ->
+          seen.(core) <- seen.(core) + 1;
+          Alcotest.(check int) "on its TAM" tam
+            arch.Soctam_tam.Architecture.assignment.(core))
+        order)
+    sched.Ao.per_tam_order;
+  Alcotest.(check (list int)) "each core once"
+    (List.init 10 (fun _ -> 1))
+    (Array.to_list seen);
+  Alcotest.(check int) "worst case is the architecture time"
+    arch.Soctam_tam.Architecture.time sched.Ao.worst_case_cycles;
+  Alcotest.(check bool) "expectation below the worst case" true
+    (sched.Ao.expected_cycles <= float_of_int sched.Ao.worst_case_cycles)
+
+let perfect_yield_recovers_worst_case () =
+  let soc = Soctam_soc_data.D695.soc in
+  let r = Soctam_core.Co_optimize.run ~max_tams:2 soc ~total_width:12 in
+  let arch = r.Soctam_core.Co_optimize.architecture in
+  let sched = Ao.schedule arch (Ao.uniform_yield ~fail_probability:0.) in
+  Alcotest.(check (float 1e-6)) "no fails: expectation = makespan"
+    (float_of_int arch.Soctam_tam.Architecture.time)
+    sched.Ao.expected_cycles
+
+let suite =
+  [
+    test "expected time: hand check" expected_time_hand_check;
+    qtest optimal_order_beats_all_permutations;
+    test "zero probability last" zero_probability_goes_last;
+    test "uniform yield bounds" uniform_yield_bounds;
+    test "pattern yield monotone" pattern_yield_monotone;
+    test "schedule structure" schedule_structure;
+    test "perfect yield = worst case" perfect_yield_recovers_worst_case;
+  ]

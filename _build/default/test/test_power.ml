@@ -1,0 +1,176 @@
+(* Tests for Soctam_power: the power model and the power-constrained
+   test scheduler. *)
+
+module Pm = Soctam_power.Power_model
+module Ps = Soctam_power.Power_schedule
+module Arch = Soctam_tam.Architecture
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let small_soc seed ~cores =
+  let rng = Soctam_util.Prng.create seed in
+  Soctam_soc_data.Random_soc.generate rng
+    {
+      Soctam_soc_data.Random_soc.default_params with
+      Soctam_soc_data.Random_soc.cores;
+      max_ios = 40;
+      max_patterns = 100;
+      max_chains = 4;
+      max_chain_length = 30;
+    }
+
+let architecture_of seed ~cores ~width =
+  let soc = small_soc seed ~cores in
+  let result = Soctam_core.Co_optimize.run ~max_tams:4 soc ~total_width:width in
+  (soc, result.Soctam_core.Co_optimize.architecture)
+
+(* -- model ------------------------------------------------------------------ *)
+
+let model_accessors () =
+  let m = Pm.of_array [| 3; 9; 4 |] in
+  Alcotest.(check int) "cores" 3 (Pm.cores m);
+  Alcotest.(check int) "power" 9 (Pm.power m 1);
+  Alcotest.(check int) "max" 9 (Pm.max_power m);
+  Alcotest.(check int) "sum" 16 (Pm.sum_power m)
+
+let model_validation () =
+  (match Pm.of_array [| 1; 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero power accepted");
+  match Pm.uniform ~cores:3 ~power:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero uniform power accepted"
+
+let model_of_array_copies () =
+  let a = [| 5; 6 |] in
+  let m = Pm.of_array a in
+  a.(0) <- 99;
+  Alcotest.(check int) "copied" 5 (Pm.power m 0)
+
+let estimate_positive_and_scales () =
+  let soc = Soctam_soc_data.D695.soc in
+  let m = Pm.estimate soc in
+  Alcotest.(check int) "one per core" 10 (Pm.cores m);
+  for i = 0 to 9 do
+    Alcotest.(check bool) "positive" true (Pm.power m i >= 1)
+  done;
+  (* s35932 (1728 FFs) must out-draw s838 (32 FFs). *)
+  Alcotest.(check bool) "scan-heavy draws more" true (Pm.power m 8 > Pm.power m 2)
+
+(* -- unconstrained schedule -------------------------------------------------- *)
+
+let unconstrained_matches_architecture =
+  QCheck.Test.make
+    ~name:"unconstrained schedule: makespan equals architecture time"
+    ~count:25
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      let soc, arch = architecture_of (Int64.of_int seed) ~cores:6 ~width:10 in
+      let power = Pm.estimate soc in
+      let sched = Ps.unconstrained arch power in
+      sched.Ps.makespan = arch.Arch.time
+      && Ps.validate sched arch power = Ok ())
+
+let unconstrained_peak_bounds () =
+  let soc, arch = architecture_of 42L ~cores:6 ~width:10 in
+  let power = Pm.estimate soc in
+  let sched = Ps.unconstrained arch power in
+  Alcotest.(check bool) "peak <= sum" true
+    (sched.Ps.peak_power <= Pm.sum_power power);
+  Alcotest.(check bool) "peak >= max single" true
+    (sched.Ps.peak_power >= Pm.max_power power)
+
+(* -- constrained schedule ----------------------------------------------------- *)
+
+let constrained_infeasible_budget () =
+  let soc, arch = architecture_of 43L ~cores:5 ~width:8 in
+  let power = Pm.estimate soc in
+  match Ps.constrained arch power ~budget:(Pm.max_power power - 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "budget below max core power must fail"
+
+let constrained_respects_budget =
+  QCheck.Test.make ~name:"constrained schedule: valid and under budget"
+    ~count:25
+    QCheck.(pair (int_range 1 300) (int_range 0 100))
+    (fun (seed, pct) ->
+      let soc, arch = architecture_of (Int64.of_int seed) ~cores:7 ~width:12 in
+      let power = Pm.estimate soc in
+      let free = Ps.unconstrained arch power in
+      let budget =
+        max (Pm.max_power power) (free.Ps.peak_power * pct / 100)
+      in
+      match Ps.constrained arch power ~budget with
+      | Error _ -> false
+      | Ok sched ->
+          sched.Ps.peak_power <= budget
+          && sched.Ps.makespan >= free.Ps.makespan
+          && Ps.validate sched arch power = Ok ())
+
+let generous_budget_costs_nothing =
+  QCheck.Test.make
+    ~name:"constrained schedule: full budget keeps the makespan" ~count:20
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      let soc, arch = architecture_of (Int64.of_int seed) ~cores:6 ~width:10 in
+      let power = Pm.estimate soc in
+      let budget = Pm.sum_power power in
+      match Ps.constrained arch power ~budget with
+      | Error _ -> false
+      | Ok sched -> sched.Ps.makespan = arch.Arch.time)
+
+let never_worse_than_fully_serial =
+  QCheck.Test.make
+    ~name:"constrained schedule: never slower than full serialization"
+    ~count:20
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      let soc, arch = architecture_of (Int64.of_int seed) ~cores:6 ~width:10 in
+      let power = Pm.estimate soc in
+      let budget = Pm.max_power power in
+      match Ps.constrained arch power ~budget with
+      | Error _ -> false
+      | Ok sched ->
+          sched.Ps.makespan <= Soctam_util.Intutil.sum arch.Arch.core_times)
+
+let mismatched_model_rejected () =
+  let _, arch = architecture_of 44L ~cores:5 ~width:8 in
+  let power = Pm.uniform ~cores:3 ~power:5 in
+  match Ps.constrained arch power ~budget:100 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "model size mismatch accepted"
+
+(* -- validate itself ----------------------------------------------------------- *)
+
+let validate_catches_corruption () =
+  let soc, arch = architecture_of 45L ~cores:5 ~width:8 in
+  let power = Pm.estimate soc in
+  let sched = Ps.unconstrained arch power in
+  let broken =
+    {
+      sched with
+      Ps.slots =
+        (match sched.Ps.slots with
+        | s :: rest -> { s with Ps.start = s.Ps.start + 1 } :: rest
+        | [] -> []);
+    }
+  in
+  Alcotest.(check bool) "corruption detected" true
+    (Ps.validate broken arch power <> Ok ())
+
+let suite =
+  [
+    test "model: accessors" model_accessors;
+    test "model: validation" model_validation;
+    test "model: defensive copy" model_of_array_copies;
+    test "model: estimate" estimate_positive_and_scales;
+    qtest unconstrained_matches_architecture;
+    test "unconstrained: peak bounds" unconstrained_peak_bounds;
+    test "constrained: infeasible budget" constrained_infeasible_budget;
+    qtest constrained_respects_budget;
+    qtest generous_budget_costs_nothing;
+    qtest never_worse_than_fully_serial;
+    test "constrained: model mismatch" mismatched_model_rejected;
+    test "validate: catches corruption" validate_catches_corruption;
+  ]

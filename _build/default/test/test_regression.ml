@@ -1,0 +1,82 @@
+(* Golden regression suite: the d695 benchmark is embedded and every
+   algorithm is deterministic, so the exact testing times measured on
+   this implementation are pinned here. Any change to the wrapper
+   construction, the heuristics, the exact solvers or the d695 data that
+   shifts a number will trip these.
+
+   The values correspond to EXPERIMENTS.md and lie within a few percent
+   of the paper's Table 2/3 numbers (see there for the comparison). *)
+
+let test case f = Alcotest.test_case case `Quick f
+
+let d695 = Soctam_soc_data.D695.soc
+let table = lazy (Soctam_core.Time_table.build d695 ~max_width:64)
+
+let new_method ~tams ~w =
+  (Soctam_core.Co_optimize.run_fixed_tams ~table:(Lazy.force table) d695
+     ~total_width:w ~tams)
+    .Soctam_core.Co_optimize.final_time
+
+let exhaustive ~tams ~w =
+  (Soctam_core.Exhaustive.run ~table:(Lazy.force table) ~total_width:w ~tams
+     ())
+    .Soctam_core.Exhaustive.time
+
+let check_sweep name f expected () =
+  List.iter2
+    (fun w expected ->
+      Alcotest.(check int) (Printf.sprintf "%s W=%d" name w) expected (f ~w))
+    [ 16; 24; 32; 40; 48; 56; 64 ]
+    expected
+
+let golden_new_b2 =
+  check_sweep "new B=2" (new_method ~tams:2)
+    [ 44720; 34477; 25830; 22726; 22458; 18681; 18671 ]
+
+let golden_new_b3 =
+  check_sweep "new B=3" (new_method ~tams:3)
+    [ 42914; 29934; 24021; 18545; 17473; 15405; 15336 ]
+
+let golden_exhaustive_b2 =
+  check_sweep "exhaustive B=2" (exhaustive ~tams:2)
+    [ 44366; 29238; 24758; 21206; 19782; 18331; 17946 ]
+
+let golden_exhaustive_b3 =
+  check_sweep "exhaustive B=3" (exhaustive ~tams:3)
+    [ 42535; 28388; 21518; 17766; 16822; 13103; 12737 ]
+
+let golden_npaw () =
+  (* P_NPAW picks the paper's exact partition 3+3+5+5 at W = 16. *)
+  let r =
+    Soctam_core.Co_optimize.run ~max_tams:10 ~table:(Lazy.force table) d695
+      ~total_width:16
+  in
+  Alcotest.(check int) "time" 42645 r.Soctam_core.Co_optimize.final_time;
+  Alcotest.(check (list int)) "partition" [ 3; 3; 5; 5 ]
+    (Array.to_list
+       r.Soctam_core.Co_optimize.architecture.Soctam_tam.Architecture.widths)
+
+let golden_core_times () =
+  (* Per-core wrapper times at width 16 (the granular quantity everything
+     else is built from). *)
+  let expected =
+    [ 38; 1029; 2507; 5723; 7584; 12080; 4219; 4507; 1659; 12192 ]
+  in
+  List.iteri
+    (fun core expected ->
+      Alcotest.(check int)
+        (Printf.sprintf "core %d at width 16" (core + 1))
+        expected
+        (Soctam_core.Time_table.time (Lazy.force table) ~core ~width:16))
+    expected
+
+
+let suite =
+  [
+    test "d695 golden: new method B=2" golden_new_b2;
+    test "d695 golden: new method B=3" golden_new_b3;
+    test "d695 golden: exhaustive B=2" golden_exhaustive_b2;
+    test "d695 golden: exhaustive B=3" golden_exhaustive_b3;
+    test "d695 golden: P_NPAW W=16" golden_npaw;
+    test "d695 golden: per-core times" golden_core_times;
+  ]

@@ -1,0 +1,120 @@
+(* Tests for Soctam_scan: internal scan chain design and restitching. *)
+
+module Scan = Soctam_scan.Scan_design
+module Core_data = Soctam_model.Core_data
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let divide_balanced =
+  QCheck.Test.make ~name:"divide: balanced and complete" ~count:300
+    QCheck.(pair (int_range 0 2000) (int_range 1 40))
+    (fun (flip_flops, chains) ->
+      let parts = Scan.divide ~flip_flops ~chains in
+      Soctam_util.Intutil.sum_list parts = flip_flops
+      && List.for_all (fun l -> l >= 1) parts
+      && (flip_flops = 0 || List.length parts = min chains flip_flops)
+      &&
+      match parts with
+      | [] -> flip_flops = 0
+      | _ ->
+          let lo = List.fold_left min max_int parts in
+          let hi = List.fold_left max 0 parts in
+          hi - lo <= 1)
+
+let divide_validation () =
+  (match Scan.divide ~flip_flops:(-1) ~chains:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative flip_flops accepted");
+  match Scan.divide ~flip_flops:5 ~chains:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero chains accepted"
+
+let restitch_preserves_everything_else () =
+  let core =
+    Core_data.make ~id:3 ~name:"x" ~inputs:7 ~outputs:9 ~bidirs:2
+      ~scan_chains:[ 30; 20; 10 ] ~patterns:44 ()
+  in
+  let r = Scan.restitch core ~chains:4 in
+  Alcotest.(check int) "ffs preserved" 60 (Core_data.scan_flip_flops r);
+  Alcotest.(check int) "chains" 4 (Core_data.scan_chain_count r);
+  Alcotest.(check int) "inputs" 7 r.Core_data.inputs;
+  Alcotest.(check int) "patterns" 44 r.Core_data.patterns;
+  Alcotest.(check int) "id" 3 r.Core_data.id
+
+let restitch_memory_identity () =
+  let core =
+    Core_data.make ~id:1 ~name:"m" ~inputs:4 ~outputs:4 ~patterns:10 ()
+  in
+  Alcotest.(check bool) "unchanged" true
+    (Core_data.equal core (Scan.restitch core ~chains:8))
+
+let best_chain_count_is_best =
+  QCheck.Test.make ~name:"best_chain_count: no chain count beats it"
+    ~count:40
+    QCheck.(triple (int_range 10 300) (int_range 1 8) (int_range 1 50))
+    (fun (flip_flops, width, patterns) ->
+      let core =
+        Core_data.make ~id:1 ~name:"c" ~inputs:5 ~outputs:5
+          ~scan_chains:[ flip_flops ] ~patterns ()
+      in
+      let chains, time = Scan.best_chain_count core ~width ~max_chains:6 in
+      chains >= 1 && chains <= 6
+      && List.for_all
+           (fun k ->
+             (Soctam_wrapper.Design.design (Scan.restitch core ~chains:k)
+                ~width)
+               .Soctam_wrapper.Design.time
+             >= time)
+           [ 1; 2; 3; 4; 5; 6 ])
+
+let restitching_never_hurts_at_target_width =
+  (* best_chain_count guarantees improvement at the width it optimized
+     for (at other widths coarser stitching may of course lose). *)
+  QCheck.Test.make
+    ~name:"restitch_soc: per-core time never increases at the target width"
+    ~count:10
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let rng = Soctam_util.Prng.create (Int64.of_int seed) in
+      let soc =
+        Soctam_soc_data.Random_soc.generate rng
+          {
+            Soctam_soc_data.Random_soc.default_params with
+            Soctam_soc_data.Random_soc.cores = 5;
+            max_ios = 40;
+            max_patterns = 80;
+            max_chains = 3;
+            max_chain_length = 60;
+          }
+      in
+      let width = 10 in
+      let restitched = Scan.restitch_soc soc ~width in
+      let time core =
+        (Soctam_wrapper.Design.design core ~width).Soctam_wrapper.Design.time
+      in
+      Array.for_all2
+        (fun before after -> time after <= time before)
+        (Soctam_model.Soc.cores soc)
+        (Soctam_model.Soc.cores restitched))
+
+let best_chain_count_memory () =
+  let core =
+    Core_data.make ~id:1 ~name:"m" ~inputs:6 ~outputs:2 ~patterns:9 ()
+  in
+  let chains, time = Scan.best_chain_count core ~width:4 ~max_chains:8 in
+  Alcotest.(check int) "no chains" 0 chains;
+  Alcotest.(check int) "time is the wrapper time"
+    (Soctam_wrapper.Design.design core ~width:4).Soctam_wrapper.Design.time
+    time
+
+let suite =
+  [
+    qtest divide_balanced;
+    test "divide: validation" divide_validation;
+    test "restitch: preserves the rest" restitch_preserves_everything_else;
+    test "restitch: memory identity" restitch_memory_identity;
+    qtest best_chain_count_is_best;
+    qtest restitching_never_hurts_at_target_width;
+    test "best_chain_count: memory core" best_chain_count_memory;
+  ]

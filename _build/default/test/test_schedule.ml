@@ -1,0 +1,141 @@
+(* Tests for Soctam_schedule: LPT list scheduling and makespan bounds. *)
+
+module Makespan = Soctam_schedule.Makespan
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let lpt_basic () =
+  let s = Makespan.lpt ~durations:[| 7; 5; 3; 2 |] ~machines:2 in
+  (* LPT: 7->m0, 5->m1, 3->m1, 2->m0 => loads 9, 8. *)
+  Alcotest.(check int) "makespan" 9 s.Makespan.makespan;
+  Alcotest.(check (list int)) "loads" [ 9; 8 ] (Array.to_list s.Makespan.loads)
+
+let lpt_single_machine () =
+  let s = Makespan.lpt ~durations:[| 4; 4; 4 |] ~machines:1 in
+  Alcotest.(check int) "all on one" 12 s.Makespan.makespan
+
+let lpt_more_machines_than_jobs () =
+  let s = Makespan.lpt ~durations:[| 9; 1 |] ~machines:4 in
+  Alcotest.(check int) "longest job" 9 s.Makespan.makespan;
+  Alcotest.(check int) "two used" 2
+    (Array.fold_left (fun acc l -> if l > 0 then acc + 1 else acc) 0
+       s.Makespan.loads)
+
+let lpt_empty_jobs () =
+  let s = Makespan.lpt ~durations:[||] ~machines:3 in
+  Alcotest.(check int) "zero makespan" 0 s.Makespan.makespan
+
+let lpt_rejects_zero_machines () =
+  Alcotest.check_raises "machines >= 1"
+    (Invalid_argument "Makespan.lpt: machines must be >= 1") (fun () ->
+      ignore (Makespan.lpt ~durations:[| 1 |] ~machines:0))
+
+let brute_force_optimum durations machines =
+  let jobs = Array.length durations in
+  let best = ref max_int in
+  let loads = Array.make machines 0 in
+  let rec go i =
+    if i = jobs then
+      best := min !best (Soctam_util.Intutil.max_element loads)
+    else
+      for m = 0 to machines - 1 do
+        loads.(m) <- loads.(m) + durations.(i);
+        go (i + 1);
+        loads.(m) <- loads.(m) - durations.(i)
+      done
+  in
+  go 0;
+  !best
+
+let small_instance =
+  QCheck.(
+    pair
+      (array_of_size (Gen.int_range 1 8) (int_range 1 50))
+      (int_range 1 3))
+
+let lpt_loads_consistent =
+  QCheck.Test.make ~name:"lpt: loads match assignment and sum" ~count:300
+    small_instance
+    (fun (durations, machines) ->
+      let s = Makespan.lpt ~durations ~machines in
+      let recomputed =
+        Makespan.loads_of_assignment
+          ~durations:(fun j _ -> durations.(j))
+          ~assignment:s.Makespan.assignment ~machines
+      in
+      recomputed = s.Makespan.loads
+      && Soctam_util.Intutil.sum s.Makespan.loads
+         = Soctam_util.Intutil.sum durations
+      && s.Makespan.makespan = Makespan.makespan_of ~loads:s.Makespan.loads)
+
+let lpt_within_guarantee =
+  QCheck.Test.make
+    ~name:"lpt: between the lower bound and 4/3 - 1/(3m) of optimum"
+    ~count:150 small_instance
+    (fun (durations, machines) ->
+      QCheck.assume (Array.length durations > 0);
+      let s = Makespan.lpt ~durations ~machines in
+      let opt = brute_force_optimum durations machines in
+      let lb = Makespan.lower_bound_identical ~durations ~machines in
+      let m = float_of_int machines in
+      lb <= s.Makespan.makespan
+      && float_of_int s.Makespan.makespan
+         <= (((4. /. 3.) -. (1. /. (3. *. m))) *. float_of_int opt) +. 1e-9)
+
+let lower_bound_identical_cases () =
+  Alcotest.(check int) "avg dominates" 6
+    (Makespan.lower_bound_identical ~durations:[| 4; 4; 4 |] ~machines:2);
+  Alcotest.(check int) "longest dominates" 9
+    (Makespan.lower_bound_identical ~durations:[| 9; 1; 1 |] ~machines:3)
+
+let lower_bound_unrelated_admissible =
+  QCheck.Test.make ~name:"unrelated lower bound is admissible" ~count:150
+    QCheck.(
+      pair (int_range 1 6) (int_range 1 3)
+      |> map (fun (jobs, machines) -> (jobs, machines)))
+    (fun (jobs, machines) ->
+      let rng = Soctam_util.Prng.create (Int64.of_int ((jobs * 31) + machines)) in
+      let d =
+        Array.init jobs (fun _ ->
+            Array.init machines (fun _ -> 1 + Soctam_util.Prng.int rng 40))
+      in
+      let lb =
+        Makespan.lower_bound_unrelated
+          ~duration:(fun ~job ~machine -> d.(job).(machine))
+          ~jobs ~machines
+      in
+      (* brute force over unrelated machines *)
+      let best = ref max_int in
+      let loads = Array.make machines 0 in
+      let rec go i =
+        if i = jobs then best := min !best (Soctam_util.Intutil.max_element loads)
+        else
+          for m = 0 to machines - 1 do
+            loads.(m) <- loads.(m) + d.(i).(m);
+            go (i + 1);
+            loads.(m) <- loads.(m) - d.(i).(m)
+          done
+      in
+      go 0;
+      lb <= !best)
+
+let lower_bound_unrelated_empty () =
+  Alcotest.(check int) "no jobs" 0
+    (Makespan.lower_bound_unrelated
+       ~duration:(fun ~job:_ ~machine:_ -> 1)
+       ~jobs:0 ~machines:3)
+
+let suite =
+  [
+    test "lpt: basic" lpt_basic;
+    test "lpt: single machine" lpt_single_machine;
+    test "lpt: more machines than jobs" lpt_more_machines_than_jobs;
+    test "lpt: empty jobs" lpt_empty_jobs;
+    test "lpt: rejects zero machines" lpt_rejects_zero_machines;
+    qtest lpt_loads_consistent;
+    qtest lpt_within_guarantee;
+    test "bounds: identical machines" lower_bound_identical_cases;
+    qtest lower_bound_unrelated_admissible;
+    test "bounds: empty unrelated" lower_bound_unrelated_empty;
+  ]

@@ -1,0 +1,164 @@
+(* Tests for Soctam_sim: phase-accurate core and SOC test simulation,
+   cross-checked against the analytical testing-time formula. *)
+
+module Core_sim = Soctam_sim.Core_sim
+module Soc_sim = Soctam_sim.Soc_sim
+module Design = Soctam_wrapper.Design
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let core ?(inputs = 0) ?(outputs = 0) ?(bidirs = 0) ?(scan_chains = [])
+    ~patterns () =
+  Soctam_model.Core_data.make ~id:1 ~name:"t" ~inputs ~outputs ~bidirs
+    ~scan_chains ~patterns ()
+
+let small_soc seed ~cores =
+  let rng = Soctam_util.Prng.create seed in
+  Soctam_soc_data.Random_soc.generate rng
+    {
+      Soctam_soc_data.Random_soc.default_params with
+      Soctam_soc_data.Random_soc.cores;
+      max_ios = 50;
+      max_patterns = 80;
+      max_chains = 5;
+      max_chain_length = 40;
+    }
+
+let arbitrary_core =
+  let gen =
+    QCheck.Gen.(
+      let* inputs = int_range 0 40 in
+      let* outputs = int_range 0 40 in
+      let* bidirs = int_range 0 8 in
+      let* patterns = int_range 1 60 in
+      let* nchains = int_range 0 6 in
+      let* scan_chains = list_repeat nchains (int_range 1 30) in
+      let inputs =
+        if inputs + outputs + bidirs + nchains = 0 then 1 else inputs
+      in
+      return (core ~inputs ~outputs ~bidirs ~scan_chains ~patterns ()))
+  in
+  QCheck.make gen ~print:(fun c ->
+      Format.asprintf "%a" Soctam_model.Core_data.pp c)
+
+(* -- Core_sim ------------------------------------------------------------- *)
+
+let simulation_confirms_formula =
+  QCheck.Test.make
+    ~name:"core sim: simulated cycles equal the analytical time" ~count:200
+    QCheck.(pair arbitrary_core (int_range 1 16))
+    (fun (c, width) ->
+      let design = Design.design c ~width in
+      (Core_sim.run c design).Core_sim.cycles = design.Design.time)
+
+let simulation_accounting =
+  QCheck.Test.make ~name:"core sim: bits and idle cycles balance" ~count:200
+    QCheck.(pair arbitrary_core (int_range 1 16))
+    (fun (c, width) ->
+      let design = Design.design c ~width in
+      let sim = Core_sim.run c design in
+      let open Soctam_model.Core_data in
+      (* Every stimulus bit of every pattern crosses the wrapper once. *)
+      sim.Core_sim.bits_in
+      = c.patterns * (scan_flip_flops c + c.inputs + c.bidirs)
+      && sim.Core_sim.bits_out
+         = c.patterns * (scan_flip_flops c + c.outputs + c.bidirs)
+      (* Input-side wire-cycles split exactly into data and idle. *)
+      && sim.Core_sim.bits_in + sim.Core_sim.idle_in
+         = sim.Core_sim.wire_cycles_in
+      && sim.Core_sim.capture_cycles = c.patterns
+      && sim.Core_sim.shift_cycles + sim.Core_sim.capture_cycles
+         = sim.Core_sim.cycles
+      && sim.Core_sim.utilization_in >= 0.
+      && sim.Core_sim.utilization_in <= 1.)
+
+let memory_core_simulation () =
+  (* No scan cells at all: p capture cycles, nothing shifted... except
+     functional I/Os become wrapper cells. A core with 4 inputs only: *)
+  let c = core ~inputs:4 ~patterns:3 () in
+  let design = Design.design c ~width:2 in
+  let sim = Core_sim.run c design in
+  Alcotest.(check int) "bits in" 12 sim.Core_sim.bits_in;
+  Alcotest.(check int) "bits out" 0 sim.Core_sim.bits_out;
+  Alcotest.(check int) "cycles match" design.Design.time sim.Core_sim.cycles
+
+let single_pattern_simulation () =
+  let c = core ~inputs:3 ~outputs:2 ~scan_chains:[ 5 ] ~patterns:1 () in
+  let design = Design.design c ~width:1 in
+  let sim = Core_sim.run c design in
+  (* si = 8, so = 7: shift 8 + 7, capture 1. *)
+  Alcotest.(check int) "shift" 15 sim.Core_sim.shift_cycles;
+  Alcotest.(check int) "capture" 1 sim.Core_sim.capture_cycles;
+  Alcotest.(check int) "total" 16 sim.Core_sim.cycles
+
+let corrupted_design_rejected () =
+  let c = core ~inputs:3 ~scan_chains:[ 5 ] ~patterns:2 () in
+  let design = Design.design c ~width:2 in
+  let broken =
+    { design with Design.scan_in = Array.map (fun x -> x + 1) design.Design.scan_in }
+  in
+  match Core_sim.run c broken with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inconsistent design accepted"
+
+(* -- Soc_sim -------------------------------------------------------------- *)
+
+let soc_simulation_confirms_architecture =
+  QCheck.Test.make
+    ~name:"soc sim: simulated SOC time equals the architecture's" ~count:20
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:6 in
+      let r = Soctam_core.Co_optimize.run ~max_tams:4 soc ~total_width:10 in
+      let arch = r.Soctam_core.Co_optimize.architecture in
+      let sim = Soc_sim.run soc arch in
+      sim.Soc_sim.soc_cycles = arch.Soctam_tam.Architecture.time)
+
+let soc_simulation_tail_idle_matches =
+  QCheck.Test.make
+    ~name:"soc sim: tail idle equals the analytical idle-wire count"
+    ~count:15
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:5 in
+      let r = Soctam_core.Co_optimize.run ~max_tams:3 soc ~total_width:8 in
+      let arch = r.Soctam_core.Co_optimize.architecture in
+      let sim = Soc_sim.run soc arch in
+      let tail =
+        Array.fold_left
+          (fun acc t -> acc + t.Soc_sim.tail_idle_wire_cycles)
+          0 sim.Soc_sim.per_tam
+      in
+      tail = Soctam_tam.Architecture.idle_wire_cycles arch)
+
+let soc_simulation_utilization_sane =
+  QCheck.Test.make ~name:"soc sim: utilization within (0, 1]" ~count:15
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:5 in
+      let r = Soctam_core.Co_optimize.run ~max_tams:3 soc ~total_width:8 in
+      let sim = Soc_sim.run soc r.Soctam_core.Co_optimize.architecture in
+      sim.Soc_sim.utilization_in > 0. && sim.Soc_sim.utilization_in <= 1.
+      && sim.Soc_sim.total_idle_in <= sim.Soc_sim.total_wire_cycles)
+
+let soc_simulation_rejects_mismatch () =
+  let soc_a = small_soc 1L ~cores:4 in
+  let soc_b = small_soc 2L ~cores:6 in
+  let r = Soctam_core.Co_optimize.run ~max_tams:2 soc_a ~total_width:6 in
+  match Soc_sim.run soc_b r.Soctam_core.Co_optimize.architecture with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "core-count mismatch accepted"
+
+let suite =
+  [
+    qtest simulation_confirms_formula;
+    qtest simulation_accounting;
+    test "core sim: memory core" memory_core_simulation;
+    test "core sim: single pattern" single_pattern_simulation;
+    test "core sim: corrupted design rejected" corrupted_design_rejected;
+    qtest soc_simulation_confirms_architecture;
+    qtest soc_simulation_tail_idle_matches;
+    qtest soc_simulation_utilization_sane;
+    test "soc sim: mismatch rejected" soc_simulation_rejects_mismatch;
+  ]

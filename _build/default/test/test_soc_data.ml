@@ -1,0 +1,408 @@
+(* Tests for Soctam_soc_data: the embedded d695 benchmark, the synthetic
+   Philips generators and the .soc text format. *)
+
+module Core_data = Soctam_model.Core_data
+module Soc = Soctam_model.Soc
+module D695 = Soctam_soc_data.D695
+module Philips = Soctam_soc_data.Philips
+module Soc_format = Soctam_soc_data.Soc_format
+module Random_soc = Soctam_soc_data.Random_soc
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+(* -- d695 ----------------------------------------------------------------- *)
+
+let d695_structure () =
+  let soc = D695.soc in
+  Alcotest.(check string) "name" "d695" soc.Soc.name;
+  Alcotest.(check int) "ten cores" 10 (Soc.core_count soc);
+  Alcotest.(check int) "two combinational (memory-like)" 2
+    (List.length (Soc.memory_cores soc));
+  Alcotest.(check (list string)) "circuit names"
+    [ "c6288"; "c7552"; "s838"; "s9234"; "s38417"; "s13207"; "s15850";
+      "s5378"; "s35932"; "s38584" ]
+    (Array.to_list (Array.map (fun c -> c.Core_data.name) (Soc.cores soc)))
+
+let d695_complexity_near_name () =
+  let tc = Soc.test_complexity D695.soc in
+  Alcotest.(check bool)
+    (Printf.sprintf "complexity %d within 1%% of 695" tc)
+    true
+    (abs (tc - 695) <= 7)
+
+let d695_flip_flop_counts () =
+  let ffs name =
+    Array.to_list (Soc.cores D695.soc)
+    |> List.find (fun c -> c.Core_data.name = name)
+    |> Core_data.scan_flip_flops
+  in
+  Alcotest.(check int) "s38417" 1636 (ffs "s38417");
+  Alcotest.(check int) "s35932" 1728 (ffs "s35932");
+  Alcotest.(check int) "c6288 has none" 0 (ffs "c6288")
+
+let d695_testing_time_anchor () =
+  (* The paper reports 45055 cycles at W = 16, B = 2 (Table 2); our
+     reconstruction must land within 2%. *)
+  let r = Soctam_core.Co_optimize.run_fixed_tams D695.soc ~total_width:16 ~tams:2 in
+  let t = r.Soctam_core.Co_optimize.final_time in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d within 2%% of 45055" t)
+    true
+    (abs (t - 45055) * 50 <= 45055)
+
+(* -- Philips generators ---------------------------------------------------- *)
+
+let profile_structure (profile : Philips.profile) =
+  let soc = Philips.generate profile in
+  Alcotest.(check string) "name" profile.Philips.soc_name soc.Soc.name;
+  Alcotest.(check int) "core count"
+    (profile.Philips.logic_count + profile.Philips.memory_count)
+    (Soc.core_count soc);
+  Alcotest.(check int) "logic cores" profile.Philips.logic_count
+    (List.length (Soc.logic_cores soc));
+  Alcotest.(check int) "memory cores" profile.Philips.memory_count
+    (List.length (Soc.memory_cores soc))
+
+let in_range (r : Philips.range) v = v >= r.Philips.lo && v <= r.Philips.hi
+
+let profile_ranges (profile : Philips.profile) =
+  let soc = Philips.generate profile in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "logic patterns in range" true
+        (in_range profile.Philips.logic_patterns c.Core_data.patterns);
+      Alcotest.(check bool) "logic ios in range" true
+        (in_range profile.Philips.logic_ios (Core_data.terminals c));
+      Alcotest.(check bool) "chains in range" true
+        (in_range profile.Philips.logic_chains (Core_data.scan_chain_count c));
+      Array.iter
+        (fun l ->
+          Alcotest.(check bool) "chain length in range" true
+            (in_range profile.Philips.logic_chain_length l))
+        c.Core_data.scan_chains)
+    (Soc.logic_cores soc);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "memory patterns in range" true
+        (in_range profile.Philips.memory_patterns c.Core_data.patterns);
+      Alcotest.(check bool) "memory ios in range" true
+        (in_range profile.Philips.memory_ios (Core_data.terminals c)))
+    (Soc.memory_cores soc)
+
+let profile_complexity (profile : Philips.profile) =
+  let soc = Philips.generate profile in
+  let tc = Soc.test_complexity soc in
+  let target = profile.Philips.target_complexity in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d within 1%% of %d" tc target)
+    true
+    (abs (tc - target) * 100 <= target)
+
+let generators_deterministic () =
+  let a = Philips.generate Philips.p93791 in
+  let b = Philips.generate Philips.p93791 in
+  Alcotest.(check bool) "identical cores" true
+    (Array.for_all2 Core_data.equal (Soc.cores a) (Soc.cores b))
+
+let by_name_resolves () =
+  List.iter
+    (fun name ->
+      match Philips.by_name name with
+      | Some soc -> Alcotest.(check string) "name" name soc.Soc.name
+      | None -> Alcotest.failf "by_name %s" name)
+    [ "d695"; "p21241"; "p31108"; "p93791" ];
+  Alcotest.(check bool) "unknown" true (Philips.by_name "p000" = None)
+
+let cached_socs_are_shared () =
+  Alcotest.(check bool) "physical equality" true
+    (Philips.soc_p21241 () == Philips.soc_p21241 ())
+
+(* -- .soc format ------------------------------------------------------------ *)
+
+let roundtrip_d695 () =
+  let text = Soc_format.to_string D695.soc in
+  match Soc_format.of_string text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok soc ->
+      Alcotest.(check bool) "equal" true
+        (Array.for_all2 Core_data.equal (Soc.cores D695.soc) (Soc.cores soc))
+
+let roundtrip_random =
+  QCheck.Test.make ~name:".soc format: roundtrip on random SOCs" ~count:60
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Soctam_util.Prng.create (Int64.of_int seed) in
+      let soc =
+        Random_soc.generate rng
+          { Random_soc.default_params with Random_soc.cores = 5 }
+      in
+      match Soc_format.of_string (Soc_format.to_string soc) with
+      | Error _ -> false
+      | Ok parsed ->
+          soc.Soc.name = parsed.Soc.name
+          && Array.for_all2 Core_data.equal (Soc.cores soc) (Soc.cores parsed))
+
+let parses_comments_and_blanks () =
+  let text =
+    "# a comment\n\nsoc tiny\n\ncore 1 a inputs=1 outputs=2 patterns=3 # tail\n"
+  in
+  match Soc_format.of_string text with
+  | Ok soc ->
+      Alcotest.(check string) "name" "tiny" soc.Soc.name;
+      Alcotest.(check int) "one core" 1 (Soc.core_count soc)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let parses_bidirs_and_scan () =
+  let text = "soc s\ncore 1 x inputs=4 outputs=5 bidirs=2 patterns=7 scan=9,8,7\n" in
+  match Soc_format.of_string text with
+  | Ok soc ->
+      let c = Soc.core soc 0 in
+      Alcotest.(check int) "bidirs" 2 c.Core_data.bidirs;
+      Alcotest.(check (list int)) "scan" [ 9; 8; 7 ]
+        (Array.to_list c.Core_data.scan_chains)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let parse_error_cases () =
+  let expect_error ~substring text =
+    match Soc_format.of_string text with
+    | Ok _ -> Alcotest.failf "expected error on %S" text
+    | Error msg ->
+        let contains =
+          let nh = String.length msg and nn = String.length substring in
+          let rec at i =
+            i + nn <= nh && (String.sub msg i nn = substring || at (i + 1))
+          in
+          nn = 0 || at 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" msg substring)
+          true contains
+  in
+  expect_error ~substring:"missing soc" "core 1 a inputs=1 outputs=1 patterns=1";
+  expect_error ~substring:"duplicate" "soc a\nsoc b\n";
+  expect_error ~substring:"missing field" "soc a\ncore 1 x inputs=1 patterns=1";
+  expect_error ~substring:"not an integer" "soc a\ncore 1 x inputs=q outputs=1 patterns=1";
+  expect_error ~substring:"unknown field" "soc a\ncore 1 x inputs=1 outputs=1 patterns=1 foo=2";
+  expect_error ~substring:"unknown directive" "wat 1\n";
+  expect_error ~substring:"line 3" "soc a\n\ncore 1 x inputs=1\n";
+  expect_error ~substring:"core" "soc a\ncore\n";
+  (* ids out of order are caught by the Soc smart constructor *)
+  expect_error ~substring:"expected"
+    "soc a\ncore 2 x inputs=1 outputs=1 patterns=1\n"
+
+let save_load_file () =
+  let path = Filename.temp_file "soctam_test" ".soc" in
+  (match Soc_format.save path D695.soc with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save: %s" msg);
+  (match Soc_format.load path with
+  | Ok soc -> Alcotest.(check string) "name" "d695" soc.Soc.name
+  | Error msg -> Alcotest.failf "load: %s" msg);
+  Sys.remove path;
+  match Soc_format.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a removed file must fail"
+
+(* -- Family ----------------------------------------------------------------- *)
+
+module Family = Soctam_soc_data.Family
+
+let family_is_deterministic () =
+  List.iter
+    (fun profile ->
+      let a = Family.instance profile ~index:2 in
+      let b = Family.instance profile ~index:2 in
+      Alcotest.(check bool)
+        (Family.name profile ^ " deterministic")
+        true
+        (Array.for_all2 Core_data.equal (Soc.cores a) (Soc.cores b)))
+    Family.all
+
+let family_instances_differ () =
+  let a = Family.instance Family.Medium ~index:0 in
+  let b = Family.instance Family.Medium ~index:1 in
+  Alcotest.(check bool) "different members" false
+    (Array.for_all2 Core_data.equal (Soc.cores a) (Soc.cores b))
+
+let family_core_counts () =
+  List.iter
+    (fun (profile, expected) ->
+      Alcotest.(check int)
+        (Family.name profile ^ " cores")
+        expected
+        (Soc.core_count (Family.instance profile ~index:0)))
+    [ (Family.Tiny, 4); (Family.Small, 8); (Family.Medium, 16);
+      (Family.Large, 32); (Family.Huge, 64); (Family.Memory_heavy, 20);
+      (Family.Scan_heavy, 12) ]
+
+let family_profiles_have_character () =
+  let memory_share profile =
+    let soc = Family.instance profile ~index:0 in
+    float_of_int (List.length (Soc.memory_cores soc))
+    /. float_of_int (Soc.core_count soc)
+  in
+  Alcotest.(check bool) "memory-heavy is memory heavy" true
+    (memory_share Family.Memory_heavy > 0.5);
+  Alcotest.(check bool) "scan-heavy is scan heavy" true
+    (memory_share Family.Scan_heavy < 0.3)
+
+let family_rejects_negative_index () =
+  match Family.instance Family.Tiny ~index:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative index accepted"
+
+(* -- ITC'02-style format -------------------------------------------------------- *)
+
+module Itc02 = Soctam_soc_data.Itc02_format
+
+let itc02_roundtrip_d695 () =
+  match Itc02.of_string (Itc02.to_string D695.soc) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok soc ->
+      Alcotest.(check bool) "equal" true
+        (Array.for_all2 Core_data.equal (Soc.cores D695.soc) (Soc.cores soc))
+
+let itc02_roundtrip_random =
+  QCheck.Test.make ~name:"itc02 format: roundtrip on random SOCs" ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Soctam_util.Prng.create (Int64.of_int seed) in
+      let soc =
+        Random_soc.generate rng
+          { Random_soc.default_params with Random_soc.cores = 6 }
+      in
+      match Itc02.of_string (Itc02.to_string soc) with
+      | Error _ -> false
+      | Ok parsed ->
+          Array.for_all2 Core_data.equal (Soc.cores soc) (Soc.cores parsed))
+
+let itc02_accepts_variants () =
+  let text =
+    "# header\n\
+     SocName tiny\n\
+     TotalModules 2\n\
+     Module 0 'alpha'\n\
+     Level 0\n\
+     Inputs 3\n\
+     Outputs 4\n\
+     TotalTests 2\n\
+     Test 1\n\
+     TestPatterns 5\n\
+     EndTest\n\
+     Test 2\n\
+     TestPatterns 7\n\
+     EndTest\n\
+     Module 7\n\
+     Inputs 2\n\
+     Outputs 2\n\
+     ScanChains 2 : 9 8\n\
+     TestPatterns 3\n"
+  in
+  match Itc02.of_string text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok soc ->
+      Alcotest.(check int) "two modules" 2 (Soc.core_count soc);
+      let a = Soc.core soc 0 in
+      Alcotest.(check string) "name kept" "alpha" a.Core_data.name;
+      Alcotest.(check int) "tests summed" 12 a.Core_data.patterns;
+      let b = Soc.core soc 1 in
+      Alcotest.(check int) "renumbered" 2 b.Core_data.id;
+      Alcotest.(check (list int)) "chains" [ 9; 8 ]
+        (Array.to_list b.Core_data.scan_chains);
+      Alcotest.(check string) "default name" "module2" b.Core_data.name
+
+let itc02_errors () =
+  let expect text =
+    match Itc02.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" text
+  in
+  expect "Module 1\nInputs 3\n";
+  (* no SocName *)
+  expect "SocName x\nInputs 3\n";
+  (* directive outside module *)
+  expect "SocName x\nTotalModules 3\nModule 1\nInputs 1\nOutputs 1\nTestPatterns 1\n";
+  (* count mismatch *)
+  expect "SocName x\nModule 1\nScanChains 2 : 5\nTestPatterns 1\n";
+  (* chain count mismatch *)
+  expect "SocName x\nModule 1\nWeird 4\n";
+  (* unknown directive *)
+  expect "SocName x\nEndModule\n"
+
+(* -- Random_soc -------------------------------------------------------------- *)
+
+let random_soc_respects_params =
+  QCheck.Test.make ~name:"Random_soc: parameter envelope respected" ~count:60
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Soctam_util.Prng.create (Int64.of_int seed) in
+      let params =
+        {
+          Random_soc.cores = 7;
+          memory_fraction = 0.5;
+          max_ios = 20;
+          max_patterns = 50;
+          max_chains = 4;
+          max_chain_length = 30;
+        }
+      in
+      let soc = Random_soc.generate rng params in
+      Soc.core_count soc = 7
+      && Array.for_all
+           (fun c ->
+             c.Core_data.inputs >= 1
+             && c.Core_data.inputs <= 20
+             && c.Core_data.outputs <= 20
+             && c.Core_data.patterns >= 1
+             && c.Core_data.patterns <= 50
+             && Core_data.scan_chain_count c <= 4
+             && Array.for_all (fun l -> l >= 1 && l <= 30)
+                  c.Core_data.scan_chains)
+           (Soc.cores soc))
+
+let random_soc_rejects_zero_cores () =
+  let rng = Soctam_util.Prng.create 1L in
+  match
+    Random_soc.generate rng
+      { Random_soc.default_params with Random_soc.cores = 0 }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let suite =
+  [
+    test "d695: structure" d695_structure;
+    test "d695: complexity near name" d695_complexity_near_name;
+    test "d695: flip-flop counts" d695_flip_flop_counts;
+    test "d695: testing time anchors to the paper" d695_testing_time_anchor;
+    test "philips p21241: structure" (fun () -> profile_structure Philips.p21241);
+    test "philips p31108: structure" (fun () -> profile_structure Philips.p31108);
+    test "philips p93791: structure" (fun () -> profile_structure Philips.p93791);
+    test "philips p21241: ranges" (fun () -> profile_ranges Philips.p21241);
+    test "philips p31108: ranges" (fun () -> profile_ranges Philips.p31108);
+    test "philips p93791: ranges" (fun () -> profile_ranges Philips.p93791);
+    test "philips p21241: complexity" (fun () -> profile_complexity Philips.p21241);
+    test "philips p31108: complexity" (fun () -> profile_complexity Philips.p31108);
+    test "philips p93791: complexity" (fun () -> profile_complexity Philips.p93791);
+    test "philips: deterministic" generators_deterministic;
+    test "philips: by_name" by_name_resolves;
+    test "philips: cache shared" cached_socs_are_shared;
+    test "format: d695 roundtrip" roundtrip_d695;
+    qtest roundtrip_random;
+    test "format: comments and blanks" parses_comments_and_blanks;
+    test "format: bidirs and scan" parses_bidirs_and_scan;
+    test "format: error cases" parse_error_cases;
+    test "format: save/load file" save_load_file;
+    test "family: deterministic" family_is_deterministic;
+    test "family: instances differ" family_instances_differ;
+    test "family: core counts" family_core_counts;
+    test "family: profile character" family_profiles_have_character;
+    test "family: negative index" family_rejects_negative_index;
+    test "itc02: d695 roundtrip" itc02_roundtrip_d695;
+    qtest itc02_roundtrip_random;
+    test "itc02: dialect variants" itc02_accepts_variants;
+    test "itc02: error cases" itc02_errors;
+    qtest random_soc_respects_params;
+    test "random_soc: zero cores rejected" random_soc_rejects_zero_cores;
+  ]

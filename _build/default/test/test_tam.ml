@@ -1,0 +1,219 @@
+(* Tests for Soctam_tam.Architecture: evaluation and validation of test
+   access architectures under the test-bus model. *)
+
+module Arch = Soctam_tam.Architecture
+module Core_data = Soctam_model.Core_data
+module Soc = Soctam_model.Soc
+
+let test case f = Alcotest.test_case case `Quick f
+
+let times_matrix =
+  (* core -> width -> time: synthetic but monotone in width. *)
+  fun ~core ~width -> ((core + 1) * 100 / width) + 10
+
+let sample soc_cores widths assignment =
+  Arch.of_times ~times:times_matrix ~cores:soc_cores ~widths ~assignment
+
+let arithmetic () =
+  let a = sample 3 [| 4; 2 |] [| 0; 1; 0 |] in
+  (* core 0 on tam 0 (w4): 100/4+10 = 35; core 2 on tam 0: 300/4+10 = 85;
+     core 1 on tam 1 (w2): 200/2+10 = 110. *)
+  Alcotest.(check (list int)) "core times" [ 35; 110; 85 ]
+    (Array.to_list a.Arch.core_times);
+  Alcotest.(check (list int)) "tam times" [ 120; 110 ]
+    (Array.to_list a.Arch.tam_times);
+  Alcotest.(check int) "soc time" 120 a.Arch.time
+
+let validation () =
+  let invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> sample 2 [||] [| 0; 0 |]);
+  invalid (fun () -> sample 2 [| 0 |] [| 0; 0 |]);
+  invalid (fun () -> sample 2 [| 4 |] [| 0 |]);
+  invalid (fun () -> sample 2 [| 4 |] [| 0; 1 |]);
+  invalid (fun () -> sample 2 [| 4 |] [| 0; -1 |])
+
+let cores_on_partitions_all () =
+  let a = sample 5 [| 3; 3; 3 |] [| 0; 1; 2; 1; 1 |] in
+  Alcotest.(check (list int)) "tam 0" [ 0 ] (Arch.cores_on a 0);
+  Alcotest.(check (list int)) "tam 1" [ 1; 3; 4 ] (Arch.cores_on a 1);
+  Alcotest.(check (list int)) "tam 2" [ 2 ] (Arch.cores_on a 2);
+  Alcotest.(check int) "total" 5
+    (List.length (Arch.cores_on a 0) + List.length (Arch.cores_on a 1)
+    + List.length (Arch.cores_on a 2))
+
+let assignment_vector_is_one_based () =
+  let a = sample 3 [| 2; 2 |] [| 1; 0; 1 |] in
+  Alcotest.(check (list int)) "vector" [ 2; 1; 2 ]
+    (Array.to_list (Arch.assignment_vector a))
+
+let idle_wire_cycles_manual () =
+  let a = sample 3 [| 4; 2 |] [| 0; 1; 0 |] in
+  (* soc time 120; tam0 idle 0 cycles * 4 wires; tam1 idle 10 * 2 = 20. *)
+  Alcotest.(check int) "idle" 20 (Arch.idle_wire_cycles a)
+
+let make_from_real_soc () =
+  let soc =
+    Soc.make ~name:"mini"
+      ~cores:
+        [
+          Core_data.make ~id:1 ~name:"a" ~inputs:8 ~outputs:8
+            ~scan_chains:[ 16; 16 ] ~patterns:10 ();
+          Core_data.make ~id:2 ~name:"b" ~inputs:4 ~outputs:4 ~patterns:100 ();
+        ]
+  in
+  let a = Arch.make ~soc ~widths:[| 4; 4 |] ~assignment:[| 0; 1 |] in
+  let expect_core i width =
+    (Soctam_wrapper.Design.design (Soc.core soc i) ~width)
+      .Soctam_wrapper.Design.time
+  in
+  Alcotest.(check int) "core 0 time" (expect_core 0 4) a.Arch.core_times.(0);
+  Alcotest.(check int) "core 1 time" (expect_core 1 4) a.Arch.core_times.(1);
+  Alcotest.(check int) "soc time is max" (max a.Arch.tam_times.(0) a.Arch.tam_times.(1)) a.Arch.time
+
+let partition_rendering () =
+  Alcotest.(check string) "5+3+8" "5+3+8"
+    (Format.asprintf "%a" Arch.pp_partition [| 5; 3; 8 |]);
+  Alcotest.(check string) "single" "16"
+    (Format.asprintf "%a" Arch.pp_partition [| 16 |])
+
+let inputs_are_copied () =
+  let widths = [| 4; 2 |] and assignment = [| 0; 1; 0 |] in
+  let a = sample 3 widths assignment in
+  widths.(0) <- 99;
+  assignment.(0) <- 1;
+  Alcotest.(check int) "widths copied" 4 a.Arch.widths.(0);
+  Alcotest.(check int) "assignment copied" 0 a.Arch.assignment.(0)
+
+let pp_smoke () =
+  let a = sample 3 [| 4; 2 |] [| 0; 1; 0 |] in
+  let s = Format.asprintf "%a" Arch.pp a in
+  Alcotest.(check bool) "non-empty" true (String.length s > 40)
+
+(* -- Arch_format -------------------------------------------------------------- *)
+
+module Arch_format = Soctam_tam.Arch_format
+
+let arch_format_roundtrip () =
+  let a = sample 4 [| 5; 3; 8 |] [| 1; 0; 2; 1 |] in
+  let text = Arch_format.to_string ~soc_name:"demo" a in
+  match Arch_format.of_string text with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok parsed ->
+      Alcotest.(check (option string)) "soc name" (Some "demo")
+        parsed.Arch_format.soc_name;
+      Alcotest.(check (list int)) "widths" [ 5; 3; 8 ]
+        (Array.to_list parsed.Arch_format.widths);
+      Alcotest.(check (list int)) "assignment (0-based)" [ 1; 0; 2; 1 ]
+        (Array.to_list parsed.Arch_format.assignment)
+
+let arch_format_without_soc_name () =
+  let a = sample 2 [| 4 |] [| 0; 0 |] in
+  match Arch_format.of_string (Arch_format.to_string a) with
+  | Ok parsed ->
+      Alcotest.(check (option string)) "no name" None
+        parsed.Arch_format.soc_name
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let arch_format_errors () =
+  let expect text =
+    match Arch_format.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" text
+  in
+  expect "assign 1,2\n";
+  expect "widths 4+4\n";
+  expect "widths 4+x\nassign 1,1\n";
+  expect "widths 4+0\nassign 1,1\n";
+  expect "widths 4\nassign 2\n";
+  expect "widths 4\nassign 0\n";
+  expect "bogus line\n"
+
+let arch_format_file_io () =
+  let a = sample 3 [| 6; 2 |] [| 0; 1; 0 |] in
+  let path = Filename.temp_file "soctam_arch" ".arch" in
+  (match Arch_format.save path ~soc_name:"x" a with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save: %s" msg);
+  (match Arch_format.load path with
+  | Ok parsed ->
+      Alcotest.(check (list int)) "widths" [ 6; 2 ]
+        (Array.to_list parsed.Arch_format.widths)
+  | Error msg -> Alcotest.failf "load: %s" msg);
+  Sys.remove path
+
+(* -- Cost ----------------------------------------------------------------------- *)
+
+module Cost = Soctam_tam.Cost
+
+let cost_hand_check () =
+  let soc =
+    Soctam_model.Soc.make ~name:"c"
+      ~cores:
+        [
+          Soctam_model.Core_data.make ~id:1 ~name:"a" ~inputs:3 ~outputs:4
+            ~patterns:1 ();
+          Soctam_model.Core_data.make ~id:2 ~name:"b" ~inputs:2 ~outputs:2
+            ~bidirs:1 ~patterns:1 ();
+        ]
+  in
+  let arch = Arch.make ~soc ~widths:[| 4; 2 |] ~assignment:[| 0; 1 |] in
+  let cost = Cost.estimate soc arch in
+  (* wrapper cells: (3+4) + (2+2+1) = 12; bypass: core 1 on w4 + core 2 on
+     w2 = 6; segments: 4*(1+1) + 2*(1+1) = 12. *)
+  Alcotest.(check int) "wrapper cells" 12 cost.Cost.wrapper_cells;
+  Alcotest.(check int) "bypass bits" 6 cost.Cost.bypass_bits;
+  Alcotest.(check int) "segments" 12 cost.Cost.tam_wire_segments;
+  Alcotest.(check int) "total" 30 cost.Cost.total
+
+let cost_rejects_mismatch () =
+  let soc = Soctam_soc_data.D695.soc in
+  let small =
+    Soctam_model.Soc.make ~name:"s"
+      ~cores:
+        [
+          Soctam_model.Core_data.make ~id:1 ~name:"x" ~inputs:1 ~outputs:1
+            ~patterns:1 ();
+        ]
+  in
+  let arch = Arch.make ~soc:small ~widths:[| 2 |] ~assignment:[| 0 |] in
+  match Cost.estimate soc arch with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatch accepted"
+
+let cost_wrapper_cells_architecture_independent () =
+  let soc = Soctam_soc_data.D695.soc in
+  let a =
+    (Soctam_core.Co_optimize.run_fixed_tams soc ~total_width:16 ~tams:2)
+      .Soctam_core.Co_optimize.architecture
+  in
+  let b =
+    (Soctam_core.Co_optimize.run_fixed_tams soc ~total_width:32 ~tams:3)
+      .Soctam_core.Co_optimize.architecture
+  in
+  Alcotest.(check int) "same wrapper cells"
+    (Cost.estimate soc a).Cost.wrapper_cells
+    (Cost.estimate soc b).Cost.wrapper_cells
+
+let suite =
+  [
+    test "arch: arithmetic" arithmetic;
+    test "cost: hand check" cost_hand_check;
+    test "cost: mismatch rejected" cost_rejects_mismatch;
+    test "cost: wrapper cells invariant" cost_wrapper_cells_architecture_independent;
+    test "arch: validation" validation;
+    test "arch: cores_on partitions all cores" cores_on_partitions_all;
+    test "arch: assignment vector 1-based" assignment_vector_is_one_based;
+    test "arch: idle wire cycles" idle_wire_cycles_manual;
+    test "arch: make from a real SOC" make_from_real_soc;
+    test "arch: partition rendering" partition_rendering;
+    test "arch: defensive copies" inputs_are_copied;
+    test "arch: pp smoke" pp_smoke;
+    test "format: roundtrip" arch_format_roundtrip;
+    test "format: optional soc name" arch_format_without_soc_name;
+    test "format: errors" arch_format_errors;
+    test "format: file io" arch_format_file_io;
+  ]

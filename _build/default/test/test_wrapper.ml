@@ -1,0 +1,266 @@
+(* Tests for Soctam_wrapper.Design: wrapper scan chain construction, the
+   testing-time formula, width sweeps and Pareto analysis. *)
+
+module Design = Soctam_wrapper.Design
+module Core_data = Soctam_model.Core_data
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let core ?(inputs = 0) ?(outputs = 0) ?(bidirs = 0) ?(scan_chains = [])
+    ~patterns () =
+  Core_data.make ~id:1 ~name:"t" ~inputs ~outputs ~bidirs ~scan_chains
+    ~patterns ()
+
+(* -- formula ------------------------------------------------------------- *)
+
+let formula_cases () =
+  Alcotest.(check int) "scan core" ((1 + 10) * 5 + 7)
+    (Design.test_time ~patterns:5 ~scan_in:10 ~scan_out:7);
+  Alcotest.(check int) "symmetric" ((1 + 4) * 3 + 4)
+    (Design.test_time ~patterns:3 ~scan_in:4 ~scan_out:4);
+  Alcotest.(check int) "no cells: one cycle per pattern" 9
+    (Design.test_time ~patterns:9 ~scan_in:0 ~scan_out:0)
+
+(* -- hand-checkable designs ---------------------------------------------- *)
+
+let memory_core_design () =
+  (* 10 inputs, 6 outputs, no scan, 4 patterns, width 4:
+     si = ceil(10/4) = 3, so = ceil(6/4) = 2, T = (1+3)*4 + 2 = 18. *)
+  let c = core ~inputs:10 ~outputs:6 ~patterns:4 () in
+  let d = Design.design c ~width:4 in
+  Alcotest.(check int) "si" 3 d.Design.scan_in_max;
+  Alcotest.(check int) "so" 2 d.Design.scan_out_max;
+  Alcotest.(check int) "time" 18 d.Design.time
+
+let single_width_design () =
+  (* Everything concatenates into one wrapper chain. *)
+  let c = core ~inputs:3 ~outputs:5 ~scan_chains:[ 8; 4 ] ~patterns:2 () in
+  let d = Design.design c ~width:1 in
+  Alcotest.(check int) "si = ffs + inputs" 15 d.Design.scan_in_max;
+  Alcotest.(check int) "so = ffs + outputs" 17 d.Design.scan_out_max;
+  Alcotest.(check int) "time" ((1 + 17) * 2 + 15) d.Design.time
+
+let scan_partitioning () =
+  (* Chains 8, 7, 2 over width 2: LPT places 8 alone and {7, 2} together,
+     so the longest wrapper chain carries 9 flip-flops. No I/O cells. *)
+  let c = core ~scan_chains:[ 8; 7; 2 ] ~patterns:1 () in
+  let d = Design.design c ~width:2 in
+  Alcotest.(check int) "si max" 9 d.Design.scan_in_max;
+  Alcotest.(check int) "so max" 9 d.Design.scan_out_max
+
+let bidirs_count_both_sides () =
+  (* Only bidirs: each adds to scan-in and scan-out of its chain. *)
+  let c = core ~bidirs:9 ~patterns:2 () in
+  let d = Design.design c ~width:3 in
+  Alcotest.(check int) "si" 3 d.Design.scan_in_max;
+  Alcotest.(check int) "so" 3 d.Design.scan_out_max
+
+let internal_chain_is_atomic () =
+  (* A single 50-bit internal chain cannot be split however wide the TAM:
+     si stays >= 50. *)
+  let c = core ~scan_chains:[ 50 ] ~patterns:3 () in
+  let d = Design.design c ~width:16 in
+  Alcotest.(check bool) "si floor" true (d.Design.scan_in_max >= 50);
+  Alcotest.(check int) "time floor" ((1 + 50) * 3 + 50) d.Design.time
+
+let used_width_minimized () =
+  (* Width 8 offered, but one chain of 10 and nothing else: a single
+     wrapper chain suffices for the same time. *)
+  let c = core ~scan_chains:[ 10 ] ~patterns:1 () in
+  let d = Design.design c ~width:8 in
+  Alcotest.(check int) "uses one chain" 1 d.Design.used_width
+
+let invalid_inputs () =
+  let c = core ~inputs:1 ~patterns:1 () in
+  Alcotest.check_raises "width 0"
+    (Invalid_argument "Design.design: width must be >= 1") (fun () ->
+      ignore (Design.design c ~width:0));
+  Alcotest.check_raises "chains 0"
+    (Invalid_argument "Design.with_chain_count: chains must be >= 1")
+    (fun () -> ignore (Design.with_chain_count c ~chains:0));
+  Alcotest.check_raises "table 0"
+    (Invalid_argument "Design.time_table: max_width must be >= 1") (fun () ->
+      ignore (Design.time_table c ~max_width:0))
+
+(* -- generators ----------------------------------------------------------- *)
+
+let arbitrary_core =
+  let gen =
+    QCheck.Gen.(
+      let* inputs = int_range 0 60 in
+      let* outputs = int_range 0 60 in
+      let* bidirs = int_range 0 10 in
+      let* patterns = int_range 1 50 in
+      let* nchains = int_range 0 8 in
+      let* scan_chains = list_repeat nchains (int_range 1 40) in
+      (* A core must have something to test through the wrapper. *)
+      let inputs = if inputs + outputs + bidirs + nchains = 0 then 1 else inputs in
+      return (core ~inputs ~outputs ~bidirs ~scan_chains ~patterns ()))
+  in
+  QCheck.make gen ~print:(fun c -> Format.asprintf "%a" Core_data.pp c)
+
+(* -- properties ----------------------------------------------------------- *)
+
+let time_monotone_in_width =
+  QCheck.Test.make ~name:"design: time non-increasing in width" ~count:150
+    arbitrary_core
+    (fun c ->
+      let times = Design.time_table c ~max_width:24 in
+      let ok = ref true in
+      for w = 1 to 23 do
+        if times.(w) > times.(w - 1) then ok := false
+      done;
+      !ok)
+
+let table_matches_design =
+  QCheck.Test.make ~name:"time_table agrees with design at every width"
+    ~count:60 arbitrary_core
+    (fun c ->
+      let times = Design.time_table c ~max_width:12 in
+      let ok = ref true in
+      for w = 1 to 12 do
+        if times.(w - 1) <> (Design.design c ~width:w).Design.time then
+          ok := false
+      done;
+      !ok)
+
+let design_internally_consistent =
+  QCheck.Test.make ~name:"design: maxima, formula and used width consistent"
+    ~count:150
+    QCheck.(pair arbitrary_core (int_range 1 20))
+    (fun (c, width) ->
+      let d = Design.design c ~width in
+      d.Design.scan_in_max
+      = Soctam_util.Intutil.max_element d.Design.scan_in
+      && d.Design.scan_out_max
+         = Soctam_util.Intutil.max_element d.Design.scan_out
+      && d.Design.time
+         = Design.test_time ~patterns:c.Core_data.patterns
+             ~scan_in:d.Design.scan_in_max ~scan_out:d.Design.scan_out_max
+      && d.Design.used_width <= width
+      && d.Design.used_width >= 1)
+
+let cells_conserved =
+  QCheck.Test.make ~name:"design: all cells and flip-flops placed" ~count:150
+    QCheck.(pair arbitrary_core (int_range 1 20))
+    (fun (c, width) ->
+      let d = Design.design c ~width in
+      let ffs = Core_data.scan_flip_flops c in
+      Soctam_util.Intutil.sum d.Design.scan_in
+      = ffs + c.Core_data.inputs + c.Core_data.bidirs
+      && Soctam_util.Intutil.sum d.Design.scan_out
+         = ffs + c.Core_data.outputs + c.Core_data.bidirs)
+
+let si_at_least_longest_chain =
+  QCheck.Test.make ~name:"design: longest internal chain is a floor"
+    ~count:150
+    QCheck.(pair arbitrary_core (int_range 1 20))
+    (fun (c, width) ->
+      let d = Design.design c ~width in
+      d.Design.scan_in_max >= Core_data.max_scan_chain c)
+
+(* -- pareto / max useful width ------------------------------------------- *)
+
+let pareto_structure =
+  QCheck.Test.make ~name:"pareto: increasing widths, decreasing times"
+    ~count:100 arbitrary_core
+    (fun c ->
+      let pareto = Design.pareto_widths c ~max_width:20 in
+      let rec ok = function
+        | (w1, t1) :: ((w2, t2) :: _ as rest) ->
+            w1 < w2 && t1 > t2 && ok rest
+        | _ -> true
+      in
+      (match pareto with (w, _) :: _ -> w = 1 | [] -> false) && ok pareto)
+
+let pareto_covers_table () =
+  let c = core ~inputs:20 ~outputs:10 ~scan_chains:[ 12; 9; 5 ] ~patterns:7 () in
+  let times = Design.time_table c ~max_width:20 in
+  let pareto = Design.pareto_widths c ~max_width:20 in
+  (* Every pareto point matches the table, and the table between points is
+     flat at the previous pareto time. *)
+  List.iter
+    (fun (w, t) -> Alcotest.(check int) "pareto time" times.(w - 1) t)
+    pareto
+
+let max_useful_width_saturates =
+  QCheck.Test.make ~name:"max_useful_width: wider never helps" ~count:80
+    arbitrary_core
+    (fun c ->
+      let muw = Design.max_useful_width c in
+      let horizon = muw + 8 in
+      let times = Design.time_table c ~max_width:horizon in
+      let saturated = ref true in
+      for w = muw to horizon do
+        if times.(w - 1) <> times.(muw - 1) then saturated := false
+      done;
+      let still_improving = muw = 1 || times.(muw - 2) > times.(muw - 1) in
+      !saturated && still_improving)
+
+let layout_always_valid =
+  QCheck.Test.make ~name:"design: layout validates for every design"
+    ~count:150
+    QCheck.(pair arbitrary_core (int_range 1 16))
+    (fun (c, width) ->
+      let d = Design.design c ~width in
+      Design.validate_layout c d = Ok ()
+      &&
+      (* with_chain_count layouts must also validate at every count *)
+      let d2 = Design.with_chain_count c ~chains:(max 1 (width / 2)) in
+      Design.validate_layout c d2 = Ok ())
+
+let layout_pretty_printer () =
+  let c = core ~inputs:6 ~outputs:4 ~scan_chains:[ 9; 7 ] ~patterns:3 () in
+  let d = Design.design c ~width:3 in
+  let s = Format.asprintf "%a" Design.pp_layout d in
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub s i nn = needle || at (i + 1)) in
+    nn = 0 || at 0
+  in
+  Alcotest.(check bool) "chain lines" true (contains "chain  1:");
+  Alcotest.(check bool) "internal chains named" true (contains "internal")
+
+let layout_catches_tampering () =
+  let c = core ~inputs:6 ~outputs:4 ~scan_chains:[ 9; 7 ] ~patterns:3 () in
+  let d = Design.design c ~width:3 in
+  let tampered =
+    { d with Design.scan_in = Array.map (fun x -> x + 1) d.Design.scan_in }
+  in
+  Alcotest.(check bool) "detected" true
+    (Design.validate_layout c tampered <> Ok ());
+  let missing_chain =
+    {
+      d with
+      Design.layout =
+        Array.map
+          (fun p -> { p with Design.internal_chains = [] })
+          d.Design.layout;
+    }
+  in
+  Alcotest.(check bool) "missing chain detected" true
+    (Design.validate_layout c missing_chain <> Ok ())
+
+let suite =
+  [
+    test "formula: cases" formula_cases;
+    test "design: memory core" memory_core_design;
+    test "design: width one" single_width_design;
+    test "design: scan partitioning" scan_partitioning;
+    test "design: bidirs both sides" bidirs_count_both_sides;
+    test "design: internal chain atomic" internal_chain_is_atomic;
+    test "design: used width minimized" used_width_minimized;
+    test "design: invalid inputs" invalid_inputs;
+    qtest time_monotone_in_width;
+    qtest table_matches_design;
+    qtest design_internally_consistent;
+    qtest cells_conserved;
+    qtest si_at_least_longest_chain;
+    qtest pareto_structure;
+    test "pareto: matches table" pareto_covers_table;
+    qtest max_useful_width_saturates;
+    qtest layout_always_valid;
+    test "layout: tampering detected" layout_catches_tampering;
+    test "layout: pretty printer" layout_pretty_printer;
+  ]
