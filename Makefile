@@ -1,0 +1,35 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench lint fmt clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Static checks: the strict-warning build (see the root `dune` env
+# stanza), the repo's own input lint over every built-in SOC, and the
+# ocamlformat check when the binary is installed (it is optional: the
+# .ocamlformat profile is committed, the tool may not be).
+lint: build
+	dune exec bin/soctam.exe -- lint d695
+	dune exec bin/soctam.exe -- lint p21241
+	dune exec bin/soctam.exe -- lint p31108
+	dune exec bin/soctam.exe -- lint p93791
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

@@ -36,6 +36,18 @@ let with_soc spec f =
       1
   | Ok soc -> f soc
 
+(* -- diagnostics reporting ------------------------------------------------ *)
+
+let print_report ?(json = false) report =
+  if json then print_endline (Soctam_report.Check_json.render report)
+  else Format.printf "%a@." Soctam_check.Report.pp report;
+  if Soctam_check.Report.ok report then 0 else 1
+
+(* Run the certifier after an optimization command (--certify). *)
+let certify_result ?table soc ~total_width result =
+  print_report
+    (Soctam_check.Certify.co_optimize ?table ~soc ~total_width result)
+
 (* -- info ---------------------------------------------------------------- *)
 
 let info_cmd spec verbose =
@@ -70,7 +82,7 @@ let wrapper_cmd spec core_id width layout =
 
 (* -- optimize ------------------------------------------------------------ *)
 
-let optimize_cmd spec width tams max_tams save_arch =
+let optimize_cmd spec width tams max_tams save_arch certify =
   with_soc spec (fun soc ->
       let table = Soctam_core.Time_table.build soc ~max_width:width in
       let result, secs =
@@ -109,19 +121,26 @@ let optimize_cmd spec width tams max_tams save_arch =
              ~time:result.Soctam_core.Co_optimize.final_time
          then " (saturated: more wires or TAMs cannot help)"
          else "");
-      match save_arch with
-      | None -> 0
-      | Some path -> (
-          match
-            Soctam_tam.Arch_format.save path
-              ~soc_name:soc.Soctam_model.Soc.name architecture
-          with
-          | Ok () ->
-              Format.printf "architecture written to %s@." path;
-              0
-          | Error msg ->
-              prerr_endline ("soctam: " ^ msg);
-              1))
+      let save_status =
+        match save_arch with
+        | None -> 0
+        | Some path -> (
+            match
+              Soctam_tam.Arch_format.save path
+                ~soc_name:soc.Soctam_model.Soc.name architecture
+            with
+            | Ok () ->
+                Format.printf "architecture written to %s@." path;
+                0
+            | Error msg ->
+                prerr_endline ("soctam: " ^ msg);
+                1)
+      in
+      let certify_status =
+        if certify then certify_result ~table soc ~total_width:width result
+        else 0
+      in
+      if save_status <> 0 then save_status else certify_status)
 
 (* -- compare ------------------------------------------------------------- *)
 
@@ -147,7 +166,7 @@ let glyph core =
   let alphabet = "123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
   String.make 1 alphabet.[core mod String.length alphabet]
 
-let schedule_cmd spec width budget_pct =
+let schedule_cmd spec width budget_pct certify =
   with_soc spec (fun soc ->
       let result = Soctam_core.Co_optimize.run soc ~total_width:width in
       let architecture = result.Soctam_core.Co_optimize.architecture in
@@ -193,7 +212,11 @@ let schedule_cmd spec width budget_pct =
             (Soctam_report.Gantt.render
                ~lanes:(Array.length architecture.Soctam_tam.Architecture.widths)
                ~total:sched.Soctam_power.Power_schedule.makespan items);
-          0)
+          if certify then
+            print_report
+              (Soctam_check.Certify.schedule ~soc ~arch:architecture ~power
+                 sched)
+          else 0)
 
 (* -- sweep --------------------------------------------------------------- *)
 
@@ -223,7 +246,7 @@ let sweep_cmd spec from_w to_w step tolerance =
 
 (* -- anneal -------------------------------------------------------------- *)
 
-let anneal_cmd spec width max_tams iterations seed =
+let anneal_cmd spec width max_tams iterations seed certify =
   with_soc spec (fun soc ->
       let table = Soctam_core.Time_table.build soc ~max_width:width in
       let params =
@@ -254,11 +277,32 @@ let anneal_cmd spec width max_tams iterations seed =
         pipeline.Soctam_core.Co_optimize.architecture
           .Soctam_tam.Architecture.widths
         pipeline.Soctam_core.Co_optimize.final_time pipe_secs;
-      0)
+      if certify then begin
+        let claim =
+          {
+            Soctam_check.Arch_check.total_width = Some width;
+            widths = sa.Soctam_anneal.Annealer.widths;
+            assignment = sa.Soctam_anneal.Annealer.assignment;
+            core_times = None;
+            tam_times = None;
+            time = sa.Soctam_anneal.Annealer.time;
+          }
+        in
+        let sa_status =
+          print_report
+            (Soctam_check.Certify.claim ~table
+               ~subject:"simulated annealing result" ~soc claim)
+        in
+        let pipe_status =
+          certify_result ~table soc ~total_width:width pipeline
+        in
+        max sa_status pipe_status
+      end
+      else 0)
 
 (* -- exhaustive ---------------------------------------------------------- *)
 
-let exhaustive_cmd spec width tams budget =
+let exhaustive_cmd spec width tams budget certify =
   with_soc spec (fun soc ->
       let table = Soctam_core.Time_table.build soc ~max_width:width in
       let result, secs =
@@ -277,7 +321,21 @@ let exhaustive_cmd spec width tams budget =
         (if result.Soctam_core.Exhaustive.complete then ""
          else " (budget hit, incumbent)")
         result.Soctam_core.Exhaustive.nodes secs;
-      0)
+      if certify then
+        let claim =
+          {
+            Soctam_check.Arch_check.total_width = Some width;
+            widths = result.Soctam_core.Exhaustive.widths;
+            assignment = result.Soctam_core.Exhaustive.assignment;
+            core_times = None;
+            tam_times = None;
+            time = result.Soctam_core.Exhaustive.time;
+          }
+        in
+        print_report
+          (Soctam_check.Certify.claim ~table ~check_exact:true
+             ~subject:"exhaustive baseline result" ~soc claim)
+      else 0)
 
 (* -- tables -------------------------------------------------------------- *)
 
@@ -349,6 +407,36 @@ let verify_cmd spec arch_path =
                 sim.Soctam_sim.Soc_sim.total_idle_in
                 sim.Soctam_sim.Soc_sim.total_wire_cycles;
               if analytical = simulated then 0 else 1))
+
+(* -- check --------------------------------------------------------------- *)
+
+let check_cmd spec arch_path width exact exhaustive sim json =
+  with_soc spec (fun soc ->
+      match Soctam_tam.Arch_format.load arch_path with
+      | Error msg ->
+          prerr_endline ("soctam: " ^ msg);
+          1
+      | Ok parsed ->
+          let report, _ =
+            Soctam_check.Certify.parsed_architecture ~check_exact:exact
+              ~check_exhaustive:exhaustive ~check_simulation:sim
+              ?total_width:width ~soc parsed
+          in
+          print_report ~json report)
+
+(* -- lint ---------------------------------------------------------------- *)
+
+let lint_cmd spec json =
+  if Sys.file_exists spec then begin
+    match Soctam_check.Certify.soc_file spec with
+    | Error msg ->
+        prerr_endline ("soctam: " ^ msg);
+        1
+    | Ok (report, _) -> print_report ~json report
+  end
+  else
+    with_soc spec (fun soc ->
+        print_report ~json (Soctam_check.Certify.soc soc))
 
 (* -- gen ----------------------------------------------------------------- *)
 
@@ -423,6 +511,19 @@ let wrapper_term =
   in
   Term.(const wrapper_cmd $ soc_arg $ core_id $ width_arg $ layout)
 
+let certify_flag =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Run the independent certifier on the result and fail on any \
+           violation.")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the diagnostic report as JSON.")
+
 let optimize_term =
   let tams =
     Arg.(
@@ -442,7 +543,9 @@ let optimize_term =
       & info [ "save-arch" ] ~docv:"FILE"
           ~doc:"Write the resulting architecture to FILE.")
   in
-  Term.(const optimize_cmd $ soc_arg $ width_arg $ tams $ max_tams $ save_arch)
+  Term.(
+    const optimize_cmd $ soc_arg $ width_arg $ tams $ max_tams $ save_arch
+    $ certify_flag)
 
 let compare_term = Term.(const compare_cmd $ soc_arg $ width_arg)
 
@@ -453,7 +556,7 @@ let schedule_term =
       & info [ "budget-pct" ] ~docv:"PCT"
           ~doc:"Power budget as a percentage of the unconstrained peak.")
   in
-  Term.(const schedule_cmd $ soc_arg $ width_arg $ budget_pct)
+  Term.(const schedule_cmd $ soc_arg $ width_arg $ budget_pct $ certify_flag)
 
 let sweep_term =
   let from_w =
@@ -486,7 +589,9 @@ let anneal_term =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
   in
-  Term.(const anneal_cmd $ soc_arg $ width_arg $ max_tams $ iterations $ seed)
+  Term.(
+    const anneal_cmd $ soc_arg $ width_arg $ max_tams $ iterations $ seed
+    $ certify_flag)
 
 let exhaustive_term =
   let tams =
@@ -499,7 +604,7 @@ let exhaustive_term =
       value & opt float 60.
       & info [ "budget" ] ~docv:"S" ~doc:"Wall-clock budget in seconds.")
   in
-  Term.(const exhaustive_cmd $ soc_arg $ width_arg $ tams $ budget)
+  Term.(const exhaustive_cmd $ soc_arg $ width_arg $ tams $ budget $ certify_flag)
 
 let tables_term =
   let ids =
@@ -552,6 +657,54 @@ let verify_term =
   in
   Term.(const verify_cmd $ soc_arg $ arch_path)
 
+let check_term =
+  let arch_path =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "arch" ] ~docv:"FILE" ~doc:"Architecture file to certify.")
+  in
+  let width =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "w"; "width" ] ~docv:"W"
+          ~doc:"Total TAM width the architecture must partition exactly.")
+  in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Also solve the claimed partition exactly and reject a time that \
+             beats the proven optimum.")
+  in
+  let exhaustive =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:
+            "Also run the exhaustive baseline over every partition with the \
+             same TAM count (small SOCs only).")
+  in
+  let sim =
+    Arg.(
+      value & flag
+      & info [ "sim" ] ~doc:"Also cross-check with the cycle-level simulator.")
+  in
+  Term.(
+    const check_cmd $ soc_arg $ arch_path $ width $ exact $ exhaustive $ sim
+    $ json_flag)
+
+let lint_term =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOC" ~doc:"Benchmark name or path to an SOC file.")
+  in
+  Term.(const lint_cmd $ target $ json_flag)
+
 let cmd name term doc = Cmd.v (Cmd.info name ~doc) term
 
 let () =
@@ -579,6 +732,13 @@ let () =
         cmd "gen" gen_term "Generate a synthetic Philips-profile SOC.";
         cmd "verify" verify_term
           "Check a saved architecture against an SOC by simulation.";
+        cmd "check" check_term
+          "Certify a saved architecture: structural invariants, exact time \
+           recomputation, lower bounds, optional exact/exhaustive/simulation \
+           cross-checks.";
+        cmd "lint" lint_term
+          "Lint an SOC description: report every syntactic and semantic \
+           problem instead of stopping at the first.";
       ]
   in
   exit (Cmd.eval' main)

@@ -1,0 +1,124 @@
+module Arch = Soctam_tam.Architecture
+module Pm = Soctam_power.Power_model
+module Ps = Soctam_power.Power_schedule
+module V = Violation
+
+(* Highest instantaneous power of the slot set, recomputed by sweeping
+   the start/finish events. A slot occupies [start, finish). *)
+let recompute_peak power slots =
+  let events =
+    List.concat_map
+      (fun (s : Ps.slot) ->
+        let p = Pm.power power s.Ps.core in
+        [ (s.Ps.start, p); (s.Ps.finish, -p) ])
+      slots
+  in
+  let events =
+    (* Releases before acquisitions at the same instant: [start, finish). *)
+    List.sort
+      (fun (t1, d1) (t2, d2) -> if t1 <> t2 then compare t1 t2 else compare d1 d2)
+      events
+  in
+  let peak = ref 0 and current = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      current := !current + d;
+      if !current > !peak then peak := !current)
+    events;
+  !peak
+
+let certify ?budget ~arch ~power (sched : Ps.t) =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let cores = Array.length arch.Arch.assignment in
+  let seen = Array.make cores 0 in
+  List.iter
+    (fun (s : Ps.slot) ->
+      if s.Ps.core < 0 || s.Ps.core >= cores then
+        add
+          (V.errorf V.Schedule_core_missing V.Soc
+             "slot refers to core %d outside 1..%d" (s.Ps.core + 1) cores)
+      else begin
+        seen.(s.Ps.core) <- seen.(s.Ps.core) + 1;
+        if s.Ps.start < 0 then
+          add
+            (V.errorf V.Schedule_negative_start (V.Core (s.Ps.core + 1))
+               "test starts at cycle %d" s.Ps.start);
+        if s.Ps.tam <> arch.Arch.assignment.(s.Ps.core) then
+          add
+            (V.errorf V.Schedule_wrong_tam (V.Core (s.Ps.core + 1))
+               "scheduled on TAM %d but the architecture assigns TAM %d"
+               (s.Ps.tam + 1)
+               (arch.Arch.assignment.(s.Ps.core) + 1));
+        let duration = s.Ps.finish - s.Ps.start in
+        if duration <> arch.Arch.core_times.(s.Ps.core) then
+          add
+            (V.errorf V.Schedule_duration_mismatch (V.Core (s.Ps.core + 1))
+               "slot lasts %d cycles but the core needs %d at its TAM width"
+               duration
+               arch.Arch.core_times.(s.Ps.core))
+      end)
+    sched.Ps.slots;
+  Array.iteri
+    (fun i n ->
+      if n = 0 then
+        add
+          (V.errorf V.Schedule_core_missing (V.Core (i + 1))
+             "core is never tested")
+      else if n > 1 then
+        add
+          (V.errorf V.Schedule_core_duplicated (V.Core (i + 1))
+             "core is tested %d times" n))
+    seen;
+  (* Non-overlap per TAM: sort each TAM's slots by start and compare
+     neighbours. *)
+  let tams = Array.length arch.Arch.widths in
+  for j = 0 to tams - 1 do
+    let mine =
+      List.filter (fun (s : Ps.slot) -> s.Ps.tam = j) sched.Ps.slots
+      |> List.sort (fun (a : Ps.slot) (b : Ps.slot) ->
+             compare a.Ps.start b.Ps.start)
+    in
+    let rec scan = function
+      | a :: (b :: _ as rest) ->
+          if b.Ps.start < a.Ps.finish then
+            add
+              (V.errorf V.Schedule_overlap (V.Tam (j + 1))
+                 "cores %d and %d overlap: [%d, %d) and [%d, %d)"
+                 (a.Ps.core + 1) (b.Ps.core + 1) a.Ps.start a.Ps.finish
+                 b.Ps.start b.Ps.finish);
+          scan rest
+      | _ -> ()
+    in
+    scan mine
+  done;
+  let finish_max =
+    List.fold_left (fun acc (s : Ps.slot) -> max acc s.Ps.finish) 0 sched.Ps.slots
+  in
+  if sched.Ps.makespan <> finish_max then
+    add
+      (V.errorf V.Makespan_mismatch V.Soc
+         "reported makespan %d but the last test finishes at %d"
+         sched.Ps.makespan finish_max);
+  (match sched.Ps.budget with
+  | None ->
+      if sched.Ps.makespan <> arch.Arch.time then
+        add
+          (V.errorf V.Makespan_mismatch V.Soc
+             "unconstrained makespan %d differs from the architecture's \
+              testing time %d"
+             sched.Ps.makespan arch.Arch.time)
+  | Some _ -> ());
+  let peak = recompute_peak power sched.Ps.slots in
+  if peak <> sched.Ps.peak_power then
+    add
+      (V.errorf V.Peak_power_mismatch V.Soc
+         "reported peak power %d, recomputed %d" sched.Ps.peak_power peak);
+  (match (budget, sched.Ps.budget) with
+  | Some cap, _ | None, Some cap ->
+      if peak > cap then
+        add
+          (V.errorf V.Power_budget_exceeded V.Soc
+             "instantaneous power reaches %d, over the budget of %d" peak cap)
+  | None, None -> ());
+  List.rev !violations

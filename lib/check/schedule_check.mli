@@ -1,0 +1,20 @@
+(** Independent certifier for power-constrained test schedules.
+
+    Re-checks a {!Soctam_power.Power_schedule.t} geometrically (in the
+    spirit of the rectangle-packing validators of the 2-D TAM follow-up
+    work): every core appears exactly once, on its assigned TAM, for
+    exactly its architecture testing time; sessions on one TAM never
+    overlap; the makespan and the instantaneous-power profile are
+    recomputed from the slots alone and compared against the reported
+    values and the budget. *)
+
+val certify :
+  ?budget:int ->
+  arch:Soctam_tam.Architecture.t ->
+  power:Soctam_power.Power_model.t ->
+  Soctam_power.Power_schedule.t ->
+  Violation.t list
+(** [budget] overrides the budget recorded in the schedule (use it to
+    certify against a stricter cap). For a schedule without a budget the
+    makespan must also equal the architecture's testing time (a
+    back-to-back schedule cannot stretch). *)

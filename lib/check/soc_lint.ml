@@ -1,0 +1,363 @@
+module Soc = Soctam_model.Soc
+module Core_data = Soctam_model.Core_data
+module V = Violation
+
+(* -- semantic lint of a parsed SOC ---------------------------------------- *)
+
+(* The number embedded in names like "d695" / "p93791"; None when the
+   name does not end in digits. *)
+let name_number name =
+  let n = String.length name in
+  let rec digits_from i =
+    if i < n && name.[i] >= '0' && name.[i] <= '9' then digits_from (i + 1)
+    else i
+  in
+  let rec first_digit i =
+    if i >= n then None
+    else if name.[i] >= '0' && name.[i] <= '9' then
+      if digits_from i = n then int_of_string_opt (String.sub name i (n - i))
+      else None
+    else first_digit (i + 1)
+  in
+  first_digit 0
+
+let lint_soc soc =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  Array.iteri
+    (fun i (c : Core_data.t) ->
+      if Core_data.terminals c = 0 && Core_data.scan_chain_count c = 0 then
+        add
+          (V.warningf V.Degenerate_core (V.Core (i + 1))
+             "core %s has no terminals and no scan chains: nothing to test"
+             c.Core_data.name))
+    (Soc.cores soc);
+  (match name_number soc.Soc.name with
+  | Some number when number >= 100 ->
+      let complexity = Soc.test_complexity soc in
+      let tolerance = max 1 (number / 4) in
+      if abs (complexity - number) > tolerance then
+        add
+          (V.warningf V.Name_complexity_mismatch V.Soc
+             "SOC is named %s but its test-complexity number is %d (expected \
+              within 25%% of %d): wrong or truncated test data?"
+             soc.Soc.name complexity number)
+  | Some _ | None -> ());
+  List.rev !violations
+
+(* -- lenient file scanning ------------------------------------------------- *)
+
+type scan_state = {
+  mutable diags : V.t list;
+  mutable core_lines : (int * int) list;  (** (core id, line) in file order *)
+  mutable cores_seen : int;
+}
+
+let add_diag st v = st.diags <- v :: st.diags
+
+let strip_comment raw =
+  match String.index_opt raw '#' with
+  | Some j -> String.sub raw 0 j
+  | None -> raw
+
+let words_of raw =
+  String.split_on_char ' ' (String.trim (strip_comment raw))
+  |> List.filter (fun w -> w <> "")
+
+let lines_of text =
+  String.split_on_char '\n' text |> List.mapi (fun i raw -> (i + 1, words_of raw))
+
+let int_field st line what s =
+  match int_of_string_opt s with
+  | Some v -> Some v
+  | None ->
+      add_diag st
+        (V.errorf V.Syntax_error (V.Line line) "%s: %S is not an integer" what s);
+      None
+
+(* Shared post-pass: duplicate and (for the flat dialect, whose strict
+   reader requires 1..n in order) non-consecutive core ids. The ITC'02
+   reader renumbers modules, so there only distinctness matters. *)
+let check_ids ~require_consecutive st =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (id, line) ->
+      match Hashtbl.find_opt seen id with
+      | Some first ->
+          add_diag st
+            (V.errorf V.Duplicate_core_id (V.Line line)
+               "core id %d already used on line %d" id first)
+      | None -> Hashtbl.add seen id line)
+    st.core_lines;
+  let ids = List.map fst st.core_lines in
+  let expected = List.mapi (fun i _ -> i + 1) ids in
+  if
+    require_consecutive && ids <> expected
+    && List.sort_uniq compare ids = List.sort compare ids
+  then
+    add_diag st
+      (V.warningf V.Nonconsecutive_core_ids V.Soc
+         "core ids are not the consecutive sequence 1..%d in order; the \
+          strict reader will reject this file"
+         (List.length ids))
+
+(* One-line [.soc] dialect. *)
+let scan_flat st lines =
+  let soc_line = ref None in
+  List.iter
+    (fun (line, words) ->
+      match words with
+      | [] -> ()
+      | "soc" :: rest -> (
+          (match !soc_line with
+          | Some first ->
+              add_diag st
+                (V.errorf V.Syntax_error (V.Line line)
+                   "duplicate soc line (first on line %d)" first)
+          | None -> soc_line := Some line);
+          match rest with
+          | [ _ ] -> ()
+          | _ ->
+              add_diag st
+                (V.errorf V.Syntax_error (V.Line line)
+                   "soc line needs exactly one name"))
+      | "core" :: id :: _ :: fields ->
+          st.cores_seen <- st.cores_seen + 1;
+          (match int_field st line "core id" id with
+          | Some id -> st.core_lines <- st.core_lines @ [ (id, line) ]
+          | None -> ());
+          let patterns = ref None and inputs = ref None and outputs = ref None in
+          let scan_lengths = ref [] in
+          List.iter
+            (fun field ->
+              match String.index_opt field '=' with
+              | None ->
+                  add_diag st
+                    (V.errorf V.Syntax_error (V.Line line)
+                       "malformed field %S (expected key=value)" field)
+              | Some i -> (
+                  let key = String.sub field 0 i in
+                  let value =
+                    String.sub field (i + 1) (String.length field - i - 1)
+                  in
+                  match key with
+                  | "inputs" -> inputs := int_field st line key value
+                  | "outputs" -> outputs := int_field st line key value
+                  | "bidirs" -> ignore (int_field st line key value)
+                  | "patterns" -> patterns := int_field st line key value
+                  | "scan" ->
+                      scan_lengths :=
+                        String.split_on_char ',' value
+                        |> List.filter_map (int_field st line "scan length")
+                  | _ ->
+                      add_diag st
+                        (V.errorf V.Syntax_error (V.Line line)
+                           "unknown field %S" key)))
+            fields;
+          List.iter
+            (fun (what, v) ->
+              match v with
+              | Some n when n < 0 ->
+                  add_diag st
+                    (V.errorf V.Syntax_error (V.Line line)
+                       "%s must not be negative (got %d)" what n)
+              | Some _ -> ()
+              | None ->
+                  add_diag st
+                    (V.errorf V.Syntax_error (V.Line line) "missing field %s"
+                       what))
+            [ ("inputs", !inputs); ("outputs", !outputs) ];
+          (match !patterns with
+          | Some p when p < 1 ->
+              add_diag st
+                (V.errorf V.Zero_patterns (V.Line line)
+                   "core declares %d test patterns; at least one is required"
+                   p)
+          | Some _ -> ()
+          | None ->
+              add_diag st
+                (V.errorf V.Zero_patterns (V.Line line)
+                   "core has no patterns field"));
+          List.iter
+            (fun len ->
+              if len < 1 then
+                add_diag st
+                  (V.errorf V.Scan_chain_mismatch (V.Line line)
+                     "scan chain of length %d (must be >= 1)" len))
+            !scan_lengths
+      | "core" :: _ ->
+          st.cores_seen <- st.cores_seen + 1;
+          add_diag st
+            (V.errorf V.Syntax_error (V.Line line)
+               "core line needs at least an id and a name")
+      | word :: _ ->
+          add_diag st
+            (V.errorf V.Syntax_error (V.Line line) "unknown directive %S" word))
+    lines;
+  if !soc_line = None then
+    add_diag st (V.errorf V.Syntax_error V.Soc "missing soc line")
+
+(* ITC'02-style hierarchical dialect. *)
+let scan_itc02 st lines =
+  let declared_modules = ref None in
+  let in_module = ref false in
+  let module_line = ref 0 in
+  let module_has_patterns = ref false in
+  let soc_name_seen = ref false in
+  let end_module line =
+    if !in_module && not !module_has_patterns then
+      add_diag st
+        (V.warningf V.Zero_patterns (V.Line !module_line)
+           "module has no TestPatterns line; the reader defaults it to 1 \
+            pattern");
+    ignore line;
+    in_module := false
+  in
+  let require_module line what =
+    if not !in_module then
+      add_diag st
+        (V.errorf V.Syntax_error (V.Line line) "%s outside a Module block" what)
+  in
+  List.iter
+    (fun (line, words) ->
+      match words with
+      | [] -> ()
+      | [ "SocName"; _ ] -> soc_name_seen := true
+      | [ "TotalModules"; n ] ->
+          declared_modules := int_field st line "TotalModules" n
+      | "Module" :: id :: _ ->
+          if !in_module then end_module line;
+          in_module := true;
+          module_line := line;
+          module_has_patterns := false;
+          st.cores_seen <- st.cores_seen + 1;
+          (match int_field st line "Module id" id with
+          | Some id -> st.core_lines <- st.core_lines @ [ (id, line) ]
+          | None -> ())
+      | [ "EndModule" ] ->
+          if not !in_module then
+            add_diag st
+              (V.errorf V.Syntax_error (V.Line line) "EndModule without Module")
+          else end_module line
+      | "ScanChains" :: count :: rest -> (
+          require_module line "ScanChains";
+          match int_field st line "ScanChains" count with
+          | None -> ()
+          | Some count ->
+              let lengths =
+                match rest with
+                | ":" :: lengths ->
+                    List.filter_map (int_field st line "chain length") lengths
+                | [] -> []
+                | _ ->
+                    add_diag st
+                      (V.errorf V.Scan_chain_mismatch (V.Line line)
+                         "expected ': lengths...' after ScanChains");
+                    []
+              in
+              List.iter
+                (fun len ->
+                  if len < 1 then
+                    add_diag st
+                      (V.errorf V.Scan_chain_mismatch (V.Line line)
+                         "scan chain of length %d (must be >= 1)" len))
+                lengths;
+              if count = 0 && lengths <> [] then
+                add_diag st
+                  (V.errorf V.Scan_chain_mismatch (V.Line line)
+                     "ScanChains 0 cannot list lengths")
+              else if count <> 0 && List.length lengths <> count then
+                add_diag st
+                  (V.errorf V.Scan_chain_mismatch (V.Line line)
+                     "ScanChains declares %d chains but %d lengths are listed"
+                     count (List.length lengths)))
+      | [ "TestPatterns"; v ] -> (
+          require_module line "TestPatterns";
+          module_has_patterns := true;
+          match int_field st line "TestPatterns" v with
+          | Some p when p < 1 ->
+              add_diag st
+                (V.errorf V.Zero_patterns (V.Line line)
+                   "module declares %d test patterns" p)
+          | Some _ | None -> ())
+      | [ ("Inputs" | "Outputs" | "Bidirs") as what; v ] ->
+          require_module line what;
+          (match int_field st line what v with
+          | Some n when n < 0 ->
+              add_diag st
+                (V.errorf V.Syntax_error (V.Line line)
+                   "%s must not be negative (got %d)" what n)
+          | Some _ | None -> ())
+      | [ ("Level" | "TotalTests" | "Test") as what; _ ] | [ ("EndTest" as what) ]
+        ->
+          require_module line what
+      | word :: _ ->
+          add_diag st
+            (V.errorf V.Syntax_error (V.Line line) "unknown directive %S" word))
+    lines;
+  if !in_module then end_module 0;
+  if not !soc_name_seen then
+    add_diag st (V.errorf V.Syntax_error V.Soc "missing SocName line");
+  match !declared_modules with
+  | Some n when n <> st.cores_seen ->
+      add_diag st
+        (V.errorf V.Module_count_mismatch V.Soc
+           "TotalModules says %d but %d Module blocks found" n st.cores_seen)
+  | Some _ | None -> ()
+
+let detect_dialect lines =
+  let rec first = function
+    | [] -> `Flat
+    | (_, []) :: rest -> first rest
+    | (_, word :: _) :: _ -> (
+        match word with
+        | "soc" | "core" -> `Flat
+        | "SocName" | "TotalModules" | "Module" -> `Itc02
+        | _ -> `Flat)
+  in
+  first lines
+
+let lint_string text =
+  let st = { diags = []; core_lines = []; cores_seen = 0 } in
+  let lines = lines_of text in
+  let dialect = detect_dialect lines in
+  (match dialect with
+  | `Flat -> scan_flat st lines
+  | `Itc02 -> scan_itc02 st lines);
+  if st.cores_seen = 0 then
+    add_diag st (V.errorf V.No_test_data V.Soc "the file describes no core");
+  check_ids ~require_consecutive:(dialect = `Flat) st;
+  let parsed =
+    match dialect with
+    | `Flat -> Soctam_soc_data.Soc_format.of_string text
+    | `Itc02 -> Soctam_soc_data.Itc02_format.of_string text
+  in
+  let soc =
+    match parsed with
+    | Ok soc ->
+        List.iter (add_diag st) (lint_soc soc);
+        Some soc
+    | Error msg ->
+        (* The lenient scan should have explained the problem already; if
+           it did not, surface the strict reader's complaint. *)
+        if
+          not
+            (List.exists
+               (fun (v : V.t) -> v.V.severity = V.Error)
+               st.diags)
+        then
+          add_diag st
+            (V.errorf V.Syntax_error V.Soc "strict reader rejects the file: %s"
+               msg);
+        None
+  in
+  (List.rev st.diags, soc)
+
+let lint_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        Ok (lint_string (really_input_string ic (in_channel_length ic))))
+  with Sys_error msg -> Error msg

@@ -1,0 +1,24 @@
+(** Diagnostics pass over SOC description files and parsed SOCs.
+
+    The strict readers ({!Soctam_soc_data.Soc_format},
+    {!Soctam_soc_data.Itc02_format}) stop at the first problem; the
+    linter instead scans the whole file leniently and reports {e every}
+    finding — duplicate core ids, zero-pattern cores, scan-chain count /
+    length-list inconsistencies, module-count mismatches, unknown
+    directives — then runs the semantic checks of {!lint_soc} when the
+    file still parses. *)
+
+val lint_soc : Soctam_model.Soc.t -> Violation.t list
+(** Semantic lint of an already-parsed SOC: untestable (degenerate)
+    cores, and a test-complexity number far from the one embedded in the
+    SOC's name (a d695 whose data does not add up to ~695 is suspect). *)
+
+val lint_string : string -> Violation.t list * Soctam_model.Soc.t option
+(** Lint a file's contents. The dialect (one-line [.soc] or ITC'02-style
+    hierarchical) is auto-detected from the first directive. Returns all
+    diagnostics plus the parsed SOC when the strict reader still accepts
+    the file (so callers can chain further analyses). *)
+
+val lint_file :
+  string -> (Violation.t list * Soctam_model.Soc.t option, string) result
+(** [Error] only for I/O failures; parse problems are violations. *)

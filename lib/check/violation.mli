@@ -1,0 +1,91 @@
+(** Typed diagnostics emitted by the [Soctam_check] certifiers and linters.
+
+    Every finding is a {!t}: a severity, a machine-readable {!kind}, a
+    {!location} inside the artifact under analysis, and a human-readable
+    message. Checkers never raise on bad input — they return the complete
+    list of violations they can establish, so a single pass surfaces every
+    problem at once (unlike the raise-on-first-error smart constructors
+    the optimizers use internally). *)
+
+type severity =
+  | Error  (** the artifact is wrong: a certified claim does not hold *)
+  | Warning  (** suspicious but not provably wrong *)
+  | Info  (** observation worth reporting, no action needed *)
+
+type location =
+  | Soc  (** the SOC / architecture / schedule as a whole *)
+  | Core of int  (** 1-based core id *)
+  | Tam of int  (** 1-based TAM number *)
+  | Line of int  (** 1-based line of an input file *)
+
+(** The closed violation taxonomy. Each constructor names one invariant;
+    {!kind_name} gives its stable kebab-case identifier used in the JSON
+    rendering and the CLI output. *)
+type kind =
+  (* Architecture certifier. *)
+  | Empty_partition  (** no TAM at all *)
+  | Nonpositive_width  (** some TAM width < 1 *)
+  | Width_sum_mismatch  (** widths do not sum to the requested total W *)
+  | Assignment_length_mismatch  (** dropped or surplus core *)
+  | Assignment_out_of_range  (** core assigned to a non-existent TAM *)
+  | Core_time_mismatch  (** claimed core time <> wrapper-design recompute *)
+  | Tam_time_mismatch  (** claimed TAM time <> sum of its core times *)
+  | Soc_time_mismatch  (** claimed SOC time <> max over TAM times *)
+  | Lower_bound_violated  (** claimed time beats an admissible lower bound *)
+  | Beats_exhaustive_optimum  (** claimed time beats the exact optimum *)
+  | Simulation_mismatch  (** cycle-level simulation disagrees *)
+  | Pipeline_inconsistent  (** optimizer result fields disagree *)
+  | Soc_name_mismatch  (** artifact recorded for a different SOC *)
+  (* Schedule / power certifier. *)
+  | Schedule_core_missing
+  | Schedule_core_duplicated
+  | Schedule_wrong_tam  (** slot on a TAM other than the core's *)
+  | Schedule_duration_mismatch
+  | Schedule_overlap  (** two sessions overlap on one TAM *)
+  | Schedule_negative_start
+  | Makespan_mismatch
+  | Peak_power_mismatch  (** reported peak <> recomputed peak *)
+  | Power_budget_exceeded
+  (* Input lint. *)
+  | Syntax_error
+  | Duplicate_core_id
+  | Nonconsecutive_core_ids
+  | Zero_patterns
+  | No_test_data  (** file or SOC without any core *)
+  | Scan_chain_mismatch  (** declared chain count <> lengths listed *)
+  | Module_count_mismatch  (** TotalModules disagrees with modules found *)
+  | Name_complexity_mismatch
+      (** SOC named like p93791 whose test-complexity number is far off *)
+  | Degenerate_core  (** no terminals and no scan: nothing to test *)
+
+type t = {
+  severity : severity;
+  kind : kind;
+  location : location;
+  message : string;
+}
+
+val make : severity -> kind -> location -> string -> t
+
+val errorf :
+  kind -> location -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** [errorf kind loc fmt ...] builds an [Error]-severity violation with a
+    formatted message. *)
+
+val warningf :
+  kind -> location -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val infof : kind -> location -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val kind_name : kind -> string
+(** Stable kebab-case identifier, e.g. ["width-sum-mismatch"]. *)
+
+val compare_severity : severity -> severity -> int
+(** [Error] orders before [Warning] orders before [Info]. *)
+
+val pp_location : Format.formatter -> location -> unit
+val pp : Format.formatter -> t -> unit
+(** One line: ["error[width-sum-mismatch] at TAM 2: ..."]. *)

@@ -10,7 +10,16 @@
     early exit is the paper's second level of solution-space pruning and
     is what lets [Partition_evaluate] discard most partitions cheaply.
 
-    Complexity O(m^2 + m*B) for [m] cores and [B] TAMs. *)
+    Complexity: the paper states O(mB + m log m) for [m] cores and [B]
+    TAMs, which assumes the per-TAM core orderings are pre-sorted and
+    consulted via priority queues. This implementation instead rescans
+    the unassigned set with plain linear passes — O(m + B) per of the
+    [m] assignment steps, i.e. O(m^2 + mB) overall. The simpler loop
+    was chosen deliberately: [m <= 32] on every SOC in the paper, the
+    early [tau] exit abandons most evaluations after a few steps, and
+    profiling shows the time-table lookups, not the scans, dominate.
+    Revisit with sorted structures only if SOCs with hundreds of cores
+    become a target. *)
 
 type outcome =
   | Assigned of {

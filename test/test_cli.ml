@@ -140,6 +140,65 @@ let wrapper_layout_flag () =
     [ "wrapper"; "d695"; "-c"; "4"; "-w"; "6"; "--layout" ]
     [ "chain  1:"; "internal" ]
 
+let optimize_certify_flag () =
+  check_output
+    [ "optimize"; "d695"; "-w"; "16"; "-b"; "2"; "--certify" ]
+    [ "OK: d695 co-optimization (W = 16)" ];
+  check_output
+    [ "anneal"; "d695"; "-w"; "12"; "--iterations"; "5000"; "--certify" ]
+    [ "OK: simulated annealing result" ]
+
+let check_command_roundtrip () =
+  let path = Filename.temp_file "cli_check" ".arch" in
+  check_output
+    [ "optimize"; "d695"; "-w"; "16"; "-b"; "2"; "--save-arch"; path ]
+    [ "architecture written" ];
+  check_output
+    [ "check"; "d695"; "--arch"; path; "-w"; "16"; "--exact"; "--sim" ]
+    [ "OK: d695 architecture vs architecture file" ];
+  check_output
+    [ "check"; "d695"; "--arch"; path; "--json" ]
+    [ {|"ok": true|}; {|"subject":|} ];
+  (* Corrupt the width partition: same TAM count, wrong sum. *)
+  let contents =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let oc = open_out path in
+  String.split_on_char '\n' contents
+  |> List.map (fun line ->
+         if String.length line >= 6 && String.sub line 0 6 = "widths" then
+           "widths 3+3+5+6"
+         else line)
+  |> List.iter (fun line -> output_string oc (line ^ "\n"));
+  close_out oc;
+  check_output ~code:1
+    [ "check"; "d695"; "--arch"; path; "-w"; "16" ]
+    [ "FAIL"; "width-sum-mismatch" ];
+  Sys.remove path
+
+let lint_command () =
+  check_output [ "lint"; "d695" ] [ "OK: SOC d695" ];
+  let path = Filename.temp_file "cli_lint" ".soc" in
+  let oc = open_out path in
+  output_string oc
+    "soc broken\n\
+     core 1 a inputs=2 outputs=2 patterns=0\n\
+     core 1 b inputs=3 outputs=3 patterns=9\n";
+  close_out oc;
+  check_output ~code:1 [ "lint"; path ]
+    [ "zero-patterns"; "duplicate-core-id" ];
+  check_output ~code:1 [ "lint"; path; "--json" ] [ {|"ok": false|} ];
+  Sys.remove path
+
+let schedule_certify_flag () =
+  check_output
+    [ "schedule"; "d695"; "-w"; "16"; "--budget-pct"; "60"; "--certify" ]
+    [ "OK: d695 test schedule" ]
+
 let suite =
   [
     test "info" info;
@@ -161,4 +220,8 @@ let suite =
     test "tables: unknown id" tables_unknown_id;
     test "tables: markdown and csv" tables_markdown_and_csv;
     test "wrapper: layout flag" wrapper_layout_flag;
+    test "optimize/anneal: --certify" optimize_certify_flag;
+    test "check: roundtrip + corruption" check_command_roundtrip;
+    test "lint" lint_command;
+    test "schedule: --certify" schedule_certify_flag;
   ]

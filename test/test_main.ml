@@ -22,5 +22,6 @@ let () =
       ("architect", Test_architect.suite);
       ("regression", Test_regression.suite);
       ("report", Test_report.suite);
+      ("check", Test_check.suite);
       ("cli", Test_cli.suite);
     ]
