@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench lint fmt clean
+.PHONY: all build test test-par bench lint fmt clean
 
 all: build
 
@@ -9,6 +9,12 @@ build:
 
 test:
 	dune runtest
+
+# Parallel determinism harness (test/test_parallel.ml): 100-case seeded
+# qcheck properties asserting jobs=1 and jobs=4 return byte-identical
+# architectures. Slow (spawns domains thousands of times), hence gated.
+test-par:
+	SOCTAM_SLOW_TESTS=1 dune build @runtest-slow
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,130 @@
+(* Parallel-evaluation scaling bench.
+
+   Runs the P_NPAW width sweep sequentially and on jobs = {2, 4, 8}
+   domains over d695 and the p21241/p93791-class synthetic SOCs, checks
+   the reported architectures are byte-identical at every job count, and
+   emits a JSON report (wall seconds, speedups, shared-tau prune
+   counters) suitable for committing as BENCH_parallel.json to track the
+   perf trajectory across machines.
+
+   SOCTAM_BENCH_FAST=1 restricts the width list. The speedup column is
+   only meaningful relative to [host_cores]: on a single-core container
+   extra domains are pure overhead, which the report then shows. *)
+
+module Pe = Soctam_core.Partition_evaluate
+module Sweep = Soctam_core.Sweep
+module Timer = Soctam_util.Timer
+
+let fast = Sys.getenv_opt "SOCTAM_BENCH_FAST" = Some "1"
+let widths = if fast then [ 16; 32 ] else [ 32; 48; 64 ]
+let job_counts = [ 1; 2; 4; 8 ]
+let max_tams = 10
+
+let socs =
+  [
+    ("d695", Soctam_soc_data.D695.soc);
+    ("p21241-synthetic", Soctam_soc_data.Philips.soc_p21241 ());
+    ("p93791-synthetic", Soctam_soc_data.Philips.soc_p93791 ());
+  ]
+
+type run = {
+  jobs : int;
+  seconds : float;
+  speedup : float;
+  completed : int;
+  tau_terminated : int;
+  identical : bool;
+}
+
+let point_signature (p : Sweep.point) =
+  ( p.Sweep.width,
+    p.Sweep.time,
+    Array.to_list p.Sweep.widths,
+    p.Sweep.tams )
+
+let bench_soc name soc =
+  let table =
+    Soctam_core.Time_table.build soc ~max_width:(List.fold_left max 1 widths)
+  in
+  let prune_counters ~jobs =
+    (* The tau-prune counters of one representative partition evaluation
+       at the largest width: how much of the enumeration space the
+       shared bound discards at this job count. *)
+    let w = List.fold_left max 1 widths in
+    let r = Pe.run ~jobs ~table ~total_width:w ~max_tams () in
+    Array.fold_left
+      (fun (c, t) s -> (c + s.Pe.completed, t + s.Pe.tau_terminated))
+      (0, 0) r.Pe.per_b
+  in
+  let reference = ref [] in
+  let baseline = ref 0. in
+  let runs =
+    List.map
+      (fun jobs ->
+        let points, seconds =
+          Timer.time (fun () -> Sweep.run ~max_tams ~jobs soc ~widths)
+        in
+        let signature = List.map point_signature points in
+        if jobs = 1 then begin
+          reference := signature;
+          baseline := seconds
+        end;
+        let completed, tau_terminated = prune_counters ~jobs in
+        {
+          jobs;
+          seconds;
+          speedup = (if seconds > 0. then !baseline /. seconds else 0.);
+          completed;
+          tau_terminated;
+          identical = signature = !reference;
+        })
+      job_counts
+  in
+  List.iter
+    (fun r ->
+      if not r.identical then (
+        Printf.eprintf
+          "FATAL: %s sweep at jobs=%d differs from the sequential result\n"
+          name r.jobs;
+        exit 1))
+    runs;
+  runs
+
+let json_run r =
+  Printf.sprintf
+    "      { \"jobs\": %d, \"seconds\": %.3f, \"speedup\": %.2f, \
+     \"completed\": %d, \"tau_terminated\": %d, \"identical\": %b }"
+    r.jobs r.seconds r.speedup r.completed r.tau_terminated r.identical
+
+let () =
+  let soc_reports =
+    List.map
+      (fun (name, soc) ->
+        let runs = bench_soc name soc in
+        Printf.sprintf
+          "  {\n\
+          \    \"soc\": %S,\n\
+          \    \"widths\": [%s],\n\
+          \    \"runs\": [\n\
+           %s\n\
+          \    ]\n\
+          \  }"
+          name
+          (String.concat ", " (List.map string_of_int widths))
+          (String.concat ",\n" (List.map json_run runs)))
+      socs
+  in
+  Printf.printf
+    "{\n\
+    \  \"bench\": \"parallel-sweep-scaling\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"max_tams\": %d,\n\
+    \  \"job_counts\": [%s],\n\
+    \  \"socs\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (Soctam_util.Pool.recommended_jobs ())
+    max_tams
+    (String.concat ", " (List.map string_of_int job_counts))
+    (String.concat ",\n" soc_reports)

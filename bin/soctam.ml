@@ -82,17 +82,17 @@ let wrapper_cmd spec core_id width layout =
 
 (* -- optimize ------------------------------------------------------------ *)
 
-let optimize_cmd spec width tams max_tams save_arch certify =
+let optimize_cmd spec width tams max_tams jobs save_arch certify =
   with_soc spec (fun soc ->
       let table = Soctam_core.Time_table.build soc ~max_width:width in
       let result, secs =
         Soctam_util.Timer.time (fun () ->
             match tams with
             | Some tams ->
-                Soctam_core.Co_optimize.run_fixed_tams ~table soc
+                Soctam_core.Co_optimize.run_fixed_tams ~jobs ~table soc
                   ~total_width:width ~tams
             | None ->
-                Soctam_core.Co_optimize.run ~max_tams ~table soc
+                Soctam_core.Co_optimize.run ~max_tams ~jobs ~table soc
                   ~total_width:width)
       in
       let architecture = result.Soctam_core.Co_optimize.architecture in
@@ -220,7 +220,7 @@ let schedule_cmd spec width budget_pct certify =
 
 (* -- sweep --------------------------------------------------------------- *)
 
-let sweep_cmd spec from_w to_w step tolerance =
+let sweep_cmd spec from_w to_w step tolerance jobs =
   with_soc spec (fun soc ->
       if from_w < 1 || to_w < from_w || step < 1 then begin
         prerr_endline "soctam: need 1 <= from <= to and step >= 1";
@@ -231,7 +231,7 @@ let sweep_cmd spec from_w to_w step tolerance =
           let rec loop w acc = if w > to_w then List.rev acc else loop (w + step) (w :: acc) in
           loop from_w []
         in
-        let points = Soctam_core.Sweep.run soc ~widths in
+        let points = Soctam_core.Sweep.run ~jobs soc ~widths in
         Format.printf "%a@." Soctam_core.Sweep.pp points;
         (match Soctam_core.Sweep.knee ~tolerance_pct:tolerance points with
         | Some knee ->
@@ -302,12 +302,12 @@ let anneal_cmd spec width max_tams iterations seed certify =
 
 (* -- exhaustive ---------------------------------------------------------- *)
 
-let exhaustive_cmd spec width tams budget certify =
+let exhaustive_cmd spec width tams budget jobs certify =
   with_soc spec (fun soc ->
       let table = Soctam_core.Time_table.build soc ~max_width:width in
       let result, secs =
         Soctam_util.Timer.time (fun () ->
-            Soctam_core.Exhaustive.run ~time_budget:budget ~table
+            Soctam_core.Exhaustive.run ~time_budget:budget ~jobs ~table
               ~total_width:width ~tams ())
       in
       Format.printf
@@ -511,6 +511,15 @@ let wrapper_term =
   in
   Term.(const wrapper_cmd $ soc_arg $ core_id $ width_arg $ layout)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate partitions on $(docv) parallel domains. The reported \
+           architecture is identical for every value; only the wall time \
+           changes. Default 1 (sequential).")
+
 let certify_flag =
   Arg.(
     value & flag
@@ -544,8 +553,8 @@ let optimize_term =
           ~doc:"Write the resulting architecture to FILE.")
   in
   Term.(
-    const optimize_cmd $ soc_arg $ width_arg $ tams $ max_tams $ save_arch
-    $ certify_flag)
+    const optimize_cmd $ soc_arg $ width_arg $ tams $ max_tams $ jobs_arg
+    $ save_arch $ certify_flag)
 
 let compare_term = Term.(const compare_cmd $ soc_arg $ width_arg)
 
@@ -573,7 +582,8 @@ let sweep_term =
       value & opt float 5.
       & info [ "tolerance" ] ~docv:"PCT" ~doc:"Knee tolerance in percent.")
   in
-  Term.(const sweep_cmd $ soc_arg $ from_w $ to_w $ step $ tolerance)
+  Term.(
+    const sweep_cmd $ soc_arg $ from_w $ to_w $ step $ tolerance $ jobs_arg)
 
 let anneal_term =
   let max_tams =
@@ -604,7 +614,9 @@ let exhaustive_term =
       value & opt float 60.
       & info [ "budget" ] ~docv:"S" ~doc:"Wall-clock budget in seconds.")
   in
-  Term.(const exhaustive_cmd $ soc_arg $ width_arg $ tams $ budget $ certify_flag)
+  Term.(
+    const exhaustive_cmd $ soc_arg $ width_arg $ tams $ budget $ jobs_arg
+    $ certify_flag)
 
 let tables_term =
   let ids =

@@ -39,12 +39,16 @@ let table_for ?table soc ~total_width =
       t
   | None -> Time_table.build soc ~max_width:total_width
 
-let run ?(max_tams = 10) ?(node_limit = 2_000_000) ?table soc ~total_width =
+let run ?(max_tams = 10) ?(node_limit = 2_000_000) ?(jobs = 1) ?table soc
+    ~total_width =
   let table = table_for ?table soc ~total_width in
-  let pe = Partition_evaluate.run ~table ~total_width ~max_tams () in
+  let pe = Partition_evaluate.run ~jobs ~table ~total_width ~max_tams () in
   finish ~table ~node_limit pe
 
-let run_fixed_tams ?(node_limit = 2_000_000) ?table soc ~total_width ~tams =
+let run_fixed_tams ?(node_limit = 2_000_000) ?(jobs = 1) ?table soc
+    ~total_width ~tams =
   let table = table_for ?table soc ~total_width in
-  let pe = Partition_evaluate.run_fixed ~table ~total_width ~tams () in
+  let pe =
+    Partition_evaluate.run_fixed ~jobs ~table ~total_width ~tams ()
+  in
   finish ~table ~node_limit pe

@@ -23,6 +23,7 @@ type t = {
 val run :
   ?max_tams:int ->
   ?node_limit:int ->
+  ?jobs:int ->
   ?table:Time_table.t ->
   Soctam_model.Soc.t ->
   total_width:int ->
@@ -30,10 +31,14 @@ val run :
 (** [run soc ~total_width] solves P_NPAW with [max_tams] (default 10,
     the paper's practical ceiling). [table] may be supplied to reuse a
     previously built time table; it must cover [total_width].
-    [node_limit] bounds the final exact step (default 2_000_000). *)
+    [node_limit] bounds the final exact step (default 2_000_000).
+    [jobs] (default 1) parallelizes the partition-evaluation stage over
+    that many domains; the resulting architecture is identical for every
+    [jobs] value (see {!Partition_evaluate.run}). *)
 
 val run_fixed_tams :
   ?node_limit:int ->
+  ?jobs:int ->
   ?table:Time_table.t ->
   Soctam_model.Soc.t ->
   total_width:int ->

@@ -8,51 +8,124 @@ type result = {
   nodes : int;
 }
 
-let run ?(node_limit_per_partition = 2_000_000) ?time_budget ~table
-    ~total_width ~tams () =
-  if total_width < tams then
-    invalid_arg "Exhaustive.run: total_width must be >= tams";
-  let deadline =
-    Option.map (fun budget -> Unix.gettimeofday () +. budget) time_budget
+(* One contiguous rank chunk of the partition sequence, solved exactly.
+   The first partition of a chunk is always evaluated before the
+   deadline is consulted, so even a zero budget returns a well-formed
+   (truncated) incumbent instead of failing. The deadline itself is a
+   monotonic reading ([Timer.now_s]): a wall-clock step under NTP can
+   neither cut the budget short nor extend it. *)
+type chunk = {
+  mutable k_time : int;
+  mutable k_rank : int;
+  mutable k_widths : int array;
+  mutable k_assignment : int array;
+  mutable k_solved : int;
+  mutable k_nodes : int;
+}
+
+let solve_chunk ~node_limit_per_partition ~out_of_time ~table ~total_width
+    ~tams ~lo ~hi =
+  let c =
+    {
+      k_time = max_int;
+      k_rank = max_int;
+      k_widths = [||];
+      k_assignment = [||];
+      k_solved = 0;
+      k_nodes = 0;
+    }
   in
-  let out_of_time () =
-    match deadline with
-    | None -> false
-    | Some d -> Unix.gettimeofday () > d
-  in
-  let best_time = ref max_int in
-  let best_widths = ref [||] in
-  let best_assignment = ref [||] in
-  let solved = ref 0 in
-  let total = ref 0 in
-  let nodes = ref 0 in
-  let truncated = ref false in
-  Soctam_partition.Enumerate.iter ~total:total_width ~parts:tams (fun widths ->
-      incr total;
-      if !truncated || out_of_time () then truncated := true
-      else begin
+  (match
+     Soctam_partition.Enumerate.Odometer.create_at ~total:total_width
+       ~parts:tams ~rank:lo
+   with
+  | None -> ()
+  | Some odometer ->
+      let rank = ref lo in
+      let continue = ref true in
+      while !continue do
+        let widths =
+          Soctam_partition.Enumerate.Odometer.current odometer
+        in
         let times = Time_table.matrix table ~widths in
         let exact =
           Soctam_ilp.Exact.solve_bb ~node_limit:node_limit_per_partition
             ~widths ~times ()
         in
-        nodes := !nodes + exact.Soctam_ilp.Exact.nodes;
-        if exact.Soctam_ilp.Exact.optimal then incr solved
-        else truncated := true;
-        if exact.Soctam_ilp.Exact.time < !best_time then begin
-          best_time := exact.Soctam_ilp.Exact.time;
-          best_widths := Array.copy widths;
-          best_assignment := exact.Soctam_ilp.Exact.assignment
+        c.k_nodes <- c.k_nodes + exact.Soctam_ilp.Exact.nodes;
+        (* A solve that exhausted its node budget signals the instance
+           is too hard for the budgets: keep its incumbent but stop this
+           chunk, as the sequential baseline always did. *)
+        if exact.Soctam_ilp.Exact.optimal then c.k_solved <- c.k_solved + 1
+        else continue := false;
+        if exact.Soctam_ilp.Exact.time < c.k_time then begin
+          c.k_time <- exact.Soctam_ilp.Exact.time;
+          c.k_rank <- !rank;
+          c.k_widths <- Array.copy widths;
+          c.k_assignment <- exact.Soctam_ilp.Exact.assignment
+        end;
+        incr rank;
+        if !rank >= hi then continue := false
+        else if !continue then begin
+          if out_of_time () then continue := false
+          else ignore (Soctam_partition.Enumerate.Odometer.advance odometer)
         end
-      end);
-  if Array.length !best_widths = 0 then
-    invalid_arg "Exhaustive.run: no partition evaluated (budget too small)";
-  {
-    widths = !best_widths;
-    time = !best_time;
-    assignment = !best_assignment;
-    partitions_total = !total;
-    partitions_solved = !solved;
-    complete = not !truncated;
-    nodes = !nodes;
-  }
+      done);
+  c
+
+let run ?(node_limit_per_partition = 2_000_000) ?time_budget ?(jobs = 1)
+    ~table ~total_width ~tams () =
+  if total_width < tams then
+    invalid_arg "Exhaustive.run: total_width must be >= tams";
+  let deadline =
+    Option.map
+      (fun budget -> Soctam_util.Timer.now_s () +. budget)
+      time_budget
+  in
+  let out_of_time () =
+    match deadline with
+    | None -> false
+    | Some d -> Soctam_util.Timer.now_s () > d
+  in
+  let total =
+    Soctam_partition.Count.exact ~total:total_width ~parts:tams
+  in
+  let chunks =
+    Soctam_util.Pool.map_ranges ~jobs ~length:total
+      ~f:(fun ~lo ~hi ->
+        solve_chunk ~node_limit_per_partition ~out_of_time ~table
+          ~total_width ~tams ~lo ~hi)
+      ()
+  in
+  (* Deterministic reduction, as in [Partition_evaluate]: the winner is
+     the minimum by (time, rank), independent of completion order. *)
+  let best = ref None in
+  Array.iter
+    (fun c ->
+      if Array.length c.k_widths <> 0 then
+        match !best with
+        | Some b
+          when b.k_time < c.k_time
+               || (b.k_time = c.k_time && b.k_rank < c.k_rank) ->
+            ()
+        | Some _ | None -> best := Some c)
+    chunks;
+  match !best with
+  | None ->
+      invalid_arg "Exhaustive.run: no partition evaluated (budget too small)"
+  | Some b ->
+      let solved =
+        Array.fold_left (fun acc c -> acc + c.k_solved) 0 chunks
+      in
+      {
+        widths = b.k_widths;
+        time = b.k_time;
+        assignment = b.k_assignment;
+        partitions_total = total;
+        partitions_solved = solved;
+        (* Complete iff every partition was solved to proven optimality:
+           a deadline stop, a node-budget stop and an unevaluated tail
+           all leave [solved < total]. *)
+        complete = solved = total;
+        nodes = Array.fold_left (fun acc c -> acc + c.k_nodes) 0 chunks;
+      }

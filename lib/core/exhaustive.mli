@@ -25,6 +25,7 @@ type result = {
 val run :
   ?node_limit_per_partition:int ->
   ?time_budget:float ->
+  ?jobs:int ->
   table:Time_table.t ->
   total_width:int ->
   tams:int ->
@@ -32,6 +33,16 @@ val run :
   result
 (** [run ~table ~total_width ~tams ()] enumerates every partition of
     [total_width] into [tams] parts and solves each exactly with
-    {!Soctam_ilp.Exact.solve_bb}. [time_budget] is in wall-clock seconds
-    (default: unlimited); [node_limit_per_partition] defaults to
-    2_000_000. *)
+    {!Soctam_ilp.Exact.solve_bb}. [time_budget] is in elapsed seconds
+    measured on the monotonic clock (default: unlimited), so wall-clock
+    adjustments cannot distort it; each worker always solves the first
+    partition of its chunk before consulting the deadline, so even a
+    zero budget returns a well-formed truncated incumbent.
+    [node_limit_per_partition] defaults to 2_000_000.
+
+    [jobs] (default 1) splits the partition sequence into contiguous
+    rank chunks solved on that many domains. Without a [time_budget]
+    the result is identical for every [jobs] value (the winner is the
+    minimum by (time, rank)); under a budget the set of partitions that
+    fit before the deadline is inherently timing-dependent, exactly as
+    it already was sequentially. *)

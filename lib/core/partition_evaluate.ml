@@ -63,6 +63,133 @@ let evaluate_b ~table ~total_width ~tams ~tau best =
     best_time = !best_time_b;
   }
 
+(* -- parallel evaluation --------------------------------------------------- *)
+
+(* The best candidate found inside one contiguous rank chunk. [c_rank] is
+   the global lexicographic rank of [c_widths]: the reduction over chunks
+   minimizes (time, rank), which reproduces the sequential "first strict
+   improvement in enumeration order" winner no matter how chunk
+   completions interleave. *)
+type chunk_best = {
+  mutable c_time : int;
+  mutable c_rank : int;
+  mutable c_widths : int array;
+  mutable c_assignment : int array;
+}
+
+type chunk_result = {
+  ch_enumerated : int;
+  ch_completed : int;
+  ch_tau_terminated : int;
+  ch_best_time : int option;
+  ch_best : chunk_best;
+}
+
+(* One domain's share of a TAM count: evaluate the partitions of global
+   rank [lo .. hi-1]. The shared bound [tau] is read before every
+   evaluation and improved after every completion, so pruning reflects
+   the best result of every domain, not just this one. The early-exit
+   threshold is [tau + 1], not [tau]: a partition that merely ties the
+   bound must still complete, because the deterministic reduction needs
+   its (time, rank) pair — the sequential path prunes ties, but there
+   the tie's rank is already known to be larger than the incumbent's,
+   which is exactly the information a racing domain lacks. *)
+let evaluate_chunk ~table ~total_width ~tams ~tau ~lo ~hi =
+  let enumerated = ref 0 in
+  let completed = ref 0 in
+  let tau_terminated = ref 0 in
+  let best_time_b = ref None in
+  let cb =
+    { c_time = max_int; c_rank = max_int; c_widths = [||]; c_assignment = [||] }
+  in
+  (match
+     Soctam_partition.Enumerate.Odometer.create_at ~total:total_width
+       ~parts:tams ~rank:lo
+   with
+  | None -> ()
+  | Some odometer ->
+      for rank = lo to hi - 1 do
+        let widths = Soctam_partition.Enumerate.Odometer.current odometer in
+        incr enumerated;
+        let bound = Soctam_util.Pool.Shared_min.get tau in
+        let threshold = if bound = max_int then max_int else bound + 1 in
+        (match Core_assign.run_table ~best:threshold ~table ~widths () with
+        | Core_assign.Exceeded _ -> incr tau_terminated
+        | Core_assign.Assigned { assignment; time; _ } ->
+            incr completed;
+            Soctam_util.Pool.Shared_min.improve tau time;
+            (match !best_time_b with
+            | Some t when t <= time -> ()
+            | Some _ | None -> best_time_b := Some time);
+            (* Ranks increase within the chunk, so a strict comparison
+               keeps the lowest-rank partition among equal times. *)
+            if time < cb.c_time then begin
+              cb.c_time <- time;
+              cb.c_rank <- rank;
+              cb.c_widths <- Array.copy widths;
+              cb.c_assignment <- Array.copy assignment
+            end);
+        if rank < hi - 1 then
+          ignore (Soctam_partition.Enumerate.Odometer.advance odometer)
+      done);
+  {
+    ch_enumerated = !enumerated;
+    ch_completed = !completed;
+    ch_tau_terminated = !tau_terminated;
+    ch_best_time = !best_time_b;
+    ch_best = cb;
+  }
+
+let evaluate_b_parallel ~jobs ~table ~total_width ~tams ~tau best =
+  let unique =
+    Soctam_partition.Count.exact ~total:total_width ~parts:tams
+  in
+  let chunks =
+    Soctam_util.Pool.map_ranges ~jobs ~length:unique
+      ~f:(fun ~lo ~hi -> evaluate_chunk ~table ~total_width ~tams ~tau ~lo ~hi)
+      ()
+  in
+  (* Deterministic reduction: chunks arrive in rank order, so scanning
+     left to right with strict comparisons yields the minimum
+     (time, rank) candidate — byte-identical to the jobs = 1 winner. *)
+  let winner =
+    Array.fold_left
+      (fun acc chunk ->
+        let cb = chunk.ch_best in
+        if Array.length cb.c_widths = 0 then acc
+        else
+          match acc with
+          | Some best
+            when best.c_time < cb.c_time
+                 || (best.c_time = cb.c_time && best.c_rank < cb.c_rank) ->
+              Some best
+          | Some _ | None -> Some cb)
+      None chunks
+  in
+  (match winner with
+  | Some cb when cb.c_time < best.b_time ->
+      best.b_time <- cb.c_time;
+      best.b_widths <- cb.c_widths;
+      best.b_assignment <- cb.c_assignment
+  | Some _ | None -> ());
+  let sum f = Array.fold_left (fun acc c -> acc + f c) 0 chunks in
+  {
+    tams;
+    unique_partitions = unique;
+    enumerated = sum (fun c -> c.ch_enumerated);
+    completed = sum (fun c -> c.ch_completed);
+    tau_terminated = sum (fun c -> c.ch_tau_terminated);
+    best_time =
+      Array.fold_left
+        (fun acc c ->
+          match (acc, c.ch_best_time) with
+          | None, t | t, None -> t
+          | Some a, Some b -> Some (min a b))
+        None chunks;
+  }
+
+(* -- shared driver --------------------------------------------------------- *)
+
 let check_args ~table ~total_width ~max_tams =
   if total_width < 1 then
     invalid_arg "Partition_evaluate: total_width must be >= 1";
@@ -70,16 +197,35 @@ let check_args ~table ~total_width ~max_tams =
   if Time_table.max_width table < total_width then
     invalid_arg "Partition_evaluate: time table narrower than total width"
 
-let run_general ?initial_best ~carry_tau ~table ~total_width ~b_values () =
+let run_general ?initial_best ~carry_tau ~jobs ~table ~total_width ~b_values
+    () =
   let initial = match initial_best with Some t -> t | None -> max_int in
   let best = { b_widths = [||]; b_time = initial; b_assignment = [||] } in
-  let tau = ref initial in
   let per_b =
-    List.map
-      (fun tams ->
-        if not carry_tau then tau := initial;
-        evaluate_b ~table ~total_width ~tams ~tau best)
-      b_values
+    if jobs <= 1 then begin
+      let tau = ref initial in
+      List.map
+        (fun tams ->
+          if not carry_tau then tau := initial;
+          evaluate_b ~table ~total_width ~tams ~tau best)
+        b_values
+    end
+    else begin
+      (* One shared bound per tau scope: for the carried variant it lives
+         across TAM counts (the strongest pruning); for the per-B reset
+         variant each TAM count starts from [initial] again. The B loop
+         itself stays sequential — parallelism is inside each TAM
+         count's partition range, where the fan-out lives. *)
+      let carried = Soctam_util.Pool.Shared_min.create initial in
+      List.map
+        (fun tams ->
+          let tau =
+            if carry_tau then carried
+            else Soctam_util.Pool.Shared_min.create initial
+          in
+          evaluate_b_parallel ~jobs ~table ~total_width ~tams ~tau best)
+        b_values
+    end
   in
   if Array.length best.b_widths = 0 then begin
     (* Nothing beat the seed: fall back to an even split over the first
@@ -104,14 +250,15 @@ let run_general ?initial_best ~carry_tau ~table ~total_width ~b_values () =
       per_b = Array.of_list per_b;
     }
 
-let run ?initial_best ?(carry_tau = true) ~table ~total_width ~max_tams () =
+let run ?initial_best ?(carry_tau = true) ?(jobs = 1) ~table ~total_width
+    ~max_tams () =
   check_args ~table ~total_width ~max_tams;
   let b_values = Soctam_util.Intutil.range 1 (min max_tams total_width) in
-  run_general ?initial_best ~carry_tau ~table ~total_width ~b_values ()
+  run_general ?initial_best ~carry_tau ~jobs ~table ~total_width ~b_values ()
 
-let run_fixed ?initial_best ~table ~total_width ~tams () =
+let run_fixed ?initial_best ?(jobs = 1) ~table ~total_width ~tams () =
   check_args ~table ~total_width ~max_tams:tams;
   if tams > total_width then
     invalid_arg "Partition_evaluate.run_fixed: more TAMs than width";
-  run_general ?initial_best ~carry_tau:true ~table ~total_width
+  run_general ?initial_best ~carry_tau:true ~jobs ~table ~total_width
     ~b_values:[ tams ] ()

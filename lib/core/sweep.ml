@@ -8,7 +8,7 @@ type point = {
   saturated : bool;
 }
 
-let run ?(max_tams = 10) ?(node_limit = 2_000_000) soc ~widths =
+let run ?(max_tams = 10) ?(node_limit = 2_000_000) ?(jobs = 1) soc ~widths =
   if widths = [] then invalid_arg "Sweep.run: empty width list";
   List.iter
     (fun w -> if w < 1 then invalid_arg "Sweep.run: widths must be >= 1")
@@ -19,7 +19,8 @@ let run ?(max_tams = 10) ?(node_limit = 2_000_000) soc ~widths =
   List.map
     (fun width ->
       let result =
-        Co_optimize.run ~max_tams ~node_limit ~table soc ~total_width:width
+        Co_optimize.run ~max_tams ~node_limit ~jobs ~table soc
+          ~total_width:width
       in
       let bounds = Bounds.compute table ~total_width:width in
       let partition =

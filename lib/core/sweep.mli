@@ -17,11 +17,14 @@ type point = {
 val run :
   ?max_tams:int ->
   ?node_limit:int ->
+  ?jobs:int ->
   Soctam_model.Soc.t ->
   widths:int list ->
   point list
 (** One pipeline run per width, in the given order. The time table is
-    built once at the largest width and shared.
+    built once at the largest width and shared. [jobs] (default 1)
+    parallelizes each width's partition evaluation over that many
+    domains; the reported points are identical for every [jobs] value.
     @raise Invalid_argument on an empty or non-positive width list. *)
 
 val knee : ?tolerance_pct:float -> point list -> point option

@@ -1,9 +1,16 @@
 (* p(n, k) satisfies p(n, k) = p(n-1, k-1) + p(n-k, k): either the smallest
    part is 1 (remove it) or all parts are >= 2 (subtract 1 from each). *)
 
+(* The memo is shared across calls and, since the parallel evaluation
+   layer, across domains; a single lock around each top-level query keeps
+   the Hashtbl safe. The recursion runs lock-free underneath ([go] never
+   takes the lock), so there is no reentrancy hazard, and queries are
+   cheap enough (<= total * parts table entries) that contention is
+   irrelevant — callers count once per TAM count, not per partition. *)
 let table : (int * int, int) Hashtbl.t = Hashtbl.create 1024
+let lock = Mutex.create ()
 
-let rec exact ~total ~parts =
+let rec go ~total ~parts =
   if parts <= 0 || total < parts then (if total = 0 && parts = 0 then 1 else 0)
   else if parts = total || parts = 1 then 1
   else
@@ -11,11 +18,17 @@ let rec exact ~total ~parts =
     | Some v -> v
     | None ->
         let v =
-          exact ~total:(total - 1) ~parts:(parts - 1)
-          + exact ~total:(total - parts) ~parts
+          go ~total:(total - 1) ~parts:(parts - 1)
+          + go ~total:(total - parts) ~parts
         in
         Hashtbl.add table (total, parts) v;
         v
+
+let exact ~total ~parts =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () -> go ~total ~parts)
 
 let at_most ~total ~max_parts =
   let rec loop k acc =

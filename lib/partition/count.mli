@@ -8,7 +8,9 @@
 val exact : total:int -> parts:int -> int
 (** [exact ~total ~parts] is p(total, parts), the number of partitions of
     [total] into exactly [parts] positive parts. 0 when impossible.
-    Exact dynamic programming; memoized across calls. *)
+    Exact dynamic programming; memoized across calls. The memo is
+    protected by a lock, so concurrent calls from multiple domains are
+    safe (the parallel evaluation layer counts and unranks partitions). *)
 
 val at_most : total:int -> max_parts:int -> int
 (** Partitions of [total] into at most [max_parts] parts. *)

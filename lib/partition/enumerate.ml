@@ -84,6 +84,41 @@ module Compositions = struct
     snd (fold ~total ~parts ~init:() ~f:(fun () _ -> ()))
 end
 
+(* Partitions of [total] into [parts] parts, each >= [min_part]: subtract
+   [min_part - 1] from every part and count ordinary partitions. *)
+let count_with_min ~total ~parts ~min_part =
+  Count.exact ~total:(total - (parts * (min_part - 1))) ~parts
+
+let unrank ~total ~parts ~rank =
+  if parts < 1 || total < parts || rank < 0 then None
+  else if rank >= Count.exact ~total ~parts then None
+  else begin
+    let widths = Array.make parts 0 in
+    (* Walk the enumeration tree of [fold]: position [j] tries each
+       candidate w >= w_(j-1) in increasing order, and each candidate
+       covers a contiguous block of [count_with_min] ranks; descend into
+       the block containing [rank]. O(parts * total) counting queries. *)
+    let rec fill j min_part remaining rank =
+      if j = parts - 1 then widths.(j) <- remaining
+      else begin
+        let rec choose w rank =
+          let block =
+            count_with_min ~total:(remaining - w) ~parts:(parts - j - 1)
+              ~min_part:w
+          in
+          if rank < block then begin
+            widths.(j) <- w;
+            fill (j + 1) w (remaining - w) rank
+          end
+          else choose (w + 1) (rank - block)
+        in
+        choose min_part rank
+      end
+    in
+    fill 0 1 total rank;
+    Some widths
+  end
+
 module Odometer = struct
   type t = { total : int; parts : int; widths : int array }
 
@@ -94,6 +129,11 @@ module Odometer = struct
       widths.(parts - 1) <- total - parts + 1;
       Some { total; parts; widths }
     end
+
+  let create_at ~total ~parts ~rank =
+    Option.map
+      (fun widths -> { total; parts; widths })
+      (unrank ~total ~parts ~rank)
 
   let current t = t.widths
 

@@ -50,6 +50,17 @@ module Compositions : sig
   (** Run the enumeration purely for its statistics. *)
 end
 
+val unrank : total:int -> parts:int -> rank:int -> int array option
+(** [unrank ~total ~parts ~rank] is the partition at 0-based position
+    [rank] of the lexicographic enumeration order shared by {!fold} and
+    {!Odometer} — without enumerating its predecessors. Descends the
+    enumeration tree guided by {!Count.exact} block counts, so it costs
+    O(parts * total) counting queries instead of O(rank) advances. This
+    is what lets the parallel evaluation layer cut the sequence of
+    [Count.exact ~total ~parts] partitions into contiguous rank chunks
+    and start a domain at each chunk boundary. [None] when no such
+    partition exists ([rank] out of range or the instance is empty). *)
+
 module Odometer : sig
   type t
 
@@ -57,6 +68,11 @@ module Odometer : sig
   (** [None] when no partition exists ([total < parts] or [parts < 1]).
       Otherwise positioned on the first partition
       [(1, 1, ..., total - parts + 1)]. *)
+
+  val create_at : total:int -> parts:int -> rank:int -> t option
+  (** Like {!create} but positioned on the partition {!unrank} returns
+      for [rank]; advancing then continues the enumeration from there.
+      [None] when [rank] is out of range. *)
 
   val current : t -> int array
   (** The partition currently pointed at (do not mutate). *)

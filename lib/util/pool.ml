@@ -1,0 +1,64 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let split ~chunks ~length =
+  if length <= 0 || chunks < 1 then [||]
+  else begin
+    let n = min chunks length in
+    let base = length / n and extra = length mod n in
+    Array.init n (fun i ->
+        let lo = (i * base) + min i extra in
+        let hi = lo + base + if i < extra then 1 else 0 in
+        (lo, hi))
+  end
+
+let run_inline thunks = Array.map (fun thunk -> thunk ()) thunks
+
+let run ~jobs thunks =
+  let n = Array.length thunks in
+  if jobs <= 1 || n < 2 then run_inline thunks
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match thunks.(i) () with
+          | value -> results.(i) <- Some value
+          | exception exn ->
+              (* First failure wins; the others drain and exit. *)
+              ignore (Atomic.compare_and_set failure None (Some exn))
+      done
+    in
+    let domains =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with Some exn -> raise exn | None -> ());
+    Array.map
+      (function
+        | Some value -> value
+        | None -> invalid_arg "Pool.run: worker produced no result")
+      results
+  end
+
+let map_ranges ~jobs ?(chunks_per_job = 4) ~length ~f () =
+  let chunks = if jobs <= 1 then 1 else jobs * max 1 chunks_per_job in
+  let ranges = split ~chunks ~length in
+  run ~jobs (Array.map (fun (lo, hi) () -> f ~lo ~hi) ranges)
+
+module Shared_min = struct
+  type t = int Atomic.t
+
+  let create initial = Atomic.make initial
+  let get = Atomic.get
+
+  let rec improve t v =
+    let current = Atomic.get t in
+    if v < current && not (Atomic.compare_and_set t current v) then
+      improve t v
+end

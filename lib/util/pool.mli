@@ -1,0 +1,80 @@
+(** A small fixed-size [Domain] pool with chunked work distribution.
+
+    The partition fan-out of [Partition_evaluate] and [Exhaustive] is
+    embarrassingly parallel: every work item needs only read-only shared
+    state (the time table), so the only coordination required is (1)
+    splitting an indexable range into contiguous chunks, (2) running the
+    chunks on a bounded number of domains, and (3) a shared best-known
+    bound so the paper's early-termination pruning keeps biting across
+    domains. This module provides exactly those three pieces and nothing
+    else; everything policy-shaped (what a chunk computes, how results
+    are reduced) stays with the caller, which is what makes the
+    deterministic reductions easy to audit.
+
+    Determinism contract: {!run} and {!map_ranges} return results in
+    input order regardless of which domain ran which chunk and in what
+    order they completed. A caller that reduces the returned array
+    left-to-right therefore sees the same reduction order as a
+    sequential run over the same chunks. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: a sensible default for [-j]. *)
+
+val split : chunks:int -> length:int -> (int * int) array
+(** [split ~chunks ~length] divides the index range [0 .. length-1] into
+    at most [chunks] contiguous [(lo, hi)] half-open ranges. Every index
+    is covered exactly once, ranges are in increasing order, and their
+    sizes differ by at most one (the leading ranges take the remainder).
+    Empty when [length <= 0]; fewer than [chunks] ranges when
+    [length < chunks] (never an empty range). *)
+
+val run : jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ~jobs thunks] evaluates every thunk and returns the results in
+    input order. With [jobs <= 1] or fewer than two thunks everything
+    runs inline on the calling domain (no spawning); otherwise
+    [min jobs (Array.length thunks)] domains are spawned and pull thunks
+    off a shared atomic counter until none remain, so a skewed thunk
+    cost (e.g. tau pruning killing one chunk early) rebalances onto the
+    idle domains.
+
+    Exceptions raised by a thunk are re-raised on the calling domain
+    after every domain has been joined. *)
+
+val map_ranges :
+  jobs:int ->
+  ?chunks_per_job:int ->
+  length:int ->
+  f:(lo:int -> hi:int -> 'a) ->
+  unit ->
+  'a array
+(** [map_ranges ~jobs ~length ~f ()] applies [f] to every range of
+    [split ~chunks:(jobs * chunks_per_job) ~length] via {!run}. Results
+    are in range order. [chunks_per_job] (default 4) oversubscribes the
+    pool so chunks whose work collapses early (shared-tau pruning)
+    do not leave domains idle. With [jobs <= 1] the single range
+    [0 .. length-1] is processed inline: the sequential path is the
+    parallel path with one chunk, not separate code. *)
+
+module Shared_min : sig
+  (** A shared monotonically non-increasing integer: the parallel form
+      of the paper's best-known SOC time [tau]. Domains publish every
+      completed evaluation with {!improve} and read the current bound
+      with {!get}; the early-exit threshold each worker hands to
+      [Core_assign] then reflects the best result found by {e any}
+      domain, which is what keeps the paper's second pruning level
+      effective under parallel evaluation. Reads are racy by design:
+      a stale read only weakens pruning, never correctness. *)
+
+  type t
+
+  val create : int -> t
+  (** A shared bound starting at the given value ([max_int] = no bound). *)
+
+  val get : t -> int
+  (** Current bound. *)
+
+  val improve : t -> int -> unit
+  (** [improve t v] lowers the bound to [v] if [v] is smaller; a
+      compare-and-set loop, so concurrent improvements never lose the
+      minimum. *)
+end

@@ -1,7 +1,15 @@
+(* The monotonic clock comes from bechamel's tiny C stub library
+   (CLOCK_MONOTONIC under the hood): unlike [Unix.gettimeofday] it can
+   never jump backwards under NTP slew or wall-clock adjustment, so
+   durations and deadlines computed from it are reliable. *)
+
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+
 let time f =
-  let start = Unix.gettimeofday () in
+  let start = now_ns () in
   let result = f () in
-  (result, Unix.gettimeofday () -. start)
+  (result, Int64.to_float (Int64.sub (now_ns ()) start) /. 1e9)
 
 let time_ms f =
   let result, seconds = time f in

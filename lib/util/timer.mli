@@ -1,11 +1,21 @@
-(** Wall-clock timing for the experiment harness.
+(** Monotonic timing for the experiment harness and deadlines.
 
-    CPU-time comparisons in the paper (heuristic vs exhaustive) are
-    reproduced as wall-clock ratios measured on the same machine. *)
+    All readings come from the OS monotonic clock, so they are immune to
+    wall-clock adjustments (NTP steps, manual changes): a deadline
+    computed as [now_s () +. budget] can only be reached by real elapsed
+    time. CPU-time comparisons in the paper (heuristic vs exhaustive)
+    are reproduced as elapsed-time ratios measured on the same machine. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock reading in nanoseconds. Only differences are
+    meaningful; the epoch is unspecified (typically system boot). *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
-    wall-clock seconds. *)
+    monotonic seconds. *)
 
 val time_ms : (unit -> 'a) -> 'a * float
 (** Like {!time} but in milliseconds. *)

@@ -38,6 +38,22 @@ let co_optimize_certifies () =
     (Certify.co_optimize ~table ~check_exact:true ~check_simulation:true
        ~soc:d695 ~total_width:16 result)
 
+let parallel_co_optimize_certifies () =
+  (* The multicore path must produce architectures that the independent
+     certifier accepts — and the same ones the sequential path produces. *)
+  let table = Tt.build d695 ~max_width:16 in
+  let seq = Co.run ~max_tams:6 ~jobs:1 ~table d695 ~total_width:16 in
+  let par = Co.run ~max_tams:6 ~jobs:4 ~table d695 ~total_width:16 in
+  check_ok "npaw result (jobs=4)"
+    (Certify.co_optimize ~table ~check_exact:true ~check_simulation:true
+       ~soc:d695 ~total_width:16 par);
+  Alcotest.(check (array int))
+    "same widths as sequential" seq.Co.architecture.Arch.widths
+    par.Co.architecture.Arch.widths;
+  Alcotest.(check (array int))
+    "same assignment as sequential" seq.Co.architecture.Arch.assignment
+    par.Co.architecture.Arch.assignment
+
 let exhaustive_certifies () =
   let table = Tt.build d695 ~max_width:12 in
   let result =
@@ -580,6 +596,8 @@ let property_random_socs () =
 let suite =
   [
     test "certify: co_optimize on d695" co_optimize_certifies;
+    test "certify: parallel co_optimize (jobs=4)"
+      parallel_co_optimize_certifies;
     test "certify: exhaustive baseline" exhaustive_certifies;
     test "certify: exact P_AW solver" ilp_exact_certifies;
     test "certify: annealer" annealer_certifies;

@@ -82,6 +82,9 @@ let wrapper_bad_core () =
 let exhaustive_command () =
   check_output
     [ "exhaustive"; "d695"; "-w"; "16"; "-b"; "2" ]
+    [ "partitions solved"; "exhaustive: partition" ];
+  check_output
+    [ "exhaustive"; "d695"; "-w"; "16"; "-b"; "2"; "-j"; "4" ]
     [ "partitions solved"; "exhaustive: partition" ]
 
 let compare_command () =
@@ -92,6 +95,9 @@ let compare_command () =
 let sweep_command () =
   check_output
     [ "sweep"; "d695"; "--from"; "8"; "--to"; "16"; "--step"; "8" ]
+    [ "partition"; "knee: W =" ];
+  check_output
+    [ "sweep"; "d695"; "--from"; "8"; "--to"; "16"; "--step"; "8"; "-j"; "4" ]
     [ "partition"; "knee: W =" ]
 
 let schedule_command () =
@@ -143,6 +149,9 @@ let wrapper_layout_flag () =
 let optimize_certify_flag () =
   check_output
     [ "optimize"; "d695"; "-w"; "16"; "-b"; "2"; "--certify" ]
+    [ "OK: d695 co-optimization (W = 16)" ];
+  check_output
+    [ "optimize"; "d695"; "-w"; "16"; "-b"; "2"; "-j"; "4"; "--certify" ]
     [ "OK: d695 co-optimization (W = 16)" ];
   check_output
     [ "anneal"; "d695"; "-w"; "12"; "--iterations"; "5000"; "--certify" ]

@@ -473,6 +473,44 @@ let exhaustive_counts_partitions () =
   Alcotest.(check int) "all solved" 8 r.Ex.partitions_solved;
   Alcotest.(check bool) "complete" true r.Ex.complete
 
+let exhaustive_zero_budget_truncates () =
+  (* The deadline is monotonic and consulted only after the first
+     partition of each chunk: even a zero budget must return a
+     well-formed truncated incumbent, never raise. *)
+  let soc = small_soc 11L ~cores:5 in
+  let table = Tt.build soc ~max_width:12 in
+  let r = Ex.run ~time_budget:0. ~table ~total_width:12 ~tams:3 () in
+  Alcotest.(check int) "widths sum to W" 12
+    (Soctam_util.Intutil.sum r.Ex.widths);
+  Alcotest.(check int) "assignment covers every core" 5
+    (Array.length r.Ex.assignment);
+  Alcotest.(check bool) "at least one partition solved" true
+    (r.Ex.partitions_solved >= 1);
+  Alcotest.(check bool) "truncated run not marked complete" false
+    r.Ex.complete;
+  let full = Ex.run ~table ~total_width:12 ~tams:3 () in
+  Alcotest.(check bool) "incumbent no better than optimum" true
+    (r.Ex.time >= full.Ex.time)
+
+let exhaustive_parallel_matches_sequential () =
+  (* One cheap fixed-instance determinism check in tier 1; the seeded
+     100-case qcheck version lives in test_parallel.ml (@runtest-slow). *)
+  let soc = small_soc 21L ~cores:5 in
+  let table = Tt.build soc ~max_width:11 in
+  let seq = Ex.run ~jobs:1 ~table ~total_width:11 ~tams:3 () in
+  let par = Ex.run ~jobs:4 ~table ~total_width:11 ~tams:3 () in
+  Alcotest.(check int) "time" seq.Ex.time par.Ex.time;
+  Alcotest.(check (array int)) "widths" seq.Ex.widths par.Ex.widths;
+  Alcotest.(check (array int)) "assignment" seq.Ex.assignment
+    par.Ex.assignment;
+  let pseq = Pe.run ~jobs:1 ~table ~total_width:11 ~max_tams:4 () in
+  let ppar = Pe.run ~jobs:4 ~table ~total_width:11 ~max_tams:4 () in
+  Alcotest.(check int) "heuristic time" pseq.Pe.time ppar.Pe.time;
+  Alcotest.(check (array int)) "heuristic widths" pseq.Pe.widths
+    ppar.Pe.widths;
+  Alcotest.(check (array int)) "heuristic assignment" pseq.Pe.assignment
+    ppar.Pe.assignment
+
 let exhaustive_beats_or_matches_heuristic =
   QCheck.Test.make ~name:"Exhaustive: never worse than Partition_evaluate"
     ~count:10
@@ -620,6 +658,10 @@ let suite =
     qtest exhaustive_is_optimal;
     test "Exhaustive: budget degradation" exhaustive_budget_degrades;
     test "Exhaustive: partition accounting" exhaustive_counts_partitions;
+    test "Exhaustive: zero budget still well-formed"
+      exhaustive_zero_budget_truncates;
+    test "parallel evaluation matches sequential"
+      exhaustive_parallel_matches_sequential;
     qtest exhaustive_beats_or_matches_heuristic;
     qtest pipeline_invariants;
     qtest pipeline_lower_bound;

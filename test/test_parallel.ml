@@ -1,0 +1,240 @@
+(* Determinism harness for the multicore partition evaluation.
+
+   The contract under test: for every [jobs] value, [Partition_evaluate],
+   [Exhaustive], [Co_optimize] and [Sweep] return results byte-identical
+   to the sequential run — same best time, same partition, same
+   core-to-TAM assignment. The qcheck properties drive seeded random
+   SOCs ([Random_soc]) so the suite covers fresh instances on every
+   run while staying reproducible from the printed seed.
+
+   This file is its own executable, wired to the [runtest-slow] alias
+   (gated on SOCTAM_SLOW_TESTS=1, see test/dune and `make test-par`):
+   the properties spawn domains thousands of times, which is too slow
+   for the tier-1 suite. *)
+
+module Pool = Soctam_util.Pool
+module Pe = Soctam_core.Partition_evaluate
+module Ex = Soctam_core.Exhaustive
+module Co = Soctam_core.Co_optimize
+module Sweep = Soctam_core.Sweep
+module Tt = Soctam_core.Time_table
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let small_soc seed ~cores =
+  let rng = Soctam_util.Prng.create seed in
+  Soctam_soc_data.Random_soc.generate rng
+    {
+      Soctam_soc_data.Random_soc.default_params with
+      Soctam_soc_data.Random_soc.cores;
+      max_ios = 60;
+      max_patterns = 200;
+      max_chains = 6;
+      max_chain_length = 50;
+    }
+
+(* -- Pool.split: the chunking itself -------------------------------------- *)
+
+let split_covers_every_index_once =
+  QCheck.Test.make
+    ~name:"split: every index covered exactly once, in order" ~count:200
+    QCheck.(pair (int_range 1 40) (int_range 0 500))
+    (fun (chunks, length) ->
+      let ranges = Pool.split ~chunks ~length in
+      let seen = Array.make length 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          if lo >= hi then QCheck.Test.fail_report "empty range";
+          for i = lo to hi - 1 do
+            seen.(i) <- seen.(i) + 1
+          done)
+        ranges;
+      Array.iteri
+        (fun i (lo, _) ->
+          if i > 0 then begin
+            let _, prev_hi = ranges.(i - 1) in
+            if lo <> prev_hi then
+              QCheck.Test.fail_report "ranges not contiguous"
+          end)
+        ranges;
+      Array.for_all (fun c -> c = 1) seen)
+
+let split_sizes_balanced =
+  QCheck.Test.make ~name:"split: chunk sizes differ by at most one"
+    ~count:200
+    QCheck.(pair (int_range 1 40) (int_range 1 500))
+    (fun (chunks, length) ->
+      let sizes =
+        Pool.split ~chunks ~length |> Array.map (fun (lo, hi) -> hi - lo)
+      in
+      let mn = Array.fold_left min max_int sizes in
+      let mx = Array.fold_left max 0 sizes in
+      mx - mn <= 1)
+
+let run_preserves_input_order () =
+  let thunks = Array.init 23 (fun i () -> i * i) in
+  Alcotest.(check (array int))
+    "jobs=4 results in input order"
+    (Array.init 23 (fun i -> i * i))
+    (Pool.run ~jobs:4 thunks)
+
+let run_propagates_exception () =
+  Alcotest.check_raises "a worker exception reaches the caller"
+    (Failure "boom") (fun () ->
+      ignore
+        (Pool.run ~jobs:4
+           (Array.init 8 (fun i () ->
+                if i = 5 then failwith "boom" else i))))
+
+let shared_min_keeps_minimum =
+  QCheck.Test.make ~name:"Shared_min: holds the minimum of all improvements"
+    ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (initial, updates) ->
+      let t = Pool.Shared_min.create initial in
+      List.iter (Pool.Shared_min.improve t) updates;
+      Pool.Shared_min.get t = List.fold_left min initial updates)
+
+(* -- Partition_evaluate determinism --------------------------------------- *)
+
+let signature (r : Pe.result) =
+  (r.Pe.time, Array.to_list r.Pe.widths, Array.to_list r.Pe.assignment)
+
+let evaluate_matches_sequential =
+  QCheck.Test.make
+    ~name:"Partition_evaluate: jobs=4 identical to jobs=1" ~count:100
+    QCheck.(pair (int_range 1 1000) (int_range 6 14))
+    (fun (seed, total_width) ->
+      let soc = small_soc (Int64.of_int seed) ~cores:5 in
+      let table = Tt.build soc ~max_width:total_width in
+      let seq = Pe.run ~jobs:1 ~table ~total_width ~max_tams:4 () in
+      let par = Pe.run ~jobs:4 ~table ~total_width ~max_tams:4 () in
+      signature seq = signature par)
+
+let evaluate_fixed_matches_sequential =
+  QCheck.Test.make ~name:"P_PAW run_fixed: jobs=4 identical to jobs=1"
+    ~count:100
+    QCheck.(pair (int_range 1 1000) (int_range 2 4))
+    (fun (seed, tams) ->
+      let soc = small_soc (Int64.of_int seed) ~cores:4 in
+      let table = Tt.build soc ~max_width:12 in
+      let seq = Pe.run_fixed ~jobs:1 ~table ~total_width:12 ~tams () in
+      let par = Pe.run_fixed ~jobs:4 ~table ~total_width:12 ~tams () in
+      signature seq = signature par)
+
+let evaluate_carry_tau_variants_agree =
+  QCheck.Test.make
+    ~name:"carry_tau:false parallel winner matches sequential" ~count:50
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:4 in
+      let table = Tt.build soc ~max_width:10 in
+      let seq =
+        Pe.run ~carry_tau:false ~jobs:1 ~table ~total_width:10 ~max_tams:4 ()
+      in
+      let par =
+        Pe.run ~carry_tau:false ~jobs:4 ~table ~total_width:10 ~max_tams:4 ()
+      in
+      signature seq = signature par)
+
+let evaluate_exact_counters_stable =
+  QCheck.Test.make
+    ~name:"per-B enumerated/unique counters independent of jobs" ~count:50
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:4 in
+      let table = Tt.build soc ~max_width:10 in
+      let seq = Pe.run ~jobs:1 ~table ~total_width:10 ~max_tams:4 () in
+      let par = Pe.run ~jobs:4 ~table ~total_width:10 ~max_tams:4 () in
+      Array.for_all2
+        (fun (a : Pe.b_stats) (b : Pe.b_stats) ->
+          a.Pe.tams = b.Pe.tams
+          && a.Pe.unique_partitions = b.Pe.unique_partitions
+          && a.Pe.enumerated = b.Pe.enumerated)
+        seq.Pe.per_b par.Pe.per_b)
+
+(* -- Agreement with the exhaustive baseline ------------------------------- *)
+
+let exhaustive_matches_sequential =
+  QCheck.Test.make ~name:"Exhaustive: jobs=4 identical to jobs=1" ~count:100
+    QCheck.(pair (int_range 1 1000) (int_range 2 4))
+    (fun (seed, tams) ->
+      let soc = small_soc (Int64.of_int seed) ~cores:4 in
+      let table = Tt.build soc ~max_width:10 in
+      let seq = Ex.run ~jobs:1 ~table ~total_width:10 ~tams () in
+      let par = Ex.run ~jobs:4 ~table ~total_width:10 ~tams () in
+      seq.Ex.time = par.Ex.time
+      && seq.Ex.widths = par.Ex.widths
+      && seq.Ex.assignment = par.Ex.assignment
+      && seq.Ex.partitions_solved = par.Ex.partitions_solved
+      && seq.Ex.complete && par.Ex.complete)
+
+let heuristic_bounded_by_exhaustive =
+  QCheck.Test.make
+    ~name:"parallel heuristic time within [optimal, +] of Exhaustive"
+    ~count:50
+    QCheck.(pair (int_range 1 1000) (int_range 2 3))
+    (fun (seed, tams) ->
+      let soc = small_soc (Int64.of_int seed) ~cores:4 in
+      let table = Tt.build soc ~max_width:8 in
+      let exact = Ex.run ~jobs:4 ~table ~total_width:8 ~tams () in
+      let heur = Pe.run_fixed ~jobs:4 ~table ~total_width:8 ~tams () in
+      heur.Pe.time >= exact.Ex.time)
+
+(* -- Pipeline-level determinism ------------------------------------------- *)
+
+let co_optimize_matches_sequential =
+  QCheck.Test.make ~name:"Co_optimize: jobs=4 identical to jobs=1" ~count:50
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let soc = small_soc (Int64.of_int seed) ~cores:5 in
+      let seq = Co.run ~jobs:1 ~max_tams:4 soc ~total_width:12 in
+      let par = Co.run ~jobs:4 ~max_tams:4 soc ~total_width:12 in
+      seq.Co.final_time = par.Co.final_time
+      && seq.Co.architecture.Soctam_tam.Architecture.widths
+         = par.Co.architecture.Soctam_tam.Architecture.widths
+      && seq.Co.architecture.Soctam_tam.Architecture.assignment
+         = par.Co.architecture.Soctam_tam.Architecture.assignment)
+
+let sweep_matches_sequential () =
+  let soc = small_soc 42L ~cores:6 in
+  let widths = [ 6; 10; 14 ] in
+  let seq = Sweep.run ~max_tams:4 ~jobs:1 soc ~widths in
+  let par = Sweep.run ~max_tams:4 ~jobs:8 soc ~widths in
+  List.iter2
+    (fun (a : Sweep.point) (b : Sweep.point) ->
+      Alcotest.(check int) "time" a.Sweep.time b.Sweep.time;
+      Alcotest.(check (array int)) "partition" a.Sweep.widths b.Sweep.widths;
+      Alcotest.(check int) "tams" a.Sweep.tams b.Sweep.tams)
+    seq par
+
+let d695_reference_architecture () =
+  (* The d695 W=24 architecture the sequential pipeline has always
+     produced, now pinned for jobs=8 as well. *)
+  let soc = Soctam_soc_data.D695.soc in
+  let r = Co.run ~jobs:8 ~max_tams:6 soc ~total_width:24 in
+  Alcotest.(check (array int))
+    "widths" [| 4; 6; 7; 7 |]
+    r.Co.architecture.Soctam_tam.Architecture.widths
+
+let suite =
+  [
+    qtest split_covers_every_index_once;
+    qtest split_sizes_balanced;
+    test "pool: results in input order" run_preserves_input_order;
+    test "pool: exception propagation" run_propagates_exception;
+    qtest shared_min_keeps_minimum;
+    qtest evaluate_matches_sequential;
+    qtest evaluate_fixed_matches_sequential;
+    qtest evaluate_carry_tau_variants_agree;
+    qtest evaluate_exact_counters_stable;
+    qtest exhaustive_matches_sequential;
+    qtest heuristic_bounded_by_exhaustive;
+    qtest co_optimize_matches_sequential;
+    test "sweep: jobs=8 identical to jobs=1" sweep_matches_sequential;
+    test "d695 W=24 reference architecture at jobs=8"
+      d695_reference_architecture;
+  ]
+
+let () = Alcotest.run "soctam-parallel" [ ("parallel", suite) ]
