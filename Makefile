@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test test-par bench lint fmt clean
+.PHONY: all build test test-par bench lint fmt coverage clean
 
 all: build
 
@@ -36,6 +36,22 @@ lint: build
 
 fmt:
 	dune build @fmt --auto-promote
+
+# Line coverage of the search core (lib/core + lib/partition, the only
+# instrumented libraries) over the tier-1 suite. Requires bisect_ppx;
+# the instrumentation stanzas are inert without --instrument-with, so
+# plain builds never need it.
+coverage:
+	@if ! command -v bisect-ppx-report >/dev/null 2>&1; then \
+	  echo "bisect_ppx not installed (opam install bisect_ppx); skipping"; \
+	else \
+	  find . -name '*.coverage' -delete && \
+	  dune runtest --force --instrument-with bisect_ppx && \
+	  bisect-ppx-report html --tree -o _coverage \
+	    --coverage-path _build/default && \
+	  bisect-ppx-report summary --coverage-path _build/default && \
+	  echo "report: _coverage/index.html"; \
+	fi
 
 clean:
 	dune clean

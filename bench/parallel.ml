@@ -14,6 +14,7 @@
 module Pe = Soctam_core.Partition_evaluate
 module Sweep = Soctam_core.Sweep
 module Timer = Soctam_util.Timer
+module Obs = Soctam_obs.Obs
 
 let fast = Sys.getenv_opt "SOCTAM_BENCH_FAST" = Some "1"
 let widths = if fast then [ 16; 32 ] else [ 32; 48; 64 ]
@@ -31,8 +32,11 @@ type run = {
   jobs : int;
   seconds : float;
   speedup : float;
-  completed : int;
-  tau_terminated : int;
+  enumerated : int;
+  pruned : int;
+  evaluated : int;
+  chunks : int;
+  tau_publications : int;
   identical : bool;
 }
 
@@ -47,14 +51,20 @@ let bench_soc name soc =
     Soctam_core.Time_table.build soc ~max_width:(List.fold_left max 1 widths)
   in
   let prune_counters ~jobs =
-    (* The tau-prune counters of one representative partition evaluation
-       at the largest width: how much of the enumeration space the
-       shared bound discards at this job count. *)
+    (* The prune/utilization counters of one representative partition
+       evaluation at the largest width, read through the observability
+       collector: how much of the enumeration space the shared bound
+       discards at this job count, and in how many pool chunks. *)
     let w = List.fold_left max 1 widths in
-    let r = Pe.run ~jobs ~table ~total_width:w ~max_tams () in
-    Array.fold_left
-      (fun (c, t) s -> (c + s.Pe.completed, t + s.Pe.tau_terminated))
-      (0, 0) r.Pe.per_b
+    let stats = Obs.create () in
+    ignore (Pe.run ~stats ~jobs ~table ~total_width:w ~max_tams ());
+    let s = Obs.snapshot stats in
+    let c name = Obs.counter_value s name in
+    ( c "partition/enumerated",
+      c "partition/pruned",
+      c "partition/evaluated",
+      c "pool/chunks",
+      c "pool/tau_publications" )
   in
   let reference = ref [] in
   let baseline = ref 0. in
@@ -69,13 +79,24 @@ let bench_soc name soc =
           reference := signature;
           baseline := seconds
         end;
-        let completed, tau_terminated = prune_counters ~jobs in
+        let enumerated, pruned, evaluated, chunks, tau_publications =
+          prune_counters ~jobs
+        in
+        if enumerated <> pruned + evaluated then begin
+          Printf.eprintf
+            "FATAL: %s stats invariant broken at jobs=%d: %d <> %d + %d\n"
+            name jobs enumerated pruned evaluated;
+          exit 1
+        end;
         {
           jobs;
           seconds;
           speedup = (if seconds > 0. then !baseline /. seconds else 0.);
-          completed;
-          tau_terminated;
+          enumerated;
+          pruned;
+          evaluated;
+          chunks;
+          tau_publications;
           identical = signature = !reference;
         })
       job_counts
@@ -90,27 +111,53 @@ let bench_soc name soc =
     runs;
   runs
 
+(* Wall-time cost of leaving the collector enabled: the same sequential
+   sweep with stats off and on. The acceptance ceiling for this PR is
+   5% — counters are flushed at chunk granularity, so the hot loop only
+   pays plain local-field increments. *)
+let stats_overhead soc =
+  let sweep stats =
+    snd (Timer.time (fun () -> ignore (Sweep.run ~stats ~max_tams soc ~widths)))
+  in
+  (* Warm-up run so allocator state is comparable, then best-of-2 each
+     to damp scheduler noise. *)
+  ignore (sweep Obs.null);
+  let plain = min (sweep Obs.null) (sweep Obs.null) in
+  let with_stats =
+    min (sweep (Obs.create ())) (sweep (Obs.create ()))
+  in
+  let overhead_pct =
+    if plain > 0. then (with_stats -. plain) /. plain *. 100. else 0.
+  in
+  (plain, with_stats, overhead_pct)
+
 let json_run r =
   Printf.sprintf
     "      { \"jobs\": %d, \"seconds\": %.3f, \"speedup\": %.2f, \
-     \"completed\": %d, \"tau_terminated\": %d, \"identical\": %b }"
-    r.jobs r.seconds r.speedup r.completed r.tau_terminated r.identical
+     \"enumerated\": %d, \"pruned\": %d, \"evaluated\": %d, \
+     \"chunks\": %d, \"tau_publications\": %d, \"identical\": %b }"
+    r.jobs r.seconds r.speedup r.enumerated r.pruned r.evaluated r.chunks
+    r.tau_publications r.identical
 
 let () =
   let soc_reports =
     List.map
       (fun (name, soc) ->
         let runs = bench_soc name soc in
+        let plain, with_stats, overhead_pct = stats_overhead soc in
         Printf.sprintf
           "  {\n\
           \    \"soc\": %S,\n\
           \    \"widths\": [%s],\n\
+          \    \"stats_overhead\": { \"plain_seconds\": %.3f, \
+           \"stats_seconds\": %.3f, \"overhead_pct\": %.2f },\n\
           \    \"runs\": [\n\
            %s\n\
           \    ]\n\
           \  }"
           name
           (String.concat ", " (List.map string_of_int widths))
+          plain with_stats overhead_pct
           (String.concat ",\n" (List.map json_run runs)))
       socs
   in

@@ -36,6 +36,40 @@ let with_soc spec f =
       1
   | Ok soc -> f soc
 
+(* -- observability --------------------------------------------------------- *)
+
+(* Run [f] under an observability collector when the user asked for one
+   (--stats[=FILE]). The JSON document goes to FILE, or to stdout for
+   the "-" destination; the one-line human summary always goes to
+   stderr, so a run with --stats=FILE keeps stdout byte-identical to a
+   run without the flag. *)
+let with_stats dest f =
+  match dest with
+  | None -> f Soctam_obs.Obs.null
+  | Some dest -> (
+      let stats = Soctam_obs.Obs.create () in
+      let status = f stats in
+      let snap = Soctam_obs.Obs.snapshot stats in
+      let doc = Soctam_report.Stats_json.render_string snap in
+      prerr_endline (Soctam_report.Stats_json.summary snap);
+      match dest with
+      | "-" ->
+          print_endline doc;
+          status
+      | path -> (
+          match
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc doc;
+                output_char oc '\n')
+          with
+          | () -> status
+          | exception Sys_error msg ->
+              prerr_endline ("soctam: cannot write stats: " ^ msg);
+              if status = 0 then 1 else status))
+
 (* -- diagnostics reporting ------------------------------------------------ *)
 
 let print_report ?(json = false) report =
@@ -82,17 +116,18 @@ let wrapper_cmd spec core_id width layout =
 
 (* -- optimize ------------------------------------------------------------ *)
 
-let optimize_cmd spec width tams max_tams jobs save_arch certify =
+let optimize_cmd spec width tams max_tams jobs stats_dest save_arch certify =
   with_soc spec (fun soc ->
-      let table = Soctam_core.Time_table.build soc ~max_width:width in
+      with_stats stats_dest (fun stats ->
+      let table = Soctam_core.Time_table.build ~stats soc ~max_width:width in
       let result, secs =
         Soctam_util.Timer.time (fun () ->
             match tams with
             | Some tams ->
-                Soctam_core.Co_optimize.run_fixed_tams ~jobs ~table soc
+                Soctam_core.Co_optimize.run_fixed_tams ~stats ~jobs ~table soc
                   ~total_width:width ~tams
             | None ->
-                Soctam_core.Co_optimize.run ~max_tams ~jobs ~table soc
+                Soctam_core.Co_optimize.run ~stats ~max_tams ~jobs ~table soc
                   ~total_width:width)
       in
       let architecture = result.Soctam_core.Co_optimize.architecture in
@@ -140,7 +175,7 @@ let optimize_cmd spec width tams max_tams jobs save_arch certify =
         if certify then certify_result ~table soc ~total_width:width result
         else 0
       in
-      if save_status <> 0 then save_status else certify_status)
+      if save_status <> 0 then save_status else certify_status))
 
 (* -- compare ------------------------------------------------------------- *)
 
@@ -220,7 +255,7 @@ let schedule_cmd spec width budget_pct certify =
 
 (* -- sweep --------------------------------------------------------------- *)
 
-let sweep_cmd spec from_w to_w step tolerance jobs =
+let sweep_cmd spec from_w to_w step tolerance jobs stats_dest =
   with_soc spec (fun soc ->
       if from_w < 1 || to_w < from_w || step < 1 then begin
         prerr_endline "soctam: need 1 <= from <= to and step >= 1";
@@ -231,7 +266,8 @@ let sweep_cmd spec from_w to_w step tolerance jobs =
           let rec loop w acc = if w > to_w then List.rev acc else loop (w + step) (w :: acc) in
           loop from_w []
         in
-        let points = Soctam_core.Sweep.run ~jobs soc ~widths in
+        with_stats stats_dest (fun stats ->
+        let points = Soctam_core.Sweep.run ~stats ~jobs soc ~widths in
         Format.printf "%a@." Soctam_core.Sweep.pp points;
         (match Soctam_core.Sweep.knee ~tolerance_pct:tolerance points with
         | Some knee ->
@@ -241,7 +277,7 @@ let sweep_cmd spec from_w to_w step tolerance jobs =
               knee.Soctam_core.Sweep.width tolerance
               knee.Soctam_core.Sweep.time
         | None -> ());
-        0
+        0)
       end)
 
 (* -- anneal -------------------------------------------------------------- *)
@@ -302,12 +338,13 @@ let anneal_cmd spec width max_tams iterations seed certify =
 
 (* -- exhaustive ---------------------------------------------------------- *)
 
-let exhaustive_cmd spec width tams budget jobs certify =
+let exhaustive_cmd spec width tams budget jobs stats_dest certify =
   with_soc spec (fun soc ->
-      let table = Soctam_core.Time_table.build soc ~max_width:width in
+      with_stats stats_dest (fun stats ->
+      let table = Soctam_core.Time_table.build ~stats soc ~max_width:width in
       let result, secs =
         Soctam_util.Timer.time (fun () ->
-            Soctam_core.Exhaustive.run ~time_budget:budget ~jobs ~table
+            Soctam_core.Exhaustive.run ~stats ~time_budget:budget ~jobs ~table
               ~total_width:width ~tams ())
       in
       Format.printf
@@ -335,7 +372,7 @@ let exhaustive_cmd spec width tams budget jobs certify =
         print_report
           (Soctam_check.Certify.claim ~table ~check_exact:true
              ~subject:"exhaustive baseline result" ~soc claim)
-      else 0)
+      else 0))
 
 (* -- tables -------------------------------------------------------------- *)
 
@@ -520,6 +557,19 @@ let jobs_arg =
            architecture is identical for every value; only the wall time \
            changes. Default 1 (sequential).")
 
+let stats_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Collect optimizer statistics (pruning counters, phase timings, \
+           the tau update trajectory) and write them as JSON to $(docv), or \
+           to standard output when $(docv) is omitted or '-'. A one-line \
+           summary goes to standard error. With a FILE destination the \
+           command's standard output is byte-identical to a run without \
+           this option.")
+
 let certify_flag =
   Arg.(
     value & flag
@@ -554,7 +604,7 @@ let optimize_term =
   in
   Term.(
     const optimize_cmd $ soc_arg $ width_arg $ tams $ max_tams $ jobs_arg
-    $ save_arch $ certify_flag)
+    $ stats_arg $ save_arch $ certify_flag)
 
 let compare_term = Term.(const compare_cmd $ soc_arg $ width_arg)
 
@@ -583,7 +633,8 @@ let sweep_term =
       & info [ "tolerance" ] ~docv:"PCT" ~doc:"Knee tolerance in percent.")
   in
   Term.(
-    const sweep_cmd $ soc_arg $ from_w $ to_w $ step $ tolerance $ jobs_arg)
+    const sweep_cmd $ soc_arg $ from_w $ to_w $ step $ tolerance $ jobs_arg
+    $ stats_arg)
 
 let anneal_term =
   let max_tams =
@@ -616,7 +667,7 @@ let exhaustive_term =
   in
   Term.(
     const exhaustive_cmd $ soc_arg $ width_arg $ tams $ budget $ jobs_arg
-    $ certify_flag)
+    $ stats_arg $ certify_flag)
 
 let tables_term =
   let ids =

@@ -1,3 +1,5 @@
+module Obs = Soctam_obs.Obs
+
 type t = {
   architecture : Soctam_tam.Architecture.t;
   heuristic_time : int;
@@ -7,14 +9,18 @@ type t = {
   exact_nodes : int;
 }
 
-let finish ~table ~node_limit (pe : Partition_evaluate.result) =
+let finish ?(stats = Obs.null) ~table ~node_limit
+    (pe : Partition_evaluate.result) =
   let widths = pe.Partition_evaluate.widths in
   let times = Time_table.matrix table ~widths in
   let exact =
-    Soctam_ilp.Exact.solve_bb ~node_limit
-      ~initial:(pe.Partition_evaluate.assignment, pe.Partition_evaluate.time)
-      ~widths ~times ()
+    Obs.span stats "co_optimize/exact_step" (fun () ->
+        Soctam_ilp.Exact.solve_bb ~node_limit
+          ~initial:
+            (pe.Partition_evaluate.assignment, pe.Partition_evaluate.time)
+          ~widths ~times ())
   in
+  Obs.add stats ~n:exact.Soctam_ilp.Exact.nodes "co_optimize/exact_nodes";
   let architecture =
     Soctam_tam.Architecture.of_times
       ~times:(fun ~core ~width -> Time_table.time table ~core ~width)
@@ -31,24 +37,28 @@ let finish ~table ~node_limit (pe : Partition_evaluate.result) =
     exact_nodes = exact.Soctam_ilp.Exact.nodes;
   }
 
-let table_for ?table soc ~total_width =
+let table_for ?(stats = Obs.null) ?table soc ~total_width =
   match table with
   | Some t ->
       if Time_table.max_width t < total_width then
         invalid_arg "Co_optimize: supplied table narrower than total width";
       t
-  | None -> Time_table.build soc ~max_width:total_width
+  | None -> Time_table.build ~stats soc ~max_width:total_width
 
-let run ?(max_tams = 10) ?(node_limit = 2_000_000) ?(jobs = 1) ?table soc
-    ~total_width =
-  let table = table_for ?table soc ~total_width in
-  let pe = Partition_evaluate.run ~jobs ~table ~total_width ~max_tams () in
-  finish ~table ~node_limit pe
-
-let run_fixed_tams ?(node_limit = 2_000_000) ?(jobs = 1) ?table soc
-    ~total_width ~tams =
-  let table = table_for ?table soc ~total_width in
+let run ?(stats = Obs.null) ?(max_tams = 10) ?(node_limit = 2_000_000)
+    ?(jobs = 1) ?table soc ~total_width =
+  let table = table_for ~stats ?table soc ~total_width in
   let pe =
-    Partition_evaluate.run_fixed ~jobs ~table ~total_width ~tams ()
+    Obs.span stats "co_optimize/partition_evaluate" (fun () ->
+        Partition_evaluate.run ~stats ~jobs ~table ~total_width ~max_tams ())
   in
-  finish ~table ~node_limit pe
+  finish ~stats ~table ~node_limit pe
+
+let run_fixed_tams ?(stats = Obs.null) ?(node_limit = 2_000_000) ?(jobs = 1)
+    ?table soc ~total_width ~tams =
+  let table = table_for ~stats ?table soc ~total_width in
+  let pe =
+    Obs.span stats "co_optimize/partition_evaluate" (fun () ->
+        Partition_evaluate.run_fixed ~stats ~jobs ~table ~total_width ~tams ())
+  in
+  finish ~stats ~table ~node_limit pe

@@ -21,6 +21,7 @@ type t = {
 }
 
 val run :
+  ?stats:Soctam_obs.Obs.t ->
   ?max_tams:int ->
   ?node_limit:int ->
   ?jobs:int ->
@@ -34,9 +35,17 @@ val run :
     [node_limit] bounds the final exact step (default 2_000_000).
     [jobs] (default 1) parallelizes the partition-evaluation stage over
     that many domains; the resulting architecture is identical for every
-    [jobs] value (see {!Partition_evaluate.run}). *)
+    [jobs] value (see {!Partition_evaluate.run}).
+
+    [stats] (default disabled) threads an observability collector through
+    the whole pipeline: {!Time_table.build} when the table is not
+    supplied, the full {!Partition_evaluate} counter set under a
+    [co_optimize/partition_evaluate] span, and the final exact step as a
+    [co_optimize/exact_step] span plus a [co_optimize/exact_nodes]
+    counter. *)
 
 val run_fixed_tams :
+  ?stats:Soctam_obs.Obs.t ->
   ?node_limit:int ->
   ?jobs:int ->
   ?table:Time_table.t ->
@@ -44,4 +53,4 @@ val run_fixed_tams :
   total_width:int ->
   tams:int ->
   t
-(** P_PAW variant: the TAM count is fixed. *)
+(** P_PAW variant: the TAM count is fixed. [stats] as in {!run}. *)

@@ -2,7 +2,29 @@ type outcome =
   | Assigned of { assignment : int array; tam_times : int array; time : int }
   | Exceeded of int
 
-let run ?(best = max_int) ~times ~widths () =
+(* Plain mutable fields, no synchronization: each caller owns its record
+   (one per evaluation chunk) and flushes it into an [Obs] collector at
+   chunk granularity, so the per-partition hot loop pays only an option
+   branch and two or three integer stores. *)
+type stats = {
+  mutable tried : int;
+  mutable early_terminations : int;
+  mutable levels_cut : int;
+}
+
+let stats () = { tried = 0; early_terminations = 0; levels_cut = 0 }
+
+let record stats ~cores ~assigned ~exceeded =
+  match stats with
+  | None -> ()
+  | Some s ->
+      s.tried <- s.tried + assigned;
+      if exceeded then begin
+        s.early_terminations <- s.early_terminations + 1;
+        s.levels_cut <- s.levels_cut + (cores - assigned)
+      end
+
+let run ?stats ?(best = max_int) ~times ~widths () =
   let cores = Array.length times in
   if cores = 0 then invalid_arg "Core_assign.run: no cores";
   let tams = Array.length widths in
@@ -58,13 +80,15 @@ let run ?(best = max_int) ~times ~widths () =
         end
   in
   let rec loop remaining =
-    if remaining = 0 then
+    if remaining = 0 then begin
+      record stats ~cores ~assigned:cores ~exceeded:false;
       Assigned
         {
           assignment;
           tam_times = loads;
           time = Soctam_util.Intutil.max_element loads;
         }
+    end
     else begin
       let j = select_tam () in
       let i = select_core j in
@@ -72,15 +96,18 @@ let run ?(best = max_int) ~times ~widths () =
       unassigned.(i) <- false;
       loads.(j) <- loads.(j) + times.(i).(j);
       (* Lines 18-20: abandon the partition once it cannot beat [best]. *)
-      if Soctam_util.Intutil.max_element loads >= best then
-        Exceeded (cores - remaining + 1)
+      if Soctam_util.Intutil.max_element loads >= best then begin
+        let assigned = cores - remaining + 1 in
+        record stats ~cores ~assigned ~exceeded:true;
+        Exceeded assigned
+      end
       else loop (remaining - 1)
     end
   in
   loop cores
 
-let run_table ?best ~table ~widths () =
-  run ?best ~times:(Time_table.matrix table ~widths) ~widths ()
+let run_table ?stats ?best ~table ~widths () =
+  run ?stats ?best ~times:(Time_table.matrix table ~widths) ~widths ()
 
 (* One pass of the same greedy loop with uniform random tie-breaking. *)
 let run_random_once ~rng ~times ~widths =

@@ -31,16 +31,47 @@ type outcome =
       (** Some TAM's summed time reached the supplied [best] after this
           many cores were assigned; the partition was abandoned. *)
 
+type stats = {
+  mutable tried : int;
+      (** core-assignment steps actually executed (paper lines 10-16) *)
+  mutable early_terminations : int;
+      (** evaluations abandoned through the [tau] early exit *)
+  mutable levels_cut : int;
+      (** assignment steps skipped by those early exits: for an SOC of
+          [m] cores, an evaluation abandoned after [k] steps cuts
+          [m - k] levels of the assignment loop *)
+}
+(** Accumulator for the observability layer: plain unsynchronized
+    mutable fields, so a hot caller owns one per evaluation chunk and
+    flushes it into a {!Soctam_obs.Obs} collector at chunk granularity.
+    The per-call cost when supplied is a few integer stores; when absent
+    it is one branch. For a fixed input the final field values are exact
+    and reproducible. *)
+
+val stats : unit -> stats
+(** A zeroed accumulator. *)
+
 val run :
-  ?best:int -> times:int array array -> widths:int array -> unit -> outcome
+  ?stats:stats ->
+  ?best:int ->
+  times:int array array ->
+  widths:int array ->
+  unit ->
+  outcome
 (** [run ?best ~times ~widths ()] assigns every core given
     [times.(i).(j)], the testing time of core [i] on TAM [j] (widths are
     consulted only by the tie-breaking rules). [best] defaults to
-    [max_int], i.e. no early exit.
+    [max_int], i.e. no early exit. [stats], when supplied, accumulates
+    the work done by this call.
     @raise Invalid_argument on empty or ragged inputs. *)
 
 val run_table :
-  ?best:int -> table:Time_table.t -> widths:int array -> unit -> outcome
+  ?stats:stats ->
+  ?best:int ->
+  table:Time_table.t ->
+  widths:int array ->
+  unit ->
+  outcome
 (** Convenience wrapper deriving [times] from a precomputed table. *)
 
 val run_randomized :

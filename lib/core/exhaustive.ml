@@ -1,3 +1,5 @@
+module Obs = Soctam_obs.Obs
+
 type result = {
   widths : int array;
   time : int;
@@ -23,8 +25,8 @@ type chunk = {
   mutable k_nodes : int;
 }
 
-let solve_chunk ~node_limit_per_partition ~out_of_time ~table ~total_width
-    ~tams ~lo ~hi =
+let solve_chunk ?(stats = Obs.null) ~node_limit_per_partition ~out_of_time
+    ~table ~total_width ~tams ~lo ~hi () =
   let c =
     {
       k_time = max_int;
@@ -71,10 +73,14 @@ let solve_chunk ~node_limit_per_partition ~out_of_time ~table ~total_width
           else ignore (Soctam_partition.Enumerate.Odometer.advance odometer)
         end
       done);
+  if Obs.enabled stats then begin
+    Obs.add stats ~n:c.k_solved "exhaustive/partitions_solved";
+    Obs.add stats ~n:c.k_nodes "exhaustive/nodes"
+  end;
   c
 
-let run ?(node_limit_per_partition = 2_000_000) ?time_budget ?(jobs = 1)
-    ~table ~total_width ~tams () =
+let run ?(stats = Obs.null) ?(node_limit_per_partition = 2_000_000)
+    ?time_budget ?(jobs = 1) ~table ~total_width ~tams () =
   if total_width < tams then
     invalid_arg "Exhaustive.run: total_width must be >= tams";
   let deadline =
@@ -90,12 +96,14 @@ let run ?(node_limit_per_partition = 2_000_000) ?time_budget ?(jobs = 1)
   let total =
     Soctam_partition.Count.exact ~total:total_width ~parts:tams
   in
+  Obs.add stats ~n:total "exhaustive/partitions_total";
   let chunks =
-    Soctam_util.Pool.map_ranges ~jobs ~length:total
-      ~f:(fun ~lo ~hi ->
-        solve_chunk ~node_limit_per_partition ~out_of_time ~table
-          ~total_width ~tams ~lo ~hi)
-      ()
+    Obs.span stats "exhaustive/solve" (fun () ->
+        Soctam_util.Pool.map_ranges ~stats ~jobs ~length:total
+          ~f:(fun ~lo ~hi ->
+            solve_chunk ~stats ~node_limit_per_partition ~out_of_time ~table
+              ~total_width ~tams ~lo ~hi ())
+          ())
   in
   (* Deterministic reduction, as in [Partition_evaluate]: the winner is
      the minimum by (time, rank), independent of completion order. *)

@@ -23,6 +23,7 @@ type result = {
 }
 
 val run :
+  ?stats:Soctam_obs.Obs.t ->
   ?node_limit_per_partition:int ->
   ?time_budget:float ->
   ?jobs:int ->
@@ -45,4 +46,10 @@ val run :
     the result is identical for every [jobs] value (the winner is the
     minimum by (time, rank)); under a budget the set of partitions that
     fit before the deadline is inherently timing-dependent, exactly as
-    it already was sequentially. *)
+    it already was sequentially.
+
+    [stats] (default disabled) records [exhaustive/partitions_total],
+    [exhaustive/partitions_solved] and [exhaustive/nodes] counters, an
+    [exhaustive/solve] span and pool utilization. Counters are exact and
+    reproducible whenever the run is (i.e. no [time_budget] or
+    [jobs = 1] with a generous budget). *)

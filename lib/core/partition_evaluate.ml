@@ -1,3 +1,5 @@
+module Obs = Soctam_obs.Obs
+
 type b_stats = {
   tams : int;
   unique_partitions : int;
@@ -24,35 +26,68 @@ type best = {
   mutable b_assignment : int array;
 }
 
-let evaluate_b ~table ~total_width ~tams ~tau best =
+(* Flush one evaluation's local counters into the collector. Called at
+   B / chunk granularity, so the per-partition hot loop stays free of
+   collector traffic (see the [Obs] design notes). *)
+let flush_counters stats ~enumerated ~pruned ~evaluated ~ca =
+  if Obs.enabled stats then begin
+    Obs.add stats ~n:enumerated "partition/enumerated";
+    Obs.add stats ~n:pruned "partition/pruned";
+    Obs.add stats ~n:evaluated "partition/evaluated";
+    match ca with
+    | None -> ()
+    | Some (c : Core_assign.stats) ->
+        Obs.add stats ~n:c.Core_assign.tried "core_assign/assignments_tried";
+        Obs.add stats ~n:c.Core_assign.early_terminations
+          "core_assign/early_terminations";
+        Obs.add stats ~n:c.Core_assign.levels_cut "core_assign/levels_cut"
+  end
+
+let ca_stats stats = if Obs.enabled stats then Some (Core_assign.stats ()) else None
+
+let evaluate_b ?(stats = Obs.null) ~table ~total_width ~tams ~tau best =
   let enumerated = ref 0 in
   let completed = ref 0 in
   let tau_terminated = ref 0 in
   let best_time_b = ref None in
-  (match Soctam_partition.Enumerate.Odometer.create ~total:total_width
-           ~parts:tams
-   with
-  | None -> ()
-  | Some odometer ->
-      let continue = ref true in
-      while !continue do
-        let widths = Soctam_partition.Enumerate.Odometer.current odometer in
-        incr enumerated;
-        (match Core_assign.run_table ~best:!tau ~table ~widths () with
-        | Core_assign.Exceeded _ -> incr tau_terminated
-        | Core_assign.Assigned { assignment; time; _ } ->
-            incr completed;
-            if time < !tau then tau := time;
-            (match !best_time_b with
-            | Some t when t <= time -> ()
-            | Some _ | None -> best_time_b := Some time);
-            if time < best.b_time then begin
-              best.b_time <- time;
-              best.b_widths <- Array.copy widths;
-              best.b_assignment <- Array.copy assignment
-            end);
-        continue := Soctam_partition.Enumerate.Odometer.advance odometer
-      done);
+  let ca = ca_stats stats in
+  let publications = ref 0 in
+  Obs.span stats "partition/evaluate_b" (fun () ->
+      match
+        Soctam_partition.Enumerate.Odometer.create ~total:total_width
+          ~parts:tams
+      with
+      | None -> ()
+      | Some odometer ->
+          let continue = ref true in
+          while !continue do
+            let widths =
+              Soctam_partition.Enumerate.Odometer.current odometer
+            in
+            incr enumerated;
+            (match Core_assign.run_table ?stats:ca ~best:!tau ~table ~widths ()
+             with
+            | Core_assign.Exceeded _ -> incr tau_terminated
+            | Core_assign.Assigned { assignment; time; _ } ->
+                incr completed;
+                if time < !tau then begin
+                  tau := time;
+                  incr publications;
+                  Obs.event stats ~value:time "tau"
+                end;
+                (match !best_time_b with
+                | Some t when t <= time -> ()
+                | Some _ | None -> best_time_b := Some time);
+                if time < best.b_time then begin
+                  best.b_time <- time;
+                  best.b_widths <- Array.copy widths;
+                  best.b_assignment <- Array.copy assignment
+                end);
+            continue := Soctam_partition.Enumerate.Odometer.advance odometer
+          done);
+  flush_counters stats ~enumerated:!enumerated ~pruned:!tau_terminated
+    ~evaluated:!completed ~ca;
+  Obs.add stats ~n:!publications "pool/tau_publications";
   {
     tams;
     unique_partitions =
@@ -94,11 +129,13 @@ type chunk_result = {
    its (time, rank) pair — the sequential path prunes ties, but there
    the tie's rank is already known to be larger than the incumbent's,
    which is exactly the information a racing domain lacks. *)
-let evaluate_chunk ~table ~total_width ~tams ~tau ~lo ~hi =
+let evaluate_chunk ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo ~hi
+    () =
   let enumerated = ref 0 in
   let completed = ref 0 in
   let tau_terminated = ref 0 in
   let best_time_b = ref None in
+  let ca = ca_stats stats in
   let cb =
     { c_time = max_int; c_rank = max_int; c_widths = [||]; c_assignment = [||] }
   in
@@ -113,10 +150,17 @@ let evaluate_chunk ~table ~total_width ~tams ~tau ~lo ~hi =
         incr enumerated;
         let bound = Soctam_util.Pool.Shared_min.get tau in
         let threshold = if bound = max_int then max_int else bound + 1 in
-        (match Core_assign.run_table ~best:threshold ~table ~widths () with
+        (match
+           Core_assign.run_table ?stats:ca ~best:threshold ~table ~widths ()
+         with
         | Core_assign.Exceeded _ -> incr tau_terminated
         | Core_assign.Assigned { assignment; time; _ } ->
             incr completed;
+            (* The pre-read [bound] makes the improvement test racy, but
+               a trace event is an observation, not a reduction input:
+               at worst a tie between racing domains is reported as an
+               improvement by both. *)
+            if time < bound then Obs.event stats ~value:time "tau";
             Soctam_util.Pool.Shared_min.improve tau time;
             (match !best_time_b with
             | Some t when t <= time -> ()
@@ -132,6 +176,8 @@ let evaluate_chunk ~table ~total_width ~tams ~tau ~lo ~hi =
         if rank < hi - 1 then
           ignore (Soctam_partition.Enumerate.Odometer.advance odometer)
       done);
+  flush_counters stats ~enumerated:!enumerated ~pruned:!tau_terminated
+    ~evaluated:!completed ~ca;
   {
     ch_enumerated = !enumerated;
     ch_completed = !completed;
@@ -140,15 +186,22 @@ let evaluate_chunk ~table ~total_width ~tams ~tau ~lo ~hi =
     ch_best = cb;
   }
 
-let evaluate_b_parallel ~jobs ~table ~total_width ~tams ~tau best =
+let evaluate_b_parallel ?(stats = Obs.null) ~jobs ~table ~total_width ~tams
+    ~tau best =
   let unique =
     Soctam_partition.Count.exact ~total:total_width ~parts:tams
   in
+  let publications_before = Soctam_util.Pool.Shared_min.publications tau in
   let chunks =
-    Soctam_util.Pool.map_ranges ~jobs ~length:unique
-      ~f:(fun ~lo ~hi -> evaluate_chunk ~table ~total_width ~tams ~tau ~lo ~hi)
-      ()
+    Obs.span stats "partition/evaluate_b" (fun () ->
+        Soctam_util.Pool.map_ranges ~stats ~jobs ~length:unique
+          ~f:(fun ~lo ~hi ->
+            evaluate_chunk ~stats ~table ~total_width ~tams ~tau ~lo ~hi ())
+          ())
   in
+  Obs.add stats
+    ~n:(Soctam_util.Pool.Shared_min.publications tau - publications_before)
+    "pool/tau_publications";
   (* Deterministic reduction: chunks arrive in rank order, so scanning
      left to right with strict comparisons yields the minimum
      (time, rank) candidate — byte-identical to the jobs = 1 winner. *)
@@ -197,8 +250,8 @@ let check_args ~table ~total_width ~max_tams =
   if Time_table.max_width table < total_width then
     invalid_arg "Partition_evaluate: time table narrower than total width"
 
-let run_general ?initial_best ~carry_tau ~jobs ~table ~total_width ~b_values
-    () =
+let run_general ?(stats = Obs.null) ?initial_best ~carry_tau ~jobs ~table
+    ~total_width ~b_values () =
   let initial = match initial_best with Some t -> t | None -> max_int in
   let best = { b_widths = [||]; b_time = initial; b_assignment = [||] } in
   let per_b =
@@ -207,7 +260,7 @@ let run_general ?initial_best ~carry_tau ~jobs ~table ~total_width ~b_values
       List.map
         (fun tams ->
           if not carry_tau then tau := initial;
-          evaluate_b ~table ~total_width ~tams ~tau best)
+          evaluate_b ~stats ~table ~total_width ~tams ~tau best)
         b_values
     end
     else begin
@@ -223,7 +276,7 @@ let run_general ?initial_best ~carry_tau ~jobs ~table ~total_width ~b_values
             if carry_tau then carried
             else Soctam_util.Pool.Shared_min.create initial
           in
-          evaluate_b_parallel ~jobs ~table ~total_width ~tams ~tau best)
+          evaluate_b_parallel ~stats ~jobs ~table ~total_width ~tams ~tau best)
         b_values
     end
   in
@@ -250,15 +303,16 @@ let run_general ?initial_best ~carry_tau ~jobs ~table ~total_width ~b_values
       per_b = Array.of_list per_b;
     }
 
-let run ?initial_best ?(carry_tau = true) ?(jobs = 1) ~table ~total_width
-    ~max_tams () =
+let run ?stats ?initial_best ?(carry_tau = true) ?(jobs = 1) ~table
+    ~total_width ~max_tams () =
   check_args ~table ~total_width ~max_tams;
   let b_values = Soctam_util.Intutil.range 1 (min max_tams total_width) in
-  run_general ?initial_best ~carry_tau ~jobs ~table ~total_width ~b_values ()
+  run_general ?stats ?initial_best ~carry_tau ~jobs ~table ~total_width
+    ~b_values ()
 
-let run_fixed ?initial_best ?(jobs = 1) ~table ~total_width ~tams () =
+let run_fixed ?stats ?initial_best ?(jobs = 1) ~table ~total_width ~tams () =
   check_args ~table ~total_width ~max_tams:tams;
   if tams > total_width then
     invalid_arg "Partition_evaluate.run_fixed: more TAMs than width";
-  run_general ?initial_best ~carry_tau:true ~jobs ~table ~total_width
+  run_general ?stats ?initial_best ~carry_tau:true ~jobs ~table ~total_width
     ~b_values:[ tams ] ()

@@ -8,19 +8,23 @@ type point = {
   saturated : bool;
 }
 
-let run ?(max_tams = 10) ?(node_limit = 2_000_000) ?(jobs = 1) soc ~widths =
+let run ?(stats = Soctam_obs.Obs.null) ?(max_tams = 10)
+    ?(node_limit = 2_000_000) ?(jobs = 1) soc ~widths =
   if widths = [] then invalid_arg "Sweep.run: empty width list";
   List.iter
     (fun w -> if w < 1 then invalid_arg "Sweep.run: widths must be >= 1")
     widths;
   let table =
-    Time_table.build soc ~max_width:(List.fold_left max 1 widths)
+    Time_table.build ~stats soc ~max_width:(List.fold_left max 1 widths)
   in
   List.map
     (fun width ->
       let result =
-        Co_optimize.run ~max_tams ~node_limit ~jobs ~table soc
-          ~total_width:width
+        Soctam_obs.Obs.span stats
+          (Printf.sprintf "sweep/width%d" width)
+          (fun () ->
+            Co_optimize.run ~stats ~max_tams ~node_limit ~jobs ~table soc
+              ~total_width:width)
       in
       let bounds = Bounds.compute table ~total_width:width in
       let partition =

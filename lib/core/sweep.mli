@@ -15,6 +15,7 @@ type point = {
 }
 
 val run :
+  ?stats:Soctam_obs.Obs.t ->
   ?max_tams:int ->
   ?node_limit:int ->
   ?jobs:int ->
@@ -25,6 +26,9 @@ val run :
     built once at the largest width and shared. [jobs] (default 1)
     parallelizes each width's partition evaluation over that many
     domains; the reported points are identical for every [jobs] value.
+    [stats] (default disabled) threads the observability collector
+    through every {!Co_optimize.run}, adding one [sweep/width<W>] span
+    per point on top of the pipeline's own counters and spans.
     @raise Invalid_argument on an empty or non-positive width list. *)
 
 val knee : ?tolerance_pct:float -> point list -> point option

@@ -4,13 +4,17 @@ type t = {
   times : int array array;  (* core -> width-1 -> time *)
 }
 
-let build soc ~max_width =
+module Obs = Soctam_obs.Obs
+
+let build ?(stats = Obs.null) soc ~max_width =
   if max_width < 1 then invalid_arg "Time_table.build: max_width must be >= 1";
   let times =
-    Array.map
-      (fun core -> Soctam_wrapper.Design.time_table core ~max_width)
-      (Soctam_model.Soc.cores soc)
+    Obs.span stats "time_table/build" (fun () ->
+        Array.map
+          (fun core -> Soctam_wrapper.Design.time_table core ~max_width)
+          (Soctam_model.Soc.cores soc))
   in
+  Obs.add stats ~n:(Array.length times * max_width) "time_table/entries";
   { soc; max_width; times }
 
 let core_count t = Array.length t.times

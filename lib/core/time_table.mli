@@ -8,9 +8,13 @@
 
 type t
 
-val build : Soctam_model.Soc.t -> max_width:int -> t
+val build :
+  ?stats:Soctam_obs.Obs.t -> Soctam_model.Soc.t -> max_width:int -> t
 (** [build soc ~max_width] computes [T_i(w)] for all cores and
-    [w = 1 .. max_width]. @raise Invalid_argument when [max_width < 1]. *)
+    [w = 1 .. max_width]. [stats] (default disabled) times the build
+    into a [time_table/build] span and counts the table size into the
+    [time_table/entries] counter.
+    @raise Invalid_argument when [max_width < 1]. *)
 
 val core_count : t -> int
 val max_width : t -> int

@@ -58,6 +58,7 @@ let of_string text =
   let declared_modules = ref None in
   let modules_rev = ref [] in
   let current = ref None in
+  let seen_ids = Hashtbl.create 16 in
   let require_module line =
     match !current with
     | Some m -> m
@@ -82,7 +83,10 @@ let of_string text =
            | [ "TotalModules"; n ] ->
                declared_modules := Some (parse_int line "TotalModules" n)
            | "Module" :: id :: rest ->
-               ignore (parse_int line "Module id" id);
+               let id = parse_int line "Module id" id in
+               if Hashtbl.mem seen_ids id then
+                 fail line "duplicate module id %d" id;
+               Hashtbl.add seen_ids id ();
                (match !current with
                | Some m -> modules_rev := m :: !modules_rev
                | None -> ());
@@ -135,6 +139,12 @@ let of_string text =
            | [ "Level"; _ ] | [ "TotalTests"; _ ] | [ "Test"; _ ]
            | [ "EndTest" ] ->
                ignore (require_module line)
+           | [
+               (( "SocName" | "TotalModules" | "Module" | "Inputs" | "Outputs"
+                | "Bidirs" | "ScanChains" | "TestPatterns" | "Level"
+                | "TotalTests" | "Test" ) as directive);
+             ] ->
+               fail line "%s: missing value (truncated line?)" directive
            | word :: _ -> fail line "unknown directive %S" word);
     (match !current with
     | Some m ->

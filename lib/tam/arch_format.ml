@@ -63,6 +63,10 @@ let of_string text =
                match parse_ints ~sep:',' ~what:"assign" spec with
                | Ok l -> assignment := Some (Array.of_list l)
                | Error e -> fail e)
+           | [ (("soc" | "widths" | "assign") as directive) ] ->
+               fail
+                 (Printf.sprintf "%s: missing value (truncated line?)"
+                    directive)
            | word :: _ -> fail (Printf.sprintf "unknown directive %S" word)
          end);
   match (!error, !widths, !assignment) with

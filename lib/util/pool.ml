@@ -11,11 +11,27 @@ let split ~chunks ~length =
         (lo, hi))
   end
 
-let run_inline thunks = Array.map (fun thunk -> thunk ()) thunks
+module Obs = Soctam_obs.Obs
 
-let run ~jobs thunks =
+(* One executed thunk: a chunk count for the worker that ran it plus its
+   busy time. Counters stay deterministic (chunk totals do not depend on
+   scheduling); wall time goes to the span table, which the determinism
+   contract excludes. *)
+let observed ~stats thunk =
+  if not (Obs.enabled stats) then thunk ()
+  else begin
+    Obs.add stats "pool/chunks";
+    Obs.span stats
+      (Printf.sprintf "pool/worker%d" (Obs.current_worker ()))
+      thunk
+  end
+
+let run_inline ~stats thunks =
+  Array.map (fun thunk -> observed ~stats thunk) thunks
+
+let run ?(stats = Obs.null) ~jobs thunks =
   let n = Array.length thunks in
-  if jobs <= 1 || n < 2 then run_inline thunks
+  if jobs <= 1 || n < 2 then run_inline ~stats thunks
   else begin
     let results = Array.make n None in
     let failure = Atomic.make None in
@@ -26,7 +42,7 @@ let run ~jobs thunks =
         let i = Atomic.fetch_and_add next 1 in
         if i >= n || Atomic.get failure <> None then continue := false
         else
-          match thunks.(i) () with
+          match observed ~stats thunks.(i) with
           | value -> results.(i) <- Some value
           | exception exn ->
               (* First failure wins; the others drain and exit. *)
@@ -34,7 +50,13 @@ let run ~jobs thunks =
       done
     in
     let domains =
-      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+      Array.init
+        (min jobs n - 1)
+        (fun i ->
+          Domain.spawn (fun () ->
+              (* Worker 0 is the calling domain. *)
+              Obs.set_worker (i + 1);
+              worker ()))
     in
     worker ();
     Array.iter Domain.join domains;
@@ -46,19 +68,25 @@ let run ~jobs thunks =
       results
   end
 
-let map_ranges ~jobs ?(chunks_per_job = 4) ~length ~f () =
+let map_ranges ?stats ~jobs ?(chunks_per_job = 4) ~length ~f () =
   let chunks = if jobs <= 1 then 1 else jobs * max 1 chunks_per_job in
   let ranges = split ~chunks ~length in
-  run ~jobs (Array.map (fun (lo, hi) () -> f ~lo ~hi) ranges)
+  run ?stats ~jobs (Array.map (fun (lo, hi) () -> f ~lo ~hi) ranges)
 
 module Shared_min = struct
-  type t = int Atomic.t
+  type t = { bound : int Atomic.t; publications : int Atomic.t }
 
-  let create initial = Atomic.make initial
-  let get = Atomic.get
+  let create initial =
+    { bound = Atomic.make initial; publications = Atomic.make 0 }
+
+  let get t = Atomic.get t.bound
 
   let rec improve t v =
-    let current = Atomic.get t in
-    if v < current && not (Atomic.compare_and_set t current v) then
-      improve t v
+    let current = Atomic.get t.bound in
+    if v < current then
+      if Atomic.compare_and_set t.bound current v then
+        Atomic.incr t.publications
+      else improve t v
+
+  let publications t = Atomic.get t.publications
 end

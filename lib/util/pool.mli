@@ -28,7 +28,8 @@ val split : chunks:int -> length:int -> (int * int) array
     Empty when [length <= 0]; fewer than [chunks] ranges when
     [length < chunks] (never an empty range). *)
 
-val run : jobs:int -> (unit -> 'a) array -> 'a array
+val run :
+  ?stats:Soctam_obs.Obs.t -> jobs:int -> (unit -> 'a) array -> 'a array
 (** [run ~jobs thunks] evaluates every thunk and returns the results in
     input order. With [jobs <= 1] or fewer than two thunks everything
     runs inline on the calling domain (no spawning); otherwise
@@ -37,10 +38,19 @@ val run : jobs:int -> (unit -> 'a) array -> 'a array
     cost (e.g. tau pruning killing one chunk early) rebalances onto the
     idle domains.
 
+    [stats] (default disabled) records pool utilization: each executed
+    thunk bumps the [pool/chunks] counter attributed to the worker that
+    ran it ({!Soctam_obs.Obs.set_worker} tags spawned domains 1..N-1;
+    the calling domain is worker 0) and times the thunk into a
+    [pool/worker<i>] span, so per-worker busy time and chunk counts are
+    reported. The aggregate chunk count is deterministic; the
+    worker split and the times are not.
+
     Exceptions raised by a thunk are re-raised on the calling domain
     after every domain has been joined. *)
 
 val map_ranges :
+  ?stats:Soctam_obs.Obs.t ->
   jobs:int ->
   ?chunks_per_job:int ->
   length:int ->
@@ -77,4 +87,11 @@ module Shared_min : sig
   (** [improve t v] lowers the bound to [v] if [v] is smaller; a
       compare-and-set loop, so concurrent improvements never lose the
       minimum. *)
+
+  val publications : t -> int
+  (** How many times {!improve} successfully lowered the bound since
+      {!create} — the number of shared-tau publications. Sequential
+      evaluation makes this the number of strict improvements; under
+      parallel evaluation it additionally counts racing partial
+      improvements that were themselves beaten later. *)
 end

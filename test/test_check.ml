@@ -521,9 +521,30 @@ let json_rendering () =
       {|"location": {"type": "soc"}|};
       {|"severity": "error"|};
     ];
+  (* Structural check through the shared JSON parser: the renderer's
+     output must be a valid document, not just contain substrings. *)
+  (match Soctam_report.Json.parse json with
+  | Error msg -> Alcotest.failf "check json does not parse: %s" msg
+  | Ok doc ->
+      Alcotest.(check (option bool))
+        "ok field is false" (Some false)
+        (match Soctam_report.Json.member "ok" doc with
+        | Some (Soctam_report.Json.Bool b) -> Some b
+        | _ -> None);
+      Alcotest.(check bool) "violations is a non-empty array" true
+        (match
+           Option.bind
+             (Soctam_report.Json.member "violations" doc)
+             Soctam_report.Json.to_list
+         with
+        | Some (_ :: _) -> true
+        | _ -> false));
   let clean = Certify.soc d695 in
-  Alcotest.(check bool) "clean json ok" true
-    (String.length (Soctam_report.Check_json.render clean) > 0)
+  let clean_json = Soctam_report.Check_json.render clean in
+  Alcotest.(check bool) "clean json ok" true (String.length clean_json > 0);
+  match Soctam_report.Json.parse clean_json with
+  | Error msg -> Alcotest.failf "clean check json does not parse: %s" msg
+  | Ok _ -> ()
 
 (* -- seeded property test over random SOCs -------------------------------- *)
 

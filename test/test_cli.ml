@@ -25,6 +25,26 @@ let run args =
   in
   (code, Buffer.contents buf)
 
+(* Like [run] but with stderr discarded instead of merged: for tests
+   that compare stdout byte for byte (the --stats human summary goes to
+   stderr by design and must not disturb stdout). *)
+let run_stdout args =
+  let command = Filename.quote_command binary args ^ " 2>/dev/null" in
+  let ic = Unix.open_process_in command in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1
+  in
+  (code, Buffer.contents buf)
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
@@ -203,6 +223,59 @@ let lint_command () =
   check_output ~code:1 [ "lint"; path; "--json" ] [ {|"ok": false|} ];
   Sys.remove path
 
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let stats_counter json name =
+  Option.bind (Soctam_report.Json.member "counters" json) (fun c ->
+      Option.bind (Soctam_report.Json.member name c) Soctam_report.Json.to_int)
+
+let optimize_stats_flag () =
+  (* --stats=FILE at -j 4: the file must hold valid stats JSON whose
+     partition counters satisfy enumerated = pruned + evaluated, and the
+     human summary goes to stderr. *)
+  let path = Filename.temp_file "cli_stats" ".json" in
+  check_output
+    [ "optimize"; "d695"; "-w"; "16"; "-j"; "4"; "--stats=" ^ path ]
+    [ "final time"; "stats:" ];
+  (match Soctam_report.Json.parse (read_file path) with
+  | Error msg -> Alcotest.failf "stats json does not parse: %s" msg
+  | Ok json ->
+      Alcotest.(check (option int)) "version" (Some 1)
+        (Option.bind (Soctam_report.Json.member "version" json)
+           Soctam_report.Json.to_int);
+      let c name =
+        match stats_counter json name with
+        | Some v -> v
+        | None -> Alcotest.failf "counter %s missing" name
+      in
+      Alcotest.(check int) "enumerated = pruned + evaluated"
+        (c "partition/enumerated")
+        (c "partition/pruned" + c "partition/evaluated");
+      Alcotest.(check bool) "work happened" true
+        (c "partition/enumerated" > 0));
+  Sys.remove path;
+  (* --stats without a file streams the JSON to stdout instead. *)
+  check_output
+    [ "exhaustive"; "d695"; "-w"; "12"; "-b"; "2"; "--stats" ]
+    [ {|"version": 1|}; "exhaustive/partitions_total" ]
+
+let stats_leaves_stdout_untouched () =
+  (* Enabling --stats=FILE must not change a single byte of stdout:
+     observability is report-only. *)
+  let args = [ "sweep"; "d695"; "--from"; "8"; "--to"; "16"; "--step"; "8" ] in
+  let path = Filename.temp_file "cli_stats" ".json" in
+  let code_plain, plain = run_stdout args in
+  let code_stats, with_stats = run_stdout (args @ [ "--stats=" ^ path ]) in
+  Sys.remove path;
+  Alcotest.(check int) "plain exit" 0 code_plain;
+  Alcotest.(check int) "stats exit" 0 code_stats;
+  Alcotest.(check string) "stdout byte-identical" plain with_stats
+
 let schedule_certify_flag () =
   check_output
     [ "schedule"; "d695"; "-w"; "16"; "--budget-pct"; "60"; "--certify" ]
@@ -233,4 +306,6 @@ let suite =
     test "check: roundtrip + corruption" check_command_roundtrip;
     test "lint" lint_command;
     test "schedule: --certify" schedule_certify_flag;
+    test "optimize/exhaustive: --stats" optimize_stats_flag;
+    test "sweep: --stats leaves stdout untouched" stats_leaves_stdout_untouched;
   ]

@@ -23,5 +23,6 @@ let () =
       ("regression", Test_regression.suite);
       ("report", Test_report.suite);
       ("check", Test_check.suite);
+      ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
     ]

@@ -197,6 +197,99 @@ let compositions_blowup_measured () =
   Alcotest.(check int) "unique" (Count.exact ~total:24 ~parts:6)
     stats.Enumerate.Compositions.unique
 
+let unrank_rank_round_trip =
+  (* unrank must reproduce the exact lexicographic sequence position by
+     position, and reject out-of-range ranks: rank is the implicit index
+     of the enumeration order, so this is the unrank . rank = id law. *)
+  QCheck.Test.make ~name:"unrank round-trips every enumeration rank"
+    ~count:100
+    QCheck.(pair (int_range 1 30) (int_range 1 7))
+    (fun (total, parts) ->
+      let all = Enumerate.to_list ~total ~parts in
+      let n = Count.exact ~total ~parts in
+      List.length all = n
+      && List.for_all2
+           (fun rank expected ->
+             match Enumerate.unrank ~total ~parts ~rank with
+             | Some got -> got = expected
+             | None -> false)
+           (List.init n Fun.id) all
+      && Enumerate.unrank ~total ~parts ~rank:n = None
+      && Enumerate.unrank ~total ~parts ~rank:(-1) = None)
+
+let create_at_equals_sequential_advances =
+  QCheck.Test.make
+    ~name:"Odometer.create_at k = k advances from the first partition"
+    ~count:100
+    QCheck.(pair (int_range 1 26) (int_range 1 6))
+    (fun (total, parts) ->
+      let n = Count.exact ~total ~parts in
+      QCheck.assume (n > 0);
+      (* Walk one odometer forward while re-creating a fresh one at every
+         rank; both must agree at each step, and create_at must refuse
+         rank n. *)
+      match Enumerate.Odometer.create ~total ~parts with
+      | None -> false
+      | Some walker ->
+          let ok = ref true in
+          for rank = 0 to n - 1 do
+            (match Enumerate.Odometer.create_at ~total ~parts ~rank with
+            | None -> ok := false
+            | Some jumped ->
+                if
+                  Enumerate.Odometer.current jumped
+                  <> Enumerate.Odometer.current walker
+                then ok := false);
+            let advanced = Enumerate.Odometer.advance walker in
+            if advanced <> (rank < n - 1) then ok := false
+          done;
+          !ok && Enumerate.Odometer.create_at ~total ~parts ~rank:n = None)
+
+let split_ranges_cover_enumeration =
+  (* The contract the parallel evaluator relies on: Pool.split produces
+     contiguous, disjoint, covering ranges, and starting an odometer at
+     each chunk's lo and advancing to hi reproduces the sequential
+     enumeration with no partition lost or duplicated at any chunk
+     boundary. *)
+  QCheck.Test.make ~name:"every Pool.split chunk boundary is covered"
+    ~count:100
+    QCheck.(triple (int_range 1 26) (int_range 1 6) (int_range 1 12))
+    (fun (total, parts, chunks) ->
+      let n = Count.exact ~total ~parts in
+      let ranges = Soctam_util.Pool.split ~chunks ~length:n in
+      let contiguous = ref true in
+      let expected_lo = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          if lo <> !expected_lo || hi <= lo then contiguous := false;
+          expected_lo := hi)
+        ranges;
+      if n = 0 then Array.length ranges = 0
+      else
+        !contiguous
+        && !expected_lo = n
+        && begin
+             let sequential = Enumerate.to_list ~total ~parts in
+             let chunked =
+               Array.to_list ranges
+               |> List.concat_map (fun (lo, hi) ->
+                      match
+                        Enumerate.Odometer.create_at ~total ~parts ~rank:lo
+                      with
+                      | None -> []
+                      | Some o ->
+                          List.init (hi - lo) (fun i ->
+                              let w =
+                                Array.copy (Enumerate.Odometer.current o)
+                              in
+                              if lo + i < hi - 1 then
+                                ignore (Enumerate.Odometer.advance o);
+                              w))
+             in
+             List.map Array.to_list chunked
+             = List.map Array.to_list sequential
+           end)
+
 let odometer_none_when_impossible () =
   Alcotest.(check bool) "none" true
     (Enumerate.Odometer.create ~total:2 ~parts:3 = None);
@@ -217,6 +310,9 @@ let suite =
     test "enumerate: paper W=8 B=4 sequence" paper_example_sequence;
     test "enumerate: degenerate" degenerate_enumerations;
     qtest odometer_matches_fold;
+    qtest unrank_rank_round_trip;
+    qtest create_at_equals_sequential_advances;
+    qtest split_ranges_cover_enumeration;
     qtest compositions_match_fold;
     test "compositions: blow-up measured" compositions_blowup_measured;
     test "odometer: impossible inputs" odometer_none_when_impossible;

@@ -330,6 +330,89 @@ let itc02_errors () =
   (* unknown directive *)
   expect "SocName x\nEndModule\n"
 
+let itc02_typed_error path fragment () =
+  (* Corpus files under data/: every malformed input must come back as
+     [Error] with a message that names the actual problem — never an
+     exception and never a silently-defaulted SOC. *)
+  match Itc02.load (Filename.concat "data" path) with
+  | Ok soc ->
+      Alcotest.failf "%s accepted as %d-core SOC" path (Soc.core_count soc)
+  | Error msg ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S (got %S)" path fragment msg)
+        true (contains msg fragment)
+
+let itc02_corpus_good_file () =
+  match Itc02.load (Filename.concat "data" "good_minimal.itc02") with
+  | Error msg -> Alcotest.failf "good_minimal rejected: %s" msg
+  | Ok soc ->
+      Alcotest.(check int) "one core" 1 (Soc.core_count soc);
+      let c = Soc.core soc 0 in
+      Alcotest.(check (list int)) "chains" [ 8; 5 ]
+        (Array.to_list c.Core_data.scan_chains);
+      Alcotest.(check int) "patterns" 11 c.Core_data.patterns
+
+let itc02_duplicate_id_rejected () =
+  match
+    Itc02.of_string
+      "SocName x\nModule 2 'a'\nInputs 1\nEndModule\nModule 2 'b'\nInputs 1\n"
+  with
+  | Ok _ -> Alcotest.fail "duplicate module id accepted"
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the duplicate (got %S)" msg)
+        true
+        (String.length msg > 0
+        && String.split_on_char ' ' msg |> List.exists (( = ) "duplicate"))
+
+let itc02_fuzz_never_raises =
+  (* Mutate a valid document with truncations, byte splices and line
+     shuffles: of_string must always return Ok or Error, never raise. *)
+  QCheck.Test.make ~name:"itc02 fuzz: mutated documents never raise"
+    ~count:300
+    QCheck.(pair (int_range 0 10_000) (int_range 0 3))
+    (fun (seed, mode) ->
+      let base = Itc02.to_string D695.soc in
+      let rng = Soctam_util.Prng.create (Int64.of_int (seed + 1)) in
+      let rand n = Soctam_util.Prng.int rng n in
+      let mutated =
+        match mode with
+        | 0 ->
+            (* truncate at an arbitrary byte, mid-line included *)
+            String.sub base 0 (rand (String.length base + 1))
+        | 1 ->
+            (* splice a random byte *)
+            let i = rand (String.length base) in
+            let b = Bytes.of_string base in
+            Bytes.set b i (Char.chr (rand 256));
+            Bytes.to_string b
+        | 2 ->
+            (* drop one line *)
+            let lines = String.split_on_char '\n' base in
+            let drop = rand (List.length lines) in
+            List.filteri (fun i _ -> i <> drop) lines
+            |> String.concat "\n"
+        | _ ->
+            (* duplicate one line (covers duplicate Module ids) *)
+            let lines = String.split_on_char '\n' base in
+            let dup = rand (List.length lines) in
+            List.concat_map
+              (fun (i, l) -> if i = dup then [ l; l ] else [ l ])
+              (List.mapi (fun i l -> (i, l)) lines)
+            |> String.concat "\n"
+      in
+      match Itc02.of_string mutated with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "raised %s" (Printexc.to_string e))
+
 (* -- Random_soc -------------------------------------------------------------- *)
 
 let random_soc_respects_params =
@@ -403,6 +486,15 @@ let suite =
     qtest itc02_roundtrip_random;
     test "itc02: dialect variants" itc02_accepts_variants;
     test "itc02: error cases" itc02_errors;
+    test "itc02: corpus truncated line"
+      (itc02_typed_error "bad_truncated.itc02" "missing value");
+    test "itc02: corpus non-numeric field"
+      (itc02_typed_error "bad_nonnum.itc02" "not an integer");
+    test "itc02: corpus duplicate module id"
+      (itc02_typed_error "bad_dup_id.itc02" "duplicate module id");
+    test "itc02: corpus good file" itc02_corpus_good_file;
+    test "itc02: duplicate id rejected" itc02_duplicate_id_rejected;
+    qtest itc02_fuzz_never_raises;
     qtest random_soc_respects_params;
     test "random_soc: zero cores rejected" random_soc_rejects_zero_cores;
   ]

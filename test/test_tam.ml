@@ -132,6 +132,61 @@ let arch_format_errors () =
   expect "widths 4\nassign 0\n";
   expect "bogus line\n"
 
+let arch_corpus_error path fragment () =
+  (* Corpus files under data/: malformed architecture files must come
+     back as typed [Error]s naming the problem, never exceptions. *)
+  match Arch_format.load (Filename.concat "data" path) with
+  | Ok _ -> Alcotest.failf "%s accepted" path
+  | Error msg ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S (got %S)" path fragment msg)
+        true (contains msg fragment)
+
+let arch_corpus_good_file () =
+  match Arch_format.load (Filename.concat "data" "good_minimal.arch") with
+  | Error msg -> Alcotest.failf "good_minimal rejected: %s" msg
+  | Ok parsed ->
+      Alcotest.(check (list int)) "widths" [ 4; 4 ]
+        (Array.to_list parsed.Arch_format.widths);
+      Alcotest.(check (list int)) "assignment (0-based)" [ 0; 1; 0 ]
+        (Array.to_list parsed.Arch_format.assignment)
+
+let arch_format_fuzz_never_raises =
+  QCheck.Test.make ~name:"arch format fuzz: mutated documents never raise"
+    ~count:300
+    QCheck.(pair (int_range 0 10_000) (int_range 0 2))
+    (fun (seed, mode) ->
+      let base =
+        Arch_format.to_string ~soc_name:"demo"
+          (sample 4 [| 5; 3; 8 |] [| 1; 0; 2; 1 |])
+      in
+      let rng = Soctam_util.Prng.create (Int64.of_int (seed + 1)) in
+      let rand n = Soctam_util.Prng.int rng n in
+      let mutated =
+        match mode with
+        | 0 -> String.sub base 0 (rand (String.length base + 1))
+        | 1 ->
+            let i = rand (String.length base) in
+            let b = Bytes.of_string base in
+            Bytes.set b i (Char.chr (rand 256));
+            Bytes.to_string b
+        | _ ->
+            let lines = String.split_on_char '\n' base in
+            let drop = rand (List.length lines) in
+            List.filteri (fun i _ -> i <> drop) lines |> String.concat "\n"
+      in
+      match Arch_format.of_string mutated with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "raised %s" (Printexc.to_string e))
+
 let arch_format_file_io () =
   let a = sample 3 [| 6; 2 |] [| 0; 1; 0 |] in
   let path = Filename.temp_file "soctam_arch" ".arch" in
@@ -215,5 +270,11 @@ let suite =
     test "format: roundtrip" arch_format_roundtrip;
     test "format: optional soc name" arch_format_without_soc_name;
     test "format: errors" arch_format_errors;
+    test "format: corpus truncated line"
+      (arch_corpus_error "bad_truncated.arch" "missing value");
+    test "format: corpus non-numeric field"
+      (arch_corpus_error "bad_nonnum.arch" "not an integer");
+    test "format: corpus good file" arch_corpus_good_file;
+    QCheck_alcotest.to_alcotest arch_format_fuzz_never_raises;
     test "format: file io" arch_format_file_io;
   ]
