@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test test-par bench lint fmt coverage clean
+.PHONY: all build test test-par test-resume bench lint fmt fmt-check coverage clean
 
 all: build
 
@@ -15,6 +15,12 @@ test:
 # architectures. Slow (spawns domains thousands of times), hence gated.
 test-par:
 	SOCTAM_SLOW_TESTS=1 dune build @runtest-slow
+
+# Run-lifecycle suite only (test/test_checkpoint.ml): checkpoint
+# round-trips, corruption/truncation fuzz, and the kill-and-resume
+# determinism properties from DESIGN.md §12.
+test-resume: build
+	dune exec test/test_main.exe -- test checkpoint
 
 bench:
 	dune exec bench/main.exe
@@ -36,6 +42,15 @@ lint: build
 
 fmt:
 	dune build @fmt --auto-promote
+
+# Format check alone (lint also runs it): a no-op with a note when
+# ocamlformat is not installed, so CI images without the tool pass.
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
 
 # Line coverage of the search core (lib/core + lib/partition, the only
 # instrumented libraries) over the tier-1 suite. Requires bisect_ppx;

@@ -70,6 +70,92 @@ let with_stats dest f =
               prerr_endline ("soctam: cannot write stats: " ^ msg);
               if status = 0 then 1 else status))
 
+(* -- shared run options ---------------------------------------------------- *)
+
+(* The options every long-running solver subcommand (optimize, sweep,
+   exhaustive) shares: parallelism, observability, and the checkpoint /
+   resume lifecycle. One record, one cmdliner term, one Run_config
+   builder — a new solver subcommand picks all of them up by composing
+   [run_opts_term] instead of redeclaring flags. *)
+type run_opts = {
+  ro_jobs : int;
+  ro_stats : string option;
+  ro_checkpoint : string option;
+  ro_every : int;
+  ro_resume : string option;
+}
+
+let outcome_status ?checkpoint outcome =
+  match (outcome : Soctam_core.Outcome.t) with
+  | Complete -> 0
+  | Budget_exhausted _ ->
+      (match checkpoint with
+      | Some path ->
+          Printf.eprintf "soctam: budget exhausted; resume with --resume %s\n%!"
+            path
+      | None ->
+          prerr_endline
+            "soctam: budget exhausted; pass --checkpoint to make truncated \
+             runs resumable");
+      0
+  | Interrupted _ ->
+      (match checkpoint with
+      | Some path ->
+          Printf.eprintf "soctam: interrupted; resume with --resume %s\n%!"
+            path
+      | None -> prerr_endline "soctam: interrupted");
+      130
+
+(* Build the [Run_config.t] for [soc] from the shared options and hand it
+   to [f]: loads --resume's checkpoint (a bad file is a clean error, not
+   a crash), threads the --stats collector, and installs the cooperative
+   SIGINT handler when the run writes checkpoints — the signal then stops
+   the run at the next slice boundary with a final checkpoint on disk
+   instead of killing the process mid-write. *)
+let with_run_config opts soc f =
+  let resume =
+    match opts.ro_resume with
+    | None -> Ok None
+    | Some path -> Result.map Option.some (Soctam_core.Checkpoint.load path)
+  in
+  match resume with
+  | Error msg ->
+      prerr_endline ("soctam: cannot resume: " ^ msg);
+      1
+  | Ok resume ->
+      Option.iter
+        (fun cp ->
+          prerr_endline
+            ("soctam: resuming " ^ Soctam_core.Checkpoint.describe cp))
+        resume;
+      with_stats opts.ro_stats (fun stats ->
+          let open Soctam_core.Run_config in
+          let cfg =
+            default |> with_jobs opts.ro_jobs |> with_stats stats
+            |> with_soc_name soc.Soctam_model.Soc.name
+            |> with_checkpoint_every opts.ro_every
+          in
+          let cfg =
+            match opts.ro_checkpoint with
+            | Some path -> with_checkpoint path cfg
+            | None -> cfg
+          in
+          let cfg =
+            match resume with Some cp -> with_resume cp cfg | None -> cfg
+          in
+          let cfg =
+            if checkpointing cfg then begin
+              let token = Soctam_util.Cancel.create () in
+              Soctam_util.Cancel.install_sigint token;
+              with_cancel (fun () -> Soctam_util.Cancel.requested token) cfg
+            end
+            else cfg
+          in
+          try f cfg with
+          | Invalid_argument msg | Failure msg ->
+              prerr_endline ("soctam: " ^ msg);
+              1)
+
 (* -- diagnostics reporting ------------------------------------------------ *)
 
 let print_report ?(json = false) report =
@@ -116,19 +202,20 @@ let wrapper_cmd spec core_id width layout =
 
 (* -- optimize ------------------------------------------------------------ *)
 
-let optimize_cmd spec width tams max_tams jobs stats_dest save_arch certify =
+let optimize_cmd spec width tams max_tams opts save_arch certify =
   with_soc spec (fun soc ->
-      with_stats stats_dest (fun stats ->
+      with_run_config opts soc (fun cfg ->
+      let stats = cfg.Soctam_core.Run_config.stats in
       let table = Soctam_core.Time_table.build ~stats soc ~max_width:width in
+      let cfg = Soctam_core.Run_config.with_table table cfg in
+      let cfg =
+        match tams with
+        | Some tams -> Soctam_core.Run_config.with_tams tams cfg
+        | None -> Soctam_core.Run_config.with_max_tams max_tams cfg
+      in
       let result, secs =
         Soctam_util.Timer.time (fun () ->
-            match tams with
-            | Some tams ->
-                Soctam_core.Co_optimize.run_fixed_tams ~stats ~jobs ~table soc
-                  ~total_width:width ~tams
-            | None ->
-                Soctam_core.Co_optimize.run ~stats ~max_tams ~jobs ~table soc
-                  ~total_width:width)
+            Soctam_core.Co_optimize.run_with cfg soc ~total_width:width)
       in
       let architecture = result.Soctam_core.Co_optimize.architecture in
       Format.printf "%a@." Soctam_tam.Architecture.pp architecture;
@@ -175,7 +262,11 @@ let optimize_cmd spec width tams max_tams jobs stats_dest save_arch certify =
         if certify then certify_result ~table soc ~total_width:width result
         else 0
       in
-      if save_status <> 0 then save_status else certify_status))
+      let oc_status =
+        outcome_status ?checkpoint:opts.ro_checkpoint
+          result.Soctam_core.Co_optimize.outcome
+      in
+      max oc_status (if save_status <> 0 then save_status else certify_status)))
 
 (* -- compare ------------------------------------------------------------- *)
 
@@ -255,7 +346,7 @@ let schedule_cmd spec width budget_pct certify =
 
 (* -- sweep --------------------------------------------------------------- *)
 
-let sweep_cmd spec from_w to_w step tolerance jobs stats_dest =
+let sweep_cmd spec from_w to_w step tolerance opts =
   with_soc spec (fun soc ->
       if from_w < 1 || to_w < from_w || step < 1 then begin
         prerr_endline "soctam: need 1 <= from <= to and step >= 1";
@@ -266,8 +357,9 @@ let sweep_cmd spec from_w to_w step tolerance jobs stats_dest =
           let rec loop w acc = if w > to_w then List.rev acc else loop (w + step) (w :: acc) in
           loop from_w []
         in
-        with_stats stats_dest (fun stats ->
-        let points = Soctam_core.Sweep.run ~stats ~jobs soc ~widths in
+        with_run_config opts soc (fun cfg ->
+        let result = Soctam_core.Sweep.run_with cfg soc ~widths in
+        let points = result.Soctam_core.Sweep.points in
         Format.printf "%a@." Soctam_core.Sweep.pp points;
         (match Soctam_core.Sweep.knee ~tolerance_pct:tolerance points with
         | Some knee ->
@@ -277,7 +369,8 @@ let sweep_cmd spec from_w to_w step tolerance jobs stats_dest =
               knee.Soctam_core.Sweep.width tolerance
               knee.Soctam_core.Sweep.time
         | None -> ());
-        0)
+        outcome_status ?checkpoint:opts.ro_checkpoint
+          result.Soctam_core.Sweep.outcome)
       end)
 
 (* -- anneal -------------------------------------------------------------- *)
@@ -338,14 +431,16 @@ let anneal_cmd spec width max_tams iterations seed certify =
 
 (* -- exhaustive ---------------------------------------------------------- *)
 
-let exhaustive_cmd spec width tams budget jobs stats_dest certify =
+let exhaustive_cmd spec width tams budget opts certify =
   with_soc spec (fun soc ->
-      with_stats stats_dest (fun stats ->
+      with_run_config opts soc (fun cfg ->
+      let stats = cfg.Soctam_core.Run_config.stats in
       let table = Soctam_core.Time_table.build ~stats soc ~max_width:width in
+      let cfg = Soctam_core.Run_config.with_time_budget budget cfg in
       let result, secs =
         Soctam_util.Timer.time (fun () ->
-            Soctam_core.Exhaustive.run ~stats ~time_budget:budget ~jobs ~table
-              ~total_width:width ~tams ())
+            Soctam_core.Exhaustive.run_with cfg ~table ~total_width:width
+              ~tams)
       in
       Format.printf
         "exhaustive: partition %a, time %d, %d/%d partitions solved%s, \
@@ -355,24 +450,39 @@ let exhaustive_cmd spec width tams budget jobs stats_dest certify =
         result.Soctam_core.Exhaustive.time
         result.Soctam_core.Exhaustive.partitions_solved
         result.Soctam_core.Exhaustive.partitions_total
-        (if result.Soctam_core.Exhaustive.complete then ""
+        (if
+           Soctam_core.Outcome.is_complete
+             result.Soctam_core.Exhaustive.outcome
+         then ""
          else " (budget hit, incumbent)")
         result.Soctam_core.Exhaustive.nodes secs;
-      if certify then
-        let claim =
-          {
-            Soctam_check.Arch_check.total_width = Some width;
-            widths = result.Soctam_core.Exhaustive.widths;
-            assignment = result.Soctam_core.Exhaustive.assignment;
-            core_times = None;
-            tam_times = None;
-            time = result.Soctam_core.Exhaustive.time;
-          }
-        in
-        print_report
-          (Soctam_check.Certify.claim ~table ~check_exact:true
-             ~subject:"exhaustive baseline result" ~soc claim)
-      else 0))
+      let certify_status =
+        if certify then
+          let claim =
+            {
+              Soctam_check.Arch_check.total_width = Some width;
+              widths = result.Soctam_core.Exhaustive.widths;
+              assignment = result.Soctam_core.Exhaustive.assignment;
+              core_times = None;
+              tam_times = None;
+              time = result.Soctam_core.Exhaustive.time;
+            }
+          in
+          print_report
+            (Soctam_check.Certify.claim ~table ~check_exact:true
+               ~subject:"exhaustive baseline result" ~soc claim)
+        else 0
+      in
+      let oc_status =
+        match result.Soctam_core.Exhaustive.outcome with
+        | Soctam_core.Outcome.Budget_exhausted _
+          when opts.ro_checkpoint = None ->
+            (* The truncation is already reported inline ("budget hit,
+               incumbent"), exactly as before checkpointing existed. *)
+            0
+        | outcome -> outcome_status ?checkpoint:opts.ro_checkpoint outcome
+      in
+      max oc_status certify_status))
 
 (* -- tables -------------------------------------------------------------- *)
 
@@ -570,6 +680,48 @@ let stats_arg =
            command's standard output is byte-identical to a run without \
            this option.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "soctam.ckpt") (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Write a resumable checkpoint to $(docv) (default soctam.ckpt) at \
+           every slice boundary, atomically. SIGINT then stops the run at \
+           the next boundary with a final checkpoint on disk and exit \
+           status 130; a completed run removes the file. Continue a stopped \
+           run with $(b,--resume).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 50_000
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Partition ranks per checkpoint slice: the granularity at which \
+           checkpoints are written and budgets and SIGINT are honored. \
+           Default 50000.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Continue the run checkpointed in $(docv). The checkpoint must \
+           match this command's solver, SOC and search parameters. The \
+           resumed run returns the same architecture and counter totals as \
+           an uninterrupted one.")
+
+(* One shared spec for the solver subcommands: every flag above, parsed
+   into a [run_opts]. *)
+let run_opts_term =
+  let make ro_jobs ro_stats ro_checkpoint ro_every ro_resume =
+    { ro_jobs; ro_stats; ro_checkpoint; ro_every; ro_resume }
+  in
+  Term.(
+    const make $ jobs_arg $ stats_arg $ checkpoint_arg $ checkpoint_every_arg
+    $ resume_arg)
+
 let certify_flag =
   Arg.(
     value & flag
@@ -603,8 +755,8 @@ let optimize_term =
           ~doc:"Write the resulting architecture to FILE.")
   in
   Term.(
-    const optimize_cmd $ soc_arg $ width_arg $ tams $ max_tams $ jobs_arg
-    $ stats_arg $ save_arch $ certify_flag)
+    const optimize_cmd $ soc_arg $ width_arg $ tams $ max_tams
+    $ run_opts_term $ save_arch $ certify_flag)
 
 let compare_term = Term.(const compare_cmd $ soc_arg $ width_arg)
 
@@ -633,8 +785,8 @@ let sweep_term =
       & info [ "tolerance" ] ~docv:"PCT" ~doc:"Knee tolerance in percent.")
   in
   Term.(
-    const sweep_cmd $ soc_arg $ from_w $ to_w $ step $ tolerance $ jobs_arg
-    $ stats_arg)
+    const sweep_cmd $ soc_arg $ from_w $ to_w $ step $ tolerance
+    $ run_opts_term)
 
 let anneal_term =
   let max_tams =
@@ -666,8 +818,8 @@ let exhaustive_term =
       & info [ "budget" ] ~docv:"S" ~doc:"Wall-clock budget in seconds.")
   in
   Term.(
-    const exhaustive_cmd $ soc_arg $ width_arg $ tams $ budget $ jobs_arg
-    $ stats_arg $ certify_flag)
+    const exhaustive_cmd $ soc_arg $ width_arg $ tams $ budget
+    $ run_opts_term $ certify_flag)
 
 let tables_term =
   let ids =
@@ -774,7 +926,7 @@ let () =
   let doc = "wrapper/TAM co-optimization for SOC testing (DATE 2002)" in
   let main =
     Cmd.group
-      (Cmd.info "soctam" ~version:"1.0.0" ~doc)
+      (Cmd.info "soctam" ~version:"1.1.0" ~doc)
       [
         cmd "info" info_term "Describe an SOC.";
         cmd "wrapper" wrapper_term "Design a test wrapper for one core (P_W).";

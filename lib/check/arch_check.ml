@@ -175,7 +175,8 @@ let certify_claim ?table ?(check_bounds = true) ?(check_exact = false)
           ~tams:(Array.length claim.widths) ()
       in
       if
-        exhaustive.Soctam_core.Exhaustive.complete
+        Soctam_core.Outcome.is_complete
+          exhaustive.Soctam_core.Exhaustive.outcome
         && claim.time < exhaustive.Soctam_core.Exhaustive.time
       then
         add

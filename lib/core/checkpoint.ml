@@ -1,0 +1,425 @@
+module Json = Soctam_util.Json
+
+let version = 1
+
+type b_cursor = {
+  bc_tams : int;
+  bc_next_rank : int;
+  bc_enumerated : int;
+  bc_completed : int;
+  bc_pruned : int;
+  bc_best_time : int option;
+}
+
+type best_arch = {
+  ba_widths : int array;
+  ba_time : int;
+  ba_assignment : int array;
+}
+
+type pe_state = {
+  pe_total_width : int;
+  pe_carry_tau : bool;
+  pe_initial : int option;
+  pe_tau : int;
+  pe_best : best_arch option;
+  pe_done : b_cursor list;
+  pe_cursor : b_cursor option;
+  pe_pending : int list;
+}
+
+type ex_best = {
+  eb_time : int;
+  eb_rank : int;
+  eb_widths : int array;
+  eb_assignment : int array;
+}
+
+type ex_state = {
+  ex_total_width : int;
+  ex_tams : int;
+  ex_next_rank : int;
+  ex_best : ex_best option;
+  ex_solved : int;
+  ex_nodes : int;
+}
+
+type sweep_point = {
+  sp_width : int;
+  sp_tams : int;
+  sp_widths : int array;
+  sp_time : int;
+  sp_lower_bound : int;
+  sp_gap_pct : float;
+  sp_saturated : bool;
+}
+
+type sweep_state = {
+  sw_max_tams : int;
+  sw_points : sweep_point list;
+  sw_pending : int list;
+}
+
+type state =
+  | Partition_evaluate of pe_state
+  | Exhaustive of ex_state
+  | Sweep of sweep_state
+
+type t = { soc : string option; counters : (string * int) list; state : state }
+
+(* -- rendering ------------------------------------------------------------- *)
+
+let json_int_array a = Json.List (Array.to_list a |> List.map (fun i -> Json.Int i))
+let json_int_opt = function None -> Json.Null | Some i -> Json.Int i
+
+let json_b_cursor c =
+  Json.Obj
+    [
+      ("tams", Json.Int c.bc_tams);
+      ("next_rank", Json.Int c.bc_next_rank);
+      ("enumerated", Json.Int c.bc_enumerated);
+      ("completed", Json.Int c.bc_completed);
+      ("pruned", Json.Int c.bc_pruned);
+      ("best_time", json_int_opt c.bc_best_time);
+    ]
+
+let json_best_arch = function
+  | None -> Json.Null
+  | Some b ->
+      Json.Obj
+        [
+          ("widths", json_int_array b.ba_widths);
+          ("time", Json.Int b.ba_time);
+          ("assignment", json_int_array b.ba_assignment);
+        ]
+
+let json_state = function
+  | Partition_evaluate s ->
+      ( "partition_evaluate",
+        Json.Obj
+          [
+            ("total_width", Json.Int s.pe_total_width);
+            ("carry_tau", Json.Bool s.pe_carry_tau);
+            ("initial", json_int_opt s.pe_initial);
+            ("tau", Json.Int s.pe_tau);
+            ("best", json_best_arch s.pe_best);
+            ("done", Json.List (List.map json_b_cursor s.pe_done));
+            ( "cursor",
+              match s.pe_cursor with
+              | None -> Json.Null
+              | Some c -> json_b_cursor c );
+            ("pending", Json.List (List.map (fun b -> Json.Int b) s.pe_pending));
+          ] )
+  | Exhaustive s ->
+      ( "exhaustive",
+        Json.Obj
+          [
+            ("total_width", Json.Int s.ex_total_width);
+            ("tams", Json.Int s.ex_tams);
+            ("next_rank", Json.Int s.ex_next_rank);
+            ( "best",
+              match s.ex_best with
+              | None -> Json.Null
+              | Some b ->
+                  Json.Obj
+                    [
+                      ("time", Json.Int b.eb_time);
+                      ("rank", Json.Int b.eb_rank);
+                      ("widths", json_int_array b.eb_widths);
+                      ("assignment", json_int_array b.eb_assignment);
+                    ] );
+            ("solved", Json.Int s.ex_solved);
+            ("nodes", Json.Int s.ex_nodes);
+          ] )
+  | Sweep s ->
+      ( "sweep",
+        Json.Obj
+          [
+            ("max_tams", Json.Int s.sw_max_tams);
+            ( "points",
+              Json.List
+                (List.map
+                   (fun p ->
+                     Json.Obj
+                       [
+                         ("width", Json.Int p.sp_width);
+                         ("tams", Json.Int p.sp_tams);
+                         ("widths", json_int_array p.sp_widths);
+                         ("time", Json.Int p.sp_time);
+                         ("lower_bound", Json.Int p.sp_lower_bound);
+                         ("gap_pct", Json.Float p.sp_gap_pct);
+                         ("saturated", Json.Bool p.sp_saturated);
+                       ])
+                   s.sw_points) );
+            ("pending", Json.List (List.map (fun w -> Json.Int w) s.sw_pending));
+          ] )
+
+let body_json t =
+  let solver, state = json_state t.state in
+  Json.Obj
+    [
+      ("solver", Json.String solver);
+      ("soc", match t.soc with None -> Json.Null | Some s -> Json.String s);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters) );
+      ("state", state);
+    ]
+
+(* FNV-1a 64-bit over the canonical rendering of the body: cheap, stable
+   across runs, and plenty to catch the failure modes a checkpoint file
+   actually meets (truncation, partial writes, hand edits). This is an
+   integrity check, not an authentication scheme. *)
+let checksum_of s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let to_json t =
+  let body = body_json t in
+  Json.Obj
+    [
+      ("version", Json.Int version);
+      ("checksum", Json.String (checksum_of (Json.to_string body)));
+      ("body", body);
+    ]
+
+let to_string t = Json.to_string (to_json t)
+
+(* -- parsing --------------------------------------------------------------- *)
+
+(* Strict reader: every failure is a typed [Error], never an exception,
+   so a corrupted checkpoint degrades into a clean CLI error message. *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let field name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let as_int name = function
+  | Json.Int i -> i
+  | _ -> fail "field %S must be an integer" name
+
+let as_bool name = function
+  | Json.Bool b -> b
+  | _ -> fail "field %S must be a boolean" name
+
+let as_float name = function
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | _ -> fail "field %S must be a number" name
+
+let as_string name = function
+  | Json.String s -> s
+  | _ -> fail "field %S must be a string" name
+
+let as_list name = function
+  | Json.List l -> l
+  | _ -> fail "field %S must be an array" name
+
+let int_field name json = as_int name (field name json)
+let counting_field name json =
+  let v = int_field name json in
+  if v < 0 then fail "field %S must be non-negative" name;
+  v
+
+let int_opt_field name json =
+  match field name json with Json.Null -> None | v -> Some (as_int name v)
+
+let int_array_field name json =
+  as_list name (field name json)
+  |> List.map (as_int name)
+  |> Array.of_list
+
+let parse_b_cursor json =
+  {
+    bc_tams = counting_field "tams" json;
+    bc_next_rank = counting_field "next_rank" json;
+    bc_enumerated = counting_field "enumerated" json;
+    bc_completed = counting_field "completed" json;
+    bc_pruned = counting_field "pruned" json;
+    bc_best_time = int_opt_field "best_time" json;
+  }
+
+let parse_best_arch = function
+  | Json.Null -> None
+  | json ->
+      Some
+        {
+          ba_widths = int_array_field "widths" json;
+          ba_time = int_field "time" json;
+          ba_assignment = int_array_field "assignment" json;
+        }
+
+let parse_pe json =
+  let s =
+    {
+      pe_total_width = counting_field "total_width" json;
+      pe_carry_tau = as_bool "carry_tau" (field "carry_tau" json);
+      pe_initial = int_opt_field "initial" json;
+      pe_tau = int_field "tau" json;
+      pe_best = parse_best_arch (field "best" json);
+      pe_done = as_list "done" (field "done" json) |> List.map parse_b_cursor;
+      pe_cursor =
+        (match field "cursor" json with
+        | Json.Null -> None
+        | c -> Some (parse_b_cursor c));
+      pe_pending =
+        as_list "pending" (field "pending" json) |> List.map (as_int "pending");
+    }
+  in
+  List.iter
+    (fun c ->
+      if c.bc_completed + c.bc_pruned <> c.bc_enumerated then
+        fail "TAM count %d breaks enumerated = pruned + evaluated" c.bc_tams)
+    (s.pe_done @ Option.to_list s.pe_cursor);
+  Partition_evaluate s
+
+let parse_ex json =
+  Exhaustive
+    {
+      ex_total_width = counting_field "total_width" json;
+      ex_tams = counting_field "tams" json;
+      ex_next_rank = counting_field "next_rank" json;
+      ex_best =
+        (match field "best" json with
+        | Json.Null -> None
+        | b ->
+            Some
+              {
+                eb_time = int_field "time" b;
+                eb_rank = counting_field "rank" b;
+                eb_widths = int_array_field "widths" b;
+                eb_assignment = int_array_field "assignment" b;
+              });
+      ex_solved = counting_field "solved" json;
+      ex_nodes = counting_field "nodes" json;
+    }
+
+let parse_sweep json =
+  Sweep
+    {
+      sw_max_tams = counting_field "max_tams" json;
+      sw_points =
+        as_list "points" (field "points" json)
+        |> List.map (fun p ->
+               {
+                 sp_width = counting_field "width" p;
+                 sp_tams = counting_field "tams" p;
+                 sp_widths = int_array_field "widths" p;
+                 sp_time = int_field "time" p;
+                 sp_lower_bound = int_field "lower_bound" p;
+                 sp_gap_pct = as_float "gap_pct" (field "gap_pct" p);
+                 sp_saturated = as_bool "saturated" (field "saturated" p);
+               });
+      sw_pending =
+        as_list "pending" (field "pending" json) |> List.map (as_int "pending");
+    }
+
+let of_json json =
+  match
+    let v = int_field "version" json in
+    if v <> version then
+      fail "checkpoint version %d is not supported (this build reads %d)" v
+        version;
+    let declared = as_string "checksum" (field "checksum" json) in
+    let body = field "body" json in
+    let actual = checksum_of (Json.to_string body) in
+    if not (String.equal declared actual) then
+      fail "checksum mismatch (%s declared, %s computed): corrupted checkpoint"
+        declared actual;
+    let state_json = field "state" body in
+    let state =
+      match as_string "solver" (field "solver" body) with
+      | "partition_evaluate" -> parse_pe state_json
+      | "exhaustive" -> parse_ex state_json
+      | "sweep" -> parse_sweep state_json
+      | other -> fail "unknown solver %S" other
+    in
+    {
+      soc =
+        (match field "soc" body with
+        | Json.Null -> None
+        | s -> Some (as_string "soc" s));
+      counters =
+        (match field "counters" body with
+        | Json.Obj kvs ->
+            List.map
+              (fun (k, v) ->
+                let n = as_int k v in
+                if n < 0 then fail "counter %S must be non-negative" k;
+                (k, n))
+              kvs
+        | _ -> fail "field \"counters\" must be an object");
+      state;
+    }
+  with
+  | t -> Ok t
+  | exception Bad msg -> Error msg
+
+let of_string s =
+  match Json.parse s with
+  | Error msg -> Error ("not a JSON document: " ^ msg)
+  | Ok json -> of_json json
+
+(* -- files ----------------------------------------------------------------- *)
+
+let save path t =
+  (* Atomic publish: write the whole document to a sibling temporary
+     file, then rename over the destination. A reader (or a crash)
+     never sees a half-written checkpoint. *)
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_string t);
+        output_char oc '\n');
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated while reading")
+  | contents -> (
+      match of_string contents with
+      | Ok t -> Ok t
+      | Error msg -> Error (path ^ ": " ^ msg))
+
+let describe t =
+  let soc = match t.soc with None -> "?" | Some s -> s in
+  match t.state with
+  | Partition_evaluate s ->
+      let where =
+        match s.pe_cursor with
+        | Some c -> Printf.sprintf "B=%d rank %d" c.bc_tams c.bc_next_rank
+        | None -> (
+            match s.pe_pending with
+            | b :: _ -> Printf.sprintf "B=%d rank 0" b
+            | [] -> "complete")
+      in
+      Printf.sprintf "partition_evaluate %s W=%d at %s, %d TAM counts done"
+        soc s.pe_total_width where (List.length s.pe_done)
+  | Exhaustive s ->
+      Printf.sprintf "exhaustive %s W=%d B=%d at rank %d, %d solved" soc
+        s.ex_total_width s.ex_tams s.ex_next_rank s.ex_solved
+  | Sweep s ->
+      Printf.sprintf "sweep %s, %d points done, %d widths pending" soc
+        (List.length s.sw_points)
+        (List.length s.sw_pending)

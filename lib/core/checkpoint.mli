@@ -1,0 +1,128 @@
+(** Versioned, checksummed checkpoint documents for the search core.
+
+    The exhaustive P_PAW enumeration runs for hours-to-days on the large
+    benchmarks, and even the heuristic [Partition_evaluate] grows with
+    p(W, B). A checkpoint captures everything a solver needs to continue
+    a run in a later process: the odometer rank of the next unexplored
+    partition (restored with {!Soctam_partition.Enumerate.Odometer.create_at}),
+    the best-known bound and incumbent architecture, the cumulative
+    per-TAM-count statistics, and the solver-owned observability
+    counters. The resume invariant is {e byte-identical results}: a run
+    interrupted at a checkpoint boundary and resumed from the document
+    produces the same architecture and the same
+    [enumerated = pruned + evaluated] counter totals as an uninterrupted
+    run, at any job count (see DESIGN.md §12 for the argument).
+
+    Documents are serialized with the strict {!Soctam_util.Json}
+    parser/printer, carry a schema {!version} and an FNV-1a checksum
+    over the canonical body rendering, and are written atomically
+    (temporary file + rename). Loading validates version, checksum,
+    field types and the counter invariants, and reports every failure
+    as a clean [Error] — a truncated, corrupted or stale-version file
+    can never resume into a silently wrong run. *)
+
+val version : int
+(** Schema version written by this build; documents with any other
+    version are rejected on load. *)
+
+(** {1 Solver states} *)
+
+type b_cursor = {
+  bc_tams : int;  (** the TAM count B this cursor describes *)
+  bc_next_rank : int;  (** first unexplored lexicographic rank *)
+  bc_enumerated : int;  (** partitions enumerated so far (exact) *)
+  bc_completed : int;  (** evaluated to completion *)
+  bc_pruned : int;  (** abandoned through the tau early exit *)
+  bc_best_time : int option;  (** best SOC time using exactly B TAMs *)
+}
+(** Progress through one TAM count's partition sequence. Invariant
+    (checked on load): [bc_completed + bc_pruned = bc_enumerated]. *)
+
+type best_arch = {
+  ba_widths : int array;
+  ba_time : int;
+  ba_assignment : int array;
+}
+
+type pe_state = {
+  pe_total_width : int;
+  pe_carry_tau : bool;
+  pe_initial : int option;  (** the run's [initial_best] seed *)
+  pe_tau : int;  (** current pruning bound ([max_int] = none) *)
+  pe_best : best_arch option;  (** incumbent across all TAM counts *)
+  pe_done : b_cursor list;  (** fully explored TAM counts, in order *)
+  pe_cursor : b_cursor option;  (** partially explored TAM count *)
+  pe_pending : int list;  (** TAM counts not yet started *)
+}
+
+type ex_best = {
+  eb_time : int;
+  eb_rank : int;  (** rank of [eb_widths]: the deterministic tiebreak *)
+  eb_widths : int array;
+  eb_assignment : int array;
+}
+
+type ex_state = {
+  ex_total_width : int;
+  ex_tams : int;
+  ex_next_rank : int;
+  ex_best : ex_best option;
+  ex_solved : int;
+  ex_nodes : int;
+}
+
+type sweep_point = {
+  sp_width : int;
+  sp_tams : int;
+  sp_widths : int array;
+  sp_time : int;
+  sp_lower_bound : int;
+  sp_gap_pct : float;
+  sp_saturated : bool;
+}
+
+type sweep_state = {
+  sw_max_tams : int;
+  sw_points : sweep_point list;  (** completed widths, in sweep order *)
+  sw_pending : int list;  (** widths not yet run *)
+}
+
+type state =
+  | Partition_evaluate of pe_state
+  | Exhaustive of ex_state
+  | Sweep of sweep_state
+
+type t = {
+  soc : string option;
+      (** SOC name the run was started on; the solvers reject a resume
+          whose configured SOC name differs *)
+  counters : (string * int) list;
+      (** solver-owned observability counters accumulated before the
+          checkpoint ([core_assign/*], [pool/tau_publications], ...);
+          replayed into the collector on resume so final totals match an
+          uninterrupted run *)
+  state : state;
+}
+
+(** {1 Serialization} *)
+
+val to_json : t -> Soctam_util.Json.t
+(** The full document: [{"version", "checksum", "body"}]. *)
+
+val to_string : t -> string
+
+val of_json : Soctam_util.Json.t -> (t, string) result
+(** Strict validation: version, checksum, field presence and types, and
+    the per-cursor counter invariant. Never raises. *)
+
+val of_string : string -> (t, string) result
+
+val save : string -> t -> (unit, string) result
+(** Atomic write: the document goes to [path ^ ".tmp"] and is renamed
+    over [path], so a crash mid-write leaves the previous checkpoint
+    intact. *)
+
+val load : string -> (t, string) result
+
+val describe : t -> string
+(** One human-readable line (solver, SOC, position) for CLI messages. *)

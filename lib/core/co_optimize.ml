@@ -7,6 +7,7 @@ type t = {
   final_proven_optimal : bool;
   partition_stats : Partition_evaluate.b_stats array;
   exact_nodes : int;
+  outcome : Outcome.t;
 }
 
 let finish ?(stats = Obs.null) ~table ~node_limit
@@ -35,6 +36,7 @@ let finish ?(stats = Obs.null) ~table ~node_limit
     final_proven_optimal = exact.Soctam_ilp.Exact.optimal;
     partition_stats = pe.Partition_evaluate.per_b;
     exact_nodes = exact.Soctam_ilp.Exact.nodes;
+    outcome = pe.Partition_evaluate.outcome;
   }
 
 let table_for ?(stats = Obs.null) ?table soc ~total_width =
@@ -45,20 +47,30 @@ let table_for ?(stats = Obs.null) ?table soc ~total_width =
       t
   | None -> Time_table.build ~stats soc ~max_width:total_width
 
-let run ?(stats = Obs.null) ?(max_tams = 10) ?(node_limit = 2_000_000)
-    ?(jobs = 1) ?table soc ~total_width =
-  let table = table_for ~stats ?table soc ~total_width in
+let run_with (cfg : Run_config.t) soc ~total_width =
+  let stats = cfg.Run_config.stats in
+  let table =
+    table_for ~stats ?table:cfg.Run_config.table soc ~total_width
+  in
   let pe =
     Obs.span stats "co_optimize/partition_evaluate" (fun () ->
-        Partition_evaluate.run ~stats ~jobs ~table ~total_width ~max_tams ())
+        Partition_evaluate.run_with cfg ~table ~total_width)
   in
-  finish ~stats ~table ~node_limit pe
+  finish ~stats ~table ~node_limit:cfg.Run_config.node_limit pe
 
-let run_fixed_tams ?(stats = Obs.null) ?(node_limit = 2_000_000) ?(jobs = 1)
-    ?table soc ~total_width ~tams =
-  let table = table_for ~stats ?table soc ~total_width in
-  let pe =
-    Obs.span stats "co_optimize/partition_evaluate" (fun () ->
-        Partition_evaluate.run_fixed ~stats ~jobs ~table ~total_width ~tams ())
+let config ?stats ?(node_limit = 2_000_000) ?(jobs = 1) ?table () =
+  let cfg = Run_config.default in
+  let cfg = Run_config.with_jobs jobs cfg in
+  let cfg = Run_config.with_node_limit node_limit cfg in
+  let cfg =
+    match stats with None -> cfg | Some s -> Run_config.with_stats s cfg
   in
-  finish ~stats ~table ~node_limit pe
+  match table with None -> cfg | Some t -> Run_config.with_table t cfg
+
+let run ?stats ?(max_tams = 10) ?node_limit ?jobs ?table soc ~total_width =
+  let cfg = config ?stats ?node_limit ?jobs ?table () in
+  run_with (Run_config.with_max_tams max_tams cfg) soc ~total_width
+
+let run_fixed_tams ?stats ?node_limit ?jobs ?table soc ~total_width ~tams =
+  let cfg = config ?stats ?node_limit ?jobs ?table () in
+  run_with (Run_config.with_tams tams cfg) soc ~total_width

@@ -18,7 +18,29 @@ type t = {
           is optimal for the chosen partition *)
   partition_stats : Partition_evaluate.b_stats array;
   exact_nodes : int;  (** nodes used by the final exact step *)
+  outcome : Outcome.t;
+      (** how the partition search ended; a truncated search still
+          yields a usable (exactly polished) architecture, and the
+          carried checkpoint resumes the search stage *)
 }
+
+val run_with : Run_config.t -> Soctam_model.Soc.t -> total_width:int -> t
+(** [run_with cfg soc ~total_width] runs the whole pipeline under one
+    configuration: P_NPAW up to [cfg.max_tams], or P_PAW when
+    [cfg.tams] is set. [cfg.table] is reused when present (it must
+    cover [total_width]); otherwise the table is built here.
+    [cfg.node_limit] bounds the final exact step. Budgets,
+    checkpointing, resume and cancellation apply to the partition
+    search stage exactly as in {!Partition_evaluate.run_with}; the
+    final exact step always runs on the search's incumbent, so a
+    truncated run still returns a well-formed architecture.
+
+    @raise Invalid_argument when the supplied table is narrower than
+    [total_width], or for the {!Partition_evaluate.run_with} cases. *)
+
+(** {1 Deprecated labelled-argument entry points}
+
+    Thin wrappers over {!run_with}; behavior unchanged. *)
 
 val run :
   ?stats:Soctam_obs.Obs.t ->
@@ -29,20 +51,10 @@ val run :
   Soctam_model.Soc.t ->
   total_width:int ->
   t
+[@@alert deprecated "Use Co_optimize.run_with with a Run_config.t instead."]
 (** [run soc ~total_width] solves P_NPAW with [max_tams] (default 10,
-    the paper's practical ceiling). [table] may be supplied to reuse a
-    previously built time table; it must cover [total_width].
-    [node_limit] bounds the final exact step (default 2_000_000).
-    [jobs] (default 1) parallelizes the partition-evaluation stage over
-    that many domains; the resulting architecture is identical for every
-    [jobs] value (see {!Partition_evaluate.run}).
-
-    [stats] (default disabled) threads an observability collector through
-    the whole pipeline: {!Time_table.build} when the table is not
-    supplied, the full {!Partition_evaluate} counter set under a
-    [co_optimize/partition_evaluate] span, and the final exact step as a
-    [co_optimize/exact_step] span plus a [co_optimize/exact_nodes]
-    counter. *)
+    the paper's practical ceiling); [node_limit] defaults to 2_000_000.
+    The resulting architecture is identical for every [jobs] value. *)
 
 val run_fixed_tams :
   ?stats:Soctam_obs.Obs.t ->
@@ -53,4 +65,7 @@ val run_fixed_tams :
   total_width:int ->
   tams:int ->
   t
-(** P_PAW variant: the TAM count is fixed. [stats] as in {!run}. *)
+[@@alert
+  deprecated
+    "Use Co_optimize.run_with with Run_config.with_tams instead."]
+(** P_PAW variant: the TAM count is fixed. *)

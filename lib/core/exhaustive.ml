@@ -6,8 +6,8 @@ type result = {
   assignment : int array;
   partitions_total : int;
   partitions_solved : int;
-  complete : bool;
   nodes : int;
+  outcome : Outcome.t;
 }
 
 (* One contiguous rank chunk of the partition sequence, solved exactly.
@@ -79,61 +79,201 @@ let solve_chunk ?(stats = Obs.null) ~node_limit_per_partition ~out_of_time
   end;
   c
 
-let run ?(stats = Obs.null) ?(node_limit_per_partition = 2_000_000)
-    ?time_budget ?(jobs = 1) ~table ~total_width ~tams () =
+let restore_ex ~cfg ~total_width ~tams (cp : Checkpoint.t) =
+  let check cond msg = if not cond then invalid_arg msg in
+  match cp.Checkpoint.state with
+  | Checkpoint.Exhaustive s ->
+      check
+        (s.Checkpoint.ex_total_width = total_width
+        && s.Checkpoint.ex_tams = tams)
+        "Exhaustive: resume checkpoint is for a different instance";
+      (match (cp.Checkpoint.soc, cfg.Run_config.soc_name) with
+      | Some a, Some b ->
+          check (String.equal a b)
+            "Exhaustive: resume checkpoint is for a different SOC"
+      | _ -> ());
+      s
+  | Checkpoint.Partition_evaluate _ | Checkpoint.Sweep _ ->
+      invalid_arg "Exhaustive: resume checkpoint is for a different solver"
+
+let run_with (cfg : Run_config.t) ~table ~total_width ~tams =
   if total_width < tams then
     invalid_arg "Exhaustive.run: total_width must be >= tams";
+  let stats = cfg.Run_config.stats in
+  let total =
+    Soctam_partition.Count.exact ~total:total_width ~parts:tams
+  in
+  let restored =
+    Option.map (restore_ex ~cfg ~total_width ~tams) cfg.Run_config.resume
+  in
+  (* A fresh run records the instance size once; a resumed run replays
+     the interrupted run's counters instead (they already include it),
+     so the resumed collector converges to an uninterrupted run's
+     totals. *)
+  (match cfg.Run_config.resume with
+  | None -> Obs.add stats ~n:total "exhaustive/partitions_total"
+  | Some cp ->
+      if Obs.enabled stats then
+        List.iter
+          (fun (name, n) -> if n > 0 then Obs.add stats ~n name)
+          cp.Checkpoint.counters);
+  let next =
+    ref (match restored with Some s -> s.Checkpoint.ex_next_rank | None -> 0)
+  in
+  let solved =
+    ref (match restored with Some s -> s.Checkpoint.ex_solved | None -> 0)
+  in
+  let nodes =
+    ref (match restored with Some s -> s.Checkpoint.ex_nodes | None -> 0)
+  in
+  let best =
+    ref (match restored with Some s -> s.Checkpoint.ex_best | None -> None)
+  in
   let deadline =
     Option.map
       (fun budget -> Soctam_util.Timer.now_s () +. budget)
-      time_budget
+      cfg.Run_config.time_budget
   in
   let out_of_time () =
     match deadline with
     | None -> false
     | Some d -> Soctam_util.Timer.now_s () > d
   in
-  let total =
-    Soctam_partition.Count.exact ~total:total_width ~parts:tams
+  let checkpoint_now () =
+    {
+      Checkpoint.soc = cfg.Run_config.soc_name;
+      counters =
+        List.filter
+          (fun (_, n) -> n > 0)
+          [
+            ("exhaustive/partitions_total", total);
+            ("exhaustive/partitions_solved", !solved);
+            ("exhaustive/nodes", !nodes);
+          ];
+      state =
+        Checkpoint.Exhaustive
+          {
+            Checkpoint.ex_total_width = total_width;
+            ex_tams = tams;
+            ex_next_rank = !next;
+            ex_best = !best;
+            ex_solved = !solved;
+            ex_nodes = !nodes;
+          };
+    }
   in
-  Obs.add stats ~n:total "exhaustive/partitions_total";
-  let chunks =
-    Obs.span stats "exhaustive/solve" (fun () ->
-        Soctam_util.Pool.map_ranges ~stats ~jobs ~length:total
-          ~f:(fun ~lo ~hi ->
-            solve_chunk ~stats ~node_limit_per_partition ~out_of_time ~table
-              ~total_width ~tams ~lo ~hi ())
-          ())
+  let write_checkpoint cp =
+    match cfg.Run_config.checkpoint_path with
+    | None -> ()
+    | Some path -> (
+        match Checkpoint.save path cp with
+        | Ok () -> ()
+        | Error msg -> failwith ("checkpoint write failed: " ^ msg))
   in
-  (* Deterministic reduction, as in [Partition_evaluate]: the winner is
-     the minimum by (time, rank), independent of completion order. *)
-  let best = ref None in
-  Array.iter
-    (fun c ->
-      if Array.length c.k_widths <> 0 then
-        match !best with
-        | Some b
-          when b.k_time < c.k_time
-               || (b.k_time = c.k_time && b.k_rank < c.k_rank) ->
-            ()
-        | Some _ | None -> best := Some c)
-    chunks;
+  let slice_len = Run_config.slice_size cfg ~length:total in
+  let stop = ref None in
+  while !next < total && !stop = None do
+    (* The safe state to resume a truncated slice from: which partitions
+       inside the slice got solved before a budget stop is
+       timing-dependent, so the checkpoint rewinds to the slice start
+       and the resumed run re-solves the whole slice. *)
+    let cp_pre = checkpoint_now () in
+    let lo = !next in
+    let hi = min (lo + slice_len) total in
+    let chunks =
+      Obs.span stats "exhaustive/solve" (fun () ->
+          Soctam_util.Pool.map_ranges ~stats ~jobs:cfg.Run_config.jobs
+            ~length:(hi - lo)
+            ~f:(fun ~lo:clo ~hi:chi ->
+              solve_chunk ~stats
+                ~node_limit_per_partition:cfg.Run_config.node_limit
+                ~out_of_time ~table ~total_width ~tams ~lo:(lo + clo)
+                ~hi:(lo + chi) ())
+            ())
+    in
+    (* Deterministic reduction, as in [Partition_evaluate]: the winner is
+       the minimum by (time, rank), independent of completion order. *)
+    Array.iter
+      (fun c ->
+        if Array.length c.k_widths <> 0 then
+          match !best with
+          | Some b
+            when b.Checkpoint.eb_time < c.k_time
+                 || (b.Checkpoint.eb_time = c.k_time
+                    && b.Checkpoint.eb_rank < c.k_rank) ->
+              ()
+          | Some _ | None ->
+              best :=
+                Some
+                  {
+                    Checkpoint.eb_time = c.k_time;
+                    eb_rank = c.k_rank;
+                    eb_widths = c.k_widths;
+                    eb_assignment = c.k_assignment;
+                  })
+      chunks;
+    let slice_solved =
+      Array.fold_left (fun acc c -> acc + c.k_solved) 0 chunks
+    in
+    solved := !solved + slice_solved;
+    nodes :=
+      !nodes + Array.fold_left (fun acc c -> acc + c.k_nodes) 0 chunks;
+    next := hi;
+    if slice_solved < hi - lo then begin
+      (* A deadline or per-partition node budget stopped the slice
+         mid-way: the incumbent keeps the partial work, the resume
+         token rewinds to the slice start. *)
+      write_checkpoint cp_pre;
+      stop := Some (Outcome.Budget_exhausted cp_pre)
+    end
+    else if !next < total then
+      if cfg.Run_config.cancel () then begin
+        let cp = checkpoint_now () in
+        write_checkpoint cp;
+        stop := Some (Outcome.Interrupted cp)
+      end
+      else if out_of_time () then begin
+        let cp = checkpoint_now () in
+        write_checkpoint cp;
+        stop := Some (Outcome.Budget_exhausted cp)
+      end
+      else write_checkpoint (checkpoint_now ())
+  done;
+  let outcome =
+    match !stop with
+    | Some o -> o
+    | None ->
+        (match cfg.Run_config.checkpoint_path with
+        | Some path when Sys.file_exists path -> (
+            try Sys.remove path with Sys_error _ -> ())
+        | Some _ | None -> ());
+        Outcome.Complete
+  in
   match !best with
   | None ->
       invalid_arg "Exhaustive.run: no partition evaluated (budget too small)"
   | Some b ->
-      let solved =
-        Array.fold_left (fun acc c -> acc + c.k_solved) 0 chunks
-      in
       {
-        widths = b.k_widths;
-        time = b.k_time;
-        assignment = b.k_assignment;
+        widths = b.Checkpoint.eb_widths;
+        time = b.Checkpoint.eb_time;
+        assignment = b.Checkpoint.eb_assignment;
         partitions_total = total;
-        partitions_solved = solved;
-        (* Complete iff every partition was solved to proven optimality:
-           a deadline stop, a node-budget stop and an unevaluated tail
-           all leave [solved < total]. *)
-        complete = solved = total;
-        nodes = Array.fold_left (fun acc c -> acc + c.k_nodes) 0 chunks;
+        partitions_solved = !solved;
+        nodes = !nodes;
+        outcome;
       }
+
+let run ?stats ?(node_limit_per_partition = 2_000_000) ?time_budget
+    ?(jobs = 1) ~table ~total_width ~tams () =
+  let cfg = Run_config.default in
+  let cfg = Run_config.with_jobs jobs cfg in
+  let cfg = Run_config.with_node_limit node_limit_per_partition cfg in
+  let cfg =
+    match stats with None -> cfg | Some s -> Run_config.with_stats s cfg
+  in
+  let cfg =
+    match time_budget with
+    | None -> cfg
+    | Some b -> Run_config.with_time_budget b cfg
+  in
+  run_with cfg ~table ~total_width ~tams

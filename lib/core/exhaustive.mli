@@ -8,7 +8,10 @@
     authors could not run it beyond three TAMs on industrial SOCs. Both a
     per-partition node budget and a global wall-clock budget let it
     degrade to "best found so far", mirroring the paper's "did not
-    complete even after two days" entries. *)
+    complete even after two days" entries — and since those truncated
+    runs are the expensive ones, {!run_with} can checkpoint them and
+    resume later (the partition sequence is walked in slices, exactly as
+    in {!Partition_evaluate}). *)
 
 type result = {
   widths : int array;
@@ -16,11 +19,43 @@ type result = {
   assignment : int array;
   partitions_total : int;  (** unique partitions of the instance *)
   partitions_solved : int;  (** partitions solved to proven optimality *)
-  complete : bool;
-      (** every partition solved optimally within the budgets; when
-          [false] the result is a best-effort incumbent *)
   nodes : int;  (** total branch & bound nodes *)
+  outcome : Outcome.t;
+      (** [Complete] iff every partition was solved to proven optimality
+          within the budgets; otherwise the result is a best-effort
+          incumbent and the carried checkpoint resumes the search *)
 }
+
+val run_with :
+  Run_config.t -> table:Time_table.t -> total_width:int -> tams:int -> result
+(** [run_with cfg ~table ~total_width ~tams] enumerates every partition
+    of [total_width] into [tams] parts and solves each exactly with
+    {!Soctam_ilp.Exact.solve_bb} under [cfg.node_limit] nodes per
+    partition.
+
+    Policy read from [cfg]: [jobs] splits each slice into contiguous
+    rank chunks solved on that many domains; without a budget the result
+    is identical for every job count (the winner is the minimum by
+    (time, rank)). [time_budget] is in elapsed seconds on the monotonic
+    clock; each worker always solves the first partition of its chunk
+    before consulting the deadline, so even a zero budget returns a
+    well-formed truncated incumbent with [Outcome.Budget_exhausted] (a
+    per-partition node-budget stop ends the run the same way). [cancel]
+    is polled at slice boundaries and ends the run with
+    [Outcome.Interrupted]. Checkpoints go to [checkpoint_path] at every
+    boundary (removed again on completion); a budget stop {e inside} a
+    slice rewinds the resume token to the slice start, because which
+    partitions beat the deadline is timing-dependent — the resumed run
+    re-solves that slice and its counter totals match an uninterrupted
+    run's. [resume] continues a checkpointed run; the checkpoint must
+    match this instance and SOC name. [stats] records
+    [exhaustive/partitions_total], [exhaustive/partitions_solved] and
+    [exhaustive/nodes] counters, [exhaustive/solve] spans and pool
+    utilization; on resume the checkpointed counters are replayed first.
+
+    @raise Invalid_argument when [total_width < tams] or a resume
+    checkpoint does not match this run.
+    @raise Failure when a checkpoint write to [checkpoint_path] fails. *)
 
 val run :
   ?stats:Soctam_obs.Obs.t ->
@@ -32,24 +67,7 @@ val run :
   tams:int ->
   unit ->
   result
-(** [run ~table ~total_width ~tams ()] enumerates every partition of
-    [total_width] into [tams] parts and solves each exactly with
-    {!Soctam_ilp.Exact.solve_bb}. [time_budget] is in elapsed seconds
-    measured on the monotonic clock (default: unlimited), so wall-clock
-    adjustments cannot distort it; each worker always solves the first
-    partition of its chunk before consulting the deadline, so even a
-    zero budget returns a well-formed truncated incumbent.
-    [node_limit_per_partition] defaults to 2_000_000.
-
-    [jobs] (default 1) splits the partition sequence into contiguous
-    rank chunks solved on that many domains. Without a [time_budget]
-    the result is identical for every [jobs] value (the winner is the
-    minimum by (time, rank)); under a budget the set of partitions that
-    fit before the deadline is inherently timing-dependent, exactly as
-    it already was sequentially.
-
-    [stats] (default disabled) records [exhaustive/partitions_total],
-    [exhaustive/partitions_solved] and [exhaustive/nodes] counters, an
-    [exhaustive/solve] span and pool utilization. Counters are exact and
-    reproducible whenever the run is (i.e. no [time_budget] or
-    [jobs = 1] with a generous budget). *)
+[@@alert deprecated "Use Exhaustive.run_with with a Run_config.t instead."]
+(** [run ~table ~total_width ~tams ()] is {!run_with} with the labelled
+    arguments folded into a {!Run_config.t}
+    ([node_limit_per_partition] defaults to 2_000_000). *)

@@ -1,0 +1,19 @@
+type t =
+  | Complete
+  | Budget_exhausted of Checkpoint.t
+  | Interrupted of Checkpoint.t
+
+let is_complete = function
+  | Complete -> true
+  | Budget_exhausted _ | Interrupted _ -> false
+
+let resume_token = function
+  | Complete -> None
+  | Budget_exhausted cp | Interrupted cp -> Some cp
+
+let to_string = function
+  | Complete -> "complete"
+  | Budget_exhausted _ -> "budget exhausted (resumable)"
+  | Interrupted _ -> "interrupted (resumable)"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

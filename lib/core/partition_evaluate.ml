@@ -1,4 +1,6 @@
 module Obs = Soctam_obs.Obs
+module Odometer = Soctam_partition.Enumerate.Odometer
+module Shared_min = Soctam_util.Pool.Shared_min
 
 type b_stats = {
   tams : int;
@@ -18,6 +20,7 @@ type result = {
   time : int;
   assignment : int array;
   per_b : b_stats array;
+  outcome : Outcome.t;
 }
 
 type best = {
@@ -26,9 +29,9 @@ type best = {
   mutable b_assignment : int array;
 }
 
-(* Flush one evaluation's local counters into the collector. Called at
-   B / chunk granularity, so the per-partition hot loop stays free of
-   collector traffic (see the [Obs] design notes). *)
+(* Flush one slice's local counters into the collector. Called at
+   slice / chunk granularity, so the per-partition hot loop stays free
+   of collector traffic (see the [Obs] design notes). *)
 let flush_counters stats ~enumerated ~pruned ~evaluated ~ca =
   if Obs.enabled stats then begin
     Obs.add stats ~n:enumerated "partition/enumerated";
@@ -43,9 +46,35 @@ let flush_counters stats ~enumerated ~pruned ~evaluated ~ca =
         Obs.add stats ~n:c.Core_assign.levels_cut "core_assign/levels_cut"
   end
 
-let ca_stats stats = if Obs.enabled stats then Some (Core_assign.stats ()) else None
+let ca_stats stats =
+  if Obs.enabled stats then Some (Core_assign.stats ()) else None
 
-let evaluate_b ?(stats = Obs.null) ~table ~total_width ~tams ~tau best =
+(* -- slice evaluation ------------------------------------------------------ *)
+
+(* Everything a slice [lo, hi) of one TAM count's rank sequence reports
+   back to the engine: the pruning split, the per-B best, and the
+   solver-owned work counters the checkpoint must carry so a resumed
+   run's totals match an uninterrupted one. *)
+type slice = {
+  sl_enumerated : int;
+  sl_completed : int;
+  sl_pruned : int;
+  sl_best_time : int option;
+  sl_tried : int;
+  sl_early : int;
+  sl_levels : int;
+  sl_publications : int;
+}
+
+let merge_best_time a b =
+  match (a, b) with None, t | t, None -> t | Some x, Some y -> Some (min x y)
+
+(* One slice evaluated sequentially. [tau] is a plain ref and the early
+   exit threshold is [!tau] itself (ties are pruned): within one domain
+   a tie's rank is always larger than the incumbent's, so nothing is
+   lost — this is the paper's sequential Figure 3 behavior. *)
+let evaluate_slice_seq ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo
+    ~hi best =
   let enumerated = ref 0 in
   let completed = ref 0 in
   let tau_terminated = ref 0 in
@@ -53,19 +82,14 @@ let evaluate_b ?(stats = Obs.null) ~table ~total_width ~tams ~tau best =
   let ca = ca_stats stats in
   let publications = ref 0 in
   Obs.span stats "partition/evaluate_b" (fun () ->
-      match
-        Soctam_partition.Enumerate.Odometer.create ~total:total_width
-          ~parts:tams
-      with
+      match Odometer.create_at ~total:total_width ~parts:tams ~rank:lo with
       | None -> ()
       | Some odometer ->
-          let continue = ref true in
-          while !continue do
-            let widths =
-              Soctam_partition.Enumerate.Odometer.current odometer
-            in
+          for rank = lo to hi - 1 do
+            let widths = Odometer.current odometer in
             incr enumerated;
-            (match Core_assign.run_table ?stats:ca ~best:!tau ~table ~widths ()
+            (match
+               Core_assign.run_table ?stats:ca ~best:!tau ~table ~widths ()
              with
             | Core_assign.Exceeded _ -> incr tau_terminated
             | Core_assign.Assigned { assignment; time; _ } ->
@@ -75,30 +99,29 @@ let evaluate_b ?(stats = Obs.null) ~table ~total_width ~tams ~tau best =
                   incr publications;
                   Obs.event stats ~value:time "tau"
                 end;
-                (match !best_time_b with
-                | Some t when t <= time -> ()
-                | Some _ | None -> best_time_b := Some time);
+                best_time_b := merge_best_time !best_time_b (Some time);
                 if time < best.b_time then begin
                   best.b_time <- time;
                   best.b_widths <- Array.copy widths;
                   best.b_assignment <- Array.copy assignment
                 end);
-            continue := Soctam_partition.Enumerate.Odometer.advance odometer
+            if rank < hi - 1 then ignore (Odometer.advance odometer)
           done);
   flush_counters stats ~enumerated:!enumerated ~pruned:!tau_terminated
     ~evaluated:!completed ~ca;
   Obs.add stats ~n:!publications "pool/tau_publications";
   {
-    tams;
-    unique_partitions =
-      Soctam_partition.Count.exact ~total:total_width ~parts:tams;
-    enumerated = !enumerated;
-    completed = !completed;
-    tau_terminated = !tau_terminated;
-    best_time = !best_time_b;
+    sl_enumerated = !enumerated;
+    sl_completed = !completed;
+    sl_pruned = !tau_terminated;
+    sl_best_time = !best_time_b;
+    sl_tried = (match ca with None -> 0 | Some c -> c.Core_assign.tried);
+    sl_early =
+      (match ca with None -> 0 | Some c -> c.Core_assign.early_terminations);
+    sl_levels =
+      (match ca with None -> 0 | Some c -> c.Core_assign.levels_cut);
+    sl_publications = !publications;
   }
-
-(* -- parallel evaluation --------------------------------------------------- *)
 
 (* The best candidate found inside one contiguous rank chunk. [c_rank] is
    the global lexicographic rank of [c_widths]: the reduction over chunks
@@ -118,6 +141,9 @@ type chunk_result = {
   ch_tau_terminated : int;
   ch_best_time : int option;
   ch_best : chunk_best;
+  ch_tried : int;
+  ch_early : int;
+  ch_levels : int;
 }
 
 (* One domain's share of a TAM count: evaluate the partitions of global
@@ -139,16 +165,13 @@ let evaluate_chunk ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo ~hi
   let cb =
     { c_time = max_int; c_rank = max_int; c_widths = [||]; c_assignment = [||] }
   in
-  (match
-     Soctam_partition.Enumerate.Odometer.create_at ~total:total_width
-       ~parts:tams ~rank:lo
-   with
+  (match Odometer.create_at ~total:total_width ~parts:tams ~rank:lo with
   | None -> ()
   | Some odometer ->
       for rank = lo to hi - 1 do
-        let widths = Soctam_partition.Enumerate.Odometer.current odometer in
+        let widths = Odometer.current odometer in
         incr enumerated;
-        let bound = Soctam_util.Pool.Shared_min.get tau in
+        let bound = Shared_min.get tau in
         let threshold = if bound = max_int then max_int else bound + 1 in
         (match
            Core_assign.run_table ?stats:ca ~best:threshold ~table ~widths ()
@@ -161,10 +184,8 @@ let evaluate_chunk ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo ~hi
                at worst a tie between racing domains is reported as an
                improvement by both. *)
             if time < bound then Obs.event stats ~value:time "tau";
-            Soctam_util.Pool.Shared_min.improve tau time;
-            (match !best_time_b with
-            | Some t when t <= time -> ()
-            | Some _ | None -> best_time_b := Some time);
+            Shared_min.improve tau time;
+            best_time_b := merge_best_time !best_time_b (Some time);
             (* Ranks increase within the chunk, so a strict comparison
                keeps the lowest-rank partition among equal times. *)
             if time < cb.c_time then begin
@@ -173,8 +194,7 @@ let evaluate_chunk ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo ~hi
               cb.c_widths <- Array.copy widths;
               cb.c_assignment <- Array.copy assignment
             end);
-        if rank < hi - 1 then
-          ignore (Soctam_partition.Enumerate.Odometer.advance odometer)
+        if rank < hi - 1 then ignore (Odometer.advance odometer)
       done);
   flush_counters stats ~enumerated:!enumerated ~pruned:!tau_terminated
     ~evaluated:!completed ~ca;
@@ -184,24 +204,29 @@ let evaluate_chunk ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo ~hi
     ch_tau_terminated = !tau_terminated;
     ch_best_time = !best_time_b;
     ch_best = cb;
+    ch_tried = (match ca with None -> 0 | Some c -> c.Core_assign.tried);
+    ch_early =
+      (match ca with None -> 0 | Some c -> c.Core_assign.early_terminations);
+    ch_levels = (match ca with None -> 0 | Some c -> c.Core_assign.levels_cut);
   }
 
-let evaluate_b_parallel ?(stats = Obs.null) ~jobs ~table ~total_width ~tams
-    ~tau best =
-  let unique =
-    Soctam_partition.Count.exact ~total:total_width ~parts:tams
-  in
-  let publications_before = Soctam_util.Pool.Shared_min.publications tau in
+(* One slice evaluated on a pool: cut [lo, hi) into contiguous rank
+   chunks, prune against a shared atomic bound, and reduce the chunk
+   winners to the minimum by (time, rank) — byte-identical to the
+   sequential winner no matter how completions interleave. *)
+let evaluate_slice_par ?(stats = Obs.null) ~jobs ~table ~total_width ~tams
+    ~tau ~lo ~hi best =
+  let publications_before = Shared_min.publications tau in
   let chunks =
     Obs.span stats "partition/evaluate_b" (fun () ->
-        Soctam_util.Pool.map_ranges ~stats ~jobs ~length:unique
-          ~f:(fun ~lo ~hi ->
-            evaluate_chunk ~stats ~table ~total_width ~tams ~tau ~lo ~hi ())
+        Soctam_util.Pool.map_ranges ~stats ~jobs ~length:(hi - lo)
+          ~f:(fun ~lo:clo ~hi:chi ->
+            evaluate_chunk ~stats ~table ~total_width ~tams ~tau
+              ~lo:(lo + clo) ~hi:(lo + chi) ())
           ())
   in
-  Obs.add stats
-    ~n:(Soctam_util.Pool.Shared_min.publications tau - publications_before)
-    "pool/tau_publications";
+  let publications = Shared_min.publications tau - publications_before in
+  Obs.add stats ~n:publications "pool/tau_publications";
   (* Deterministic reduction: chunks arrive in rank order, so scanning
      left to right with strict comparisons yields the minimum
      (time, rank) candidate — byte-identical to the jobs = 1 winner. *)
@@ -212,10 +237,10 @@ let evaluate_b_parallel ?(stats = Obs.null) ~jobs ~table ~total_width ~tams
         if Array.length cb.c_widths = 0 then acc
         else
           match acc with
-          | Some best
-            when best.c_time < cb.c_time
-                 || (best.c_time = cb.c_time && best.c_rank < cb.c_rank) ->
-              Some best
+          | Some b
+            when b.c_time < cb.c_time
+                 || (b.c_time = cb.c_time && b.c_rank < cb.c_rank) ->
+              Some b
           | Some _ | None -> Some cb)
       None chunks
   in
@@ -227,21 +252,119 @@ let evaluate_b_parallel ?(stats = Obs.null) ~jobs ~table ~total_width ~tams
   | Some _ | None -> ());
   let sum f = Array.fold_left (fun acc c -> acc + f c) 0 chunks in
   {
-    tams;
-    unique_partitions = unique;
-    enumerated = sum (fun c -> c.ch_enumerated);
-    completed = sum (fun c -> c.ch_completed);
-    tau_terminated = sum (fun c -> c.ch_tau_terminated);
-    best_time =
+    sl_enumerated = sum (fun c -> c.ch_enumerated);
+    sl_completed = sum (fun c -> c.ch_completed);
+    sl_pruned = sum (fun c -> c.ch_tau_terminated);
+    sl_best_time =
       Array.fold_left
-        (fun acc c ->
-          match (acc, c.ch_best_time) with
-          | None, t | t, None -> t
-          | Some a, Some b -> Some (min a b))
+        (fun acc c -> merge_best_time acc c.ch_best_time)
         None chunks;
+    sl_tried = sum (fun c -> c.ch_tried);
+    sl_early = sum (fun c -> c.ch_early);
+    sl_levels = sum (fun c -> c.ch_levels);
+    sl_publications = publications;
   }
 
-(* -- shared driver --------------------------------------------------------- *)
+(* -- checkpoint engine ----------------------------------------------------- *)
+
+(* Mutable progress through one TAM count. *)
+type eng_b = {
+  g_tams : int;
+  g_unique : int;
+  mutable g_next : int;
+  mutable g_enumerated : int;
+  mutable g_completed : int;
+  mutable g_pruned : int;
+  mutable g_best_time : int option;
+}
+
+let fresh_b ~total_width tams =
+  {
+    g_tams = tams;
+    g_unique = Soctam_partition.Count.exact ~total:total_width ~parts:tams;
+    g_next = 0;
+    g_enumerated = 0;
+    g_completed = 0;
+    g_pruned = 0;
+    g_best_time = None;
+  }
+
+let cursor_of_eng g =
+  {
+    Checkpoint.bc_tams = g.g_tams;
+    bc_next_rank = g.g_next;
+    bc_enumerated = g.g_enumerated;
+    bc_completed = g.g_completed;
+    bc_pruned = g.g_pruned;
+    bc_best_time = g.g_best_time;
+  }
+
+let eng_of_cursor ~total_width (c : Checkpoint.b_cursor) =
+  {
+    g_tams = c.Checkpoint.bc_tams;
+    g_unique =
+      Soctam_partition.Count.exact ~total:total_width
+        ~parts:c.Checkpoint.bc_tams;
+    g_next = c.Checkpoint.bc_next_rank;
+    g_enumerated = c.Checkpoint.bc_enumerated;
+    g_completed = c.Checkpoint.bc_completed;
+    g_pruned = c.Checkpoint.bc_pruned;
+    g_best_time = c.Checkpoint.bc_best_time;
+  }
+
+let b_stats_of_eng g =
+  {
+    tams = g.g_tams;
+    unique_partitions = g.g_unique;
+    enumerated = g.g_enumerated;
+    completed = g.g_completed;
+    tau_terminated = g.g_pruned;
+    best_time = g.g_best_time;
+  }
+
+(* Work counters the checkpoint carries beyond the per-B cursors:
+   restored from a resume token, grown by every slice, replayed into the
+   collector so final totals equal an uninterrupted run's. *)
+type extras = {
+  mutable x_tried : int;
+  mutable x_early : int;
+  mutable x_levels : int;
+  mutable x_publications : int;
+}
+
+let restore_check cond msg = if not cond then invalid_arg msg
+
+let restore_pe ~cfg ~total_width ~b_values (cp : Checkpoint.t) =
+  match cp.Checkpoint.state with
+  | Checkpoint.Partition_evaluate s ->
+      restore_check
+        (s.Checkpoint.pe_total_width = total_width)
+        "Partition_evaluate: resume checkpoint is for a different total \
+         width";
+      restore_check
+        (s.Checkpoint.pe_carry_tau = cfg.Run_config.carry_tau
+        && s.Checkpoint.pe_initial = cfg.Run_config.initial_best)
+        "Partition_evaluate: resume checkpoint was taken under a different \
+         pruning configuration";
+      (match (cp.Checkpoint.soc, cfg.Run_config.soc_name) with
+      | Some a, Some b ->
+          restore_check (String.equal a b)
+            "Partition_evaluate: resume checkpoint is for a different SOC"
+      | _ -> ());
+      let plan =
+        List.map (fun c -> c.Checkpoint.bc_tams) s.Checkpoint.pe_done
+        @ (match s.Checkpoint.pe_cursor with
+          | Some c -> [ c.Checkpoint.bc_tams ]
+          | None -> [])
+        @ s.Checkpoint.pe_pending
+      in
+      restore_check (plan = b_values)
+        "Partition_evaluate: resume checkpoint does not match this run's TAM \
+         plan";
+      s
+  | Checkpoint.Exhaustive _ | Checkpoint.Sweep _ ->
+      invalid_arg "Partition_evaluate: resume checkpoint is for a different \
+                   solver"
 
 let check_args ~table ~total_width ~max_tams =
   if total_width < 1 then
@@ -250,36 +373,216 @@ let check_args ~table ~total_width ~max_tams =
   if Time_table.max_width table < total_width then
     invalid_arg "Partition_evaluate: time table narrower than total width"
 
-let run_general ?(stats = Obs.null) ?initial_best ~carry_tau ~jobs ~table
-    ~total_width ~b_values () =
-  let initial = match initial_best with Some t -> t | None -> max_int in
-  let best = { b_widths = [||]; b_time = initial; b_assignment = [||] } in
-  let per_b =
-    if jobs <= 1 then begin
-      let tau = ref initial in
-      List.map
-        (fun tams ->
-          if not carry_tau then tau := initial;
-          evaluate_b ~stats ~table ~total_width ~tams ~tau best)
-        b_values
-    end
-    else begin
-      (* One shared bound per tau scope: for the carried variant it lives
-         across TAM counts (the strongest pruning); for the per-B reset
-         variant each TAM count starts from [initial] again. The B loop
-         itself stays sequential — parallelism is inside each TAM
-         count's partition range, where the fan-out lives. *)
-      let carried = Soctam_util.Pool.Shared_min.create initial in
-      List.map
-        (fun tams ->
-          let tau =
-            if carry_tau then carried
-            else Soctam_util.Pool.Shared_min.create initial
-          in
-          evaluate_b_parallel ~stats ~jobs ~table ~total_width ~tams ~tau best)
-        b_values
-    end
+exception Stopped of Outcome.t
+
+let run_with (cfg : Run_config.t) ~table ~total_width =
+  let effective_max =
+    match cfg.Run_config.tams with
+    | Some b -> b
+    | None -> cfg.Run_config.max_tams
   in
+  check_args ~table ~total_width ~max_tams:effective_max;
+  let b_values =
+    match cfg.Run_config.tams with
+    | Some b ->
+        if b > total_width then
+          invalid_arg "Partition_evaluate: more TAMs than width";
+        [ b ]
+    | None ->
+        Soctam_util.Intutil.range 1 (min cfg.Run_config.max_tams total_width)
+  in
+  let stats = cfg.Run_config.stats in
+  let jobs = cfg.Run_config.jobs in
+  let initial =
+    match cfg.Run_config.initial_best with Some t -> t | None -> max_int
+  in
+  let restored =
+    Option.map (restore_pe ~cfg ~total_width ~b_values) cfg.Run_config.resume
+  in
+  (* Replay the interrupted run's solver-owned counters so the resumed
+     collector converges to an uninterrupted run's totals. *)
+  (match cfg.Run_config.resume with
+  | Some cp when Obs.enabled stats ->
+      List.iter
+        (fun (name, n) -> if n > 0 then Obs.add stats ~n name)
+        cp.Checkpoint.counters
+  | Some _ | None -> ());
+  let extras =
+    let get name =
+      match cfg.Run_config.resume with
+      | None -> 0
+      | Some cp -> (
+          match List.assoc_opt name cp.Checkpoint.counters with
+          | Some n -> n
+          | None -> 0)
+    in
+    {
+      x_tried = get "core_assign/assignments_tried";
+      x_early = get "core_assign/early_terminations";
+      x_levels = get "core_assign/levels_cut";
+      x_publications = get "pool/tau_publications";
+    }
+  in
+  let best =
+    match restored with
+    | Some { Checkpoint.pe_best = Some b; _ } ->
+        {
+          b_widths = b.Checkpoint.ba_widths;
+          b_time = b.Checkpoint.ba_time;
+          b_assignment = b.Checkpoint.ba_assignment;
+        }
+    | Some { Checkpoint.pe_best = None; _ } | None ->
+        { b_widths = [||]; b_time = initial; b_assignment = [||] }
+  in
+  let tau =
+    ref
+      (match restored with
+      | Some s -> s.Checkpoint.pe_tau
+      | None -> initial)
+  in
+  let done_rev =
+    ref
+      (match restored with
+      | Some s ->
+          List.rev_map (eng_of_cursor ~total_width) s.Checkpoint.pe_done
+      | None -> [])
+  in
+  (* The plan still to run: the restored cursor (mid-B) first, then the
+     pending TAM counts; on a fresh run, every B with a fresh cursor. *)
+  let todo =
+    match restored with
+    | None -> List.map (fresh_b ~total_width) b_values
+    | Some s ->
+        (match s.Checkpoint.pe_cursor with
+        | Some c -> [ eng_of_cursor ~total_width c ]
+        | None -> [])
+        @ List.map (fresh_b ~total_width) s.Checkpoint.pe_pending
+  in
+  let deadline =
+    Option.map
+      (fun budget -> Soctam_util.Timer.now_s () +. budget)
+      cfg.Run_config.time_budget
+  in
+  let counters_now ~cursor =
+    let live = List.rev_append !done_rev (Option.to_list cursor) in
+    let sum f = List.fold_left (fun acc g -> acc + f g) 0 live in
+    List.filter
+      (fun (_, n) -> n > 0)
+      [
+        ("partition/enumerated", sum (fun g -> g.g_enumerated));
+        ("partition/evaluated", sum (fun g -> g.g_completed));
+        ("partition/pruned", sum (fun g -> g.g_pruned));
+        ("core_assign/assignments_tried", extras.x_tried);
+        ("core_assign/early_terminations", extras.x_early);
+        ("core_assign/levels_cut", extras.x_levels);
+        ("pool/tau_publications", extras.x_publications);
+      ]
+  in
+  let checkpoint_now ~cursor ~pending =
+    {
+      Checkpoint.soc = cfg.Run_config.soc_name;
+      counters = counters_now ~cursor;
+      state =
+        Checkpoint.Partition_evaluate
+          {
+            Checkpoint.pe_total_width = total_width;
+            pe_carry_tau = cfg.Run_config.carry_tau;
+            pe_initial = cfg.Run_config.initial_best;
+            pe_tau = !tau;
+            pe_best =
+              (if Array.length best.b_widths = 0 then None
+               else
+                 Some
+                   {
+                     Checkpoint.ba_widths = best.b_widths;
+                     ba_time = best.b_time;
+                     ba_assignment = best.b_assignment;
+                   });
+            pe_done = List.rev_map cursor_of_eng !done_rev;
+            pe_cursor = Option.map cursor_of_eng cursor;
+            pe_pending = List.map (fun g -> g.g_tams) pending;
+          };
+    }
+  in
+  let write_checkpoint cp =
+    match cfg.Run_config.checkpoint_path with
+    | None -> ()
+    | Some path -> (
+        match Checkpoint.save path cp with
+        | Ok () -> ()
+        | Error msg -> failwith ("checkpoint write failed: " ^ msg))
+  in
+  let boundary ~cursor ~pending =
+    if cfg.Run_config.cancel () then begin
+      let cp = checkpoint_now ~cursor ~pending in
+      write_checkpoint cp;
+      raise (Stopped (Outcome.Interrupted cp))
+    end;
+    (match deadline with
+    | Some d when Soctam_util.Timer.now_s () > d ->
+        let cp = checkpoint_now ~cursor ~pending in
+        write_checkpoint cp;
+        raise (Stopped (Outcome.Budget_exhausted cp))
+    | Some _ | None -> ());
+    write_checkpoint (checkpoint_now ~cursor ~pending)
+  in
+  let accumulate g (s : slice) hi =
+    g.g_next <- hi;
+    g.g_enumerated <- g.g_enumerated + s.sl_enumerated;
+    g.g_completed <- g.g_completed + s.sl_completed;
+    g.g_pruned <- g.g_pruned + s.sl_pruned;
+    g.g_best_time <- merge_best_time g.g_best_time s.sl_best_time;
+    extras.x_tried <- extras.x_tried + s.sl_tried;
+    extras.x_early <- extras.x_early + s.sl_early;
+    extras.x_levels <- extras.x_levels + s.sl_levels;
+    extras.x_publications <- extras.x_publications + s.sl_publications
+  in
+  let outcome =
+    try
+      let rec over_plan = function
+        | [] -> Outcome.Complete
+        | g :: pending ->
+            (* A fresh TAM count resets the bound when tau is not
+               carried; a restored mid-B cursor keeps the checkpointed
+               bound either way. *)
+            if (not cfg.Run_config.carry_tau) && g.g_next = 0 then
+              tau := initial;
+            let slice_len =
+              Run_config.slice_size cfg ~length:g.g_unique
+            in
+            while g.g_next < g.g_unique do
+              boundary ~cursor:(Some g) ~pending;
+              let lo = g.g_next in
+              let hi = min (lo + slice_len) g.g_unique in
+              let s =
+                if jobs <= 1 then
+                  evaluate_slice_seq ~stats ~table ~total_width
+                    ~tams:g.g_tams ~tau ~lo ~hi best
+                else begin
+                  let shared = Shared_min.create !tau in
+                  let s =
+                    evaluate_slice_par ~stats ~jobs ~table ~total_width
+                      ~tams:g.g_tams ~tau:shared ~lo ~hi best
+                  in
+                  tau := Shared_min.get shared;
+                  s
+                end
+              in
+              accumulate g s hi
+            done;
+            done_rev := g :: !done_rev;
+            over_plan pending
+      in
+      let outcome = over_plan todo in
+      (* A finished run leaves no stale resume bait behind. *)
+      (match cfg.Run_config.checkpoint_path with
+      | Some path when Sys.file_exists path -> (
+          try Sys.remove path with Sys_error _ -> ())
+      | Some _ | None -> ());
+      outcome
+    with Stopped o -> o
+  in
+  let per_b = List.rev_map b_stats_of_eng !done_rev |> Array.of_list in
   if Array.length best.b_widths = 0 then begin
     (* Nothing beat the seed: fall back to an even split over the first
        permitted TAM count (1 for P_NPAW, the fixed B for P_PAW). *)
@@ -292,7 +595,7 @@ let run_general ?(stats = Obs.null) ?initial_best ~carry_tau ~jobs ~table
     in
     match Core_assign.run_table ~table ~widths () with
     | Core_assign.Assigned { assignment; time; _ } ->
-        { widths; time; assignment; per_b = Array.of_list per_b }
+        { widths; time; assignment; per_b; outcome }
     | Core_assign.Exceeded _ -> assert false
   end
   else
@@ -300,19 +603,30 @@ let run_general ?(stats = Obs.null) ?initial_best ~carry_tau ~jobs ~table
       widths = best.b_widths;
       time = best.b_time;
       assignment = best.b_assignment;
-      per_b = Array.of_list per_b;
+      per_b;
+      outcome;
     }
 
-let run ?stats ?initial_best ?(carry_tau = true) ?(jobs = 1) ~table
-    ~total_width ~max_tams () =
-  check_args ~table ~total_width ~max_tams;
-  let b_values = Soctam_util.Intutil.range 1 (min max_tams total_width) in
-  run_general ?stats ?initial_best ~carry_tau ~jobs ~table ~total_width
-    ~b_values ()
+(* -- deprecated labelled-argument wrappers --------------------------------- *)
+
+let config ?stats ?initial_best ?(carry_tau = true) ?(jobs = 1) () =
+  let cfg = Run_config.default in
+  let cfg = Run_config.with_jobs jobs cfg in
+  let cfg = Run_config.with_carry_tau carry_tau cfg in
+  let cfg =
+    match stats with None -> cfg | Some s -> Run_config.with_stats s cfg
+  in
+  match initial_best with
+  | None -> cfg
+  | Some b -> Run_config.with_initial_best b cfg
+
+let run ?stats ?initial_best ?carry_tau ?(jobs = 1) ~table ~total_width
+    ~max_tams () =
+  let cfg = config ?stats ?initial_best ?carry_tau ~jobs () in
+  run_with
+    (Run_config.with_max_tams max_tams cfg)
+    ~table ~total_width
 
 let run_fixed ?stats ?initial_best ?(jobs = 1) ~table ~total_width ~tams () =
-  check_args ~table ~total_width ~max_tams:tams;
-  if tams > total_width then
-    invalid_arg "Partition_evaluate.run_fixed: more TAMs than width";
-  run_general ?stats ?initial_best ~carry_tau:true ~jobs ~table ~total_width
-    ~b_values:[ tams ] ()
+  let cfg = config ?stats ?initial_best ~jobs () in
+  run_with (Run_config.with_tams tams cfg) ~table ~total_width

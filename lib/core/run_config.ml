@@ -1,0 +1,90 @@
+type t = {
+  jobs : int;
+  stats : Soctam_obs.Obs.t;
+  soc_name : string option;
+  table : Time_table.t option;
+  node_limit : int;
+  max_tams : int;
+  tams : int option;
+  initial_best : int option;
+  carry_tau : bool;
+  time_budget : float option;
+  checkpoint_path : string option;
+  checkpoint_every : int;
+  resume : Checkpoint.t option;
+  cancel : unit -> bool;
+}
+
+let never_cancelled () = false
+
+let default =
+  {
+    jobs = 1;
+    stats = Soctam_obs.Obs.null;
+    soc_name = None;
+    table = None;
+    node_limit = 2_000_000;
+    max_tams = 10;
+    tams = None;
+    initial_best = None;
+    carry_tau = true;
+    time_budget = None;
+    checkpoint_path = None;
+    checkpoint_every = 50_000;
+    resume = None;
+    cancel = never_cancelled;
+  }
+
+let with_jobs jobs t =
+  if jobs < 1 then invalid_arg "Run_config.with_jobs: jobs must be >= 1";
+  { t with jobs }
+
+let with_stats stats t = { t with stats }
+let with_soc_name name t = { t with soc_name = Some name }
+let with_table table t = { t with table = Some table }
+let without_table t = { t with table = None }
+
+let with_node_limit node_limit t =
+  if node_limit < 1 then
+    invalid_arg "Run_config.with_node_limit: node_limit must be >= 1";
+  { t with node_limit }
+
+let with_max_tams max_tams t =
+  if max_tams < 1 then
+    invalid_arg "Run_config.with_max_tams: max_tams must be >= 1";
+  { t with max_tams }
+
+let with_tams tams t =
+  if tams < 1 then invalid_arg "Run_config.with_tams: tams must be >= 1";
+  { t with tams = Some tams }
+
+let with_any_tams t = { t with tams = None }
+let with_initial_best best t = { t with initial_best = Some best }
+let with_carry_tau carry_tau t = { t with carry_tau }
+
+let with_time_budget budget t =
+  if budget < 0. then
+    invalid_arg "Run_config.with_time_budget: budget must be >= 0";
+  { t with time_budget = Some budget }
+
+let with_checkpoint path t = { t with checkpoint_path = Some path }
+
+let with_checkpoint_every every t =
+  if every < 1 then
+    invalid_arg "Run_config.with_checkpoint_every: interval must be >= 1";
+  { t with checkpoint_every = every }
+
+let with_resume resume t = { t with resume = Some resume }
+let with_cancel cancel t = { t with cancel }
+
+let checkpointing t =
+  t.checkpoint_path <> None || t.resume <> None || t.time_budget <> None
+
+(* Slice size of the checkpoint engines: [checkpoint_every] ranks when
+   the run can stop early (so boundaries exist to stop at), otherwise
+   the whole range in one slice — the non-checkpointed fast path is the
+   checkpointed path with a single boundary, not separate code. *)
+let slice_size t ~length =
+  if length < 1 then 1
+  else if checkpointing t then min t.checkpoint_every length
+  else length

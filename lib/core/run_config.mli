@@ -1,0 +1,89 @@
+(** One configuration value for the whole search core.
+
+    The solver entry points used to accumulate optional labelled
+    arguments ([?stats] [?jobs] [?table] [?node_limit] [?max_tams] ...)
+    with per-module defaults and inconsistent exit behavior. A
+    {!t} is the single surface that replaces them: build one with
+    {!default} and the [with_*] setters, hand the same value to
+    [Co_optimize.run_with], [Partition_evaluate.run_with],
+    [Exhaustive.run_with] or [Sweep.run_with], and every run policy —
+    parallelism, observability, budgets, checkpointing, resume,
+    cancellation — travels together. The old labelled-arg entry points
+    remain as thin deprecated wrappers over this type.
+
+    Instance data (which SOC, which time table width, which fixed TAM
+    count for the exhaustive baseline) stays an explicit argument of
+    each solver; {!t} carries run policy only. *)
+
+type t = {
+  jobs : int;  (** parallel domains for partition evaluation (>= 1) *)
+  stats : Soctam_obs.Obs.t;  (** observability collector; [Obs.null] = off *)
+  soc_name : string option;
+      (** stamped into checkpoint documents; resuming a checkpoint whose
+          SOC name differs is rejected *)
+  table : Time_table.t option;
+      (** precomputed time table for the pipeline entry points; built on
+          demand when absent *)
+  node_limit : int;  (** branch & bound node budget for exact solves *)
+  max_tams : int;  (** TAM count ceiling for P_NPAW *)
+  tams : int option;  (** fix the TAM count (P_PAW); [None] = P_NPAW *)
+  initial_best : int option;  (** seed for the pruning threshold *)
+  carry_tau : bool;  (** keep tau monotone across TAM counts *)
+  time_budget : float option;
+      (** elapsed-seconds budget on the monotonic clock; on expiry the
+          solvers return [Outcome.Budget_exhausted] with a resume token *)
+  checkpoint_path : string option;
+      (** write a checkpoint document here at every boundary *)
+  checkpoint_every : int;
+      (** ranks per checkpoint slice: the granularity at which budgets,
+          cancellation and checkpoint writes are honored *)
+  resume : Checkpoint.t option;  (** continue a previous run *)
+  cancel : unit -> bool;
+      (** polled at slice boundaries; [true] stops the run with
+          [Outcome.Interrupted] (see [Soctam_util.Cancel]) *)
+}
+
+val default : t
+(** [jobs = 1], stats off, no table, [node_limit = 2_000_000],
+    [max_tams = 10], free TAM count, no seed, [carry_tau = true], no
+    budget, no checkpointing, [checkpoint_every = 50_000], no resume,
+    never cancelled — the historical defaults of every entry point. *)
+
+(** {1 Setters}
+
+    All pipeline-composable: [default |> with_jobs 4 |> with_stats s].
+    Setters validate their argument ([Invalid_argument] on a
+    non-positive count or a negative budget). *)
+
+val with_jobs : int -> t -> t
+val with_stats : Soctam_obs.Obs.t -> t -> t
+val with_soc_name : string -> t -> t
+val with_table : Time_table.t -> t -> t
+val without_table : t -> t
+val with_node_limit : int -> t -> t
+val with_max_tams : int -> t -> t
+
+val with_tams : int -> t -> t
+(** Fix the TAM count (P_PAW). *)
+
+val with_any_tams : t -> t
+(** Back to P_NPAW (clear {!with_tams}). *)
+
+val with_initial_best : int -> t -> t
+val with_carry_tau : bool -> t -> t
+val with_time_budget : float -> t -> t
+val with_checkpoint : string -> t -> t
+val with_checkpoint_every : int -> t -> t
+val with_resume : Checkpoint.t -> t -> t
+val with_cancel : (unit -> bool) -> t -> t
+
+(** {1 Derived} *)
+
+val checkpointing : t -> bool
+(** Does this run need slice boundaries (a checkpoint path, a resume
+    token or a time budget)? *)
+
+val slice_size : t -> length:int -> int
+(** Ranks per engine slice for a range of [length]: [checkpoint_every]
+    when {!checkpointing}, else the whole range (single slice — the
+    non-checkpointed run takes the same code path with one boundary). *)

@@ -8,39 +8,201 @@ type point = {
   saturated : bool;
 }
 
-let run ?(stats = Soctam_obs.Obs.null) ?(max_tams = 10)
-    ?(node_limit = 2_000_000) ?(jobs = 1) soc ~widths =
+type result = { points : point list; outcome : Outcome.t }
+
+let point_of_sp (p : Checkpoint.sweep_point) =
+  {
+    width = p.Checkpoint.sp_width;
+    tams = p.Checkpoint.sp_tams;
+    widths = p.Checkpoint.sp_widths;
+    time = p.Checkpoint.sp_time;
+    lower_bound = p.Checkpoint.sp_lower_bound;
+    gap_pct = p.Checkpoint.sp_gap_pct;
+    saturated = p.Checkpoint.sp_saturated;
+  }
+
+let sp_of_point p =
+  {
+    Checkpoint.sp_width = p.width;
+    sp_tams = p.tams;
+    sp_widths = p.widths;
+    sp_time = p.time;
+    sp_lower_bound = p.lower_bound;
+    sp_gap_pct = p.gap_pct;
+    sp_saturated = p.saturated;
+  }
+
+let restore_sw ~cfg ~widths (cp : Checkpoint.t) =
+  let check cond msg = if not cond then invalid_arg msg in
+  match cp.Checkpoint.state with
+  | Checkpoint.Sweep s ->
+      check
+        (s.Checkpoint.sw_max_tams = cfg.Run_config.max_tams)
+        "Sweep: resume checkpoint was taken with a different max_tams";
+      check
+        (List.map (fun p -> p.Checkpoint.sp_width) s.Checkpoint.sw_points
+         @ s.Checkpoint.sw_pending
+        = widths)
+        "Sweep: resume checkpoint does not match this width list";
+      (match (cp.Checkpoint.soc, cfg.Run_config.soc_name) with
+      | Some a, Some b ->
+          check (String.equal a b)
+            "Sweep: resume checkpoint is for a different SOC"
+      | _ -> ());
+      s
+  | Checkpoint.Partition_evaluate _ | Checkpoint.Exhaustive _ ->
+      invalid_arg "Sweep: resume checkpoint is for a different solver"
+
+let run_with (cfg : Run_config.t) soc ~widths =
   if widths = [] then invalid_arg "Sweep.run: empty width list";
   List.iter
     (fun w -> if w < 1 then invalid_arg "Sweep.run: widths must be >= 1")
     widths;
+  let stats = cfg.Run_config.stats in
   let table =
-    Time_table.build ~stats soc ~max_width:(List.fold_left max 1 widths)
+    match cfg.Run_config.table with
+    | Some t ->
+        if Time_table.max_width t < List.fold_left max 1 widths then
+          invalid_arg "Sweep: supplied table narrower than the widest sweep \
+                       point";
+        t
+    | None -> Time_table.build ~stats soc ~max_width:(List.fold_left max 1 widths)
   in
-  List.map
-    (fun width ->
+  let restored = Option.map (restore_sw ~cfg ~widths) cfg.Run_config.resume in
+  let done_rev =
+    ref
+      (match restored with
+      | Some s -> List.rev_map point_of_sp s.Checkpoint.sw_points
+      | None -> [])
+  in
+  let pending =
+    ref
+      (match restored with Some s -> s.Checkpoint.sw_pending | None -> widths)
+  in
+  let deadline =
+    Option.map
+      (fun budget -> Soctam_util.Timer.now_s () +. budget)
+      cfg.Run_config.time_budget
+  in
+  let checkpoint_now () =
+    {
+      Checkpoint.soc = cfg.Run_config.soc_name;
+      (* A sweep checkpoint carries no counters: the completed widths'
+         observability totals live in the interrupted process, and
+         each width is re-run whole on resume anyway. *)
+      counters = [];
+      state =
+        Checkpoint.Sweep
+          {
+            Checkpoint.sw_max_tams = cfg.Run_config.max_tams;
+            sw_points = List.rev_map sp_of_point !done_rev;
+            sw_pending = !pending;
+          };
+    }
+  in
+  let write_checkpoint cp =
+    match cfg.Run_config.checkpoint_path with
+    | None -> ()
+    | Some path -> (
+        match Checkpoint.save path cp with
+        | Ok () -> ()
+        | Error msg -> failwith ("checkpoint write failed: " ^ msg))
+  in
+  (* The per-width run inherits the sweep's policy but never writes its
+     own checkpoints: the sweep is the checkpointed unit, at width
+     granularity. The sweep's remaining budget is handed down so an
+     expiry inside a width stops that width's search promptly. *)
+  let inner_cfg remaining =
+    let c = Run_config.with_table table cfg in
+    let c =
+      {
+        c with
+        Run_config.checkpoint_path = None;
+        resume = None;
+        time_budget = remaining;
+      }
+    in
+    c
+  in
+  let stop = ref None in
+  while !pending <> [] && !stop = None do
+    let width = List.hd !pending in
+    let remaining =
+      Option.map
+        (fun d -> Float.max 0. (d -. Soctam_util.Timer.now_s ()))
+        deadline
+    in
+    if cfg.Run_config.cancel () then begin
+      let cp = checkpoint_now () in
+      write_checkpoint cp;
+      stop := Some (Outcome.Interrupted cp)
+    end
+    else if remaining = Some 0. then begin
+      let cp = checkpoint_now () in
+      write_checkpoint cp;
+      stop := Some (Outcome.Budget_exhausted cp)
+    end
+    else begin
       let result =
         Soctam_obs.Obs.span stats
           (Printf.sprintf "sweep/width%d" width)
           (fun () ->
-            Co_optimize.run ~stats ~max_tams ~node_limit ~jobs ~table soc
-              ~total_width:width)
+            Co_optimize.run_with (inner_cfg remaining) soc ~total_width:width)
       in
-      let bounds = Bounds.compute table ~total_width:width in
-      let partition =
-        result.Co_optimize.architecture.Soctam_tam.Architecture.widths
-      in
-      let time = result.Co_optimize.final_time in
-      {
-        width;
-        tams = Array.length partition;
-        widths = partition;
-        time;
-        lower_bound = bounds.Bounds.combined;
-        gap_pct = Bounds.gap_pct bounds ~time;
-        saturated = Bounds.saturated bounds ~time;
-      })
-    widths
+      match result.Co_optimize.outcome with
+      | Outcome.Interrupted _ | Outcome.Budget_exhausted _ ->
+          (* The width's search was truncated: discard its partial
+             point and rewind the resume token to the width start. *)
+          let cp = checkpoint_now () in
+          write_checkpoint cp;
+          stop :=
+            Some
+              (match result.Co_optimize.outcome with
+              | Outcome.Interrupted _ -> Outcome.Interrupted cp
+              | _ -> Outcome.Budget_exhausted cp)
+      | Outcome.Complete ->
+          let bounds = Bounds.compute table ~total_width:width in
+          let partition =
+            result.Co_optimize.architecture.Soctam_tam.Architecture.widths
+          in
+          let time = result.Co_optimize.final_time in
+          done_rev :=
+            {
+              width;
+              tams = Array.length partition;
+              widths = partition;
+              time;
+              lower_bound = bounds.Bounds.combined;
+              gap_pct = Bounds.gap_pct bounds ~time;
+              saturated = Bounds.saturated bounds ~time;
+            }
+            :: !done_rev;
+          pending := List.tl !pending;
+          if !pending <> [] then write_checkpoint (checkpoint_now ())
+    end
+  done;
+  let outcome =
+    match !stop with
+    | Some o -> o
+    | None ->
+        (match cfg.Run_config.checkpoint_path with
+        | Some path when Sys.file_exists path -> (
+            try Sys.remove path with Sys_error _ -> ())
+        | Some _ | None -> ());
+        Outcome.Complete
+  in
+  { points = List.rev !done_rev; outcome }
+
+let run ?stats ?(max_tams = 10) ?(node_limit = 2_000_000) ?(jobs = 1) soc
+    ~widths =
+  let cfg = Run_config.default in
+  let cfg = Run_config.with_jobs jobs cfg in
+  let cfg = Run_config.with_node_limit node_limit cfg in
+  let cfg = Run_config.with_max_tams max_tams cfg in
+  let cfg =
+    match stats with None -> cfg | Some s -> Run_config.with_stats s cfg
+  in
+  (run_with cfg soc ~widths).points
 
 let knee ?(tolerance_pct = 5.) points =
   match points with

@@ -14,6 +14,32 @@ type point = {
   saturated : bool;  (** time equals the bottleneck bound *)
 }
 
+type result = {
+  points : point list;  (** one per completed width, in sweep order *)
+  outcome : Outcome.t;
+      (** [Complete] when every width ran; a truncated sweep's
+          checkpoint resumes at the first width not completed *)
+}
+
+val run_with : Run_config.t -> Soctam_model.Soc.t -> widths:int list -> result
+(** [run_with cfg soc ~widths] runs one pipeline per width, in the given
+    order, each under [cfg] (see {!Co_optimize.run_with}). The time
+    table is [cfg.table] when present (it must cover the widest point),
+    else built once at the largest width and shared.
+
+    The sweep is the checkpointed unit, at width granularity: the
+    per-width runs never write checkpoints of their own, and a budget
+    expiry or cancellation {e inside} a width discards that width's
+    partial search and rewinds the resume token to the width start.
+    [cfg.time_budget] spans the whole sweep — each width's search
+    receives the remaining budget. A sweep checkpoint carries no
+    observability counters (each width re-runs whole on resume).
+
+    @raise Invalid_argument on an empty or non-positive width list, a
+    too-narrow supplied table, or a resume checkpoint that does not
+    match this sweep's [max_tams], width list or SOC name.
+    @raise Failure when a checkpoint write fails. *)
+
 val run :
   ?stats:Soctam_obs.Obs.t ->
   ?max_tams:int ->
@@ -22,14 +48,9 @@ val run :
   Soctam_model.Soc.t ->
   widths:int list ->
   point list
-(** One pipeline run per width, in the given order. The time table is
-    built once at the largest width and shared. [jobs] (default 1)
-    parallelizes each width's partition evaluation over that many
-    domains; the reported points are identical for every [jobs] value.
-    [stats] (default disabled) threads the observability collector
-    through every {!Co_optimize.run}, adding one [sweep/width<W>] span
-    per point on top of the pipeline's own counters and spans.
-    @raise Invalid_argument on an empty or non-positive width list. *)
+[@@alert deprecated "Use Sweep.run_with with a Run_config.t instead."]
+(** [run soc ~widths] is {!run_with} with the labelled arguments folded
+    into a {!Run_config.t}, returning just the points. *)
 
 val knee : ?tolerance_pct:float -> point list -> point option
 (** The narrowest width whose time is within [tolerance_pct] (default 5%)

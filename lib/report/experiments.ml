@@ -64,7 +64,9 @@ let exhaustive_cell ctx ~soc:name ~tams ~w =
         partition = result.Soctam_core.Exhaustive.widths;
         time = result.Soctam_core.Exhaustive.time;
         cpu;
-        complete = result.Soctam_core.Exhaustive.complete;
+        complete =
+          Soctam_core.Outcome.is_complete
+            result.Soctam_core.Exhaustive.outcome;
       })
 
 let new_fixed_cell ctx ~soc:name ~tams ~w =

@@ -1,0 +1,12 @@
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+let request t = Atomic.set t true
+let requested t = Atomic.get t
+let reset t = Atomic.set t false
+
+let install_sigint t =
+  (* [Atomic.set] is async-signal-safe in OCaml (no allocation, no
+     locks), so the handler body is sound even if the signal lands in
+     the middle of a GC slice. *)
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> request t)))

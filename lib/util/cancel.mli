@@ -1,0 +1,27 @@
+(** A cooperative cancellation token.
+
+    The long-running solvers ([Partition_evaluate], [Exhaustive],
+    [Sweep]) poll a token at their checkpoint boundaries and, when it
+    has been triggered, stop with a resumable
+    [Soctam_core.Outcome.Interrupted] instead of being killed mid-write.
+    The token is an atomic flag, so it is safe to trigger from a signal
+    handler or another domain while worker domains poll it. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, untriggered token. *)
+
+val request : t -> unit
+(** Trigger cancellation. Idempotent. *)
+
+val requested : t -> bool
+(** Has {!request} been called? *)
+
+val reset : t -> unit
+(** Clear the token (tests; reusing one token across runs). *)
+
+val install_sigint : t -> unit
+(** Route SIGINT to {!request}: the first Ctrl-C asks the current run to
+    stop at its next checkpoint boundary instead of killing the process.
+    Replaces any previous SIGINT handler. *)

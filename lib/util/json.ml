@@ -1,0 +1,269 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* -- printing ------------------------------------------------------------- *)
+
+let escape_to buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec value_to buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      (* %.17g keeps every bit of a double; infinities and NaN are not
+         representable in JSON, so clamp them to null rather than emit
+         an unparseable token. *)
+      if Float.is_finite f then
+        Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else Buffer.add_string buf "null"
+  | String s ->
+      Buffer.add_char buf '"';
+      escape_to buf s;
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ", ";
+          value_to buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_char buf '"';
+          escape_to buf k;
+          Buffer.add_string buf "\": ";
+          value_to buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  value_to buf v;
+  Buffer.contents buf
+
+(* -- parsing -------------------------------------------------------------- *)
+
+exception Fail of int * string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Fail (st.pos, msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let next st =
+  match peek st with
+  | Some c ->
+      st.pos <- st.pos + 1;
+      c
+  | None -> fail st "unexpected end of input"
+
+let skip_ws st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> st.pos <- st.pos + 1
+    | _ -> continue := false
+  done
+
+let expect st c =
+  let got = next st in
+  if got <> c then fail st (Printf.sprintf "expected %C, found %C" c got)
+
+let literal st word value =
+  String.iter (fun c -> expect st c) word;
+  value
+
+let utf8_add buf code =
+  (* Encode one Unicode scalar value. Surrogate pairs are not combined:
+     a lone \uD800..\uDFFF is rejected upstream, and the documents we
+     produce never emit non-BMP escapes. *)
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex_digit st =
+  match next st with
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | c -> fail st (Printf.sprintf "invalid hex digit %C" c)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match next st with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+        (match next st with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            (* The four digit reads must be sequenced explicitly: operand
+               evaluation order of [lor] is unspecified in OCaml. *)
+            let d3 = hex_digit st in
+            let d2 = hex_digit st in
+            let d1 = hex_digit st in
+            let d0 = hex_digit st in
+            let code = (d3 lsl 12) lor (d2 lsl 8) lor (d1 lsl 4) lor d0 in
+            if code >= 0xD800 && code <= 0xDFFF then
+              fail st "surrogate escapes are not supported";
+            utf8_add buf code
+        | c -> fail st (Printf.sprintf "invalid escape \\%c" c));
+        loop ()
+    | c when Char.code c < 0x20 -> fail st "control character in string"
+    | c ->
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  if peek st = Some '-' then st.pos <- st.pos + 1;
+  let digits () =
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Some '0' .. '9' ->
+          incr n;
+          st.pos <- st.pos + 1
+      | _ -> continue := false
+    done;
+    if !n = 0 then fail st "expected digit"
+  in
+  digits ();
+  (match peek st with
+  | Some '.' ->
+      is_float := true;
+      st.pos <- st.pos + 1;
+      digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      st.pos <- st.pos + 1;
+      (match peek st with
+      | Some ('+' | '-') -> st.pos <- st.pos + 1
+      | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let continue = ref true in
+        while !continue do
+          skip_ws st;
+          let key = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          fields := (key, v) :: !fields;
+          skip_ws st;
+          match next st with
+          | ',' -> ()
+          | '}' -> continue := false
+          | c -> fail st (Printf.sprintf "expected ',' or '}', found %C" c)
+        done;
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let continue = ref true in
+        while !continue do
+          let v = parse_value st in
+          items := v :: !items;
+          skip_ws st;
+          match next st with
+          | ',' -> ()
+          | ']' -> continue := false
+          | c -> fail st (Printf.sprintf "expected ',' or ']', found %C" c)
+        done;
+        List (List.rev !items)
+      end
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length src then fail st "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (pos, msg) ->
+      Error (Printf.sprintf "JSON parse error at byte %d: %s" pos msg)
+
+(* -- accessors ------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+let to_list = function List items -> Some items | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None

@@ -1,0 +1,43 @@
+(** A minimal JSON value type with a printer and a strict parser.
+
+    The report layer emits several machine-readable documents
+    ({!Check_json}, {!Stats_json}, the bench harness) and the test suite
+    needs to read them back to assert structure, not just substrings.
+    This module is the single parser/printer both sides share, so a
+    document that renders here is guaranteed to round-trip.
+
+    Scope: strict JSON (RFC 8259) minus some laxity we do not need —
+    the parser rejects trailing garbage, unquoted keys, comments and
+    control characters inside strings. Numbers without a fraction or
+    exponent parse as [Int]; everything else numeric parses as
+    [Float]. Object member order is preserved in both directions. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document. [Error msg] carries a byte offset and a
+    description; the parser never raises. *)
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). Strings are
+    escaped exactly like {!Check_json} escapes them; [Float] renders
+    via [%.17g] so values survive a round-trip. *)
+
+(** {1 Accessors}
+
+    Total functions returning [option]; they make structural test
+    assertions readable without a pattern-match pyramid. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] for missing fields and non-objects. *)
+
+val to_int : t -> int option
+val to_list : t -> t list option
+val to_string_opt : t -> string option

@@ -1,0 +1,667 @@
+(* Tests for the run lifecycle: checkpoint documents (round-trip, strict
+   rejection of damaged files), the Run_config surface, and the
+   kill-and-resume determinism invariant — a run interrupted at any
+   slice boundary and resumed from its checkpoint must reproduce the
+   uninterrupted run's architecture and counter totals. *)
+
+module Cp = Soctam_core.Checkpoint
+module Rc = Soctam_core.Run_config
+module Oc = Soctam_core.Outcome
+module Pe = Soctam_core.Partition_evaluate
+module Ex = Soctam_core.Exhaustive
+module Sw = Soctam_core.Sweep
+module Tt = Soctam_core.Time_table
+module Obs = Soctam_obs.Obs
+
+let test case f = Alcotest.test_case case `Quick f
+let qtest prop = QCheck_alcotest.to_alcotest prop
+
+let small_soc seed ~cores =
+  let rng = Soctam_util.Prng.create seed in
+  Soctam_soc_data.Random_soc.generate rng
+    {
+      Soctam_soc_data.Random_soc.default_params with
+      Soctam_soc_data.Random_soc.cores;
+      max_ios = 60;
+      max_patterns = 200;
+      max_chains = 6;
+      max_chain_length = 50;
+    }
+
+(* A representative document exercising every optional field. *)
+let pe_doc =
+  {
+    Cp.soc = Some "d695";
+    counters =
+      [ ("core_assign/assignments_tried", 120); ("partition/enumerated", 42) ];
+    state =
+      Cp.Partition_evaluate
+        {
+          Cp.pe_total_width = 12;
+          pe_carry_tau = true;
+          pe_initial = Some 99_000;
+          pe_tau = 42_645;
+          pe_best =
+            Some
+              {
+                Cp.ba_widths = [| 3; 4; 5 |];
+                ba_time = 42_645;
+                ba_assignment = [| 0; 1; 2; 0; 1 |];
+              };
+          pe_done =
+            [
+              {
+                Cp.bc_tams = 1;
+                bc_next_rank = 1;
+                bc_enumerated = 1;
+                bc_completed = 1;
+                bc_pruned = 0;
+                bc_best_time = Some 50_000;
+              };
+            ];
+          pe_cursor =
+            Some
+              {
+                Cp.bc_tams = 2;
+                bc_next_rank = 4;
+                bc_enumerated = 4;
+                bc_completed = 3;
+                bc_pruned = 1;
+                bc_best_time = None;
+              };
+          pe_pending = [ 3; 4 ];
+        };
+  }
+
+let ex_doc =
+  {
+    Cp.soc = None;
+    counters = [ ("exhaustive/nodes", 11) ];
+    state =
+      Cp.Exhaustive
+        {
+          Cp.ex_total_width = 20;
+          ex_tams = 4;
+          ex_next_rank = 33;
+          ex_best =
+            Some
+              {
+                Cp.eb_time = 34_544;
+                eb_rank = 7;
+                eb_widths = [| 1; 1; 2; 16 |];
+                eb_assignment = [| 3; 3; 0; 1; 2 |];
+              };
+          ex_solved = 33;
+          ex_nodes = 812;
+        };
+  }
+
+let sw_doc =
+  {
+    Cp.soc = Some "p93791";
+    counters = [];
+    state =
+      Cp.Sweep
+        {
+          Cp.sw_max_tams = 10;
+          sw_points =
+            [
+              {
+                Cp.sp_width = 16;
+                sp_tams = 2;
+                sp_widths = [| 6; 10 |];
+                sp_time = 5_906_405;
+                sp_lower_bound = 5_639_918;
+                sp_gap_pct = 4.73;
+                sp_saturated = false;
+              };
+            ];
+          sw_pending = [ 24; 32 ];
+        };
+  }
+
+(* -- document round-trip --------------------------------------------------- *)
+
+let round_trip doc () =
+  match Cp.of_string (Cp.to_string doc) with
+  | Error msg -> Alcotest.failf "round-trip rejected: %s" msg
+  | Ok doc' ->
+      (* The rendering is canonical, so equality of documents is
+         equality of their renderings. *)
+      Alcotest.(check string)
+        "canonical rendering survives" (Cp.to_string doc) (Cp.to_string doc')
+
+let describe_mentions_solver () =
+  Alcotest.(check bool)
+    "partition_evaluate" true
+    (String.length (Cp.describe pe_doc) > 0);
+  let has_sub s sub =
+    let n = String.length sub in
+    let ok = ref false in
+    for i = 0 to String.length s - n do
+      if String.sub s i n = sub then ok := true
+    done;
+    !ok
+  in
+  Alcotest.(check bool)
+    "exhaustive describe names the solver" true
+    (has_sub (Cp.describe ex_doc) "exhaustive");
+  Alcotest.(check bool)
+    "sweep describe names the solver" true
+    (has_sub (Cp.describe sw_doc) "sweep")
+
+(* -- strict rejection ------------------------------------------------------ *)
+
+let patch_top json ~field ~value =
+  match json with
+  | Soctam_util.Json.Obj members ->
+      Soctam_util.Json.Obj
+        (List.map
+           (fun (k, v) -> if k = field then (k, value) else (k, v))
+           members)
+  | _ -> assert false
+
+let stale_version_rejected () =
+  let json =
+    patch_top
+      (Cp.to_json pe_doc)
+      ~field:"version"
+      ~value:(Soctam_util.Json.Int (Cp.version + 1))
+  in
+  match Cp.of_json json with
+  | Ok _ -> Alcotest.fail "stale version accepted"
+  | Error _ -> ()
+
+let checksum_mismatch_rejected () =
+  let json =
+    patch_top
+      (Cp.to_json pe_doc)
+      ~field:"checksum"
+      ~value:(Soctam_util.Json.String "0000000000000000")
+  in
+  match Cp.of_json json with
+  | Ok _ -> Alcotest.fail "bad checksum accepted"
+  | Error _ -> ()
+
+let cursor_invariant_rejected () =
+  (* completed + pruned <> enumerated: construction is unchecked, the
+     strict reader must catch it. *)
+  let bad =
+    {
+      pe_doc with
+      Cp.state =
+        Cp.Partition_evaluate
+          {
+            Cp.pe_total_width = 12;
+            pe_carry_tau = true;
+            pe_initial = None;
+            pe_tau = max_int;
+            pe_best = None;
+            pe_done = [];
+            pe_cursor =
+              Some
+                {
+                  Cp.bc_tams = 2;
+                  bc_next_rank = 4;
+                  bc_enumerated = 4;
+                  bc_completed = 3;
+                  bc_pruned = 2;
+                  bc_best_time = None;
+                };
+            pe_pending = [];
+          };
+    }
+  in
+  match Cp.of_string (Cp.to_string bad) with
+  | Ok _ -> Alcotest.fail "broken cursor invariant accepted"
+  | Error _ -> ()
+
+let truncation_rejected () =
+  let doc = Cp.to_string ex_doc in
+  for len = 0 to String.length doc - 1 do
+    match Cp.of_string (String.sub doc 0 len) with
+    | Ok _ -> Alcotest.failf "truncated document of %d bytes accepted" len
+    | Error _ -> ()
+  done
+
+let corruption_fuzz =
+  let doc = Cp.to_string pe_doc in
+  QCheck.Test.make ~name:"checkpoint: corrupted bytes never crash the reader"
+    ~count:500
+    QCheck.(pair (int_range 0 (String.length doc - 1)) (int_range 0 255))
+    (fun (pos, byte) ->
+      let corrupted = Bytes.of_string doc in
+      Bytes.set corrupted pos (Char.chr byte);
+      match Cp.of_string (Bytes.to_string corrupted) with
+      | Ok doc' ->
+          (* Only acceptable when the corruption was lexically
+             insignificant (e.g. whitespace-for-whitespace): the parsed
+             document must still be the original. *)
+          Cp.to_string doc' = doc
+      | Error _ -> true)
+
+let load_missing_file () =
+  match Cp.load "/nonexistent/soctam.ckpt" with
+  | Ok _ -> Alcotest.fail "missing file loaded"
+  | Error _ -> ()
+
+let save_load_round_trip () =
+  let path = Filename.temp_file "soctam_ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Cp.save path sw_doc with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "save failed: %s" msg);
+      Alcotest.(check bool)
+        "no stale temp file left" false
+        (Sys.file_exists (path ^ ".tmp"));
+      match Cp.load path with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok doc ->
+          Alcotest.(check string)
+            "document survives the disk" (Cp.to_string sw_doc)
+            (Cp.to_string doc))
+
+(* -- Outcome / Run_config surfaces ---------------------------------------- *)
+
+let outcome_basics () =
+  Alcotest.(check bool) "complete" true (Oc.is_complete Oc.Complete);
+  Alcotest.(check bool)
+    "interrupted" false
+    (Oc.is_complete (Oc.Interrupted pe_doc));
+  (match Oc.resume_token Oc.Complete with
+  | None -> ()
+  | Some _ -> Alcotest.fail "complete carries a token");
+  match Oc.resume_token (Oc.Budget_exhausted ex_doc) with
+  | Some t ->
+      Alcotest.(check string)
+        "token is the checkpoint" (Cp.to_string ex_doc) (Cp.to_string t)
+  | None -> Alcotest.fail "budget outcome lost its token"
+
+let run_config_validates () =
+  let invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> Rc.with_jobs 0 Rc.default);
+  invalid (fun () -> Rc.with_node_limit 0 Rc.default);
+  invalid (fun () -> Rc.with_max_tams 0 Rc.default);
+  invalid (fun () -> Rc.with_tams 0 Rc.default);
+  invalid (fun () -> Rc.with_time_budget (-1.) Rc.default);
+  invalid (fun () -> Rc.with_checkpoint_every 0 Rc.default)
+
+let slice_size_policy () =
+  Alcotest.(check int)
+    "no checkpointing: one slice" 1000
+    (Rc.slice_size Rc.default ~length:1000);
+  let cfg = Rc.with_checkpoint "x.ckpt" (Rc.with_checkpoint_every 64 Rc.default) in
+  Alcotest.(check int) "checkpointing: slice cap" 64
+    (Rc.slice_size cfg ~length:1000);
+  Alcotest.(check int) "short range: whole range" 10
+    (Rc.slice_size cfg ~length:10);
+  Alcotest.(check bool) "budget implies slicing" true
+    (Rc.checkpointing (Rc.with_time_budget 1. Rc.default))
+
+(* -- kill-and-resume determinism ------------------------------------------ *)
+
+let solver_counters =
+  [
+    "partition/enumerated";
+    "partition/evaluated";
+    "partition/pruned";
+    "core_assign/assignments_tried";
+    "core_assign/early_terminations";
+    "core_assign/levels_cut";
+    "pool/tau_publications";
+  ]
+
+let counters_of stats =
+  let snap = Obs.snapshot stats in
+  List.map
+    (fun name ->
+      ( name,
+        match List.assoc_opt name snap.Obs.counters with
+        | Some n -> n
+        | None -> 0 ))
+    solver_counters
+
+let check_same_result ~msg (a : Pe.result) (b : Pe.result) =
+  Alcotest.(check (array int)) (msg ^ ": widths") a.Pe.widths b.Pe.widths;
+  Alcotest.(check int) (msg ^ ": time") a.Pe.time b.Pe.time;
+  Alcotest.(check (array int))
+    (msg ^ ": assignment") a.Pe.assignment b.Pe.assignment
+
+(* Interrupt a run after [k] slice boundaries, then resume it to
+   completion; the resumed run must agree with the straight one. Returns
+   false when the run completed before the k-th boundary (no more
+   boundaries to test). *)
+let interrupt_resume_agrees ~jobs ~exact_counters ~table ~total_width k =
+  let base cfg =
+    cfg |> Rc.with_jobs jobs |> Rc.with_max_tams 4
+    |> Rc.with_checkpoint_every 3
+    (* A (never reachable) budget turns slicing on without any file
+       churn; cancellation provides the interrupts. *)
+    |> Rc.with_time_budget 3600.
+  in
+  let straight_stats = Obs.create () in
+  let straight =
+    Pe.run_with
+      (base Rc.default |> Rc.with_stats straight_stats)
+      ~table ~total_width
+  in
+  let calls = ref 0 in
+  let cancel () =
+    incr calls;
+    !calls > k
+  in
+  let interrupted =
+    (* The interrupted run records stats too: [core_assign/*] counters
+       reach the checkpoint only when the collector is live (the
+       engine's cursors keep the [partition/*] counters exact either
+       way), and full counter equality is only promised when both runs
+       observe alike — as the CLI's [--stats] does. *)
+    Pe.run_with
+      (base Rc.default
+      |> Rc.with_stats (Obs.create ())
+      |> Rc.with_cancel cancel)
+      ~table ~total_width
+  in
+  match interrupted.Pe.outcome with
+  | Oc.Complete -> false
+  | Oc.Budget_exhausted _ -> Alcotest.fail "budget fired under a 1h budget"
+  | Oc.Interrupted token ->
+      (* The token must survive serialization, as it would on disk. *)
+      let token =
+        match Cp.of_string (Cp.to_string token) with
+        | Ok t -> t
+        | Error msg -> Alcotest.failf "resume token did not round-trip: %s" msg
+      in
+      let resumed_stats = Obs.create () in
+      let resumed =
+        Pe.run_with
+          (base Rc.default
+          |> Rc.with_stats resumed_stats
+          |> Rc.with_resume token)
+          ~table ~total_width
+      in
+      Alcotest.(check bool)
+        "resumed run completes" true
+        (Oc.is_complete resumed.Pe.outcome);
+      check_same_result ~msg:(Printf.sprintf "resume at boundary %d" k)
+        straight resumed;
+      Alcotest.(check int)
+        "per_b count" (Array.length straight.Pe.per_b)
+        (Array.length resumed.Pe.per_b);
+      let s = counters_of straight_stats and r = counters_of resumed_stats in
+      if exact_counters then
+        List.iter2
+          (fun (name, a) (_, b) ->
+            Alcotest.(check int) ("counter " ^ name) a b)
+          s r
+      else begin
+        (* jobs > 1: the pruning split is racy, but the enumeration and
+           the enumerated = pruned + evaluated invariant are exact. *)
+        let get l n = List.assoc n l in
+        Alcotest.(check int)
+          "enumerated total"
+          (get s "partition/enumerated")
+          (get r "partition/enumerated");
+        Alcotest.(check int)
+          "pruned + evaluated = enumerated"
+          (get r "partition/enumerated")
+          (get r "partition/pruned" + get r "partition/evaluated")
+      end;
+      true
+
+let resume_every_boundary_seq () =
+  let soc = small_soc 7L ~cores:5 in
+  let total_width = 10 in
+  let table = Tt.build soc ~max_width:total_width in
+  let k = ref 1 in
+  while
+    interrupt_resume_agrees ~jobs:1 ~exact_counters:true ~table ~total_width
+      !k
+  do
+    incr k
+  done;
+  Alcotest.(check bool)
+    "interrupted at least 3 distinct boundaries" true (!k > 3)
+
+let resume_boundary_parallel () =
+  let soc = small_soc 19L ~cores:4 in
+  let total_width = 10 in
+  let table = Tt.build soc ~max_width:total_width in
+  (* One representative boundary per TAM count region is enough for the
+     tier-1 suite; the full scan runs sequentially above. *)
+  List.iter
+    (fun k ->
+      ignore
+        (interrupt_resume_agrees ~jobs:4 ~exact_counters:false ~table
+           ~total_width k))
+    [ 1; 3; 5 ]
+
+let zero_budget_resume () =
+  (* A budget that expires before any work still yields a valid resume
+     token (at rank 0) and a well-formed fallback result. *)
+  let soc = small_soc 3L ~cores:4 in
+  let total_width = 9 in
+  let table = Tt.build soc ~max_width:total_width in
+  let cfg = Rc.default |> Rc.with_max_tams 3 |> Rc.with_time_budget 0. in
+  let truncated = Pe.run_with cfg ~table ~total_width in
+  Alcotest.(check int)
+    "fallback widths sum to W" total_width
+    (Array.fold_left ( + ) 0 truncated.Pe.widths);
+  match Oc.resume_token truncated.Pe.outcome with
+  | None -> Alcotest.fail "zero-budget run carried no resume token"
+  | Some token ->
+      let resumed =
+        Pe.run_with
+          (Rc.default |> Rc.with_max_tams 3 |> Rc.with_resume token)
+          ~table ~total_width
+      in
+      let straight =
+        Pe.run_with (Rc.default |> Rc.with_max_tams 3) ~table ~total_width
+      in
+      check_same_result ~msg:"zero-budget resume" straight resumed
+
+let mismatched_resume_rejected () =
+  let soc = small_soc 3L ~cores:4 in
+  let table = Tt.build soc ~max_width:10 in
+  let cancel_first () = true in
+  let interrupted =
+    Pe.run_with
+      (Rc.default |> Rc.with_max_tams 3 |> Rc.with_time_budget 3600.
+      |> Rc.with_cancel cancel_first)
+      ~table ~total_width:10
+  in
+  let token =
+    match Oc.resume_token interrupted.Pe.outcome with
+    | Some t -> t
+    | None -> Alcotest.fail "no token"
+  in
+  let invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | (_ : Pe.result) -> Alcotest.fail "mismatched resume accepted"
+  in
+  (* Different width, different TAM plan, different solver. *)
+  invalid (fun () ->
+      Pe.run_with
+        (Rc.default |> Rc.with_max_tams 3 |> Rc.with_resume token)
+        ~table ~total_width:9);
+  invalid (fun () ->
+      Pe.run_with
+        (Rc.default |> Rc.with_max_tams 4 |> Rc.with_resume token)
+        ~table ~total_width:10);
+  match
+    Ex.run_with
+      (Rc.default |> Rc.with_resume token)
+      ~table ~total_width:10 ~tams:3
+  with
+  | exception Invalid_argument _ -> ()
+  | (_ : Ex.result) -> Alcotest.fail "wrong-solver resume accepted"
+
+let checkpoint_file_lifecycle () =
+  let soc = small_soc 13L ~cores:4 in
+  let total_width = 10 in
+  let table = Tt.build soc ~max_width:total_width in
+  let path = Filename.temp_file "soctam_ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let calls = ref 0 in
+      let cancel () =
+        incr calls;
+        !calls > 2
+      in
+      let interrupted =
+        Pe.run_with
+          (Rc.default |> Rc.with_max_tams 3 |> Rc.with_checkpoint path
+          |> Rc.with_checkpoint_every 3 |> Rc.with_cancel cancel)
+          ~table ~total_width
+      in
+      Alcotest.(check bool)
+        "interrupted" false
+        (Oc.is_complete interrupted.Pe.outcome);
+      let on_disk =
+        match Cp.load path with
+        | Ok t -> t
+        | Error msg -> Alcotest.failf "no checkpoint on disk: %s" msg
+      in
+      let resumed =
+        Pe.run_with
+          (Rc.default |> Rc.with_max_tams 3 |> Rc.with_checkpoint path
+          |> Rc.with_resume on_disk)
+          ~table ~total_width
+      in
+      Alcotest.(check bool)
+        "resumed to completion" true
+        (Oc.is_complete resumed.Pe.outcome);
+      Alcotest.(check bool)
+        "completed run removed the checkpoint" false (Sys.file_exists path))
+
+(* -- exhaustive and sweep resume ------------------------------------------ *)
+
+let exhaustive_resume_agrees () =
+  let soc = small_soc 62L ~cores:5 in
+  let total_width = 14 in
+  let table = Tt.build soc ~max_width:total_width in
+  let straight =
+    Ex.run_with
+      (Rc.default |> Rc.with_time_budget 3600.
+      |> Rc.with_checkpoint_every 3)
+      ~table ~total_width ~tams:3
+  in
+  let k = ref 1 in
+  let continue = ref true in
+  while !continue do
+    let calls = ref 0 in
+    let cancel () =
+      incr calls;
+      !calls > !k
+    in
+    let interrupted =
+      Ex.run_with
+        (Rc.default |> Rc.with_time_budget 3600. |> Rc.with_checkpoint_every 3
+        |> Rc.with_cancel cancel)
+        ~table ~total_width ~tams:3
+    in
+    (match interrupted.Ex.outcome with
+    | Oc.Complete -> continue := false
+    | Oc.Budget_exhausted _ -> Alcotest.fail "budget fired under a 1h budget"
+    | Oc.Interrupted token ->
+        let resumed =
+          Ex.run_with
+            (Rc.default |> Rc.with_time_budget 3600.
+            |> Rc.with_checkpoint_every 3 |> Rc.with_resume token)
+            ~table ~total_width ~tams:3
+        in
+        Alcotest.(check (array int)) "widths" straight.Ex.widths
+          resumed.Ex.widths;
+        Alcotest.(check int) "time" straight.Ex.time resumed.Ex.time;
+        Alcotest.(check int) "partitions solved"
+          straight.Ex.partitions_solved resumed.Ex.partitions_solved;
+        Alcotest.(check int) "nodes" straight.Ex.nodes resumed.Ex.nodes;
+        Alcotest.(check bool) "complete" true
+          (Oc.is_complete resumed.Ex.outcome));
+    incr k
+  done;
+  Alcotest.(check bool) "tested at least 2 boundaries" true (!k > 2)
+
+let sweep_resume_agrees () =
+  let soc = small_soc 5L ~cores:4 in
+  let widths = [ 6; 8; 10 ] in
+  let straight =
+    Sw.run_with (Rc.default |> Rc.with_max_tams 3) soc ~widths
+  in
+  let same (a : Sw.point) (b : Sw.point) =
+    a.Sw.width = b.Sw.width && a.Sw.time = b.Sw.time
+    && a.Sw.widths = b.Sw.widths
+  in
+  (* Cancel at each width boundary in turn; the widths are re-planned on
+     resume. *)
+  List.iter
+    (fun k ->
+      let calls = ref 0 in
+      let cancel () =
+        incr calls;
+        !calls > k
+      in
+      let interrupted =
+        Sw.run_with
+          (Rc.default |> Rc.with_max_tams 3 |> Rc.with_time_budget 3600.
+          |> Rc.with_cancel cancel)
+          soc ~widths
+      in
+      match interrupted.Sw.outcome with
+      | Oc.Complete -> ()
+      | Oc.Budget_exhausted _ -> Alcotest.fail "budget fired under a 1h budget"
+      | Oc.Interrupted token ->
+          (* The cancel is also polled inside each width's search (the
+             sweep hands its policy down), so the interrupt may land
+             mid-width; that width's partial point must be discarded. *)
+          Alcotest.(check bool)
+            "interrupted sweep kept completed points only" true
+            (List.length interrupted.Sw.points <= k
+            && List.for_all2 same straight.Sw.points
+                 (interrupted.Sw.points
+                 @ List.filteri
+                     (fun i _ -> i >= List.length interrupted.Sw.points)
+                     straight.Sw.points));
+          let resumed =
+            Sw.run_with
+              (Rc.default |> Rc.with_max_tams 3 |> Rc.with_resume token)
+              soc ~widths
+          in
+          Alcotest.(check bool)
+            "resumed sweep agrees" true
+            (List.for_all2 same straight.Sw.points resumed.Sw.points))
+    [ 0; 1; 2 ]
+
+let suite =
+  [
+    test "checkpoint: partition_evaluate round-trip" (round_trip pe_doc);
+    test "checkpoint: exhaustive round-trip" (round_trip ex_doc);
+    test "checkpoint: sweep round-trip" (round_trip sw_doc);
+    test "checkpoint: describe" describe_mentions_solver;
+    test "checkpoint: stale version rejected" stale_version_rejected;
+    test "checkpoint: checksum mismatch rejected" checksum_mismatch_rejected;
+    test "checkpoint: cursor invariant rejected" cursor_invariant_rejected;
+    test "checkpoint: every truncation rejected" truncation_rejected;
+    qtest corruption_fuzz;
+    test "checkpoint: missing file is a clean error" load_missing_file;
+    test "checkpoint: save/load round-trip" save_load_round_trip;
+    test "outcome: basics" outcome_basics;
+    test "run_config: setters validate" run_config_validates;
+    test "run_config: slice size policy" slice_size_policy;
+    test "resume: every boundary, jobs=1, counters exact"
+      resume_every_boundary_seq;
+    test "resume: representative boundaries, jobs=4" resume_boundary_parallel;
+    test "resume: zero budget leaves a valid token" zero_budget_resume;
+    test "resume: mismatched checkpoints rejected" mismatched_resume_rejected;
+    test "resume: checkpoint file lifecycle" checkpoint_file_lifecycle;
+    test "resume: exhaustive agrees at every boundary" exhaustive_resume_agrees;
+    test "resume: sweep agrees at every width" sweep_resume_agrees;
+  ]

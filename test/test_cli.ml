@@ -281,6 +281,45 @@ let schedule_certify_flag () =
     [ "schedule"; "d695"; "-w"; "16"; "--budget-pct"; "60"; "--certify" ]
     [ "OK: d695 test schedule" ]
 
+let version_flag () =
+  check_output [ "--version" ] [ "1.1.0" ]
+
+(* End-to-end checkpoint + resume through the real binary: a zero-budget
+   exhaustive run truncates immediately and leaves a checkpoint; the
+   resumed run must print exactly what an uninterrupted run prints. *)
+let exhaustive_checkpoint_resume () =
+  let path = Filename.temp_file "cli_ckpt" ".ckpt" in
+  Sys.remove path;
+  let base = [ "exhaustive"; "d695"; "-w"; "18"; "-b"; "3" ] in
+  let straight_code, straight_out = run_stdout base in
+  Alcotest.(check int) "straight run exits 0" 0 straight_code;
+  let code, _ =
+    run_stdout (base @ [ "--budget"; "0"; "--checkpoint=" ^ path ])
+  in
+  Alcotest.(check int) "truncated run exits 0" 0 code;
+  Alcotest.(check bool) "checkpoint written" true (Sys.file_exists path);
+  let code, out =
+    run_stdout (base @ [ "--checkpoint=" ^ path; "--resume"; path ])
+  in
+  Alcotest.(check int) "resumed run exits 0" 0 code;
+  Alcotest.(check string) "resumed output = straight output" straight_out out;
+  Alcotest.(check bool)
+    "completed run removed the checkpoint" false (Sys.file_exists path)
+
+let resume_garbage_rejected () =
+  let path = Filename.temp_file "cli_ckpt" ".ckpt" in
+  let oc = open_out path in
+  output_string oc "{ not a checkpoint";
+  close_out oc;
+  let code, out =
+    run [ "exhaustive"; "d695"; "-w"; "16"; "-b"; "2"; "--resume"; path ]
+  in
+  Sys.remove path;
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check bool)
+    "names the failure" true
+    (contains out "cannot resume")
+
 let suite =
   [
     test "info" info;
@@ -308,4 +347,8 @@ let suite =
     test "schedule: --certify" schedule_certify_flag;
     test "optimize/exhaustive: --stats" optimize_stats_flag;
     test "sweep: --stats leaves stdout untouched" stats_leaves_stdout_untouched;
+    test "--version" version_flag;
+    test "exhaustive: checkpoint + resume roundtrip"
+      exhaustive_checkpoint_resume;
+    test "resume: garbage checkpoint rejected" resume_garbage_rejected;
   ]

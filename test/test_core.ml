@@ -449,7 +449,7 @@ let exhaustive_is_optimal =
             min acc (Exact.solve_bb ~times ()).Exact.time)
       in
       let r = Ex.run ~table ~total_width ~tams () in
-      r.Ex.complete && r.Ex.time = reference)
+      Soctam_core.Outcome.is_complete r.Ex.outcome && r.Ex.time = reference)
 
 let exhaustive_budget_degrades () =
   (* Starving the per-partition node budget must yield a usable incumbent
@@ -457,11 +457,13 @@ let exhaustive_budget_degrades () =
   let soc = small_soc 62L ~cores:6 in
   let table = Tt.build soc ~max_width:14 in
   let full = Ex.run ~table ~total_width:14 ~tams:3 () in
-  Alcotest.(check bool) "full run complete" true full.Ex.complete;
+  Alcotest.(check bool) "full run complete" true
+    (Soctam_core.Outcome.is_complete full.Ex.outcome);
   let starved =
     Ex.run ~node_limit_per_partition:1 ~table ~total_width:14 ~tams:3 ()
   in
-  Alcotest.(check bool) "starved run incomplete" false starved.Ex.complete;
+  Alcotest.(check bool) "starved run incomplete" false
+    (Soctam_core.Outcome.is_complete starved.Ex.outcome);
   Alcotest.(check bool) "incumbent no better than optimum" true
     (starved.Ex.time >= full.Ex.time)
 
@@ -471,7 +473,8 @@ let exhaustive_counts_partitions () =
   let r = Ex.run ~table ~total_width:10 ~tams:3 () in
   Alcotest.(check int) "p(10,3) = 8" 8 r.Ex.partitions_total;
   Alcotest.(check int) "all solved" 8 r.Ex.partitions_solved;
-  Alcotest.(check bool) "complete" true r.Ex.complete
+  Alcotest.(check bool) "complete" true
+    (Soctam_core.Outcome.is_complete r.Ex.outcome)
 
 let exhaustive_zero_budget_truncates () =
   (* The deadline is monotonic and consulted only after the first
@@ -487,7 +490,7 @@ let exhaustive_zero_budget_truncates () =
   Alcotest.(check bool) "at least one partition solved" true
     (r.Ex.partitions_solved >= 1);
   Alcotest.(check bool) "truncated run not marked complete" false
-    r.Ex.complete;
+    (Soctam_core.Outcome.is_complete r.Ex.outcome);
   let full = Ex.run ~table ~total_width:12 ~tams:3 () in
   Alcotest.(check bool) "incumbent no better than optimum" true
     (r.Ex.time >= full.Ex.time)

@@ -24,5 +24,6 @@ let () =
       ("report", Test_report.suite);
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("cli", Test_cli.suite);
     ]

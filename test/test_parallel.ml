@@ -168,7 +168,8 @@ let exhaustive_matches_sequential =
       && seq.Ex.widths = par.Ex.widths
       && seq.Ex.assignment = par.Ex.assignment
       && seq.Ex.partitions_solved = par.Ex.partitions_solved
-      && seq.Ex.complete && par.Ex.complete)
+      && Soctam_core.Outcome.is_complete seq.Ex.outcome
+      && Soctam_core.Outcome.is_complete par.Ex.outcome)
 
 let heuristic_bounded_by_exhaustive =
   QCheck.Test.make
