@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test test-par test-resume bench lint fmt fmt-check coverage clean
+.PHONY: all build test test-par test-resume bench lint static-analysis fmt fmt-check coverage clean
 
 all: build
 
@@ -26,10 +26,11 @@ bench:
 	dune exec bench/main.exe
 
 # Static checks: the strict-warning build (see the root `dune` env
-# stanza), the repo's own input lint over every built-in SOC, and the
-# ocamlformat check when the binary is installed (it is optional: the
-# .ocamlformat profile is committed, the tool may not be).
-lint: build
+# stanza), the repo's own input lint over every built-in SOC, the
+# source-level analyzer (DESIGN.md §13), and the ocamlformat check
+# when the binary is installed (it is optional: the .ocamlformat
+# profile is committed, the tool may not be).
+lint: build static-analysis
 	dune exec bin/soctam.exe -- lint d695
 	dune exec bin/soctam.exe -- lint p21241
 	dune exec bin/soctam.exe -- lint p31108
@@ -39,6 +40,13 @@ lint: build
 	else \
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
+
+# Source-level determinism & domain-safety analysis: DET-POLY,
+# DET-ENTROPY, DOM-SHARED, API-DEPRECATED and IFACE over lib/, bin/,
+# bench/ and examples/, gated by analysis.baseline. Fails on any
+# non-baselined finding.
+static-analysis:
+	dune build @lint-src
 
 fmt:
 	dune build @fmt --auto-promote

@@ -21,6 +21,25 @@ module Experiments = Soctam_report.Experiments
 module Texttable = Soctam_report.Texttable
 module Co = Soctam_core.Co_optimize
 module Pe = Soctam_core.Partition_evaluate
+module Rc = Soctam_core.Run_config
+
+(* Run_config-based shims: the bench always runs the default policy
+   plus an explicit table / TAM plan, so fold those into a config at
+   the call site instead of going through the deprecated wrappers. *)
+let co_run ?table ~max_tams soc ~total_width =
+  let cfg = Rc.default |> Rc.with_max_tams max_tams in
+  let cfg = match table with Some t -> Rc.with_table t cfg | None -> cfg in
+  Co.run_with cfg soc ~total_width
+
+let co_run_fixed ~table soc ~total_width ~tams =
+  Co.run_with
+    (Rc.default |> Rc.with_table table |> Rc.with_tams tams)
+    soc ~total_width
+
+let pe_run ?(carry_tau = true) ~table ~total_width ~max_tams () =
+  Pe.run_with
+    (Rc.default |> Rc.with_carry_tau carry_tau |> Rc.with_max_tams max_tams)
+    ~table ~total_width
 
 let budget =
   match Sys.getenv_opt "SOCTAM_BENCH_BUDGET" with
@@ -64,11 +83,11 @@ let bechamel_tests () =
   let open Bechamel in
   let run_fixed soc w tams () =
     ignore
-      (Co.run_fixed_tams ~table:(table_of soc) (Experiments.soc ctx soc)
+      (co_run_fixed ~table:(table_of soc) (Experiments.soc ctx soc)
          ~total_width:w ~tams)
   in
   let run_npaw soc w max_tams () =
-    ignore (Pe.run ~table:(table_of soc) ~total_width:w ~max_tams ())
+    ignore (pe_run ~table:(table_of soc) ~total_width:w ~max_tams ())
   in
   let gen profile () = ignore (Soctam_soc_data.Philips.generate profile) in
   let stage = Staged.stage in
@@ -77,7 +96,7 @@ let bechamel_tests () =
     Test.make ~name:"t1_partition_evaluate_p21241_w44_b8"
       (stage (fun () ->
            ignore
-             (Pe.run ~carry_tau:false ~table:(table_of "p21241")
+             (pe_run ~carry_tau:false ~table:(table_of "p21241")
                 ~total_width:44 ~max_tams:8 ())));
     (* t2/t3: d695 fixed-B pipeline and full P_NPAW. *)
     Test.make ~name:"t2_d695_w32_b3" (stage (run_fixed "d695" 32 3));
@@ -176,11 +195,11 @@ let ablation_tau () =
       in
       let carried, t1 =
         Soctam_util.Timer.time (fun () ->
-            Pe.run ~carry_tau:true ~table ~total_width:w ~max_tams:8 ())
+            pe_run ~carry_tau:true ~table ~total_width:w ~max_tams:8 ())
       in
       let reset, t2 =
         Soctam_util.Timer.time (fun () ->
-            Pe.run ~carry_tau:false ~table ~total_width:w ~max_tams:8 ())
+            pe_run ~carry_tau:false ~table ~total_width:w ~max_tams:8 ())
       in
       let (no_prune_best, no_prune_n), t3 =
         Soctam_util.Timer.time (fun () ->
@@ -324,7 +343,7 @@ let ablation_final_step () =
       List.iter
         (fun w ->
           let r =
-            Co.run ~max_tams:10 ~table:(table_of soc) (Experiments.soc ctx soc)
+            co_run ~max_tams:10 ~table:(table_of soc) (Experiments.soc ctx soc)
               ~total_width:w
           in
           let gain =
@@ -365,7 +384,7 @@ let ablation_max_tams () =
       let cells =
         List.map
           (fun max_tams ->
-            let r = Pe.run ~table ~total_width:48 ~max_tams () in
+            let r = pe_run ~table ~total_width:48 ~max_tams () in
             string_of_int r.Pe.time)
           [ 1; 2; 3; 4; 6; 8; 10 ]
       in
@@ -451,7 +470,7 @@ let extension_annealing () =
           let table = table_of soc_name in
           let pipe, pipe_secs =
             Soctam_util.Timer.time (fun () ->
-                Co.run ~max_tams:10 ~table (Experiments.soc ctx soc_name)
+                co_run ~max_tams:10 ~table (Experiments.soc ctx soc_name)
                   ~total_width:w)
           in
           let sa, sa_secs =
@@ -508,7 +527,7 @@ let extension_power () =
   List.iter
     (fun soc_name ->
       let soc = Experiments.soc ctx soc_name in
-      let r = Co.run ~max_tams:10 ~table:(table_of soc_name) soc ~total_width:32 in
+      let r = co_run ~max_tams:10 ~table:(table_of soc_name) soc ~total_width:32 in
       let arch = r.Co.architecture in
       let power = Soctam_power.Power_model.estimate soc in
       let free = Soctam_power.Power_schedule.unconstrained arch power in
@@ -636,14 +655,14 @@ let extension_restitch () =
     (fun soc_name ->
       let soc = Experiments.soc ctx soc_name in
       let before =
-        (Co.run ~max_tams:10 ~table:(table_of soc_name) soc ~total_width:32)
+        (co_run ~max_tams:10 ~table:(table_of soc_name) soc ~total_width:32)
           .Co.final_time
       in
       let restitched =
         Soctam_scan.Scan_design.restitch_soc soc ~width:32
       in
       let after =
-        (Co.run ~max_tams:10 restitched ~total_width:32).Co.final_time
+        (co_run ~max_tams:10 restitched ~total_width:32).Co.final_time
       in
       Texttable.add_row t
         [
@@ -677,7 +696,7 @@ let extension_utilization () =
   List.iter
     (fun soc_name ->
       let soc = Experiments.soc ctx soc_name in
-      let r = Co.run ~max_tams:10 ~table:(table_of soc_name) soc ~total_width:32 in
+      let r = co_run ~max_tams:10 ~table:(table_of soc_name) soc ~total_width:32 in
       let arch = r.Co.architecture in
       let sim = Soctam_sim.Soc_sim.run soc arch in
       assert (
@@ -724,7 +743,7 @@ let extension_family () =
       let table = Soctam_core.Time_table.build soc ~max_width:32 in
       let r, secs =
         Soctam_util.Timer.time (fun () ->
-            Co.run ~max_tams:10 ~table soc ~total_width:32)
+            co_run ~max_tams:10 ~table soc ~total_width:32)
       in
       let bounds = Soctam_core.Bounds.compute table ~total_width:32 in
       let arch = r.Co.architecture in

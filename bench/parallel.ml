@@ -58,7 +58,12 @@ let bench_soc name soc =
        discards at this job count, and in how many pool chunks. *)
     let w = List.fold_left max 1 widths in
     let stats = Obs.create () in
-    ignore (Pe.run ~stats ~jobs ~table ~total_width:w ~max_tams ());
+    ignore
+      (Pe.run_with
+         Soctam_core.Run_config.(
+           default |> with_stats stats |> with_jobs jobs
+           |> with_max_tams max_tams)
+         ~table ~total_width:w);
     let s = Obs.snapshot stats in
     let c name = Obs.counter_value s name in
     ( c "partition/enumerated",
@@ -73,7 +78,12 @@ let bench_soc name soc =
     List.map
       (fun jobs ->
         let points, seconds =
-          Timer.time (fun () -> Sweep.run ~max_tams ~jobs soc ~widths)
+          Timer.time (fun () ->
+              (Sweep.run_with
+                 Soctam_core.Run_config.(
+                   default |> with_max_tams max_tams |> with_jobs jobs)
+                 soc ~widths)
+                .Sweep.points)
         in
         let signature = List.map point_signature points in
         if jobs = 1 then begin
@@ -118,7 +128,13 @@ let bench_soc name soc =
    pays plain local-field increments. *)
 let stats_overhead soc =
   let sweep stats =
-    snd (Timer.time (fun () -> ignore (Sweep.run ~stats ~max_tams soc ~widths)))
+    snd
+      (Timer.time (fun () ->
+           ignore
+             (Sweep.run_with
+                Soctam_core.Run_config.(
+                  default |> with_stats stats |> with_max_tams max_tams)
+                soc ~widths)))
   in
   (* Warm-up run so allocator state is comparable, then best-of-2 each
      to damp scheduler noise. *)
@@ -169,6 +185,28 @@ let checkpoint_overhead soc =
   in
   (plain, checkpointed, overhead_pct)
 
+(* Wall time of the source analyzer (DESIGN.md §13) over the whole
+   repository — the cost `dune build @lint-src` adds to CI. Best-of-5
+   after a warm-up; the acceptance ceiling for the analyzer PR is 5s
+   full-repo. Skipped (null in the report) when the bench is not run
+   from the repository root. *)
+let analyze_entry () =
+  if not (Sys.file_exists "dune-project") then "null"
+  else begin
+    let run () =
+      Timer.time (fun () -> Soctam_analysis.Analyze.tree ~root:"." ())
+    in
+    ignore (run ());
+    let best = ref infinity and files = ref 0 in
+    for _ = 1 to 5 do
+      let result, secs = run () in
+      files := result.Soctam_analysis.Analyze.files;
+      best := Float.min !best secs
+    done;
+    Printf.sprintf
+      "{ \"files\": %d, \"best_of\": 5, \"seconds\": %.3f }" !files !best
+  end
+
 let json_run r =
   Printf.sprintf
     "      { \"jobs\": %d, \"seconds\": %.3f, \"speedup\": %.2f, \
@@ -209,6 +247,7 @@ let () =
     \  \"host_cores\": %d,\n\
     \  \"max_tams\": %d,\n\
     \  \"job_counts\": [%s],\n\
+    \  \"analyze\": %s,\n\
     \  \"socs\": [\n\
      %s\n\
     \  ]\n\
@@ -216,4 +255,5 @@ let () =
     (Soctam_util.Pool.recommended_jobs ())
     max_tams
     (String.concat ", " (List.map string_of_int job_counts))
+    (analyze_entry ())
     (String.concat ",\n" soc_reports)

@@ -294,7 +294,10 @@ let glyph core =
 
 let schedule_cmd spec width budget_pct certify =
   with_soc spec (fun soc ->
-      let result = Soctam_core.Co_optimize.run soc ~total_width:width in
+      let result =
+        Soctam_core.Co_optimize.run_with Soctam_core.Run_config.default soc
+          ~total_width:width
+      in
       let architecture = result.Soctam_core.Co_optimize.architecture in
       let power = Soctam_power.Power_model.estimate soc in
       let free = Soctam_power.Power_schedule.unconstrained architecture power in
@@ -392,8 +395,10 @@ let anneal_cmd spec width max_tams iterations seed certify =
       in
       let pipeline, pipe_secs =
         Soctam_util.Timer.time (fun () ->
-            Soctam_core.Co_optimize.run ~max_tams ~table soc
-              ~total_width:width)
+            Soctam_core.Co_optimize.run_with
+              Soctam_core.Run_config.(
+                default |> with_max_tams max_tams |> with_table table)
+              soc ~total_width:width)
       in
       Format.printf
         "simulated annealing: %a -> %d cycles (%d/%d moves accepted, %.2fs)@."
@@ -584,6 +589,41 @@ let lint_cmd spec json =
   else
     with_soc spec (fun soc ->
         print_report ~json (Soctam_check.Certify.soc soc))
+
+(* -- analyze ------------------------------------------------------------- *)
+
+(* Source-level determinism & domain-safety analysis (DESIGN.md §13):
+   parse every .ml/.mli under lib/, bin/, bench/ and examples/ and
+   enforce the Soctam_analysis.Rule catalog. Exit 0 only when every
+   finding is fixed, [@soctam.allow]ed or baselined. *)
+let analyze_cmd root baseline_path json =
+  if not (Sys.file_exists (Filename.concat root "dune-project")) then begin
+    Printf.eprintf
+      "soctam: %s does not look like the repository root (no dune-project); \
+       pass --root\n"
+      root;
+    1
+  end
+  else
+    let baseline =
+      match baseline_path with
+      | Some path -> Soctam_analysis.Baseline.load path
+      | None ->
+          (* The committed baseline, when present, applies by default so
+             `soctam analyze` and CI agree without extra flags. *)
+          let default = Filename.concat root "analysis.baseline" in
+          if Sys.file_exists default then
+            Soctam_analysis.Baseline.load default
+          else Ok Soctam_analysis.Baseline.empty
+    in
+    match baseline with
+    | Error violations ->
+        print_report ~json
+          (Soctam_check.Report.make ~subject:"analyzer baseline" violations)
+    | Ok baseline ->
+        let result = Soctam_analysis.Analyze.tree ~baseline ~root () in
+        prerr_endline (Soctam_analysis.Analyze.summary result);
+        print_report ~json result.Soctam_analysis.Analyze.report
 
 (* -- gen ----------------------------------------------------------------- *)
 
@@ -911,6 +951,25 @@ let check_term =
     const check_cmd $ soc_arg $ arch_path $ width $ exact $ exhaustive $ sim
     $ json_flag)
 
+let analyze_term =
+  let root =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Repository root to analyze (must contain dune-project).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Baseline file of acknowledged findings \
+             (RULE-ID<TAB>path<TAB>justification per line). Default: \
+             DIR/analysis.baseline when it exists.")
+  in
+  Term.(const analyze_cmd $ root $ baseline $ json_flag)
+
 let lint_term =
   let target =
     Arg.(
@@ -954,6 +1013,10 @@ let () =
         cmd "lint" lint_term
           "Lint an SOC description: report every syntactic and semantic \
            problem instead of stopping at the first.";
+        cmd "analyze" analyze_term
+          "Statically analyze the repository's own sources: determinism \
+           (DET-POLY, DET-ENTROPY), domain safety (DOM-SHARED), API \
+           hygiene (API-DEPRECATED) and interface coverage (IFACE).";
       ]
   in
   exit (Cmd.eval' main)

@@ -12,7 +12,11 @@ let () =
   let soc = Soctam_soc_data.D695.soc in
   (* Two TAMs of five cores each: enough serialization per TAM for the
      order to matter (with many narrow TAMs most hold a single core). *)
-  let r = Soctam_core.Co_optimize.run_fixed_tams soc ~total_width:16 ~tams:2 in
+  let r =
+    Soctam_core.Co_optimize.run_with
+      Soctam_core.Run_config.(default |> with_tams 2)
+      soc ~total_width:16
+  in
   let arch = r.Soctam_core.Co_optimize.architecture in
   Format.printf "architecture %a, worst-case %d cycles@.@."
     Soctam_tam.Architecture.pp_partition

@@ -28,7 +28,10 @@ let print_gantt architecture (sched : Ps.t) =
 
 let () =
   let soc = Soctam_soc_data.D695.soc in
-  let result = Soctam_core.Co_optimize.run soc ~total_width:32 in
+  let result =
+    Soctam_core.Co_optimize.run_with Soctam_core.Run_config.default soc
+      ~total_width:32
+  in
   let architecture = result.Soctam_core.Co_optimize.architecture in
   let power = Soctam_power.Power_model.estimate soc in
   let free = Ps.unconstrained architecture power in

@@ -9,7 +9,10 @@ let () =
 
   (* P_NPAW: pick the number of TAMs, the width partition, the core
      assignment and every wrapper, minimizing the SOC testing time. *)
-  let result = Soctam_core.Co_optimize.run soc ~total_width:32 in
+  let result =
+    Soctam_core.Co_optimize.run_with Soctam_core.Run_config.default soc
+      ~total_width:32
+  in
   let architecture = result.Soctam_core.Co_optimize.architecture in
   Format.printf "%a@." Soctam_tam.Architecture.pp architecture;
 

@@ -39,7 +39,10 @@ let () =
       (Soctam_model.Soc.cores my_soc)
       (Soctam_model.Soc.cores reloaded));
   Format.printf "reloaded %a@.@." Soctam_model.Soc.pp_summary reloaded;
-  let result = Soctam_core.Co_optimize.run reloaded ~total_width:24 in
+  let result =
+    Soctam_core.Co_optimize.run_with Soctam_core.Run_config.default reloaded
+      ~total_width:24
+  in
   Format.printf "%a@." Soctam_tam.Architecture.pp
     result.Soctam_core.Co_optimize.architecture;
   Sys.remove path

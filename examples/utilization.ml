@@ -11,7 +11,10 @@ let () =
   let soc = Soctam_soc_data.D695.soc in
   List.iter
     (fun width ->
-      let r = Soctam_core.Co_optimize.run soc ~total_width:width in
+      let r =
+        Soctam_core.Co_optimize.run_with Soctam_core.Run_config.default soc
+          ~total_width:width
+      in
       let arch = r.Soctam_core.Co_optimize.architecture in
       let sim = Soctam_sim.Soc_sim.run soc arch in
       Format.printf "@.W = %d: partition %a, %d cycles (simulated: %d)@."

@@ -1,0 +1,62 @@
+(** The compiler-libs source analyzer: parse [.ml] files into Parsetree
+    and walk them with [Ast_iterator], enforcing the {!Rule} catalog.
+
+    Findings are purely syntactic (no typing pass), so each rule is a
+    conservative, documented approximation — see DESIGN.md §13 for what
+    every family does and does not catch. Suppression is scoped with
+    attributes: [\[@soctam.allow "RULE-ID"\]] on an expression or a
+    structure item silences that rule inside it, and a floating
+    [\[@@@soctam.allow "RULE-ID"\]] silences it for the whole file. A
+    suppression without a valid rule ID is itself an error. *)
+
+type finding = {
+  rule : Rule.id;
+  path : string;  (** root-relative source path *)
+  line : int;  (** 1-based *)
+  message : string;
+}
+
+type context = {
+  path : string;  (** path findings are reported under *)
+  solver_layer : bool;  (** DET-POLY applies *)
+  entropy_exempt : bool;  (** DET-ENTROPY is skipped *)
+  domain_reachable : bool;  (** DOM-SHARED applies *)
+}
+
+val context_for : ?domain_reachable:(string -> bool) -> string -> context
+(** Classify [path] with {!Source.solver_layer} / {!Source.entropy_exempt}
+    and the given reachability predicate (default: nothing reachable). *)
+
+type file_result = {
+  findings : finding list;  (** surviving (non-suppressed), by line *)
+  suppressed : int;  (** findings silenced by [\[@soctam.allow\]] *)
+  problems : Soctam_check.Violation.t list;
+      (** analyzer-level errors: parse failures, bad suppressions *)
+}
+
+val check_source : context -> string -> file_result
+(** Analyze one [.ml] source text. An [.mli] path yields an empty
+    result (interfaces carry no expressions; their rule is IFACE,
+    enforced by {!tree}). *)
+
+type result = {
+  report : Soctam_check.Report.t;
+      (** the final merged report: every non-baselined finding as an
+          [Error], analyzer problems as [Error]s, stale baseline
+          entries as [Info]s *)
+  findings : finding list;  (** non-baselined findings, all files *)
+  files : int;  (** sources analyzed (both [.ml] and [.mli]) *)
+  suppressed : int;
+  baselined : int;
+}
+
+val tree : ?baseline:Baseline.t -> root:string -> unit -> result
+(** Analyze the whole repository at [root]: every source under
+    {!Source.scan_dirs}, the IFACE pairing check over [lib/], and
+    DOM-SHARED reachability recovered from the committed dune files.
+    [baseline] (default {!Baseline.empty}) acknowledges findings by
+    (rule, path); the run is clean when [Report.ok report]. *)
+
+val summary : result -> string
+(** One line: files analyzed, findings, suppressed and baselined
+    counts. *)

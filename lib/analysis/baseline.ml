@@ -1,0 +1,96 @@
+module Violation = Soctam_check.Violation
+
+type entry = { rule : Rule.id; path : string; justification : string }
+type t = entry list
+
+let empty = []
+let entries t = t
+
+let header =
+  [ "# soctam analyze baseline (DESIGN.md \xc2\xa713).";
+    "# One entry per line: RULE-ID<TAB>path<TAB>justification.";
+    "# An entry acknowledges every finding of RULE-ID in that file;";
+    "# keep this list minimal and each justification honest." ]
+
+let of_string ~file contents =
+  let errors = ref [] in
+  let error line fmt =
+    Format.kasprintf
+      (fun message ->
+        errors :=
+          Violation.make Violation.Error Violation.Analysis_error
+            (Violation.File (file, line))
+            message
+          :: !errors)
+      fmt
+  in
+  let parse_line lineno line =
+    let trimmed = String.trim line in
+    if trimmed = "" || trimmed.[0] = '#' then None
+    else
+      match String.split_on_char '\t' line with
+      | [ rule_name; path; justification ] -> (
+          match Rule.of_name (String.trim rule_name) with
+          | None ->
+              error lineno
+                "baseline entry needs a rule ID (one of %s), got %S"
+                (String.concat ", " (List.map Rule.name Rule.all))
+                rule_name;
+              None
+          | Some rule ->
+              let path = String.trim path and justification = String.trim justification in
+              if path = "" then begin
+                error lineno "baseline entry has an empty path";
+                None
+              end
+              else if justification = "" then begin
+                error lineno
+                  "baseline entry for %s %s has no justification"
+                  (Rule.name rule) path;
+                None
+              end
+              else Some { rule; path; justification })
+      | _ ->
+          error lineno
+            "malformed baseline line (expected RULE-ID<TAB>path<TAB>justification): %S"
+            trimmed;
+          None
+  in
+  let entries =
+    String.split_on_char '\n' contents
+    |> List.mapi (fun i line -> parse_line (i + 1) line)
+    |> List.filter_map Fun.id
+  in
+  if !errors = [] then Ok entries else Error (List.rev !errors)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      Error
+        [ Violation.errorf Violation.Analysis_error
+            (Violation.File (path, 1))
+            "cannot read baseline: %s" msg ]
+  | ic ->
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      of_string ~file:path contents
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    header;
+  List.iter
+    (fun { rule; path; justification } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\t%s\t%s\n" (Rule.name rule) path justification))
+    t;
+  Buffer.contents buf
+
+let covers t ~rule ~path =
+  List.exists (fun e -> e.rule = rule && e.path = path) t

@@ -1,0 +1,45 @@
+(** The committed analyzer baseline: findings that are acknowledged and
+    documented rather than fixed.
+
+    A baseline file is line-oriented. Blank lines and lines starting
+    with [#] are comments; every other line is one entry:
+
+    {v
+    RULE-ID <TAB> path <TAB> justification
+    v}
+
+    All three fields are mandatory — an entry without a valid rule ID or
+    without a justification is itself an analyzer error, so nothing can
+    be silenced anonymously. An entry covers every finding of that rule
+    in that file (line numbers would rot on unrelated edits); a baseline
+    entry that matches no finding is reported as an [Info] so stale
+    entries get cleaned up. *)
+
+type entry = {
+  rule : Rule.id;
+  path : string;  (** root-relative, as reported by the analyzer *)
+  justification : string;
+}
+
+type t
+
+val empty : t
+val entries : t -> entry list
+(** In file order. *)
+
+val of_string : file:string -> string -> (t, Soctam_check.Violation.t list) result
+(** Parse baseline [contents]; [file] names the source for error
+    locations. Malformed lines are [Analysis_error] violations carrying
+    the offending line number; the first error fails the whole parse
+    (the baseline gates CI, so a half-read baseline must not
+    half-apply). *)
+
+val load : string -> (t, Soctam_check.Violation.t list) result
+(** {!of_string} on the file's contents; an unreadable file is an
+    [Analysis_error]. *)
+
+val to_string : t -> string
+(** Render back to the committed format, header comment included.
+    [of_string (to_string t)] re-reads the same entries. *)
+
+val covers : t -> rule:Rule.id -> path:string -> bool

@@ -1,0 +1,39 @@
+type id = Det_poly | Det_entropy | Dom_shared | Api_deprecated | Iface
+
+let all = [ Det_poly; Det_entropy; Dom_shared; Api_deprecated; Iface ]
+
+let name = function
+  | Det_poly -> "DET-POLY"
+  | Det_entropy -> "DET-ENTROPY"
+  | Dom_shared -> "DOM-SHARED"
+  | Api_deprecated -> "API-DEPRECATED"
+  | Iface -> "IFACE"
+
+let of_name = function
+  | "DET-POLY" -> Some Det_poly
+  | "DET-ENTROPY" -> Some Det_entropy
+  | "DOM-SHARED" -> Some Dom_shared
+  | "API-DEPRECATED" -> Some Api_deprecated
+  | "IFACE" -> Some Iface
+  | _ -> None
+
+let kind = function
+  | Det_poly -> Soctam_check.Violation.Polymorphic_comparison
+  | Det_entropy -> Soctam_check.Violation.Entropy_source
+  | Dom_shared -> Soctam_check.Violation.Unguarded_shared_state
+  | Api_deprecated -> Soctam_check.Violation.Deprecated_api
+  | Iface -> Soctam_check.Violation.Missing_interface
+
+let synopsis = function
+  | Det_poly ->
+      "polymorphic =/compare/Hashtbl.hash in a solver layer \
+       (lib/core, lib/partition, lib/wrapper, lib/tam)"
+  | Det_entropy ->
+      "Random / Sys.time / Unix.gettimeofday outside lib/util/prng and \
+       lib/util/timer"
+  | Dom_shared ->
+      "unsynchronized top-level mutable state in a module reachable from \
+       Util.Pool domains"
+  | Api_deprecated ->
+      "in-repo call to a deprecated pre-run_with entry point"
+  | Iface -> "lib/ module without an .mli"

@@ -1,0 +1,49 @@
+(** The closed catalog of source-level rules enforced by
+    [Soctam_analysis.Analyze].
+
+    Each rule family guards one of the repo's machine-checked invariants
+    (DESIGN.md §13): determinism of the parallel search core, safety of
+    state shared across [Soctam_util.Pool] domains, and hygiene of the
+    public API surface. Rule identifiers are the stable uppercase names
+    used in [\[@soctam.allow "RULE-ID"\]] suppressions and baseline
+    entries. *)
+
+type id =
+  | Det_poly
+      (** DET-POLY: no polymorphic [=] / [compare] / [Hashtbl.hash] in
+          the solver layers (lib/core, lib/partition, lib/wrapper,
+          lib/tam) — polymorphic comparison on solver types silently
+          depends on representation, which breaks byte-identical
+          results across refactors. *)
+  | Det_entropy
+      (** DET-ENTROPY: no [Random], [Sys.time] or [Unix.gettimeofday]
+          outside [lib/util/prng] and [lib/util/timer] — all entropy
+          and wall-clock reads go through the seeded PRNG and the
+          monotonic timer. *)
+  | Dom_shared
+      (** DOM-SHARED: top-level [ref] / [Hashtbl.t] / [Queue.t] /
+          [Stack.t] / [Buffer.t] bindings in modules whose code runs on
+          [Soctam_util.Pool] domains must be [Atomic], mutex-guarded
+          (the [Count] memo exemplar) or explicitly allowed. *)
+  | Api_deprecated
+      (** API-DEPRECATED: no in-repo calls to the
+          [\[@@alert deprecated\]] pre-[run_with] entry points; the
+          wrappers exist for external users only. *)
+  | Iface
+      (** IFACE: every module under [lib/] has an [.mli]. *)
+
+val all : id list
+(** Every rule, in catalog order. *)
+
+val name : id -> string
+(** Stable uppercase identifier: ["DET-POLY"], ["DET-ENTROPY"],
+    ["DOM-SHARED"], ["API-DEPRECATED"], ["IFACE"]. *)
+
+val of_name : string -> id option
+(** Inverse of {!name}; [None] for anything else. *)
+
+val kind : id -> Soctam_check.Violation.kind
+(** The violation-taxonomy constructor findings of this rule carry. *)
+
+val synopsis : id -> string
+(** One-line human description used in listings. *)

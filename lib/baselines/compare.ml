@@ -4,7 +4,12 @@ let run ?(max_tams = 10) soc ~width =
   let table = Soctam_core.Time_table.build soc ~max_width:width in
   let mux = Multiplexing.design_from_table table ~width in
   let daisy = Daisychain.design_from_table table ~soc ~width in
-  let bus = Soctam_core.Co_optimize.run ~max_tams ~table soc ~total_width:width in
+  let bus =
+    Soctam_core.Co_optimize.run_with
+      Soctam_core.Run_config.(
+        default |> with_max_tams max_tams |> with_table table)
+      soc ~total_width:width
+  in
   let entries =
     [
       {

@@ -171,8 +171,9 @@ let certify_claim ?table ?(check_bounds = true) ?(check_exact = false)
     end;
     if check_exhaustive then begin
       let exhaustive =
-        Soctam_core.Exhaustive.run ~table:(Lazy.force table) ~total_width
-          ~tams:(Array.length claim.widths) ()
+        Soctam_core.Exhaustive.run_with Soctam_core.Run_config.default
+          ~table:(Lazy.force table) ~total_width
+          ~tams:(Array.length claim.widths)
       in
       if
         Soctam_core.Outcome.is_complete

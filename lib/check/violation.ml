@@ -1,6 +1,11 @@
 type severity = Error | Warning | Info
 
-type location = Soc | Core of int | Tam of int | Line of int
+type location =
+  | Soc
+  | Core of int
+  | Tam of int
+  | Line of int
+  | File of string * int
 
 type kind =
   | Empty_partition
@@ -34,6 +39,12 @@ type kind =
   | Module_count_mismatch
   | Name_complexity_mismatch
   | Degenerate_core
+  | Polymorphic_comparison
+  | Entropy_source
+  | Unguarded_shared_state
+  | Deprecated_api
+  | Missing_interface
+  | Analysis_error
 
 type t = {
   severity : severity;
@@ -88,6 +99,12 @@ let kind_name = function
   | Module_count_mismatch -> "module-count-mismatch"
   | Name_complexity_mismatch -> "name-complexity-mismatch"
   | Degenerate_core -> "degenerate-core"
+  | Polymorphic_comparison -> "polymorphic-comparison"
+  | Entropy_source -> "entropy-source"
+  | Unguarded_shared_state -> "unguarded-shared-state"
+  | Deprecated_api -> "deprecated-api"
+  | Missing_interface -> "missing-interface"
+  | Analysis_error -> "analysis-error"
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 let compare_severity a b = compare (severity_rank a) (severity_rank b)
@@ -97,6 +114,7 @@ let pp_location ppf = function
   | Core i -> Format.fprintf ppf "core %d" i
   | Tam j -> Format.fprintf ppf "TAM %d" j
   | Line l -> Format.fprintf ppf "line %d" l
+  | File (path, l) -> Format.fprintf ppf "%s:%d" path l
 
 let pp ppf t =
   Format.fprintf ppf "%s[%s] at %a: %s" (severity_name t.severity)

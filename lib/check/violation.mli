@@ -17,6 +17,8 @@ type location =
   | Core of int  (** 1-based core id *)
   | Tam of int  (** 1-based TAM number *)
   | Line of int  (** 1-based line of an input file *)
+  | File of string * int
+      (** source file and 1-based line, for the source-level analyzer *)
 
 (** The closed violation taxonomy. Each constructor names one invariant;
     {!kind_name} gives its stable kebab-case identifier used in the JSON
@@ -57,6 +59,21 @@ type kind =
   | Name_complexity_mismatch
       (** SOC named like p93791 whose test-complexity number is far off *)
   | Degenerate_core  (** no terminals and no scan: nothing to test *)
+  (* Source-level analyzer ([Soctam_analysis]). *)
+  | Polymorphic_comparison
+      (** DET-POLY: polymorphic [=]/[compare]/[Hashtbl.hash] in a solver
+          layer *)
+  | Entropy_source
+      (** DET-ENTROPY: wall clock or [Random] outside the sanctioned
+          wrappers *)
+  | Unguarded_shared_state
+      (** DOM-SHARED: unsynchronized top-level mutable state reachable
+          from pool domains *)
+  | Deprecated_api  (** API-DEPRECATED: in-repo call to a deprecated entry *)
+  | Missing_interface  (** IFACE: a [lib/] module without an [.mli] *)
+  | Analysis_error
+      (** the analyzer itself could not proceed: unparseable source, bad
+          suppression payload, malformed baseline line *)
 
 type t = {
   severity : severity;

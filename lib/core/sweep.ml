@@ -137,7 +137,7 @@ let run_with (cfg : Run_config.t) soc ~widths =
       write_checkpoint cp;
       stop := Some (Outcome.Interrupted cp)
     end
-    else if remaining = Some 0. then begin
+    else if (match remaining with Some r -> r <= 0. | None -> false) then begin
       let cp = checkpoint_now () in
       write_checkpoint cp;
       stop := Some (Outcome.Budget_exhausted cp)

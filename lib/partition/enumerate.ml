@@ -47,7 +47,7 @@ module Compositions = struct
           widths.(j) <- remaining;
           incr compositions;
           let canonical = Array.copy widths in
-          Array.sort compare canonical;
+          Array.sort Int.compare canonical;
           let key = Array.to_list canonical in
           if Hashtbl.mem seen key then acc
           else begin

@@ -28,7 +28,13 @@ let location_to buf (loc : Violation.location) =
     | Violation.Soc -> simple "soc"
     | Violation.Core i -> indexed "core" i
     | Violation.Tam j -> indexed "tam" j
-    | Violation.Line l -> indexed "line" l)
+    | Violation.Line l -> indexed "line" l
+    | Violation.File (path, l) ->
+        let b = Buffer.create 64 in
+        Buffer.add_string b {|{"type": "file", "path": |};
+        string_to b path;
+        Buffer.add_string b (Printf.sprintf {|, "line": %d}|} l);
+        Buffer.contents b)
 
 let violation_to buf (v : Violation.t) =
   Buffer.add_string buf {|{"severity": |};

@@ -57,8 +57,10 @@ let exhaustive_cell ctx ~soc:name ~tams ~w =
       let table = time_table ctx name in
       let result, cpu =
         Soctam_util.Timer.time (fun () ->
-            Soctam_core.Exhaustive.run ~time_budget:ctx.exhaustive_budget
-              ~table ~total_width:w ~tams ())
+            Soctam_core.Exhaustive.run_with
+              Soctam_core.Run_config.(
+                default |> with_time_budget ctx.exhaustive_budget)
+              ~table ~total_width:w ~tams)
       in
       {
         partition = result.Soctam_core.Exhaustive.widths;
@@ -74,7 +76,10 @@ let new_fixed_cell ctx ~soc:name ~tams ~w =
       let table = time_table ctx name in
       let result, cpu =
         Soctam_util.Timer.time (fun () ->
-            Co.run_fixed_tams ~table (soc ctx name) ~total_width:w ~tams)
+            Co.run_with
+              Soctam_core.Run_config.(
+                default |> with_table table |> with_tams tams)
+              (soc ctx name) ~total_width:w)
       in
       {
         partition = result.Co.architecture.Arch.widths;
@@ -88,7 +93,10 @@ let npaw_cell ctx ~soc:name ~w =
       let table = time_table ctx name in
       let result, cpu =
         Soctam_util.Timer.time (fun () ->
-            Co.run ~max_tams:10 ~table (soc ctx name) ~total_width:w)
+            Co.run_with
+              Soctam_core.Run_config.(
+                default |> with_max_tams 10 |> with_table table)
+              (soc ctx name) ~total_width:w)
       in
       {
         partition = result.Co.architecture.Arch.widths;
@@ -317,7 +325,12 @@ let table1 ctx =
   List.iter
     (fun row ->
       let w = row.Paper_ref.w1 in
-      let pe = Pe.run ~carry_tau:false ~table ~total_width:w ~max_tams:8 () in
+      let pe =
+        Pe.run_with
+          Soctam_core.Run_config.(
+            default |> with_carry_tau false |> with_max_tams 8)
+          ~table ~total_width:w
+      in
       let stat b = pe.Pe.per_b.(b - 1) in
       let est b =
         int_of_float (Soctam_partition.Count.estimate ~total:w ~parts:b)

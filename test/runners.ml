@@ -1,0 +1,50 @@
+(* Run_config-based entry points with the labelled signatures the test
+   suites grew up with. Every solver invocation in the tests goes
+   through run_with and a single config value built here; the deprecated
+   labelled wrappers in lib/core are exercised nowhere outside their own
+   compatibility tests. *)
+
+module Rc = Soctam_core.Run_config
+module Co = Soctam_core.Co_optimize
+module Pe = Soctam_core.Partition_evaluate
+module Ex = Soctam_core.Exhaustive
+module Sw = Soctam_core.Sweep
+
+let opt set v cfg = match v with None -> cfg | Some x -> set x cfg
+
+let cfg ?stats ?jobs ?table ?node_limit ?max_tams ?tams ?initial_best
+    ?carry_tau ?time_budget () =
+  Rc.default
+  |> opt Rc.with_stats stats
+  |> opt Rc.with_jobs jobs
+  |> opt Rc.with_table table
+  |> opt Rc.with_node_limit node_limit
+  |> opt Rc.with_max_tams max_tams
+  |> opt Rc.with_tams tams
+  |> opt Rc.with_initial_best initial_best
+  |> opt Rc.with_carry_tau carry_tau
+  |> opt Rc.with_time_budget time_budget
+
+let co_run ?stats ?jobs ?table ?max_tams soc ~total_width =
+  Co.run_with (cfg ?stats ?jobs ?table ?max_tams ()) soc ~total_width
+
+let co_run_fixed_tams ?stats ?jobs ?table soc ~total_width ~tams =
+  Co.run_with (cfg ?stats ?jobs ?table ~tams ()) soc ~total_width
+
+let pe_run ?stats ?jobs ?initial_best ?carry_tau ~table ~total_width ~max_tams
+    () =
+  Pe.run_with
+    (cfg ?stats ?jobs ?initial_best ?carry_tau ~max_tams ())
+    ~table ~total_width
+
+let pe_run_fixed ?stats ?jobs ?initial_best ~table ~total_width ~tams () =
+  Pe.run_with (cfg ?stats ?jobs ?initial_best ~tams ()) ~table ~total_width
+
+let ex_run ?stats ?jobs ?node_limit_per_partition ?time_budget ~table
+    ~total_width ~tams () =
+  Ex.run_with
+    (cfg ?stats ?jobs ?node_limit:node_limit_per_partition ?time_budget ())
+    ~table ~total_width ~tams
+
+let sweep_run ?stats ?jobs ?max_tams soc ~widths =
+  (Sw.run_with (cfg ?stats ?jobs ?max_tams ()) soc ~widths).Sw.points

@@ -86,7 +86,7 @@ let never_beats_global_optimum =
         List.fold_left
           (fun acc tams ->
             let e =
-              Soctam_core.Exhaustive.run ~table ~total_width:8 ~tams ()
+              Runners.ex_run ~table ~total_width:8 ~tams ()
             in
             min acc e.Soctam_core.Exhaustive.time)
           max_int [ 1; 2; 3 ]

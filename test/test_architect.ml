@@ -48,7 +48,7 @@ let never_beats_global_optimum =
         List.fold_left
           (fun acc tams ->
             min acc
-              (Soctam_core.Exhaustive.run ~table ~total_width:8 ~tams ())
+              (Runners.ex_run ~table ~total_width:8 ~tams ())
                 .Soctam_core.Exhaustive.time)
           max_int [ 1; 2; 3 ]
       in
@@ -64,7 +64,7 @@ let close_to_partition_evaluate =
       let table = Tt.build soc ~max_width:12 in
       let tr = Tr.optimize ~max_tams:4 ~table ~total_width:12 () in
       let pe =
-        Soctam_core.Partition_evaluate.run ~table ~total_width:12 ~max_tams:4 ()
+        Runners.pe_run ~table ~total_width:12 ~max_tams:4 ()
       in
       float_of_int tr.Tr.time
       <= 1.25 *. float_of_int pe.Soctam_core.Partition_evaluate.time)

@@ -33,7 +33,7 @@ let expect_kind msg report kind =
 
 let co_optimize_certifies () =
   let table = Tt.build d695 ~max_width:16 in
-  let result = Co.run ~max_tams:6 ~table d695 ~total_width:16 in
+  let result = Runners.co_run ~max_tams:6 ~table d695 ~total_width:16 in
   check_ok "npaw result"
     (Certify.co_optimize ~table ~check_exact:true ~check_simulation:true
        ~soc:d695 ~total_width:16 result)
@@ -42,8 +42,8 @@ let parallel_co_optimize_certifies () =
   (* The multicore path must produce architectures that the independent
      certifier accepts — and the same ones the sequential path produces. *)
   let table = Tt.build d695 ~max_width:16 in
-  let seq = Co.run ~max_tams:6 ~jobs:1 ~table d695 ~total_width:16 in
-  let par = Co.run ~max_tams:6 ~jobs:4 ~table d695 ~total_width:16 in
+  let seq = Runners.co_run ~max_tams:6 ~jobs:1 ~table d695 ~total_width:16 in
+  let par = Runners.co_run ~max_tams:6 ~jobs:4 ~table d695 ~total_width:16 in
   check_ok "npaw result (jobs=4)"
     (Certify.co_optimize ~table ~check_exact:true ~check_simulation:true
        ~soc:d695 ~total_width:16 par);
@@ -57,7 +57,7 @@ let parallel_co_optimize_certifies () =
 let exhaustive_certifies () =
   let table = Tt.build d695 ~max_width:12 in
   let result =
-    Soctam_core.Exhaustive.run ~table ~total_width:12 ~tams:2 ()
+    Runners.ex_run ~table ~total_width:12 ~tams:2 ()
   in
   let claim =
     {
@@ -185,7 +185,7 @@ let d695_published_times_reproduced () =
         (fun (row : Soctam_report.Paper_ref.fixed_row) ->
           if row.Soctam_report.Paper_ref.w <= 24 then begin
             let result =
-              Co.run_fixed_tams ~table d695
+              Runners.co_run_fixed_tams ~table d695
                 ~total_width:row.Soctam_report.Paper_ref.w ~tams
             in
             check_ok
@@ -216,7 +216,7 @@ let d695_experiment_cells_certify () =
       in
       (* Re-derive the cell's experiment and certify the architecture the
          harness only reports in summarized form. *)
-      let result = Co.run_fixed_tams ~table d695 ~total_width:w ~tams in
+      let result = Runners.co_run_fixed_tams ~table d695 ~total_width:w ~tams in
       Alcotest.(check int)
         (Printf.sprintf "cell B=%d W=%d reproduces" tams w)
         cell.Soctam_report.Experiments.time result.Co.final_time;
@@ -232,7 +232,7 @@ let d695_experiment_cells_certify () =
            result))
     [ (2, 16); (3, 16); (2, 24) ];
   let npaw = Soctam_report.Experiments.npaw_cell ctx ~soc:"d695" ~w:16 in
-  let result = Co.run ~max_tams:10 ~table d695 ~total_width:16 in
+  let result = Runners.co_run ~max_tams:10 ~table d695 ~total_width:16 in
   Alcotest.(check int) "npaw cell reproduces"
     npaw.Soctam_report.Experiments.time result.Co.final_time;
   check_ok "npaw cell"
@@ -242,7 +242,7 @@ let d695_experiment_cells_certify () =
 
 let reference_claim =
   lazy
-    (let result = Co.run_fixed_tams d695 ~total_width:16 ~tams:2 in
+    (let result = Runners.co_run_fixed_tams d695 ~total_width:16 ~tams:2 in
      Arch_check.claim_of_architecture ~total_width:16
        (result.Co.architecture))
 
@@ -331,7 +331,7 @@ let impossible_time_beats_bounds () =
 
 let schedule_fixture =
   lazy
-    (let result = Co.run_fixed_tams d695 ~total_width:16 ~tams:3 in
+    (let result = Runners.co_run_fixed_tams d695 ~total_width:16 ~tams:3 in
      let arch = result.Co.architecture in
      let power = Soctam_power.Power_model.estimate d695 in
      (arch, power))
@@ -570,7 +570,7 @@ let property_random_socs () =
     in
     let width = 6 + Prng.int rng 7 in
     let table = Tt.build soc ~max_width:width in
-    let result = Co.run ~max_tams:3 ~table soc ~total_width:width in
+    let result = Runners.co_run ~max_tams:3 ~table soc ~total_width:width in
     let report = Certify.co_optimize ~table ~soc ~total_width:width result in
     if not (Report.ok report) then
       Alcotest.failf "trial %d (%d cores, W=%d): %a" trial cores width

@@ -256,7 +256,7 @@ let sweep_points_consistent =
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
       let points =
-        Soctam_core.Sweep.run ~max_tams:4 soc ~widths:[ 6; 10; 14 ]
+        Runners.sweep_run ~max_tams:4 soc ~widths:[ 6; 10; 14 ]
       in
       List.length points = 3
       && List.for_all
@@ -292,10 +292,10 @@ let sweep_knee_selection () =
 
 let sweep_validation () =
   let soc = small_soc 3L ~cores:3 in
-  (match Soctam_core.Sweep.run soc ~widths:[] with
+  (match Runners.sweep_run soc ~widths:[] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty widths accepted");
-  match Soctam_core.Sweep.run soc ~widths:[ 4; 0 ] with
+  match Runners.sweep_run soc ~widths:[ 4; 0 ] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "zero width accepted"
 
@@ -321,7 +321,7 @@ let pruning_preserves_best =
     (fun (seed, total_width) ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
       let table = Tt.build soc ~max_width:total_width in
-      let result = Pe.run ~table ~total_width ~max_tams:4 () in
+      let result = Runners.pe_run ~table ~total_width ~max_tams:4 () in
       result.Pe.time
       = brute_force_partition_best table ~total_width ~max_tams:4)
 
@@ -331,7 +331,7 @@ let stats_account_for_everything =
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
       let table = Tt.build soc ~max_width:12 in
-      let result = Pe.run ~table ~total_width:12 ~max_tams:5 () in
+      let result = Runners.pe_run ~table ~total_width:12 ~max_tams:5 () in
       Array.for_all
         (fun s ->
           s.Pe.enumerated = s.Pe.unique_partitions
@@ -347,7 +347,7 @@ let partition_result_is_consistent =
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:6 in
       let table = Tt.build soc ~max_width:14 in
-      let r = Pe.run ~table ~total_width:14 ~max_tams:4 () in
+      let r = Runners.pe_run ~table ~total_width:14 ~max_tams:4 () in
       Soctam_util.Intutil.sum r.Pe.widths = 14
       && Array.length r.Pe.assignment = 6
       && Exact.makespan
@@ -363,8 +363,8 @@ let tau_reset_weakens_pruning_only =
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
       let table = Tt.build soc ~max_width:12 in
-      let carried = Pe.run ~carry_tau:true ~table ~total_width:12 ~max_tams:4 () in
-      let reset = Pe.run ~carry_tau:false ~table ~total_width:12 ~max_tams:4 () in
+      let carried = Runners.pe_run ~carry_tau:true ~table ~total_width:12 ~max_tams:4 () in
+      let reset = Runners.pe_run ~carry_tau:false ~table ~total_width:12 ~max_tams:4 () in
       let completions r =
         Array.fold_left (fun acc s -> acc + s.Pe.completed) 0 r.Pe.per_b
       in
@@ -375,7 +375,7 @@ let tau_reset_weakens_pruning_only =
 let run_fixed_restricts_b () =
   let soc = small_soc 33L ~cores:5 in
   let table = Tt.build soc ~max_width:10 in
-  let r = Pe.run_fixed ~table ~total_width:10 ~tams:3 () in
+  let r = Runners.pe_run_fixed ~table ~total_width:10 ~tams:3 () in
   Alcotest.(check int) "three TAMs" 3 (Array.length r.Pe.widths);
   Alcotest.(check int) "one stats entry" 1 (Array.length r.Pe.per_b);
   Alcotest.(check int) "p(10,3) enumerated" 8 r.Pe.per_b.(0).Pe.enumerated
@@ -388,15 +388,15 @@ let partition_evaluate_validation () =
     | exception Invalid_argument _ -> ()
     | _ -> Alcotest.fail "expected Invalid_argument"
   in
-  invalid (fun () -> Pe.run ~table ~total_width:0 ~max_tams:2 ());
-  invalid (fun () -> Pe.run ~table ~total_width:9 ~max_tams:2 ());
-  invalid (fun () -> Pe.run_fixed ~table ~total_width:4 ~tams:5 ())
+  invalid (fun () -> Runners.pe_run ~table ~total_width:0 ~max_tams:2 ());
+  invalid (fun () -> Runners.pe_run ~table ~total_width:9 ~max_tams:2 ());
+  invalid (fun () -> Runners.pe_run_fixed ~table ~total_width:4 ~tams:5 ())
 
 let fewer_tams_than_requested_is_fine () =
   (* max_tams larger than the width: B is silently capped. *)
   let soc = small_soc 2L ~cores:4 in
   let table = Tt.build soc ~max_width:3 in
-  let r = Pe.run ~table ~total_width:3 ~max_tams:10 () in
+  let r = Runners.pe_run ~table ~total_width:3 ~max_tams:10 () in
   Alcotest.(check int) "stats for B = 1..3" 3 (Array.length r.Pe.per_b)
 
 let initial_best_seeding () =
@@ -405,14 +405,14 @@ let initial_best_seeding () =
      value reproduces the unseeded result. *)
   let soc = small_soc 61L ~cores:5 in
   let table = Tt.build soc ~max_width:10 in
-  let unseeded = Pe.run ~table ~total_width:10 ~max_tams:3 () in
+  let unseeded = Runners.pe_run ~table ~total_width:10 ~max_tams:3 () in
   let loose =
-    Pe.run ~initial_best:(unseeded.Pe.time + 1) ~table ~total_width:10
+    Runners.pe_run ~initial_best:(unseeded.Pe.time + 1) ~table ~total_width:10
       ~max_tams:3 ()
   in
   Alcotest.(check int) "loose seed reproduces" unseeded.Pe.time loose.Pe.time;
   let tight =
-    Pe.run ~initial_best:unseeded.Pe.time ~table ~total_width:10 ~max_tams:3 ()
+    Runners.pe_run ~initial_best:unseeded.Pe.time ~table ~total_width:10 ~max_tams:3 ()
   in
   Alcotest.(check bool) "tight seed cannot improve" true
     (tight.Pe.time >= unseeded.Pe.time);
@@ -423,7 +423,7 @@ let initial_best_seeding () =
     tight.Pe.per_b;
   (* The fixed-B variant's fallback must still honour the TAM count. *)
   let tight_fixed =
-    Pe.run_fixed ~initial_best:1 ~table ~total_width:10 ~tams:3 ()
+    Runners.pe_run_fixed ~initial_best:1 ~table ~total_width:10 ~tams:3 ()
   in
   Alcotest.(check int) "fallback keeps B" 3
     (Array.length tight_fixed.Pe.widths);
@@ -448,7 +448,7 @@ let exhaustive_is_optimal =
             let times = Tt.matrix table ~widths in
             min acc (Exact.solve_bb ~times ()).Exact.time)
       in
-      let r = Ex.run ~table ~total_width ~tams () in
+      let r = Runners.ex_run ~table ~total_width ~tams () in
       Soctam_core.Outcome.is_complete r.Ex.outcome && r.Ex.time = reference)
 
 let exhaustive_budget_degrades () =
@@ -456,11 +456,11 @@ let exhaustive_budget_degrades () =
      flagged as incomplete, never a false optimality claim. *)
   let soc = small_soc 62L ~cores:6 in
   let table = Tt.build soc ~max_width:14 in
-  let full = Ex.run ~table ~total_width:14 ~tams:3 () in
+  let full = Runners.ex_run ~table ~total_width:14 ~tams:3 () in
   Alcotest.(check bool) "full run complete" true
     (Soctam_core.Outcome.is_complete full.Ex.outcome);
   let starved =
-    Ex.run ~node_limit_per_partition:1 ~table ~total_width:14 ~tams:3 ()
+    Runners.ex_run ~node_limit_per_partition:1 ~table ~total_width:14 ~tams:3 ()
   in
   Alcotest.(check bool) "starved run incomplete" false
     (Soctam_core.Outcome.is_complete starved.Ex.outcome);
@@ -470,7 +470,7 @@ let exhaustive_budget_degrades () =
 let exhaustive_counts_partitions () =
   let soc = small_soc 3L ~cores:4 in
   let table = Tt.build soc ~max_width:10 in
-  let r = Ex.run ~table ~total_width:10 ~tams:3 () in
+  let r = Runners.ex_run ~table ~total_width:10 ~tams:3 () in
   Alcotest.(check int) "p(10,3) = 8" 8 r.Ex.partitions_total;
   Alcotest.(check int) "all solved" 8 r.Ex.partitions_solved;
   Alcotest.(check bool) "complete" true
@@ -482,7 +482,7 @@ let exhaustive_zero_budget_truncates () =
      well-formed truncated incumbent, never raise. *)
   let soc = small_soc 11L ~cores:5 in
   let table = Tt.build soc ~max_width:12 in
-  let r = Ex.run ~time_budget:0. ~table ~total_width:12 ~tams:3 () in
+  let r = Runners.ex_run ~time_budget:0. ~table ~total_width:12 ~tams:3 () in
   Alcotest.(check int) "widths sum to W" 12
     (Soctam_util.Intutil.sum r.Ex.widths);
   Alcotest.(check int) "assignment covers every core" 5
@@ -491,7 +491,7 @@ let exhaustive_zero_budget_truncates () =
     (r.Ex.partitions_solved >= 1);
   Alcotest.(check bool) "truncated run not marked complete" false
     (Soctam_core.Outcome.is_complete r.Ex.outcome);
-  let full = Ex.run ~table ~total_width:12 ~tams:3 () in
+  let full = Runners.ex_run ~table ~total_width:12 ~tams:3 () in
   Alcotest.(check bool) "incumbent no better than optimum" true
     (r.Ex.time >= full.Ex.time)
 
@@ -500,14 +500,14 @@ let exhaustive_parallel_matches_sequential () =
      100-case qcheck version lives in test_parallel.ml (@runtest-slow). *)
   let soc = small_soc 21L ~cores:5 in
   let table = Tt.build soc ~max_width:11 in
-  let seq = Ex.run ~jobs:1 ~table ~total_width:11 ~tams:3 () in
-  let par = Ex.run ~jobs:4 ~table ~total_width:11 ~tams:3 () in
+  let seq = Runners.ex_run ~jobs:1 ~table ~total_width:11 ~tams:3 () in
+  let par = Runners.ex_run ~jobs:4 ~table ~total_width:11 ~tams:3 () in
   Alcotest.(check int) "time" seq.Ex.time par.Ex.time;
   Alcotest.(check (array int)) "widths" seq.Ex.widths par.Ex.widths;
   Alcotest.(check (array int)) "assignment" seq.Ex.assignment
     par.Ex.assignment;
-  let pseq = Pe.run ~jobs:1 ~table ~total_width:11 ~max_tams:4 () in
-  let ppar = Pe.run ~jobs:4 ~table ~total_width:11 ~max_tams:4 () in
+  let pseq = Runners.pe_run ~jobs:1 ~table ~total_width:11 ~max_tams:4 () in
+  let ppar = Runners.pe_run ~jobs:4 ~table ~total_width:11 ~max_tams:4 () in
   Alcotest.(check int) "heuristic time" pseq.Pe.time ppar.Pe.time;
   Alcotest.(check (array int)) "heuristic widths" pseq.Pe.widths
     ppar.Pe.widths;
@@ -521,8 +521,8 @@ let exhaustive_beats_or_matches_heuristic =
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
       let table = Tt.build soc ~max_width:10 in
-      let heuristic = Pe.run_fixed ~table ~total_width:10 ~tams:2 () in
-      let exact = Ex.run ~table ~total_width:10 ~tams:2 () in
+      let heuristic = Runners.pe_run_fixed ~table ~total_width:10 ~tams:2 () in
+      let exact = Runners.ex_run ~table ~total_width:10 ~tams:2 () in
       exact.Ex.time <= heuristic.Pe.time)
 
 (* -- Co_optimize ----------------------------------------------------------- *)
@@ -532,7 +532,7 @@ let pipeline_invariants =
     QCheck.(int_range 1 60)
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:6 in
-      let r = Co.run ~max_tams:4 soc ~total_width:12 in
+      let r = Runners.co_run ~max_tams:4 soc ~total_width:12 in
       let arch = r.Co.architecture in
       r.Co.final_time <= r.Co.heuristic_time
       && r.Co.final_time = arch.Soctam_tam.Architecture.time
@@ -545,12 +545,12 @@ let pipeline_lower_bound =
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:6 in
       let table = Tt.build soc ~max_width:12 in
-      let r = Co.run ~table ~max_tams:4 soc ~total_width:12 in
+      let r = Runners.co_run ~table ~max_tams:4 soc ~total_width:12 in
       r.Co.final_time >= Tt.bottleneck_bound table ~width:12)
 
 let pipeline_fixed_tams () =
   let soc = small_soc 44L ~cores:6 in
-  let r = Co.run_fixed_tams soc ~total_width:12 ~tams:3 in
+  let r = Runners.co_run_fixed_tams soc ~total_width:12 ~tams:3 in
   Alcotest.(check int) "three TAMs" 3
     (Array.length r.Co.architecture.Soctam_tam.Architecture.widths)
 
@@ -559,7 +559,7 @@ let pipeline_rejects_narrow_table () =
   let table = Tt.build soc ~max_width:8 in
   Alcotest.check_raises "table too narrow"
     (Invalid_argument "Co_optimize: supplied table narrower than total width")
-    (fun () -> ignore (Co.run ~table soc ~total_width:16))
+    (fun () -> ignore (Runners.co_run ~table soc ~total_width:16))
 
 let final_step_matches_exact =
   QCheck.Test.make
@@ -569,7 +569,7 @@ let final_step_matches_exact =
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
       let table = Tt.build soc ~max_width:10 in
-      let r = Co.run ~table ~max_tams:3 soc ~total_width:10 in
+      let r = Runners.co_run ~table ~max_tams:3 soc ~total_width:10 in
       let times =
         Tt.matrix table ~widths:r.Co.architecture.Soctam_tam.Architecture.widths
       in
@@ -589,7 +589,7 @@ let bounds_admissible =
       let optimum =
         List.fold_left
           (fun acc tams ->
-            min acc (Ex.run ~table ~total_width:9 ~tams ()).Ex.time)
+            min acc (Runners.ex_run ~table ~total_width:9 ~tams ()).Ex.time)
           max_int [ 1; 2; 3 ]
       in
       bounds.Soctam_core.Bounds.combined <= optimum

@@ -23,6 +23,7 @@ let () =
       ("regression", Test_regression.suite);
       ("report", Test_report.suite);
       ("check", Test_check.suite);
+      ("analysis", Test_analysis.suite);
       ("obs", Test_obs.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("cli", Test_cli.suite);

@@ -112,7 +112,7 @@ let worker_attribution () =
 let run_stats ?initial_best ~jobs () =
   let stats = Obs.create () in
   let r =
-    Pe.run ?initial_best ~stats ~jobs ~table:(Lazy.force table) ~total_width:20
+    Runners.pe_run ?initial_best ~stats ~jobs ~table:(Lazy.force table) ~total_width:20
       ~max_tams:6 ()
   in
   (r, Obs.snapshot stats)
@@ -171,7 +171,7 @@ let pruning_monotone_in_tau_quality () =
 let collector_never_changes_results () =
   let with_stats, _ = run_stats ~jobs:1 () in
   let plain =
-    Pe.run ~table:(Lazy.force table) ~total_width:20 ~max_tams:6 ()
+    Runners.pe_run ~table:(Lazy.force table) ~total_width:20 ~max_tams:6 ()
   in
   Alcotest.(check int) "same time" plain.Pe.time with_stats.Pe.time;
   Alcotest.(check (list int)) "same partition"

@@ -73,7 +73,7 @@ let pattern_yield_monotone () =
 
 let schedule_structure () =
   let soc = Soctam_soc_data.D695.soc in
-  let r = Soctam_core.Co_optimize.run ~max_tams:3 soc ~total_width:16 in
+  let r = Runners.co_run ~max_tams:3 soc ~total_width:16 in
   let arch = r.Soctam_core.Co_optimize.architecture in
   let sched =
     Ao.schedule arch (Ao.uniform_yield ~fail_probability:0.05)
@@ -99,7 +99,7 @@ let schedule_structure () =
 
 let perfect_yield_recovers_worst_case () =
   let soc = Soctam_soc_data.D695.soc in
-  let r = Soctam_core.Co_optimize.run ~max_tams:2 soc ~total_width:12 in
+  let r = Runners.co_run ~max_tams:2 soc ~total_width:12 in
   let arch = r.Soctam_core.Co_optimize.architecture in
   let sched = Ao.schedule arch (Ao.uniform_yield ~fail_probability:0.) in
   Alcotest.(check (float 1e-6)) "no fails: expectation = makespan"

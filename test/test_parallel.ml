@@ -108,8 +108,8 @@ let evaluate_matches_sequential =
     (fun (seed, total_width) ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
       let table = Tt.build soc ~max_width:total_width in
-      let seq = Pe.run ~jobs:1 ~table ~total_width ~max_tams:4 () in
-      let par = Pe.run ~jobs:4 ~table ~total_width ~max_tams:4 () in
+      let seq = Runners.pe_run ~jobs:1 ~table ~total_width ~max_tams:4 () in
+      let par = Runners.pe_run ~jobs:4 ~table ~total_width ~max_tams:4 () in
       signature seq = signature par)
 
 let evaluate_fixed_matches_sequential =
@@ -119,8 +119,8 @@ let evaluate_fixed_matches_sequential =
     (fun (seed, tams) ->
       let soc = small_soc (Int64.of_int seed) ~cores:4 in
       let table = Tt.build soc ~max_width:12 in
-      let seq = Pe.run_fixed ~jobs:1 ~table ~total_width:12 ~tams () in
-      let par = Pe.run_fixed ~jobs:4 ~table ~total_width:12 ~tams () in
+      let seq = Runners.pe_run_fixed ~jobs:1 ~table ~total_width:12 ~tams () in
+      let par = Runners.pe_run_fixed ~jobs:4 ~table ~total_width:12 ~tams () in
       signature seq = signature par)
 
 let evaluate_carry_tau_variants_agree =
@@ -131,10 +131,10 @@ let evaluate_carry_tau_variants_agree =
       let soc = small_soc (Int64.of_int seed) ~cores:4 in
       let table = Tt.build soc ~max_width:10 in
       let seq =
-        Pe.run ~carry_tau:false ~jobs:1 ~table ~total_width:10 ~max_tams:4 ()
+        Runners.pe_run ~carry_tau:false ~jobs:1 ~table ~total_width:10 ~max_tams:4 ()
       in
       let par =
-        Pe.run ~carry_tau:false ~jobs:4 ~table ~total_width:10 ~max_tams:4 ()
+        Runners.pe_run ~carry_tau:false ~jobs:4 ~table ~total_width:10 ~max_tams:4 ()
       in
       signature seq = signature par)
 
@@ -145,8 +145,8 @@ let evaluate_exact_counters_stable =
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:4 in
       let table = Tt.build soc ~max_width:10 in
-      let seq = Pe.run ~jobs:1 ~table ~total_width:10 ~max_tams:4 () in
-      let par = Pe.run ~jobs:4 ~table ~total_width:10 ~max_tams:4 () in
+      let seq = Runners.pe_run ~jobs:1 ~table ~total_width:10 ~max_tams:4 () in
+      let par = Runners.pe_run ~jobs:4 ~table ~total_width:10 ~max_tams:4 () in
       Array.for_all2
         (fun (a : Pe.b_stats) (b : Pe.b_stats) ->
           a.Pe.tams = b.Pe.tams
@@ -162,8 +162,8 @@ let exhaustive_matches_sequential =
     (fun (seed, tams) ->
       let soc = small_soc (Int64.of_int seed) ~cores:4 in
       let table = Tt.build soc ~max_width:10 in
-      let seq = Ex.run ~jobs:1 ~table ~total_width:10 ~tams () in
-      let par = Ex.run ~jobs:4 ~table ~total_width:10 ~tams () in
+      let seq = Runners.ex_run ~jobs:1 ~table ~total_width:10 ~tams () in
+      let par = Runners.ex_run ~jobs:4 ~table ~total_width:10 ~tams () in
       seq.Ex.time = par.Ex.time
       && seq.Ex.widths = par.Ex.widths
       && seq.Ex.assignment = par.Ex.assignment
@@ -179,8 +179,8 @@ let heuristic_bounded_by_exhaustive =
     (fun (seed, tams) ->
       let soc = small_soc (Int64.of_int seed) ~cores:4 in
       let table = Tt.build soc ~max_width:8 in
-      let exact = Ex.run ~jobs:4 ~table ~total_width:8 ~tams () in
-      let heur = Pe.run_fixed ~jobs:4 ~table ~total_width:8 ~tams () in
+      let exact = Runners.ex_run ~jobs:4 ~table ~total_width:8 ~tams () in
+      let heur = Runners.pe_run_fixed ~jobs:4 ~table ~total_width:8 ~tams () in
       heur.Pe.time >= exact.Ex.time)
 
 (* -- Pipeline-level determinism ------------------------------------------- *)
@@ -190,8 +190,8 @@ let co_optimize_matches_sequential =
     QCheck.(int_range 1 1000)
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
-      let seq = Co.run ~jobs:1 ~max_tams:4 soc ~total_width:12 in
-      let par = Co.run ~jobs:4 ~max_tams:4 soc ~total_width:12 in
+      let seq = Runners.co_run ~jobs:1 ~max_tams:4 soc ~total_width:12 in
+      let par = Runners.co_run ~jobs:4 ~max_tams:4 soc ~total_width:12 in
       seq.Co.final_time = par.Co.final_time
       && seq.Co.architecture.Soctam_tam.Architecture.widths
          = par.Co.architecture.Soctam_tam.Architecture.widths
@@ -201,8 +201,8 @@ let co_optimize_matches_sequential =
 let sweep_matches_sequential () =
   let soc = small_soc 42L ~cores:6 in
   let widths = [ 6; 10; 14 ] in
-  let seq = Sweep.run ~max_tams:4 ~jobs:1 soc ~widths in
-  let par = Sweep.run ~max_tams:4 ~jobs:8 soc ~widths in
+  let seq = Runners.sweep_run ~max_tams:4 ~jobs:1 soc ~widths in
+  let par = Runners.sweep_run ~max_tams:4 ~jobs:8 soc ~widths in
   List.iter2
     (fun (a : Sweep.point) (b : Sweep.point) ->
       Alcotest.(check int) "time" a.Sweep.time b.Sweep.time;
@@ -214,7 +214,7 @@ let d695_reference_architecture () =
   (* The d695 W=24 architecture the sequential pipeline has always
      produced, now pinned for jobs=8 as well. *)
   let soc = Soctam_soc_data.D695.soc in
-  let r = Co.run ~jobs:8 ~max_tams:6 soc ~total_width:24 in
+  let r = Runners.co_run ~jobs:8 ~max_tams:6 soc ~total_width:24 in
   Alcotest.(check (array int))
     "widths" [| 4; 6; 7; 7 |]
     r.Co.architecture.Soctam_tam.Architecture.widths

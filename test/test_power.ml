@@ -22,7 +22,7 @@ let small_soc seed ~cores =
 
 let architecture_of seed ~cores ~width =
   let soc = small_soc seed ~cores in
-  let result = Soctam_core.Co_optimize.run ~max_tams:4 soc ~total_width:width in
+  let result = Runners.co_run ~max_tams:4 soc ~total_width:width in
   (soc, result.Soctam_core.Co_optimize.architecture)
 
 (* -- model ------------------------------------------------------------------ *)

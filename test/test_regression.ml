@@ -13,12 +13,12 @@ let d695 = Soctam_soc_data.D695.soc
 let table = lazy (Soctam_core.Time_table.build d695 ~max_width:64)
 
 let new_method ~tams ~w =
-  (Soctam_core.Co_optimize.run_fixed_tams ~table:(Lazy.force table) d695
+  (Runners.co_run_fixed_tams ~table:(Lazy.force table) d695
      ~total_width:w ~tams)
     .Soctam_core.Co_optimize.final_time
 
 let exhaustive ~tams ~w =
-  (Soctam_core.Exhaustive.run ~table:(Lazy.force table) ~total_width:w ~tams
+  (Runners.ex_run ~table:(Lazy.force table) ~total_width:w ~tams
      ())
     .Soctam_core.Exhaustive.time
 
@@ -48,7 +48,7 @@ let golden_exhaustive_b3 =
 let golden_npaw () =
   (* P_NPAW picks the paper's exact partition 3+3+5+5 at W = 16. *)
   let r =
-    Soctam_core.Co_optimize.run ~max_tams:10 ~table:(Lazy.force table) d695
+    Runners.co_run ~max_tams:10 ~table:(Lazy.force table) d695
       ~total_width:16
   in
   Alcotest.(check int) "time" 42645 r.Soctam_core.Co_optimize.final_time;

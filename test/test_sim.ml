@@ -110,7 +110,7 @@ let soc_simulation_confirms_architecture =
     QCheck.(int_range 1 300)
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:6 in
-      let r = Soctam_core.Co_optimize.run ~max_tams:4 soc ~total_width:10 in
+      let r = Runners.co_run ~max_tams:4 soc ~total_width:10 in
       let arch = r.Soctam_core.Co_optimize.architecture in
       let sim = Soc_sim.run soc arch in
       sim.Soc_sim.soc_cycles = arch.Soctam_tam.Architecture.time)
@@ -122,7 +122,7 @@ let soc_simulation_tail_idle_matches =
     QCheck.(int_range 1 300)
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
-      let r = Soctam_core.Co_optimize.run ~max_tams:3 soc ~total_width:8 in
+      let r = Runners.co_run ~max_tams:3 soc ~total_width:8 in
       let arch = r.Soctam_core.Co_optimize.architecture in
       let sim = Soc_sim.run soc arch in
       let tail =
@@ -137,7 +137,7 @@ let soc_simulation_utilization_sane =
     QCheck.(int_range 1 300)
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
-      let r = Soctam_core.Co_optimize.run ~max_tams:3 soc ~total_width:8 in
+      let r = Runners.co_run ~max_tams:3 soc ~total_width:8 in
       let sim = Soc_sim.run soc r.Soctam_core.Co_optimize.architecture in
       sim.Soc_sim.utilization_in > 0. && sim.Soc_sim.utilization_in <= 1.
       && sim.Soc_sim.total_idle_in <= sim.Soc_sim.total_wire_cycles)
@@ -145,7 +145,7 @@ let soc_simulation_utilization_sane =
 let soc_simulation_rejects_mismatch () =
   let soc_a = small_soc 1L ~cores:4 in
   let soc_b = small_soc 2L ~cores:6 in
-  let r = Soctam_core.Co_optimize.run ~max_tams:2 soc_a ~total_width:6 in
+  let r = Runners.co_run ~max_tams:2 soc_a ~total_width:6 in
   match Soc_sim.run soc_b r.Soctam_core.Co_optimize.architecture with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "core-count mismatch accepted"

@@ -44,7 +44,7 @@ let d695_flip_flop_counts () =
 let d695_testing_time_anchor () =
   (* The paper reports 45055 cycles at W = 16, B = 2 (Table 2); our
      reconstruction must land within 2%. *)
-  let r = Soctam_core.Co_optimize.run_fixed_tams D695.soc ~total_width:16 ~tams:2 in
+  let r = Runners.co_run_fixed_tams D695.soc ~total_width:16 ~tams:2 in
   let t = r.Soctam_core.Co_optimize.final_time in
   Alcotest.(check bool)
     (Printf.sprintf "%d within 2%% of 45055" t)

@@ -242,11 +242,11 @@ let cost_rejects_mismatch () =
 let cost_wrapper_cells_architecture_independent () =
   let soc = Soctam_soc_data.D695.soc in
   let a =
-    (Soctam_core.Co_optimize.run_fixed_tams soc ~total_width:16 ~tams:2)
+    (Runners.co_run_fixed_tams soc ~total_width:16 ~tams:2)
       .Soctam_core.Co_optimize.architecture
   in
   let b =
-    (Soctam_core.Co_optimize.run_fixed_tams soc ~total_width:32 ~tams:3)
+    (Runners.co_run_fixed_tams soc ~total_width:32 ~tams:3)
       .Soctam_core.Co_optimize.architecture
   in
   Alcotest.(check int) "same wrapper cells"
