@@ -1,8 +1,14 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test test-par test-resume bench lint static-analysis fmt fmt-check coverage clean
+.PHONY: all build test test-par test-resume bench ci lint static-analysis fmt fmt-check coverage clean
 
 all: build
+
+# The full tier-1 gate, in the order CI runs it: format check (a no-op
+# without ocamlformat), strict-warning build, test suite (which itself
+# depends on the repo-analyzes-clean gate via the @runtest alias), and
+# the standalone analyzer pass.
+ci: fmt-check build test static-analysis
 
 build:
 	dune build @all
@@ -41,10 +47,12 @@ lint: build static-analysis
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-# Source-level determinism & domain-safety analysis: DET-POLY,
-# DET-ENTROPY, DOM-SHARED, API-DEPRECATED and IFACE over lib/, bin/,
-# bench/ and examples/, gated by analysis.baseline. Fails on any
-# non-baselined finding.
+# Source-level determinism & domain-safety analysis: the syntactic
+# families (DET-POLY, DET-ENTROPY, DOM-SHARED, API-DEPRECATED, IFACE)
+# plus the Typedtree families (DOM-ESCAPE, LOCK-RAISE, ALLOC-HOT) over
+# lib/, bin/, bench/ and examples/, gated by analysis.baseline. The
+# @lint-src alias builds @check first so every file has a .cmt and the
+# typed pass covers the whole tree. Fails on any non-baselined finding.
 static-analysis:
 	dune build @lint-src
 

@@ -186,25 +186,36 @@ let checkpoint_overhead soc =
   (plain, checkpointed, overhead_pct)
 
 (* Wall time of the source analyzer (DESIGN.md §13) over the whole
-   repository — the cost `dune build @lint-src` adds to CI. Best-of-5
-   after a warm-up; the acceptance ceiling for the analyzer PR is 5s
+   repository — the cost `dune build @lint-src` adds to CI — in both
+   modes: the syntactic Parsetree pass alone, and the default typed
+   pass that additionally reads every .cmt and runs the interprocedural
+   DOM-ESCAPE / LOCK-RAISE / ALLOC-HOT families. Best-of-5 after a
+   warm-up; the acceptance ceiling for the analyzer PRs is 5s
    full-repo. Skipped (null in the report) when the bench is not run
    from the repository root. *)
 let analyze_entry () =
   if not (Sys.file_exists "dune-project") then "null"
   else begin
-    let run () =
-      Timer.time (fun () -> Soctam_analysis.Analyze.tree ~root:"." ())
+    let measure mode =
+      let run () =
+        Timer.time (fun () -> Soctam_analysis.Analyze.tree ~mode ~root:"." ())
+      in
+      ignore (run ());
+      let best = ref infinity and files = ref 0 and typed = ref 0 in
+      for _ = 1 to 5 do
+        let result, secs = run () in
+        files := result.Soctam_analysis.Analyze.files;
+        typed := result.Soctam_analysis.Analyze.typed_files;
+        best := Float.min !best secs
+      done;
+      (!files, !typed, !best)
     in
-    ignore (run ());
-    let best = ref infinity and files = ref 0 in
-    for _ = 1 to 5 do
-      let result, secs = run () in
-      files := result.Soctam_analysis.Analyze.files;
-      best := Float.min !best secs
-    done;
+    let files, _, syntactic = measure Soctam_analysis.Analyze.Syntactic in
+    let _, typed_files, typed = measure Soctam_analysis.Analyze.Typed in
     Printf.sprintf
-      "{ \"files\": %d, \"best_of\": 5, \"seconds\": %.3f }" !files !best
+      "{ \"files\": %d, \"best_of\": 5, \"syntactic_seconds\": %.3f, \
+       \"typed_files\": %d, \"typed_seconds\": %.3f }"
+      files syntactic typed_files typed
   end
 
 let json_run r =

@@ -594,9 +594,11 @@ let lint_cmd spec json =
 
 (* Source-level determinism & domain-safety analysis (DESIGN.md §13):
    parse every .ml/.mli under lib/, bin/, bench/ and examples/ and
-   enforce the Soctam_analysis.Rule catalog. Exit 0 only when every
-   finding is fixed, [@soctam.allow]ed or baselined. *)
-let analyze_cmd root baseline_path json =
+   enforce the Soctam_analysis.Rule catalog; by default additionally run
+   the interprocedural Typedtree pass over the .cmt files of the last
+   build. Exit 0 only when every finding is fixed, [@soctam.allow]ed or
+   baselined. *)
+let analyze_cmd root baseline_path json syntactic call_graph prune =
   if not (Sys.file_exists (Filename.concat root "dune-project")) then begin
     Printf.eprintf
       "soctam: %s does not look like the repository root (no dune-project); \
@@ -605,25 +607,75 @@ let analyze_cmd root baseline_path json =
     1
   end
   else
-    let baseline =
+    (* The committed baseline, when present, applies by default so
+       `soctam analyze` and CI agree without extra flags. *)
+    let baseline_file =
       match baseline_path with
-      | Some path -> Soctam_analysis.Baseline.load path
+      | Some path -> Some path
       | None ->
-          (* The committed baseline, when present, applies by default so
-             `soctam analyze` and CI agree without extra flags. *)
           let default = Filename.concat root "analysis.baseline" in
-          if Sys.file_exists default then
-            Soctam_analysis.Baseline.load default
-          else Ok Soctam_analysis.Baseline.empty
+          if Sys.file_exists default then Some default else None
+    in
+    let baseline =
+      match baseline_file with
+      | Some path -> Soctam_analysis.Baseline.load path
+      | None -> Ok Soctam_analysis.Baseline.empty
     in
     match baseline with
     | Error violations ->
         print_report ~json
           (Soctam_check.Report.make ~subject:"analyzer baseline" violations)
-    | Ok baseline ->
-        let result = Soctam_analysis.Analyze.tree ~baseline ~root () in
+    | Ok baseline -> (
+        let mode =
+          if syntactic then Soctam_analysis.Analyze.Syntactic
+          else Soctam_analysis.Analyze.Typed
+        in
+        let result = Soctam_analysis.Analyze.tree ~baseline ~mode ~root () in
         prerr_endline (Soctam_analysis.Analyze.summary result);
-        print_report ~json result.Soctam_analysis.Analyze.report
+        (match (call_graph, result.Soctam_analysis.Analyze.graph) with
+        | Some path, Some graph ->
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc
+                  (Soctam_util.Json.to_string
+                     (Soctam_analysis.Typed.graph_json graph));
+                output_char oc '\n')
+        | Some _, None ->
+            prerr_endline
+              "soctam: --call-graph needs the typed pass; drop --syntactic"
+        | None, _ -> ());
+        match (prune, baseline_file) with
+        | false, _ ->
+            print_report ~json result.Soctam_analysis.Analyze.report
+        | true, None ->
+            prerr_endline "soctam: --prune-baseline: no baseline file to prune";
+            1
+        | true, Some path ->
+            let stale = result.Soctam_analysis.Analyze.stale in
+            let kept =
+              List.filter
+                (fun (e : Soctam_analysis.Baseline.entry) ->
+                  not
+                    (List.exists
+                       (fun (s : Soctam_analysis.Baseline.entry) ->
+                         s.rule = e.rule && s.path = e.path)
+                       stale))
+                (Soctam_analysis.Baseline.entries baseline)
+            in
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc
+                  (Soctam_analysis.Baseline.to_string
+                     (Soctam_analysis.Baseline.of_entries kept)));
+            Printf.eprintf "soctam: pruned %d stale entr%s from %s\n"
+              (List.length stale)
+              (if List.length stale = 1 then "y" else "ies")
+              path;
+            print_report ~json result.Soctam_analysis.Analyze.report)
 
 (* -- gen ----------------------------------------------------------------- *)
 
@@ -968,7 +1020,49 @@ let analyze_term =
              (RULE-ID<TAB>path<TAB>justification per line). Default: \
              DIR/analysis.baseline when it exists.")
   in
-  Term.(const analyze_cmd $ root $ baseline $ json_flag)
+  let syntactic =
+    Arg.(
+      value & flag
+      & info [ "syntactic" ]
+          ~doc:
+            "Run only the Parsetree rules (fast, needs no build). The \
+             default --typed mode additionally runs the interprocedural \
+             DOM-ESCAPE / LOCK-RAISE / ALLOC-HOT families over the .cmt \
+             files of the last dune build.")
+  in
+  let typed =
+    Arg.(
+      value & flag
+      & info [ "typed" ]
+          ~doc:
+            "Run the Typedtree pass (the default; the flag exists so \
+             scripts can be explicit).")
+  in
+  let call_graph =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "call-graph" ] ~docv:"FILE"
+          ~doc:
+            "Dump the module-qualified call graph and the \
+             domain-reachability set as strict JSON to $(docv).")
+  in
+  let prune =
+    Arg.(
+      value & flag
+      & info [ "prune-baseline" ]
+          ~doc:
+            "Rewrite the baseline file in place, dropping entries that \
+             match no current finding.")
+  in
+  let pick_mode syntactic typed =
+    (* Typed is the default; with both flags the explicit --typed wins. *)
+    syntactic && not typed
+  in
+  Term.(
+    const analyze_cmd $ root $ baseline $ json_flag
+    $ (const pick_mode $ syntactic $ typed)
+    $ call_graph $ prune)
 
 let lint_term =
   let target =

@@ -1,0 +1,71 @@
+open Parsetree
+
+let is_allow (attr : attribute) = attr.attr_name.txt = "soctam.allow"
+let is_hot (attr : attribute) = attr.attr_name.txt = "soctam.hot"
+
+let payload_rules (attr : attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      let tokens =
+        String.map (function ',' -> ' ' | c -> c) s
+        |> String.split_on_char ' '
+        |> List.filter (fun t -> t <> "")
+      in
+      if tokens = [] then Error "names no rule ID"
+      else
+        let rec resolve acc = function
+          | [] -> Ok (List.rev acc)
+          | tok :: rest -> (
+              match Rule.of_name tok with
+              | Some r -> resolve (r :: acc) rest
+              | None ->
+                  Error
+                    (Printf.sprintf "names unknown rule ID %S (rules: %s)" tok
+                       (String.concat ", " (List.map Rule.name Rule.all))))
+        in
+        resolve [] tokens
+  | _ -> Error "payload must be a string literal naming rule IDs"
+
+type span = { rule : Rule.id; first : int; last : int }
+
+let spans_of attrs (loc : Location.t) =
+  List.concat_map
+    (fun attr ->
+      if not (is_allow attr) then []
+      else
+        match payload_rules attr with
+        | Error _ -> [] (* reported once by the Parsetree pass *)
+        | Ok rules ->
+            List.map
+              (fun rule ->
+                {
+                  rule;
+                  first = loc.loc_start.pos_lnum;
+                  last = loc.loc_end.pos_lnum;
+                })
+              rules)
+    attrs
+
+let file_spans_of attrs =
+  List.concat_map
+    (fun attr ->
+      if not (is_allow attr) then []
+      else
+        match payload_rules attr with
+        | Error _ -> []
+        | Ok rules ->
+            List.map (fun rule -> { rule; first = 1; last = max_int }) rules)
+    attrs
+
+let covers spans (f : Finding.t) =
+  List.exists
+    (fun s -> s.rule = f.rule && s.first <= f.line && f.line <= s.last)
+    spans

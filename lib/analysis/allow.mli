@@ -1,0 +1,25 @@
+(** The [\[@soctam.allow "RULE-ID"\]] / [\[@soctam.hot\]] attribute
+    machinery, shared by the Parsetree and Typedtree passes (Typedtree
+    attributes are Parsetree attributes, so one reader serves both). *)
+
+val is_allow : Parsetree.attribute -> bool
+val is_hot : Parsetree.attribute -> bool
+
+val payload_rules : Parsetree.attribute -> (Rule.id list, string) result
+(** The rule IDs named by an allow attribute's string-literal payload
+    (space- or comma-separated). [Error why] describes a malformed
+    payload; the Parsetree pass turns it into an analyzer error. *)
+
+type span = { rule : Rule.id; first : int; last : int }
+(** One suppression: [rule] is silenced on lines [first..last]. *)
+
+val spans_of : Parsetree.attributes -> Location.t -> span list
+(** Suppression spans contributed by [attrs] attached to a node at
+    [loc]. Malformed payloads contribute nothing here — they are
+    reported exactly once, by the Parsetree attribute visitor. *)
+
+val file_spans_of : Parsetree.attributes -> span list
+(** Whole-file spans for floating [\[@@@soctam.allow\]] attributes. *)
+
+val covers : span list -> Finding.t -> bool
+(** Is the finding inside a span suppressing its rule? *)

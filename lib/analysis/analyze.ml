@@ -2,7 +2,12 @@ module Violation = Soctam_check.Violation
 module Report = Soctam_check.Report
 open Parsetree
 
-type finding = { rule : Rule.id; path : string; line : int; message : string }
+type finding = Finding.t = {
+  rule : Rule.id;
+  path : string;
+  line : int;
+  message : string;
+}
 
 type context = {
   path : string;
@@ -36,40 +41,8 @@ let line_of (loc : Location.t) = loc.loc_start.pos_lnum
 
 (* -- suppression attributes ------------------------------------------------ *)
 
-let is_allow (attr : attribute) = attr.attr_name.txt = "soctam.allow"
-
-(* The payload of a [\[@soctam.allow "..."\]] attribute: a string literal
-   of one or more rule IDs (space- or comma-separated). *)
-let allow_payload_rules (attr : attribute) =
-  match attr.attr_payload with
-  | PStr
-      [
-        {
-          pstr_desc =
-            Pstr_eval
-              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-          _;
-        };
-      ] ->
-      let tokens =
-        String.map (function ',' -> ' ' | c -> c) s
-        |> String.split_on_char ' '
-        |> List.filter (fun t -> t <> "")
-      in
-      if tokens = [] then Error "names no rule ID"
-      else
-        let rec resolve acc = function
-          | [] -> Ok (List.rev acc)
-          | tok :: rest -> (
-              match Rule.of_name tok with
-              | Some r -> resolve (r :: acc) rest
-              | None ->
-                  Error
-                    (Printf.sprintf "names unknown rule ID %S (rules: %s)" tok
-                       (String.concat ", " (List.map Rule.name Rule.all))))
-        in
-        resolve [] tokens
-  | _ -> Error "payload must be a string literal naming rule IDs"
+let is_allow = Allow.is_allow
+let allow_payload_rules = Allow.payload_rules
 
 (* Attributes that scope a suppression to a whole structure item. Only
    the item shapes that can carry attached attributes in this codebase
@@ -337,12 +310,17 @@ let check_source ctx contents =
 
 (* -- whole-tree analysis --------------------------------------------------- *)
 
+type mode = Syntactic | Typed
+
 type result = {
   report : Report.t;
   findings : finding list;
   files : int;
   suppressed : int;
   baselined : int;
+  typed_files : int;
+  graph : Typed.graph option;
+  stale : Baseline.entry list;
 }
 
 let read_file path =
@@ -358,9 +336,18 @@ let violation_of_finding f =
     (Violation.File (f.path, f.line))
     "%s: %s" (Rule.name f.rule) f.message
 
-let tree ?(baseline = Baseline.empty) ~root () =
+let tree ?(baseline = Baseline.empty) ?(mode = Typed) ~root () =
   let files = Source.discover ~root in
   let reachable = Source.domain_reachable ~root in
+  (* The typed pass is additive: the Parsetree rules always run on every
+     file, and files with a readable .cmt additionally get the
+     interprocedural DOM-ESCAPE / LOCK-RAISE / ALLOC-HOT families. A file
+     without cmt data (not compiled yet) keeps syntactic-only coverage. *)
+  let typed =
+    match mode with
+    | Syntactic -> None
+    | Typed -> Some (Typed.run ~root ~sources:files)
+  in
   let per_file =
     List.filter_map
       (fun path ->
@@ -402,15 +389,13 @@ let tree ?(baseline = Baseline.empty) ~root () =
         else None)
       files
   in
+  let typed_findings =
+    match typed with Some t -> t.Typed.findings | None -> []
+  in
   let all_findings =
-    iface_findings @ List.concat_map (fun (r : file_result) -> r.findings) per_file
-    |> List.sort (fun (a : finding) (b : finding) ->
-           match String.compare a.path b.path with
-           | 0 -> (
-               match Int.compare a.line b.line with
-               | 0 -> String.compare (Rule.name a.rule) (Rule.name b.rule)
-               | c -> c)
-           | c -> c)
+    iface_findings @ typed_findings
+    @ List.concat_map (fun (r : file_result) -> r.findings) per_file
+    |> List.sort Finding.compare
   in
   let kept, acknowledged =
     List.partition
@@ -429,6 +414,7 @@ let tree ?(baseline = Baseline.empty) ~root () =
   let violations =
     List.map violation_of_finding kept
     @ List.concat_map (fun (r : file_result) -> r.problems) per_file
+    @ (match typed with Some t -> t.Typed.problems | None -> [])
     @ List.map
         (fun (e : Baseline.entry) ->
           Violation.infof Violation.Analysis_error
@@ -442,13 +428,18 @@ let tree ?(baseline = Baseline.empty) ~root () =
     findings = kept;
     files = List.length files;
     suppressed =
-      List.fold_left (fun acc (r : file_result) -> acc + r.suppressed) 0 per_file;
+      List.fold_left (fun acc (r : file_result) -> acc + r.suppressed) 0 per_file
+      + (match typed with Some t -> t.Typed.suppressed | None -> 0);
     baselined = List.length acknowledged;
+    typed_files = (match typed with Some t -> t.Typed.typed_files | None -> 0);
+    graph = Option.map (fun t -> t.Typed.graph) typed;
+    stale;
   }
 
 let summary r =
   Printf.sprintf
-    "source analysis: %d files, %d finding%s (%d suppressed, %d baselined)"
-    r.files (List.length r.findings)
+    "source analysis: %d files (%d typed), %d finding%s (%d suppressed, %d \
+     baselined)"
+    r.files r.typed_files (List.length r.findings)
     (if List.length r.findings = 1 then "" else "s")
     r.suppressed r.baselined

@@ -9,7 +9,7 @@
     [\[@@@soctam.allow "RULE-ID"\]] silences it for the whole file. A
     suppression without a valid rule ID is itself an error. *)
 
-type finding = {
+type finding = Finding.t = {
   rule : Rule.id;
   path : string;  (** root-relative source path *)
   line : int;  (** 1-based *)
@@ -39,6 +39,13 @@ val check_source : context -> string -> file_result
     result (interfaces carry no expressions; their rule is IFACE,
     enforced by {!tree}). *)
 
+type mode =
+  | Syntactic  (** Parsetree rules only — the fast, cmt-free fallback *)
+  | Typed
+      (** Parsetree rules plus the interprocedural Typedtree families
+          (DOM-ESCAPE / LOCK-RAISE / ALLOC-HOT) for every file with a
+          readable [.cmt]; the default *)
+
 type result = {
   report : Soctam_check.Report.t;
       (** the final merged report: every non-baselined finding as an
@@ -48,12 +55,22 @@ type result = {
   files : int;  (** sources analyzed (both [.ml] and [.mli]) *)
   suppressed : int;
   baselined : int;
+  typed_files : int;  (** sources the Typedtree pass covered *)
+  graph : Typed.graph option;  (** call graph, in [Typed] mode *)
+  stale : Baseline.entry list;
+      (** baseline entries matching no finding — reported as [Info]s,
+          and what [soctam analyze --prune-baseline] rewrites away *)
 }
 
-val tree : ?baseline:Baseline.t -> root:string -> unit -> result
+val tree : ?baseline:Baseline.t -> ?mode:mode -> root:string -> unit -> result
 (** Analyze the whole repository at [root]: every source under
     {!Source.scan_dirs}, the IFACE pairing check over [lib/], and
     DOM-SHARED reachability recovered from the committed dune files.
+    In [Typed] mode (the default) the Typedtree pass additionally runs
+    over every file with a [.cmt] under [root/_build/default] (or
+    [root] itself when analyzing from inside the build directory);
+    files without cmt data silently keep syntactic-only coverage, so
+    the analyzer degrades gracefully on an unbuilt tree.
     [baseline] (default {!Baseline.empty}) acknowledges findings by
     (rule, path); the run is clean when [Report.ok report]. *)
 

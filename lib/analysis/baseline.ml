@@ -5,6 +5,7 @@ type t = entry list
 
 let empty = []
 let entries t = t
+let of_entries entries = entries
 
 let header =
   [ "# soctam analyze baseline (DESIGN.md \xc2\xa713).";

@@ -27,6 +27,10 @@ val empty : t
 val entries : t -> entry list
 (** In file order. *)
 
+val of_entries : entry list -> t
+(** Assemble a baseline from entries, e.g. when rewriting a pruned
+    baseline file ([soctam analyze --prune-baseline]). *)
+
 val of_string : file:string -> string -> (t, Soctam_check.Violation.t list) result
 (** Parse baseline [contents]; [file] names the source for error
     locations. Malformed lines are [Analysis_error] violations carrying

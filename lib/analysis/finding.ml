@@ -1,0 +1,9 @@
+type t = { rule : Rule.id; path : string; line : int; message : string }
+
+let compare a b =
+  match String.compare a.path b.path with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> String.compare (Rule.name a.rule) (Rule.name b.rule)
+      | c -> c)
+  | c -> c

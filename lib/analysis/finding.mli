@@ -1,0 +1,13 @@
+(** One analyzer finding, shared by the Parsetree ({!Analyze}) and
+    Typedtree ({!Typed}) passes so both feed the same baseline,
+    suppression and report machinery. *)
+
+type t = {
+  rule : Rule.id;
+  path : string;  (** root-relative source path *)
+  line : int;  (** 1-based *)
+  message : string;
+}
+
+val compare : t -> t -> int
+(** Deterministic report order: by path, then line, then rule name. *)

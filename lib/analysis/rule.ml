@@ -1,6 +1,24 @@
-type id = Det_poly | Det_entropy | Dom_shared | Api_deprecated | Iface
+type id =
+  | Det_poly
+  | Det_entropy
+  | Dom_shared
+  | Api_deprecated
+  | Iface
+  | Dom_escape
+  | Lock_raise
+  | Alloc_hot
 
-let all = [ Det_poly; Det_entropy; Dom_shared; Api_deprecated; Iface ]
+let all =
+  [
+    Det_poly;
+    Det_entropy;
+    Dom_shared;
+    Api_deprecated;
+    Iface;
+    Dom_escape;
+    Lock_raise;
+    Alloc_hot;
+  ]
 
 let name = function
   | Det_poly -> "DET-POLY"
@@ -8,6 +26,9 @@ let name = function
   | Dom_shared -> "DOM-SHARED"
   | Api_deprecated -> "API-DEPRECATED"
   | Iface -> "IFACE"
+  | Dom_escape -> "DOM-ESCAPE"
+  | Lock_raise -> "LOCK-RAISE"
+  | Alloc_hot -> "ALLOC-HOT"
 
 let of_name = function
   | "DET-POLY" -> Some Det_poly
@@ -15,6 +36,9 @@ let of_name = function
   | "DOM-SHARED" -> Some Dom_shared
   | "API-DEPRECATED" -> Some Api_deprecated
   | "IFACE" -> Some Iface
+  | "DOM-ESCAPE" -> Some Dom_escape
+  | "LOCK-RAISE" -> Some Lock_raise
+  | "ALLOC-HOT" -> Some Alloc_hot
   | _ -> None
 
 let kind = function
@@ -23,6 +47,9 @@ let kind = function
   | Dom_shared -> Soctam_check.Violation.Unguarded_shared_state
   | Api_deprecated -> Soctam_check.Violation.Deprecated_api
   | Iface -> Soctam_check.Violation.Missing_interface
+  | Dom_escape -> Soctam_check.Violation.Domain_escape
+  | Lock_raise -> Soctam_check.Violation.Lock_discipline
+  | Alloc_hot -> Soctam_check.Violation.Hot_allocation
 
 let synopsis = function
   | Det_poly ->
@@ -37,3 +64,12 @@ let synopsis = function
   | Api_deprecated ->
       "in-repo call to a deprecated pre-run_with entry point"
   | Iface -> "lib/ module without an .mli"
+  | Dom_escape ->
+      "mutable value created outside a worker closure but mutated inside \
+       one without a guarding mutex"
+  | Lock_raise ->
+      "possible raise while a Mutex is held without Fun.protect, or \
+       inconsistent lock acquisition order"
+  | Alloc_hot ->
+      "allocation (closure, tuple, boxed float/option, list cons, array) \
+       inside a [@soctam.hot] function or loop"

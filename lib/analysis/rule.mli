@@ -31,13 +31,32 @@ type id =
           wrappers exist for external users only. *)
   | Iface
       (** IFACE: every module under [lib/] has an [.mli]. *)
+  | Dom_escape
+      (** DOM-ESCAPE (typed pass): a mutable value — [ref], mutable
+          record field, [Buffer.t], [Hashtbl.t], array — created outside
+          a worker closure ([Pool.run] / [Pool.map_ranges] /
+          [Domain.spawn] argument) but captured and mutated inside one,
+          or mutated from a function the call graph shows is reachable
+          from worker closures, without a guarding [Mutex] in scope. *)
+  | Lock_raise
+      (** LOCK-RAISE (typed pass): between [Mutex.lock m] and
+          [Mutex.unlock m] without an intervening [Fun.protect] /
+          [Mutex.protect], a [raise] / [failwith] / known-partial stdlib
+          call may leave [m] locked forever; also two mutexes acquired
+          in inconsistent order at different sites. *)
+  | Alloc_hot
+      (** ALLOC-HOT (typed pass): an allocation form — closure, tuple,
+          record, [Some _] / list cons, array or string building,
+          boxed-float result — inside a function or loop annotated
+          [\[@soctam.hot\]]. *)
 
 val all : id list
 (** Every rule, in catalog order. *)
 
 val name : id -> string
 (** Stable uppercase identifier: ["DET-POLY"], ["DET-ENTROPY"],
-    ["DOM-SHARED"], ["API-DEPRECATED"], ["IFACE"]. *)
+    ["DOM-SHARED"], ["API-DEPRECATED"], ["IFACE"], ["DOM-ESCAPE"],
+    ["LOCK-RAISE"], ["ALLOC-HOT"]. *)
 
 val of_name : string -> id option
 (** Inverse of {!name}; [None] for anything else. *)

@@ -168,3 +168,34 @@ let domain_libraries ~root =
 let domain_reachable ~root =
   let dirs = domain_libraries ~root in
   fun path -> List.exists (fun dir -> under dir path) dirs
+
+(* -- cmt discovery --------------------------------------------------------- *)
+
+(* Unlike [discover], this walk must descend into dot-directories: dune
+   stores cmt files under [lib/<dir>/.<lib>.objs/byte/]. Only [.git] and
+   nested [_build] trees are cut off. *)
+let cmt_files ~root =
+  let acc = ref [] in
+  let skip name = name = ".git" || name = "_build" || name = "" in
+  let rec walk abs =
+    match Sys.is_directory abs with
+    | exception Sys_error _ -> ()
+    | false -> if Filename.check_suffix abs ".cmt" then acc := abs :: !acc
+    | true ->
+        Array.iter
+          (fun entry ->
+            if not (skip entry) then walk (Filename.concat abs entry))
+          (Sys.readdir abs)
+  in
+  let build = Filename.concat (Filename.concat root "_build") "default" in
+  let start =
+    if Sys.file_exists build && Sys.is_directory build then build else root
+  in
+  (match Sys.readdir start with
+  | exception Sys_error _ -> ()
+  | entries ->
+      Array.iter
+        (fun entry ->
+          if not (skip entry) then walk (Filename.concat start entry))
+        entries);
+  List.sort String.compare !acc

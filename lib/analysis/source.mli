@@ -45,3 +45,16 @@ val domain_reachable : root:string -> string -> bool
 (** [domain_reachable ~root path]: is [path] (root-relative) inside one
     of {!domain_libraries}? Precomputes the set once per call to
     [domain_reachable ~root]; partial application reuses it. *)
+
+(** {1 Cmt discovery}
+
+    The typed pass ([Typed]) reads the [.cmt] files dune writes next to
+    compiled modules. They live under [root/_build/default] when the
+    analyzer runs from a source checkout, or directly under [root] when
+    it runs inside dune's build directory (the [@lint-src] rule). *)
+
+val cmt_files : root:string -> string list
+(** Absolute paths of every [*.cmt] under [root/_build/default] if that
+    directory exists, otherwise under [root] itself. The walk descends
+    into dot-directories (dune's [.<lib>.objs]) but never into [.git] or
+    a nested [_build]. Sorted; empty when nothing has been compiled. *)

@@ -1,0 +1,55 @@
+(** The Typedtree pass: interprocedural DOM-ESCAPE / LOCK-RAISE /
+    ALLOC-HOT over the [.cmt] files dune writes during the build.
+
+    Where the Parsetree rules in {!Analyze} see one file of syntax at a
+    time, this pass sees resolved identifier paths ([Path.t]) and whole-
+    repository structure: it builds a module-qualified call graph, marks
+    every function transitively callable from a [Pool.run] /
+    [Pool.map_ranges] / [Domain.spawn] worker closure as
+    domain-reachable, and then checks mutation, lock and allocation
+    discipline against that set. DESIGN.md §13 documents the exact
+    approximations each rule family makes.
+
+    The pass is best-effort by design: a source file with no readable
+    [.cmt] (not yet compiled, stale build directory) simply contributes
+    no typed findings — {!Analyze.tree} keeps the syntactic rules as the
+    fallback for those files. *)
+
+(** {1 Call graph} *)
+
+type graph
+(** The module-qualified call graph of every analyzed compilation unit.
+    Nodes are ["Module.fn"] (nested: ["Pool.run.worker"]); the
+    distinguished pseudo-node ["<workers>"] has an edge to every
+    function a worker closure calls. *)
+
+val nodes : graph -> (string * string list) list
+(** [(node, callees)] rows, sorted by node name, callees sorted and
+    deduplicated. *)
+
+val reachable : graph -> string list
+(** Functions transitively callable from ["<workers>"], sorted. *)
+
+val graph_json : graph -> Soctam_util.Json.t
+(** Strict-JSON rendering for [soctam analyze --call-graph]:
+    [{"nodes": {"Module.fn": ["callee", ...], ...},
+      "domain_reachable": ["Module.fn", ...]}]. Deterministic member
+    order. *)
+
+(** {1 Running the pass} *)
+
+type t = {
+  findings : Finding.t list;  (** surviving typed findings, sorted *)
+  suppressed : int;  (** silenced by scoped [\[@soctam.allow\]] *)
+  problems : Soctam_check.Violation.t list;
+      (** unreadable or version-mismatched [.cmt] files *)
+  typed_files : int;  (** sources that had a matching [.cmt] *)
+  graph : graph;
+}
+
+val run : root:string -> sources:string list -> t
+(** Analyze every [.cmt] under [root] (see {!Source.cmt_files}) whose
+    recorded source file matches one of [sources] (root-relative paths
+    from {!Source.discover}). Findings are reported against those
+    root-relative paths, so they compose with the baseline and the
+    suppression machinery exactly like syntactic findings. *)

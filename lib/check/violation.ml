@@ -42,6 +42,9 @@ type kind =
   | Polymorphic_comparison
   | Entropy_source
   | Unguarded_shared_state
+  | Domain_escape
+  | Lock_discipline
+  | Hot_allocation
   | Deprecated_api
   | Missing_interface
   | Analysis_error
@@ -102,6 +105,9 @@ let kind_name = function
   | Polymorphic_comparison -> "polymorphic-comparison"
   | Entropy_source -> "entropy-source"
   | Unguarded_shared_state -> "unguarded-shared-state"
+  | Domain_escape -> "domain-escape"
+  | Lock_discipline -> "lock-discipline"
+  | Hot_allocation -> "hot-allocation"
   | Deprecated_api -> "deprecated-api"
   | Missing_interface -> "missing-interface"
   | Analysis_error -> "analysis-error"

@@ -69,6 +69,15 @@ type kind =
   | Unguarded_shared_state
       (** DOM-SHARED: unsynchronized top-level mutable state reachable
           from pool domains *)
+  | Domain_escape
+      (** DOM-ESCAPE: mutable value created outside a worker closure but
+          mutated inside one without a guarding mutex *)
+  | Lock_discipline
+      (** LOCK-RAISE: possible raise while a mutex is held without
+          [Fun.protect], or inconsistent lock acquisition order *)
+  | Hot_allocation
+      (** ALLOC-HOT: allocation form inside a function or loop marked
+          [\[@soctam.hot\]] *)
   | Deprecated_api  (** API-DEPRECATED: in-repo call to a deprecated entry *)
   | Missing_interface  (** IFACE: a [lib/] module without an [.mli] *)
   | Analysis_error

@@ -24,7 +24,7 @@ let record stats ~cores ~assigned ~exceeded =
         s.levels_cut <- s.levels_cut + (cores - assigned)
       end
 
-let run ?stats ?(best = max_int) ~times ~widths () =
+let run_bounded ?stats ~best ~times ~widths () =
   let cores = Array.length times in
   if cores = 0 then invalid_arg "Core_assign.run: no cores";
   let tams = Array.length widths in
@@ -106,8 +106,14 @@ let run ?stats ?(best = max_int) ~times ~widths () =
   in
   loop cores
 
+let run ?stats ?(best = max_int) ~times ~widths () =
+  run_bounded ?stats ~best ~times ~widths ()
+
 let run_table ?stats ?best ~table ~widths () =
   run ?stats ?best ~times:(Time_table.matrix table ~widths) ~widths ()
+
+let run_table_bounded ?stats ~best ~table ~widths () =
+  run_bounded ?stats ~best ~times:(Time_table.matrix table ~widths) ~widths ()
 
 (* One pass of the same greedy loop with uniform random tie-breaking. *)
 let run_random_once ~rng ~times ~widths =

@@ -65,6 +65,18 @@ val run :
     the work done by this call.
     @raise Invalid_argument on empty or ragged inputs. *)
 
+val run_bounded :
+  ?stats:stats ->
+  best:int ->
+  times:int array array ->
+  widths:int array ->
+  unit ->
+  outcome
+(** {!run} with the early-exit bound as a required label: the call site
+    passes a plain [int] instead of boxing [Some bound] per call, which
+    is what the per-partition hot loops need ([max_int] means no early
+    exit, exactly {!run}'s default). *)
+
 val run_table :
   ?stats:stats ->
   ?best:int ->
@@ -73,6 +85,15 @@ val run_table :
   unit ->
   outcome
 (** Convenience wrapper deriving [times] from a precomputed table. *)
+
+val run_table_bounded :
+  ?stats:stats ->
+  best:int ->
+  table:Time_table.t ->
+  widths:int array ->
+  unit ->
+  outcome
+(** {!run_bounded} over a precomputed table. *)
 
 val run_randomized :
   rng:Soctam_util.Prng.t ->

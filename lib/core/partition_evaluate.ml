@@ -78,35 +78,38 @@ let evaluate_slice_seq ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo
   let enumerated = ref 0 in
   let completed = ref 0 in
   let tau_terminated = ref 0 in
-  let best_time_b = ref None in
+  (* [max_int] = "no completion yet": an int sentinel rather than an
+     [int option] so the per-partition loop below never allocates. *)
+  let best_time_b = ref max_int in
   let ca = ca_stats stats in
   let publications = ref 0 in
   Obs.span stats "partition/evaluate_b" (fun () ->
       match Odometer.create_at ~total:total_width ~parts:tams ~rank:lo with
       | None -> ()
       | Some odometer ->
-          for rank = lo to hi - 1 do
-            let widths = Odometer.current odometer in
-            incr enumerated;
-            (match
-               Core_assign.run_table ?stats:ca ~best:!tau ~table ~widths ()
-             with
-            | Core_assign.Exceeded _ -> incr tau_terminated
-            | Core_assign.Assigned { assignment; time; _ } ->
-                incr completed;
-                if time < !tau then begin
-                  tau := time;
-                  incr publications;
-                  Obs.event stats ~value:time "tau"
-                end;
-                best_time_b := merge_best_time !best_time_b (Some time);
-                if time < best.b_time then begin
-                  best.b_time <- time;
-                  best.b_widths <- Array.copy widths;
-                  best.b_assignment <- Array.copy assignment
-                end);
-            if rank < hi - 1 then ignore (Odometer.advance odometer)
-          done);
+          (for rank = lo to hi - 1 do
+             let widths = Odometer.current odometer in
+             incr enumerated;
+             (match
+                Core_assign.run_table_bounded ?stats:ca ~best:!tau ~table ~widths ()
+              with
+             | Core_assign.Exceeded _ -> incr tau_terminated
+             | Core_assign.Assigned { assignment; time; _ } ->
+                 incr completed;
+                 if time < !tau then begin
+                   tau := time;
+                   incr publications;
+                   Obs.event_v stats time "tau"
+                 end;
+                 if time < !best_time_b then best_time_b := time;
+                 if time < best.b_time then
+                   ((best.b_time <- time;
+                     best.b_widths <- Array.copy widths;
+                     best.b_assignment <- Array.copy assignment)
+                   [@soctam.allow "ALLOC-HOT"] (* rare improvement path *)));
+             if rank < hi - 1 then ignore (Odometer.advance odometer)
+           done)
+          [@soctam.hot]);
   flush_counters stats ~enumerated:!enumerated ~pruned:!tau_terminated
     ~evaluated:!completed ~ca;
   Obs.add stats ~n:!publications "pool/tau_publications";
@@ -114,7 +117,7 @@ let evaluate_slice_seq ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo
     sl_enumerated = !enumerated;
     sl_completed = !completed;
     sl_pruned = !tau_terminated;
-    sl_best_time = !best_time_b;
+    sl_best_time = (if !best_time_b = max_int then None else Some !best_time_b);
     sl_tried = (match ca with None -> 0 | Some c -> c.Core_assign.tried);
     sl_early =
       (match ca with None -> 0 | Some c -> c.Core_assign.early_terminations);
@@ -160,7 +163,9 @@ let evaluate_chunk ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo ~hi
   let enumerated = ref 0 in
   let completed = ref 0 in
   let tau_terminated = ref 0 in
-  let best_time_b = ref None in
+  (* [max_int] sentinel, as in [evaluate_slice_seq]: the hot loop never
+     allocates an option. *)
+  let best_time_b = ref max_int in
   let ca = ca_stats stats in
   let cb =
     { c_time = max_int; c_rank = max_int; c_widths = [||]; c_assignment = [||] }
@@ -168,41 +173,42 @@ let evaluate_chunk ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo ~hi
   (match Odometer.create_at ~total:total_width ~parts:tams ~rank:lo with
   | None -> ()
   | Some odometer ->
-      for rank = lo to hi - 1 do
-        let widths = Odometer.current odometer in
-        incr enumerated;
-        let bound = Shared_min.get tau in
-        let threshold = if bound = max_int then max_int else bound + 1 in
-        (match
-           Core_assign.run_table ?stats:ca ~best:threshold ~table ~widths ()
-         with
-        | Core_assign.Exceeded _ -> incr tau_terminated
-        | Core_assign.Assigned { assignment; time; _ } ->
-            incr completed;
-            (* The pre-read [bound] makes the improvement test racy, but
-               a trace event is an observation, not a reduction input:
-               at worst a tie between racing domains is reported as an
-               improvement by both. *)
-            if time < bound then Obs.event stats ~value:time "tau";
-            Shared_min.improve tau time;
-            best_time_b := merge_best_time !best_time_b (Some time);
-            (* Ranks increase within the chunk, so a strict comparison
-               keeps the lowest-rank partition among equal times. *)
-            if time < cb.c_time then begin
-              cb.c_time <- time;
-              cb.c_rank <- rank;
-              cb.c_widths <- Array.copy widths;
-              cb.c_assignment <- Array.copy assignment
-            end);
-        if rank < hi - 1 then ignore (Odometer.advance odometer)
-      done);
+      (for rank = lo to hi - 1 do
+         let widths = Odometer.current odometer in
+         incr enumerated;
+         let bound = Shared_min.get tau in
+         let threshold = if bound = max_int then max_int else bound + 1 in
+         (match
+            Core_assign.run_table_bounded ?stats:ca ~best:threshold ~table ~widths ()
+          with
+         | Core_assign.Exceeded _ -> incr tau_terminated
+         | Core_assign.Assigned { assignment; time; _ } ->
+             incr completed;
+             (* The pre-read [bound] makes the improvement test racy, but
+                a trace event is an observation, not a reduction input:
+                at worst a tie between racing domains is reported as an
+                improvement by both. *)
+             if time < bound then Obs.event_v stats time "tau";
+             Shared_min.improve tau time;
+             if time < !best_time_b then best_time_b := time;
+             (* Ranks increase within the chunk, so a strict comparison
+                keeps the lowest-rank partition among equal times. *)
+             if time < cb.c_time then
+               ((cb.c_time <- time;
+                 cb.c_rank <- rank;
+                 cb.c_widths <- Array.copy widths;
+                 cb.c_assignment <- Array.copy assignment)
+               [@soctam.allow "ALLOC-HOT"] (* rare improvement path *)));
+         if rank < hi - 1 then ignore (Odometer.advance odometer)
+       done)
+      [@soctam.hot]);
   flush_counters stats ~enumerated:!enumerated ~pruned:!tau_terminated
     ~evaluated:!completed ~ca;
   {
     ch_enumerated = !enumerated;
     ch_completed = !completed;
     ch_tau_terminated = !tau_terminated;
-    ch_best_time = !best_time_b;
+    ch_best_time = (if !best_time_b = max_int then None else Some !best_time_b);
     ch_best = cb;
     ch_tried = (match ca with None -> 0 | Some c -> c.Core_assign.tried);
     ch_early =

@@ -141,6 +141,12 @@ let event t ?value name =
             a.event_count <- a.event_count + 1
           end)
 
+(* The match on [t] comes first so a [Null] collector never boxes the
+   value: the caller passes a plain [int], unlike [event ~value] where
+   the [Some] is built at the call site before [event] can look at [t]. *)
+let event_v t value name =
+  match t with Null -> () | Active _ -> event t ~value name
+
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

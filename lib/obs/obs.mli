@@ -80,6 +80,12 @@ val event : t -> ?value:int -> string -> unit
     events are counted as dropped rather than retained, so a runaway
     event source cannot exhaust memory. *)
 
+val event_v : t -> int -> string -> unit
+(** [event_v t v name] is [event t ~value:v name], but the value is a
+    required plain [int]: a disabled ({!null}) collector costs one
+    branch and zero allocation at the call site, which is the form hot
+    loops use to publish e.g. tau improvements. *)
+
 val event_capacity : int
 
 (** {1 Snapshots} *)

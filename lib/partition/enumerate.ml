@@ -89,34 +89,43 @@ end
 let count_with_min ~total ~parts ~min_part =
   Count.exact ~total:(total - (parts * (min_part - 1))) ~parts
 
+(* Walk the enumeration tree of [fold]: position [j] tries each
+   candidate w >= w_(j-1) in increasing order, and each candidate covers
+   a contiguous block of [count_with_min] ranks; descend into the block
+   containing [rank]. O(parts * total) counting queries. Module-level
+   (not closures over [widths]) so [unrank_into] is allocation-free. *)
+let rec unrank_fill widths parts j min_part remaining rank =
+  if j = parts - 1 then widths.(j) <- remaining
+  else unrank_choose widths parts j remaining min_part rank
+[@@soctam.hot]
+
+and unrank_choose widths parts j remaining w rank =
+  let block =
+    count_with_min ~total:(remaining - w) ~parts:(parts - j - 1) ~min_part:w
+  in
+  if rank < block then begin
+    widths.(j) <- w;
+    unrank_fill widths parts (j + 1) w (remaining - w) rank
+  end
+  else unrank_choose widths parts j remaining (w + 1) (rank - block)
+[@@soctam.hot]
+
+let unrank_into ~total ~parts ~rank widths =
+  if Array.length widths < parts then
+    invalid_arg "Enumerate.unrank_into: widths shorter than parts";
+  if parts < 1 || total < parts || rank < 0 then false
+  else if rank >= Count.exact ~total ~parts then false
+  else begin
+    unrank_fill widths parts 0 1 total rank;
+    true
+  end
+[@@soctam.hot]
+
 let unrank ~total ~parts ~rank =
   if parts < 1 || total < parts || rank < 0 then None
-  else if rank >= Count.exact ~total ~parts then None
   else begin
     let widths = Array.make parts 0 in
-    (* Walk the enumeration tree of [fold]: position [j] tries each
-       candidate w >= w_(j-1) in increasing order, and each candidate
-       covers a contiguous block of [count_with_min] ranks; descend into
-       the block containing [rank]. O(parts * total) counting queries. *)
-    let rec fill j min_part remaining rank =
-      if j = parts - 1 then widths.(j) <- remaining
-      else begin
-        let rec choose w rank =
-          let block =
-            count_with_min ~total:(remaining - w) ~parts:(parts - j - 1)
-              ~min_part:w
-          in
-          if rank < block then begin
-            widths.(j) <- w;
-            fill (j + 1) w (remaining - w) rank
-          end
-          else choose (w + 1) (rank - block)
-        in
-        choose min_part rank
-      end
-    in
-    fill 0 1 total rank;
-    Some widths
+    if unrank_into ~total ~parts ~rank widths then Some widths else None
   end
 
 module Odometer = struct
@@ -137,33 +146,35 @@ module Odometer = struct
 
   let current t = t.widths
 
+  (* Sum of widths.(0 .. j-1): the prefix already fixed below position
+     [j]. Accumulator recursion rather than a [ref] so the hot
+     [advance] path never allocates. *)
+  let rec prefix_sum widths j i acc =
+    if i >= j then acc else prefix_sum widths j (i + 1) (acc + widths.(i))
+  [@@soctam.hot]
+
   (* Paper Figure 3, procedure Increment: find the rightmost loop variable
      w_j (j < parts) that can still grow under the bound
      floor((total - prefix) / (parts - j)), grow it, reset every later
      loop variable to the new w_j, and give the remainder to w_B. *)
-  let advance t =
-    if t.parts = 1 then false
+  let rec try_position t j =
+    if j < 0 then false
     else begin
-      let rec try_position j =
-        if j < 0 then false
-        else begin
-          let prefix = ref 0 in
-          for i = 0 to j - 1 do
-            prefix := !prefix + t.widths.(i)
-          done;
-          let bound = (t.total - !prefix) / (t.parts - j) in
-          if t.widths.(j) < bound then begin
-            let w = t.widths.(j) + 1 in
-            for i = j to t.parts - 2 do
-              t.widths.(i) <- w
-            done;
-            t.widths.(t.parts - 1) <-
-              t.total - !prefix - (w * (t.parts - 1 - j));
-            true
-          end
-          else try_position (j - 1)
-        end
-      in
-      try_position (t.parts - 2)
+      let prefix = prefix_sum t.widths j 0 0 in
+      let bound = (t.total - prefix) / (t.parts - j) in
+      if t.widths.(j) < bound then begin
+        let w = t.widths.(j) + 1 in
+        for i = j to t.parts - 2 do
+          t.widths.(i) <- w
+        done;
+        t.widths.(t.parts - 1) <- t.total - prefix - (w * (t.parts - 1 - j));
+        true
+      end
+      else try_position t (j - 1)
     end
+  [@@soctam.hot]
+
+  let advance t =
+    if t.parts = 1 then false else try_position t (t.parts - 2)
+  [@@soctam.hot]
 end

@@ -61,6 +61,16 @@ val unrank : total:int -> parts:int -> rank:int -> int array option
     and start a domain at each chunk boundary. [None] when no such
     partition exists ([rank] out of range or the instance is empty). *)
 
+val unrank_into : total:int -> parts:int -> rank:int -> int array -> bool
+(** Allocation-free {!unrank}: write the partition into the first
+    [parts] slots of the caller-provided array and return [true], or
+    return [false] (array untouched) when no such partition exists.
+    This is the form the chunked evaluation layer can call per chunk
+    boundary without garbage; {!unrank} is the allocating convenience
+    wrapper over it.
+
+    @raise Invalid_argument if the array is shorter than [parts]. *)
+
 module Odometer : sig
   type t
 

@@ -1,0 +1,1 @@
+let f a b = compare a b

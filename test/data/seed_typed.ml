@@ -1,0 +1,51 @@
+(* Seeded violations for the Typedtree rule families, one positive and
+   one negative per rule. Compiled with ocamlc -bin-annot by the test
+   harness so `soctam analyze` sees a .cmt for it. *)
+
+let lock = Mutex.create ()
+
+(* LOCK-RAISE positive: Hashtbl.find may raise with [lock] held. *)
+let locked_find tbl =
+  Mutex.lock lock;
+  let v = Hashtbl.find tbl 0 in
+  Mutex.unlock lock;
+  v
+
+(* LOCK-RAISE negative: the raise is fenced by Fun.protect. *)
+let locked_safe tbl =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () -> Hashtbl.find tbl 0)
+
+(* DOM-ESCAPE positive: [hits] is created outside the worker closure
+   and mutated inside it, unguarded. *)
+let escape () =
+  let hits = Hashtbl.create 8 in
+  let d = Domain.spawn (fun () -> Hashtbl.replace hits 0 1) in
+  Domain.join d;
+  Hashtbl.length hits
+
+(* DOM-ESCAPE negative: state created inside the worker is private. *)
+let worker_local () =
+  let d =
+    Domain.spawn (fun () ->
+        let acc = ref 0 in
+        incr acc;
+        !acc)
+  in
+  Domain.join d
+
+(* ALLOC-HOT positive: a ref cell allocated in a hot function. *)
+let hot_sum n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + i
+  done;
+  !acc
+[@@soctam.hot]
+
+(* ALLOC-HOT negative: accumulator recursion allocates nothing. *)
+let rec hot_good widths n i acc =
+  if i >= n then acc else hot_good widths n (i + 1) (acc + widths.(i))
+[@@soctam.hot]

@@ -1,13 +1,17 @@
 (* Tests for Soctam_analysis, the compiler-libs source analyzer: one
-   positive and one negative fixture per rule family, the suppression
-   attribute in each of its three scopes, baseline parsing and
-   round-tripping, and — the tier-1 gate — the analyzer run over this
+   positive and one negative fixture per rule family (the Typedtree
+   families compile their fixtures for real with ocamlc -bin-annot),
+   the suppression attribute in each of its three scopes, baseline
+   parsing, round-tripping and pruning, the strict-JSON and call-graph
+   outputs, and — the tier-1 gate — the analyzer run over this
    repository's own sources coming back clean. *)
 
 module Rule = Soctam_analysis.Rule
 module Source = Soctam_analysis.Source
 module Baseline = Soctam_analysis.Baseline
 module Analyze = Soctam_analysis.Analyze
+module Typed = Soctam_analysis.Typed
+module Json = Soctam_util.Json
 module Report = Soctam_check.Report
 
 let test case f = Alcotest.test_case case `Quick f
@@ -249,14 +253,213 @@ let syntax_error_is_reported () =
   Alcotest.(check bool) "parse failure is a problem" true
     (List.length r.Analyze.problems > 0)
 
+(* -- Typedtree rules ------------------------------------------------------ *)
+
+(* The typed pass reads .cmt files, so each fixture is compiled for
+   real: write the sources into a scratch directory, run
+   [ocamlc -bin-annot -c] there, and hand the directory to [Typed.run].
+   OCaml 5 ships Domain and Mutex in the stdlib, so the fixtures need
+   no extra libraries. *)
+let with_scratch_dir f =
+  let dir = Filename.temp_file "soctam_typed" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> Sys.remove (Filename.concat dir file))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let write_file dir path contents =
+  let oc = open_out (Filename.concat dir path) in
+  output_string oc contents;
+  close_out oc
+
+let typed_run sources =
+  with_scratch_dir (fun dir ->
+      List.iter (fun (name, contents) -> write_file dir name contents) sources;
+      let names = List.map fst sources in
+      let command =
+        Printf.sprintf "cd %s && ocamlc -bin-annot -c %s 2>&1"
+          (Filename.quote dir)
+          (String.concat " " (List.map Filename.quote names))
+      in
+      let ic = Unix.open_process_in command in
+      let out = In_channel.input_all ic in
+      (match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail ("fixture should compile: " ^ out));
+      Typed.run ~root:dir ~sources:names)
+
+let typed_rules (t : Typed.t) =
+  List.map (fun (f : Analyze.finding) -> Rule.name f.Analyze.rule) t.Typed.findings
+
+let dom_escape_typed_positive () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let escape () =\n\
+          \  let hits = Hashtbl.create 8 in\n\
+          \  let d = Domain.spawn (fun () -> Hashtbl.replace hits 0 1) in\n\
+          \  Domain.join d;\n\
+          \  Hashtbl.length hits\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "worker mutation of captured table" [ "DOM-ESCAPE" ] (typed_rules t);
+  let f = List.hd t.Typed.findings in
+  Alcotest.(check string) "reported against the source" "fixture.ml"
+    f.Analyze.path;
+  Alcotest.(check int) "at the mutation line" 3 f.Analyze.line
+
+let dom_escape_typed_negative () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let lock = Mutex.create ()\n\n\
+           let guarded () =\n\
+          \  let hits = Hashtbl.create 8 in\n\
+          \  let d =\n\
+          \    Domain.spawn (fun () ->\n\
+          \        Mutex.lock lock;\n\
+          \        Hashtbl.replace hits 0 1;\n\
+          \        Mutex.unlock lock)\n\
+          \  in\n\
+          \  Domain.join d;\n\
+          \  Hashtbl.length hits\n\n\
+           let worker_local () =\n\
+          \  let d =\n\
+          \    Domain.spawn (fun () ->\n\
+          \        let acc = ref 0 in\n\
+          \        incr acc;\n\
+          \        !acc)\n\
+          \  in\n\
+          \  Domain.join d\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "guarded and worker-local state are fine" [] (typed_rules t)
+
+let dom_escape_typed_allow () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let allowed () =\n\
+          \  let hits = Hashtbl.create 8 in\n\
+          \  let d =\n\
+          \    Domain.spawn (fun () ->\n\
+          \        (Hashtbl.replace hits 0 1 [@soctam.allow \"DOM-ESCAPE\"]))\n\
+          \  in\n\
+          \  Domain.join d;\n\
+          \  Hashtbl.length hits\n" ) ]
+  in
+  Alcotest.(check (list string)) "allow silences the finding" []
+    (typed_rules t);
+  Alcotest.(check int) "and counts it" 1 t.Typed.suppressed
+
+let lock_raise_typed_positive () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let lock = Mutex.create ()\n\n\
+           let bad tbl =\n\
+          \  Mutex.lock lock;\n\
+          \  let v = Hashtbl.find tbl 0 in\n\
+          \  Mutex.unlock lock;\n\
+          \  v\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "raising call under a held lock" [ "LOCK-RAISE" ] (typed_rules t)
+
+let lock_raise_typed_order () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let a = Mutex.create ()\n\
+           let b = Mutex.create ()\n\n\
+           let first () =\n\
+          \  Mutex.lock a;\n\
+          \  Mutex.lock b;\n\
+          \  Mutex.unlock b;\n\
+          \  Mutex.unlock a\n\n\
+           let second () =\n\
+          \  Mutex.lock b;\n\
+          \  Mutex.lock a;\n\
+          \  Mutex.unlock a;\n\
+          \  Mutex.unlock b\n" ) ]
+  in
+  (* Both acquisition sites of the reversed pair are reported. *)
+  Alcotest.(check (list string))
+    "inconsistent acquisition order"
+    [ "LOCK-RAISE"; "LOCK-RAISE" ]
+    (typed_rules t)
+
+let lock_raise_typed_negative () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let lock = Mutex.create ()\n\n\
+           let good tbl =\n\
+          \  Mutex.lock lock;\n\
+          \  Fun.protect\n\
+          \    ~finally:(fun () -> Mutex.unlock lock)\n\
+          \    (fun () -> Hashtbl.find tbl 0)\n\n\
+           let also_good tbl =\n\
+          \  Mutex.lock lock;\n\
+          \  let v = Hashtbl.find_opt tbl 0 in\n\
+          \  Mutex.unlock lock;\n\
+          \  v\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "Fun.protect and non-raising lookups are fine" [] (typed_rules t)
+
+let alloc_hot_typed_positive () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let hot_sum n =\n\
+          \  let acc = ref 0 in\n\
+          \  for i = 0 to n - 1 do\n\
+          \    acc := !acc + i\n\
+          \  done;\n\
+          \  !acc\n\
+           [@@soctam.hot]\n\n\
+           let hot_opt n = if n > 0 then Some n else None [@@soctam.hot]\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "ref and option allocations in hot functions"
+    [ "ALLOC-HOT"; "ALLOC-HOT" ]
+    (typed_rules t)
+
+let alloc_hot_typed_negative () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let rec sum widths n i acc =\n\
+          \  if i >= n then acc else sum widths n (i + 1) (acc + widths.(i))\n\
+           [@@soctam.hot]\n\n\
+           let total widths = sum widths (Array.length widths) 0 0\n\
+           [@@soctam.hot]\n\n\
+           let cold n = Some n\n\n\
+           let allowed n = (ref n [@soctam.allow \"ALLOC-HOT\"]) [@@soctam.hot]\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "alloc-free hot code and cold allocations are fine" [] (typed_rules t);
+  Alcotest.(check int) "scoped allow counted" 1 t.Typed.suppressed
+
 (* -- the repository itself ------------------------------------------------ *)
 
 (* Tests run from _build/default/test; ".." is the build-dir mirror of
    the repo root, populated by the source_tree deps in test/dune. *)
 let repo_root = ".."
 
+let repo_baseline () =
+  match Baseline.load (Filename.concat repo_root "analysis.baseline") with
+  | Ok b -> b
+  | Error _ -> Alcotest.fail "committed baseline should parse"
+
 let repo_is_clean () =
-  let result = Analyze.tree ~root:repo_root () in
+  let result = Analyze.tree ~baseline:(repo_baseline ()) ~root:repo_root () in
   Alcotest.(check bool)
     ("repo analyzes clean: " ^ Analyze.summary result)
     true
@@ -271,7 +474,31 @@ let repo_is_clean () =
   Alcotest.(check bool)
     (Printf.sprintf "full surface scanned (%d files)" result.Analyze.files)
     true
-    (result.Analyze.files > 100)
+    (result.Analyze.files > 100);
+  Alcotest.(check bool)
+    (Printf.sprintf "typed pass covers the tree (%d files)"
+       result.Analyze.typed_files)
+    true
+    (result.Analyze.typed_files > 50);
+  Alcotest.(check (list string)) "no stale baseline entries" []
+    (List.map
+       (fun (e : Baseline.entry) -> e.Baseline.path)
+       result.Analyze.stale)
+
+let repo_call_graph () =
+  let result = Analyze.tree ~baseline:(repo_baseline ()) ~root:repo_root () in
+  match result.Analyze.graph with
+  | None -> Alcotest.fail "typed mode returns a call graph"
+  | Some g ->
+      let reachable = Typed.reachable g in
+      Alcotest.(check bool) "workers reach the chunk evaluator" true
+        (List.mem "Partition_evaluate.evaluate_chunk" reachable);
+      Alcotest.(check bool) "workers reach the odometer" true
+        (List.exists
+           (fun n -> n = "Odometer.advance" || n = "Enumerate.Odometer.advance")
+           reachable);
+      Alcotest.(check bool) "graph has the workers pseudo-node" true
+        (List.mem_assoc "<workers>" (Typed.nodes g))
 
 let repo_reachability () =
   let libs = Source.domain_libraries ~root:repo_root in
@@ -287,40 +514,159 @@ let cli_analyze () =
   Alcotest.(check bool) "prints the OK line" true
     (Test_cli.contains out "OK: source analysis")
 
-let cli_analyze_finds_seeded_violation () =
-  (* A scratch tree with one DET-POLY violation: the CLI must exit
-     non-zero and name the rule. *)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun entry -> remove_tree (Filename.concat path entry))
+      (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* A scratch repository seeded with one violation per rule family the
+   analyzer can hit from a plain tree: data/seed_bad.ml carries the
+   syntactic DET-POLY (plus IFACE, no .mli), and data/seed_typed.ml —
+   compiled with ocamlc -bin-annot so the typed pass sees a .cmt —
+   carries a positive and a negative fixture for each of DOM-ESCAPE,
+   LOCK-RAISE and ALLOC-HOT. *)
+let with_seeded_tree f =
   let root = Filename.temp_file "soctam_analysis" "" in
   Sys.remove root;
   Unix.mkdir root 0o755;
-  let write path contents =
-    let oc = open_out (Filename.concat root path) in
-    output_string oc contents;
-    close_out oc
-  in
-  write "dune-project" "(lang dune 3.0)\n";
-  Unix.mkdir (Filename.concat root "lib") 0o755;
-  Unix.mkdir (Filename.concat root "lib/core") 0o755;
-  write "lib/core/bad.ml" "let f a b = compare a b\n";
-  let code, out = Test_cli.run [ "analyze"; "--root"; root ] in
-  Alcotest.(check int) ("exit code: " ^ out) 1 code;
-  Alcotest.(check bool) "names the DET-POLY finding" true
-    (Test_cli.contains out "polymorphic-comparison");
-  Alcotest.(check bool) "names the IFACE finding (no .mli)" true
-    (Test_cli.contains out "missing-interface");
-  let json_code, json_out =
-    Test_cli.run_stdout [ "analyze"; "--root"; root; "--json" ]
-  in
-  Alcotest.(check int) "json exit code" 1 json_code;
-  Alcotest.(check bool) "json names the file" true
-    (Test_cli.contains json_out "lib/core/bad.ml");
-  Array.iter
-    (fun f -> Sys.remove (Filename.concat root ("lib/core/" ^ f)))
-    (Sys.readdir (Filename.concat root "lib/core"));
-  Unix.rmdir (Filename.concat root "lib/core");
-  Unix.rmdir (Filename.concat root "lib");
-  Sys.remove (Filename.concat root "dune-project");
-  Unix.rmdir root
+  Fun.protect
+    ~finally:(fun () -> remove_tree root)
+    (fun () ->
+      write_file root "dune-project" "(lang dune 3.0)\n";
+      Unix.mkdir (Filename.concat root "lib") 0o755;
+      Unix.mkdir (Filename.concat root "lib/core") 0o755;
+      write_file root "lib/core/bad.ml" (read_file "data/seed_bad.ml");
+      write_file root "lib/core/typed_fixture.ml"
+        (read_file "data/seed_typed.ml");
+      let compile =
+        Printf.sprintf "cd %s && ocamlc -bin-annot -c typed_fixture.ml 2>&1"
+          (Filename.quote (Filename.concat root "lib/core"))
+      in
+      Alcotest.(check int) "seeded fixture compiles" 0 (Sys.command compile);
+      f root)
+
+let cli_analyze_finds_seeded_violation () =
+  (* The CLI must exit non-zero and name every seeded rule, syntactic
+     and typed. *)
+  with_seeded_tree (fun root ->
+      let code, out = Test_cli.run [ "analyze"; "--root"; root ] in
+      Alcotest.(check int) ("exit code: " ^ out) 1 code;
+      List.iter
+        (fun kind ->
+          Alcotest.(check bool)
+            ("names the " ^ kind ^ " finding")
+            true
+            (Test_cli.contains out kind))
+        [
+          "polymorphic-comparison";
+          "missing-interface";
+          "domain-escape";
+          "lock-discipline";
+          "hot-allocation";
+        ])
+
+let cli_analyze_json_golden () =
+  (* Strict-JSON output over the seeded tree, byte-for-byte: stable
+     finding order (path, then line, then rule) and stable member
+     order within each violation. *)
+  with_seeded_tree (fun root ->
+      let code, out =
+        Test_cli.run_stdout [ "analyze"; "--root"; root; "--json" ]
+      in
+      Alcotest.(check int) "json exit code" 1 code;
+      Alcotest.(check string)
+        "matches data/analyze_seeded.json"
+        (read_file "data/analyze_seeded.json")
+        out;
+      match Json.parse out with
+      | Error msg -> Alcotest.fail ("golden output is strict JSON: " ^ msg)
+      | Ok json ->
+          Alcotest.(check (option int))
+            "six findings" (Some 6)
+            (Option.bind (Json.member "errors" json) Json.to_int))
+
+let cli_analyze_call_graph () =
+  with_seeded_tree (fun root ->
+      let graph_file = Filename.temp_file "soctam_graph" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove graph_file)
+        (fun () ->
+          let _code, _out =
+            Test_cli.run
+              [ "analyze"; "--root"; root; "--call-graph"; graph_file ]
+          in
+          match Json.parse (read_file graph_file) with
+          | Error msg -> Alcotest.fail ("call graph is strict JSON: " ^ msg)
+          | Ok json ->
+              let nodes =
+                match Json.member "nodes" json with
+                | Some (Json.Obj fields) -> List.map fst fields
+                | _ -> Alcotest.fail "nodes member is an object"
+              in
+              Alcotest.(check bool) "has the workers pseudo-node" true
+                (List.mem "<workers>" nodes);
+              Alcotest.(check bool) "has the fixture's functions" true
+                (List.mem "Typed_fixture.escape" nodes);
+              Alcotest.(check bool) "domain_reachable is a list" true
+                (match Json.member "domain_reachable" json with
+                | Some (Json.List _) -> true
+                | _ -> false)))
+
+let cli_prune_baseline_round_trip () =
+  (* Baseline every seeded finding plus one stale entry; the analyzer
+     must come back clean, --prune-baseline must rewrite the file with
+     only the live entries, and the rewritten file must re-parse. *)
+  with_seeded_tree (fun root ->
+      let live =
+        [
+          "DET-POLY\tlib/core/bad.ml\tseeded fixture";
+          "IFACE\tlib/core/bad.ml\tseeded fixture";
+          "ALLOC-HOT\tlib/core/typed_fixture.ml\tseeded fixture";
+          "DOM-ESCAPE\tlib/core/typed_fixture.ml\tseeded fixture";
+          "IFACE\tlib/core/typed_fixture.ml\tseeded fixture";
+          "LOCK-RAISE\tlib/core/typed_fixture.ml\tseeded fixture";
+        ]
+      in
+      let baseline_path = Filename.concat root "analysis.baseline" in
+      write_file root "analysis.baseline"
+        (String.concat "\n"
+           (live @ [ "DET-ENTROPY\tlib/core/gone.ml\tstale entry to prune" ])
+        ^ "\n");
+      let code, out = Test_cli.run [ "analyze"; "--root"; root ] in
+      Alcotest.(check int) ("baselined tree is clean: " ^ out) 0 code;
+      Alcotest.(check bool) "stale entry reported" true
+        (Test_cli.contains out "gone.ml");
+      let prune_code, prune_out =
+        Test_cli.run [ "analyze"; "--root"; root; "--prune-baseline" ]
+      in
+      Alcotest.(check int) ("prune exit code: " ^ prune_out) 0 prune_code;
+      Alcotest.(check bool) "reports one pruned entry" true
+        (Test_cli.contains prune_out "pruned 1 stale entry");
+      (match Baseline.load baseline_path with
+      | Error _ -> Alcotest.fail "pruned baseline should re-parse"
+      | Ok b ->
+          Alcotest.(check int) "live entries survive" (List.length live)
+            (List.length (Baseline.entries b));
+          Alcotest.(check bool) "stale entry is gone" false
+            (Baseline.covers b ~rule:Rule.Det_entropy
+               ~path:"lib/core/gone.ml"));
+      (* Pruning an already-pruned baseline is the identity. *)
+      let again_code, again_out =
+        Test_cli.run [ "analyze"; "--root"; root; "--prune-baseline" ]
+      in
+      Alcotest.(check int) "second prune exit code" 0 again_code;
+      Alcotest.(check bool) "second prune is a no-op" true
+        (Test_cli.contains again_out "pruned 0 stale entries"))
 
 let suite =
   [
@@ -340,9 +686,27 @@ let suite =
     test "baseline rejects malformed entries" baseline_rejects_malformed;
     test "baseline covers findings" baseline_acknowledges_findings;
     test "syntax errors become diagnostics" syntax_error_is_reported;
+    test "DOM-ESCAPE flags worker-captured mutation" dom_escape_typed_positive;
+    test "DOM-ESCAPE honors guards and worker-local state"
+      dom_escape_typed_negative;
+    test "DOM-ESCAPE honors scoped allow" dom_escape_typed_allow;
+    test "LOCK-RAISE flags raising calls under a lock"
+      lock_raise_typed_positive;
+    test "LOCK-RAISE flags inconsistent lock order" lock_raise_typed_order;
+    test "LOCK-RAISE honors Fun.protect" lock_raise_typed_negative;
+    test "ALLOC-HOT flags allocation in hot functions"
+      alloc_hot_typed_positive;
+    test "ALLOC-HOT ignores alloc-free and cold code"
+      alloc_hot_typed_negative;
     test "repository analyzes clean" repo_is_clean;
+    test "repository call graph reaches the solver core" repo_call_graph;
     test "pool reachability from dune files" repo_reachability;
     test "cli: analyze on the repository" cli_analyze;
     test "cli: analyze fails on a seeded violation"
       cli_analyze_finds_seeded_violation;
+    test "cli: analyze --json matches the golden output"
+      cli_analyze_json_golden;
+    test "cli: analyze --call-graph emits strict JSON" cli_analyze_call_graph;
+    test "cli: analyze --prune-baseline round-trips"
+      cli_prune_baseline_round_trip;
   ]
