@@ -1,14 +1,14 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test test-par test-resume bench ci lint static-analysis fmt fmt-check coverage clean
+.PHONY: all build test test-par test-par-smoke test-resume bench ci lint static-analysis fmt fmt-check coverage clean
 
 all: build
 
 # The full tier-1 gate, in the order CI runs it: format check (a no-op
 # without ocamlformat), strict-warning build, test suite (which itself
-# depends on the repo-analyzes-clean gate via the @runtest alias), and
-# the standalone analyzer pass.
-ci: fmt-check build test static-analysis
+# depends on the repo-analyzes-clean gate via the @runtest alias), the
+# parallel-scheduler smoke pass, and the standalone analyzer pass.
+ci: fmt-check build test test-par-smoke static-analysis
 
 build:
 	dune build @all
@@ -16,11 +16,18 @@ build:
 test:
 	dune runtest
 
-# Parallel determinism harness (test/test_parallel.ml): 100-case seeded
-# qcheck properties asserting jobs=1 and jobs=4 return byte-identical
-# architectures. Slow (spawns domains thousands of times), hence gated.
+# Parallel determinism harness (test/test_parallel.ml): seeded qcheck
+# properties asserting jobs=1 and jobs=N return byte-identical
+# architectures, the work-stealing scheduler properties, and the
+# jobs=4-vs-jobs=1 perf regression gate. Slow (spawns domains
+# thousands of times), hence gated.
 test-par:
 	SOCTAM_SLOW_TESTS=1 dune build @runtest-slow
+
+# The same harness at a twentieth of the iteration count (~1s): every
+# scheduler path on every CI pass; the full sweep stays in test-par.
+test-par-smoke:
+	SOCTAM_SLOW_TESTS=1 SOCTAM_PAR_SMOKE=1 dune build @runtest-slow
 
 # Run-lifecycle suite only (test/test_checkpoint.ml): checkpoint
 # round-trips, corruption/truncation fuzz, and the kill-and-resume

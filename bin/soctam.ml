@@ -83,6 +83,7 @@ type run_opts = {
   ro_checkpoint : string option;
   ro_every : int;
   ro_resume : string option;
+  ro_front_cache : int option;
 }
 
 let outcome_status ?checkpoint outcome =
@@ -128,6 +129,7 @@ let with_run_config opts soc f =
           prerr_endline
             ("soctam: resuming " ^ Soctam_core.Checkpoint.describe cp))
         resume;
+      Option.iter Soctam_wrapper.Front.set_capacity opts.ro_front_cache;
       with_stats opts.ro_stats (fun stats ->
           let open Soctam_core.Run_config in
           let cfg =
@@ -804,15 +806,25 @@ let resume_arg =
            resumed run returns the same architecture and counter totals as \
            an uninterrupted one.")
 
+let front_cache_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "front-cache" ] ~docv:"N"
+        ~doc:
+          "Bound the per-core wrapper Pareto-front memo cache at $(docv) \
+           entries (0 disables caching). The cache only affects wall time: \
+           results are byte-identical at every setting. Default 256.")
+
 (* One shared spec for the solver subcommands: every flag above, parsed
    into a [run_opts]. *)
 let run_opts_term =
-  let make ro_jobs ro_stats ro_checkpoint ro_every ro_resume =
-    { ro_jobs; ro_stats; ro_checkpoint; ro_every; ro_resume }
+  let make ro_jobs ro_stats ro_checkpoint ro_every ro_resume ro_front_cache =
+    { ro_jobs; ro_stats; ro_checkpoint; ro_every; ro_resume; ro_front_cache }
   in
   Term.(
     const make $ jobs_arg $ stats_arg $ checkpoint_arg $ checkpoint_every_arg
-    $ resume_arg)
+    $ resume_arg $ front_cache_arg)
 
 let certify_flag =
   Arg.(

@@ -227,10 +227,13 @@ let walk_file acc ~path ~modname (str : structure) =
         | comps -> Some (Raw comps))
   in
   let pool_entry = function
-    | Some (Node n) -> n = "Pool.run" || n = "Pool.map_ranges"
+    | Some (Node n) ->
+        n = "Pool.run" || n = "Pool.map_ranges" || n = "Pool.map_chunks"
     | Some (Raw comps) -> (
         match last2 comps with
-        | Some ("Pool", ("run" | "map_ranges")) | Some ("Domain", "spawn") ->
+        | Some ("Pool", ("run" | "map_ranges" | "map_chunks"))
+        | Some ("Team", "round")
+        | Some ("Domain", "spawn") ->
             true
         | _ -> false)
     | None -> false

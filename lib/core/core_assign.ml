@@ -115,6 +115,123 @@ let run_table ?stats ?best ~table ~widths () =
 let run_table_bounded ?stats ~best ~table ~widths () =
   run_bounded ?stats ~best ~times:(Time_table.matrix table ~widths) ~widths ()
 
+(* -- allocation-free direct-table variant ---------------------------------- *)
+
+type scratch = {
+  mutable sc_loads : int array;
+  mutable sc_assignment : int array;
+  mutable sc_unassigned : bool array;
+}
+
+let scratch () =
+  { sc_loads = [||]; sc_assignment = [||]; sc_unassigned = [||] }
+
+(* The same greedy loop as [run_bounded], reading testing times straight
+   out of the table rows ([rows.(i).(widths.(j) - 1)]) instead of a
+   per-partition [Time_table.matrix] copy, and reusing caller-owned
+   scratch arrays instead of allocating three per call. Kept as a
+   deliberate twin rather than an abstraction over [run_bounded]: an
+   indirect time lookup in this loop costs on the order of the whole
+   remaining loop body, and the equivalence is pinned by a qcheck
+   property (test_core.ml) instead of by sharing code. Any behavioral
+   edit must land in both. *)
+let run_table_direct ?stats ~scratch:s ~best ~table ~widths () =
+  let rows = Time_table.rows table in
+  let cores = Array.length rows in
+  if cores = 0 then invalid_arg "Core_assign.run: no cores";
+  let tams = Array.length widths in
+  if tams = 0 then invalid_arg "Core_assign.run: no TAMs";
+  let table_width = Time_table.max_width table in
+  for j = 0 to tams - 1 do
+    if widths.(j) < 1 || widths.(j) > table_width then
+      invalid_arg "Core_assign.run: width outside the table range"
+  done;
+  (* Scratch arrays are sized exactly (not merely grown): the
+     [Assigned] result aliases them, so their length is part of the
+     contract. Re-allocation only happens when the core or TAM count
+     changes — once per B value, not per partition. *)
+  if Array.length s.sc_loads <> tams then s.sc_loads <- Array.make tams 0
+  else Array.fill s.sc_loads 0 tams 0;
+  if Array.length s.sc_assignment <> cores then
+    s.sc_assignment <- Array.make cores (-1)
+  else Array.fill s.sc_assignment 0 cores (-1);
+  if Array.length s.sc_unassigned <> cores then
+    s.sc_unassigned <- Array.make cores true
+  else Array.fill s.sc_unassigned 0 cores true;
+  let loads = s.sc_loads in
+  let assignment = s.sc_assignment in
+  let unassigned = s.sc_unassigned in
+  (* Lines 10-12: TAM with minimum summed time; ties to the widest. *)
+  let select_tam () =
+    let best_j = ref 0 in
+    for j = 1 to tams - 1 do
+      if
+        loads.(j) < loads.(!best_j)
+        || (loads.(j) = loads.(!best_j) && widths.(j) > widths.(!best_j))
+      then best_j := j
+    done;
+    !best_j
+  in
+  (* Lines 13-16: unassigned core with maximum time on TAM [j]; if tied,
+     compare the tied cores on the widest TAM narrower than [j] and take
+     the one that would be costliest there. *)
+  let select_core j =
+    let wj = widths.(j) - 1 in
+    let best_time = ref (-1) in
+    for i = 0 to cores - 1 do
+      if unassigned.(i) && rows.(i).(wj) > !best_time then
+        best_time := rows.(i).(wj)
+    done;
+    let tied = ref [] in
+    for i = cores - 1 downto 0 do
+      if unassigned.(i) && rows.(i).(wj) = !best_time then tied := i :: !tied
+    done;
+    match !tied with
+    | [] -> assert false
+    | [ i ] -> i
+    | first :: _ as candidates ->
+        let narrower = ref (-1) in
+        for k = 0 to tams - 1 do
+          if
+            widths.(k) < widths.(j)
+            && (!narrower < 0 || widths.(k) > widths.(!narrower))
+          then narrower := k
+        done;
+        if !narrower < 0 then first
+        else begin
+          let wk = widths.(!narrower) - 1 in
+          List.fold_left
+            (fun acc i -> if rows.(i).(wk) > rows.(acc).(wk) then i else acc)
+            first candidates
+        end
+  in
+  let rec loop remaining =
+    if remaining = 0 then begin
+      record stats ~cores ~assigned:cores ~exceeded:false;
+      Assigned
+        {
+          assignment;
+          tam_times = loads;
+          time = Soctam_util.Intutil.max_element loads;
+        }
+    end
+    else begin
+      let j = select_tam () in
+      let i = select_core j in
+      assignment.(i) <- j;
+      unassigned.(i) <- false;
+      loads.(j) <- loads.(j) + rows.(i).(widths.(j) - 1);
+      (* Lines 18-20: abandon the partition once it cannot beat [best]. *)
+      if Soctam_util.Intutil.max_element loads >= best then begin
+        let assigned = cores - remaining + 1 in
+        record stats ~cores ~assigned ~exceeded:true;
+        Exceeded assigned
+      end
+      else loop (remaining - 1)
+    end
+  in
+  loop cores
+
 (* One pass of the same greedy loop with uniform random tie-breaking. *)
 let run_random_once ~rng ~times ~widths =
   let cores = Array.length times in

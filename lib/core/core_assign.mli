@@ -95,6 +95,36 @@ val run_table_bounded :
   outcome
 (** {!run_bounded} over a precomputed table. *)
 
+type scratch
+(** Caller-owned working storage for {!run_table_direct}: the three
+    arrays the greedy loop fills per evaluation ([loads], [assignment],
+    [unassigned]), re-allocated only when the core or TAM count
+    changes. One scratch per worker; never share across domains. *)
+
+val scratch : unit -> scratch
+(** An empty scratch; arrays are sized on first use. *)
+
+val run_table_direct :
+  ?stats:stats ->
+  scratch:scratch ->
+  best:int ->
+  table:Time_table.t ->
+  widths:int array ->
+  unit ->
+  outcome
+(** {!run_table_bounded} without the per-partition garbage: testing
+    times are read straight from {!Time_table.rows} (no
+    [Time_table.matrix] copy) and the working arrays come from
+    [scratch]. Outcome-identical to {!run_table_bounded} on every
+    input (pinned by a qcheck property), including tie-breaking.
+
+    Aliasing caveat: the arrays inside an [Assigned] result are the
+    scratch arrays — valid only until the next call with the same
+    scratch. Callers that keep a result copy what they need (the hot
+    loops already copy only on strict improvement).
+    @raise Invalid_argument on empty inputs or widths outside
+    [1 .. Time_table.max_width table]. *)
+
 val run_randomized :
   rng:Soctam_util.Prng.t ->
   restarts:int ->

@@ -1,5 +1,6 @@
 module Obs = Soctam_obs.Obs
 module Odometer = Soctam_partition.Enumerate.Odometer
+module Pool = Soctam_util.Pool
 module Shared_min = Soctam_util.Pool.Shared_min
 
 type b_stats = {
@@ -69,63 +70,6 @@ type slice = {
 let merge_best_time a b =
   match (a, b) with None, t | t, None -> t | Some x, Some y -> Some (min x y)
 
-(* One slice evaluated sequentially. [tau] is a plain ref and the early
-   exit threshold is [!tau] itself (ties are pruned): within one domain
-   a tie's rank is always larger than the incumbent's, so nothing is
-   lost — this is the paper's sequential Figure 3 behavior. *)
-let evaluate_slice_seq ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo
-    ~hi best =
-  let enumerated = ref 0 in
-  let completed = ref 0 in
-  let tau_terminated = ref 0 in
-  (* [max_int] = "no completion yet": an int sentinel rather than an
-     [int option] so the per-partition loop below never allocates. *)
-  let best_time_b = ref max_int in
-  let ca = ca_stats stats in
-  let publications = ref 0 in
-  Obs.span stats "partition/evaluate_b" (fun () ->
-      match Odometer.create_at ~total:total_width ~parts:tams ~rank:lo with
-      | None -> ()
-      | Some odometer ->
-          (for rank = lo to hi - 1 do
-             let widths = Odometer.current odometer in
-             incr enumerated;
-             (match
-                Core_assign.run_table_bounded ?stats:ca ~best:!tau ~table ~widths ()
-              with
-             | Core_assign.Exceeded _ -> incr tau_terminated
-             | Core_assign.Assigned { assignment; time; _ } ->
-                 incr completed;
-                 if time < !tau then begin
-                   tau := time;
-                   incr publications;
-                   Obs.event_v stats time "tau"
-                 end;
-                 if time < !best_time_b then best_time_b := time;
-                 if time < best.b_time then
-                   ((best.b_time <- time;
-                     best.b_widths <- Array.copy widths;
-                     best.b_assignment <- Array.copy assignment)
-                   [@soctam.allow "ALLOC-HOT"] (* rare improvement path *)));
-             if rank < hi - 1 then ignore (Odometer.advance odometer)
-           done)
-          [@soctam.hot]);
-  flush_counters stats ~enumerated:!enumerated ~pruned:!tau_terminated
-    ~evaluated:!completed ~ca;
-  Obs.add stats ~n:!publications "pool/tau_publications";
-  {
-    sl_enumerated = !enumerated;
-    sl_completed = !completed;
-    sl_pruned = !tau_terminated;
-    sl_best_time = (if !best_time_b = max_int then None else Some !best_time_b);
-    sl_tried = (match ca with None -> 0 | Some c -> c.Core_assign.tried);
-    sl_early =
-      (match ca with None -> 0 | Some c -> c.Core_assign.early_terminations);
-    sl_levels =
-      (match ca with None -> 0 | Some c -> c.Core_assign.levels_cut);
-    sl_publications = !publications;
-  }
-
 (* The best candidate found inside one contiguous rank chunk. [c_rank] is
    the global lexicographic rank of [c_widths]: the reduction over chunks
    minimizes (time, rank), which reproduces the sequential "first strict
@@ -149,47 +93,86 @@ type chunk_result = {
   ch_levels : int;
 }
 
-(* One domain's share of a TAM count: evaluate the partitions of global
-   rank [lo .. hi-1]. The shared bound [tau] is read before every
-   evaluation and improved after every completion, so pruning reflects
-   the best result of every domain, not just this one. The early-exit
-   threshold is [tau + 1], not [tau]: a partition that merely ties the
-   bound must still complete, because the deterministic reduction needs
-   its (time, rank) pair — the sequential path prunes ties, but there
-   the tie's rank is already known to be larger than the incumbent's,
-   which is exactly the information a racing domain lacks. *)
-let evaluate_chunk ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo ~hi
-    () =
+(* Per-worker evaluation state: one slot per team worker, created per
+   slice, reused across every chunk that worker runs within the slice.
+   This is what the work-stealing scheduler's per-slot exclusivity
+   guarantee buys: the odometer, the assignment scratch and the tau
+   mirror are allocated once per slice instead of once per chunk (or,
+   before this design, once per partition for the scratch). *)
+type wstate = {
+  mutable w_odo : Odometer.t option;
+  mutable w_pos : int;  (* global rank [w_odo] points at; -1 = unknown *)
+  w_scratch : Core_assign.scratch;
+  w_mirror : Shared_min.mirror;
+}
+
+(* Point the worker's odometer at [lo]: free when the chunk continues
+   where the previous one ended (the owner's common case), an
+   allocation-free [reposition] after a steal, a fresh [create_at] only
+   on the worker's first chunk of the slice. *)
+let aim_odometer st ~total_width ~tams ~lo =
+  match st.w_odo with
+  | Some o when st.w_pos = lo -> Some o
+  | Some o ->
+      if Odometer.reposition o ~rank:lo then begin
+        st.w_pos <- lo;
+        Some o
+      end
+      else None
+  | None -> (
+      match Odometer.create_at ~total:total_width ~parts:tams ~rank:lo with
+      | Some o ->
+          st.w_odo <- Some o;
+          st.w_pos <- lo;
+          Some o
+      | None -> None)
+
+(* One worker's chunk of a TAM count: evaluate the partitions of global
+   rank [lo .. hi-1]. The early-exit threshold depends on the team
+   size. Alone ([prune_ties]), the threshold is the bound itself — a
+   tie's rank is always larger than the incumbent's, the paper's
+   sequential Figure 3 behavior. Racing, the threshold is [bound + 1]:
+   a partition that merely ties must still complete, because the
+   deterministic (time, rank) reduction needs its rank, which is
+   exactly the information a racing worker lacks about its peers. *)
+let evaluate_chunk ?(stats = Obs.null) ~state ~prune_ties ~table ~total_width
+    ~tams ~lo ~hi () =
   let enumerated = ref 0 in
   let completed = ref 0 in
   let tau_terminated = ref 0 in
-  (* [max_int] sentinel, as in [evaluate_slice_seq]: the hot loop never
-     allocates an option. *)
+  (* [max_int] = "no completion yet": an int sentinel rather than an
+     [int option] so the per-partition loop below never allocates. *)
   let best_time_b = ref max_int in
   let ca = ca_stats stats in
+  let mir = state.w_mirror in
   let cb =
     { c_time = max_int; c_rank = max_int; c_widths = [||]; c_assignment = [||] }
   in
-  (match Odometer.create_at ~total:total_width ~parts:tams ~rank:lo with
+  (match aim_odometer state ~total_width ~tams ~lo with
   | None -> ()
   | Some odometer ->
       (for rank = lo to hi - 1 do
          let widths = Odometer.current odometer in
          incr enumerated;
-         let bound = Shared_min.get tau in
-         let threshold = if bound = max_int then max_int else bound + 1 in
+         let bound = Shared_min.mirror_get mir in
+         let threshold =
+           if prune_ties then bound
+           else if bound = max_int then max_int
+           else bound + 1
+         in
          (match
-            Core_assign.run_table_bounded ?stats:ca ~best:threshold ~table ~widths ()
+            Core_assign.run_table_direct ?stats:ca ~scratch:state.w_scratch
+              ~best:threshold ~table ~widths ()
           with
          | Core_assign.Exceeded _ -> incr tau_terminated
          | Core_assign.Assigned { assignment; time; _ } ->
              incr completed;
-             (* The pre-read [bound] makes the improvement test racy, but
-                a trace event is an observation, not a reduction input:
-                at worst a tie between racing domains is reported as an
-                improvement by both. *)
+             (* The pre-read [bound] makes the improvement test racy
+                under contention, but a trace event is an observation,
+                not a reduction input: at worst a tie between racing
+                workers is reported as an improvement by both. *)
              if time < bound then Obs.event_v stats time "tau";
-             Shared_min.improve tau time;
+             Shared_min.mirror_improve mir time;
              if time < !best_time_b then best_time_b := time;
              (* Ranks increase within the chunk, so a strict comparison
                 keeps the lowest-rank partition among equal times. *)
@@ -199,9 +182,14 @@ let evaluate_chunk ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo ~hi
                  cb.c_widths <- Array.copy widths;
                  cb.c_assignment <- Array.copy assignment)
                [@soctam.allow "ALLOC-HOT"] (* rare improvement path *)));
-         if rank < hi - 1 then ignore (Odometer.advance odometer)
+         (* Advance through the last rank too, so the odometer already
+            points at [hi] when the next owner chunk begins there. The
+            advance can only be refused at the very end of the whole
+            enumeration, where no later chunk of this slice exists. *)
+         ignore (Odometer.advance odometer)
        done)
-      [@soctam.hot]);
+      [@soctam.hot];
+      state.w_pos <- hi);
   flush_counters stats ~enumerated:!enumerated ~pruned:!tau_terminated
     ~evaluated:!completed ~ca;
   {
@@ -216,30 +204,51 @@ let evaluate_chunk ?(stats = Obs.null) ~table ~total_width ~tams ~tau ~lo ~hi
     ch_levels = (match ca with None -> 0 | Some c -> c.Core_assign.levels_cut);
   }
 
-(* One slice evaluated on a pool: cut [lo, hi) into contiguous rank
-   chunks, prune against a shared atomic bound, and reduce the chunk
-   winners to the minimum by (time, rank) — byte-identical to the
-   sequential winner no matter how completions interleave. *)
-let evaluate_slice_par ?(stats = Obs.null) ~jobs ~table ~total_width ~tams
-    ~tau ~lo ~hi best =
-  let publications_before = Shared_min.publications tau in
+(* One slice on the work-stealing team — the only evaluation path, at
+   every team size: carve [lo, hi) into adaptive chunks, prune against
+   the shared bound through per-worker mirrors, and reduce the chunk
+   winners to the minimum by (time, rank), which reproduces the
+   first-strict-improvement-in-enumeration-order winner no matter how
+   steals and completions interleave. With one worker the chunks are
+   consumed in rank order by a single exact mirror, so the evaluation
+   sequence — thresholds, prunes, improvements — is byte-identical to
+   the historical dedicated sequential path this replaced. *)
+let evaluate_slice ?(stats = Obs.null) ~team ~table ~total_width ~tams ~tau
+    ~lo ~hi best =
+  let shared = Shared_min.create !tau in
+  let size = Pool.Team.size team in
+  let prune_ties = size = 1 in
+  let states =
+    Array.init size (fun _ ->
+        {
+          w_odo = None;
+          w_pos = -1;
+          w_scratch = Core_assign.scratch ();
+          w_mirror = Shared_min.mirror shared;
+        })
+  in
   let chunks =
     Obs.span stats "partition/evaluate_b" (fun () ->
-        Soctam_util.Pool.map_ranges ~stats ~jobs ~length:(hi - lo)
-          ~f:(fun ~lo:clo ~hi:chi ->
-            evaluate_chunk ~stats ~table ~total_width ~tams ~tau
-              ~lo:(lo + clo) ~hi:(lo + chi) ())
+        Pool.map_chunks ~stats team ~length:(hi - lo)
+          ~f:(fun ~worker ~lo:clo ~hi:chi ->
+            (evaluate_chunk ~stats ~state:states.(worker) ~prune_ties ~table
+               ~total_width ~tams ~lo:(lo + clo) ~hi:(lo + chi) ()
+             [@soctam.allow "DOM-ESCAPE"]
+             (* [states] is indexed by the worker slot, and the
+                scheduler runs at most one chunk per slot at a time:
+                each element is effectively worker-local. *)))
           ())
   in
-  let publications = Shared_min.publications tau - publications_before in
+  tau := Shared_min.get shared;
+  let publications = Shared_min.publications shared in
   Obs.add stats ~n:publications "pool/tau_publications";
-  (* Deterministic reduction: chunks arrive in rank order, so scanning
+  (* Deterministic reduction: chunks arrive sorted by rank, so scanning
      left to right with strict comparisons yields the minimum
      (time, rank) candidate — byte-identical to the jobs = 1 winner. *)
   let winner =
     Array.fold_left
-      (fun acc chunk ->
-        let cb = chunk.ch_best in
+      (fun acc (chunk : chunk_result Pool.chunk) ->
+        let cb = chunk.Pool.c_value.ch_best in
         if Array.length cb.c_widths = 0 then acc
         else
           match acc with
@@ -256,14 +265,16 @@ let evaluate_slice_par ?(stats = Obs.null) ~jobs ~table ~total_width ~tams
       best.b_widths <- cb.c_widths;
       best.b_assignment <- cb.c_assignment
   | Some _ | None -> ());
-  let sum f = Array.fold_left (fun acc c -> acc + f c) 0 chunks in
+  let sum f =
+    Array.fold_left (fun acc c -> acc + f c.Pool.c_value) 0 chunks
+  in
   {
     sl_enumerated = sum (fun c -> c.ch_enumerated);
     sl_completed = sum (fun c -> c.ch_completed);
     sl_pruned = sum (fun c -> c.ch_tau_terminated);
     sl_best_time =
       Array.fold_left
-        (fun acc c -> merge_best_time acc c.ch_best_time)
+        (fun acc c -> merge_best_time acc c.Pool.c_value.ch_best_time)
         None chunks;
     sl_tried = sum (fun c -> c.ch_tried);
     sl_early = sum (fun c -> c.ch_early);
@@ -544,49 +555,45 @@ let run_with (cfg : Run_config.t) ~table ~total_width =
     extras.x_publications <- extras.x_publications + s.sl_publications
   in
   let outcome =
-    try
-      let rec over_plan = function
-        | [] -> Outcome.Complete
-        | g :: pending ->
-            (* A fresh TAM count resets the bound when tau is not
-               carried; a restored mid-B cursor keeps the checkpointed
-               bound either way. *)
-            if (not cfg.Run_config.carry_tau) && g.g_next = 0 then
-              tau := initial;
-            let slice_len =
-              Run_config.slice_size cfg ~length:g.g_unique
-            in
-            while g.g_next < g.g_unique do
-              boundary ~cursor:(Some g) ~pending;
-              let lo = g.g_next in
-              let hi = min (lo + slice_len) g.g_unique in
-              let s =
-                if jobs <= 1 then
-                  evaluate_slice_seq ~stats ~table ~total_width
-                    ~tams:g.g_tams ~tau ~lo ~hi best
-                else begin
-                  let shared = Shared_min.create !tau in
+    (* One persistent team for the whole plan: domains are spawned here
+       once and parked between slices, so per-slice scheduling is a
+       condition-variable broadcast rather than a [Domain.spawn] — the
+       dominant cost of the previous spawn-per-slice design. *)
+    Pool.Team.with_team ~oversubscribe:cfg.Run_config.oversubscribe
+      ~jobs:(max 1 jobs) (fun team ->
+        try
+          let rec over_plan = function
+            | [] -> Outcome.Complete
+            | g :: pending ->
+                (* A fresh TAM count resets the bound when tau is not
+                   carried; a restored mid-B cursor keeps the
+                   checkpointed bound either way. *)
+                if (not cfg.Run_config.carry_tau) && g.g_next = 0 then
+                  tau := initial;
+                let slice_len =
+                  Run_config.slice_size cfg ~length:g.g_unique
+                in
+                while g.g_next < g.g_unique do
+                  boundary ~cursor:(Some g) ~pending;
+                  let lo = g.g_next in
+                  let hi = min (lo + slice_len) g.g_unique in
                   let s =
-                    evaluate_slice_par ~stats ~jobs ~table ~total_width
-                      ~tams:g.g_tams ~tau:shared ~lo ~hi best
+                    evaluate_slice ~stats ~team ~table ~total_width
+                      ~tams:g.g_tams ~tau ~lo ~hi best
                   in
-                  tau := Shared_min.get shared;
-                  s
-                end
-              in
-              accumulate g s hi
-            done;
-            done_rev := g :: !done_rev;
-            over_plan pending
-      in
-      let outcome = over_plan todo in
-      (* A finished run leaves no stale resume bait behind. *)
-      (match cfg.Run_config.checkpoint_path with
-      | Some path when Sys.file_exists path -> (
-          try Sys.remove path with Sys_error _ -> ())
-      | Some _ | None -> ());
-      outcome
-    with Stopped o -> o
+                  accumulate g s hi
+                done;
+                done_rev := g :: !done_rev;
+                over_plan pending
+          in
+          let outcome = over_plan todo in
+          (* A finished run leaves no stale resume bait behind. *)
+          (match cfg.Run_config.checkpoint_path with
+          | Some path when Sys.file_exists path -> (
+              try Sys.remove path with Sys_error _ -> ())
+          | Some _ | None -> ());
+          outcome
+        with Stopped o -> o)
   in
   let per_b = List.rev_map b_stats_of_eng !done_rev |> Array.of_list in
   if Array.length best.b_widths = 0 then begin

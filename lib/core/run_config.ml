@@ -1,5 +1,6 @@
 type t = {
   jobs : int;
+  oversubscribe : bool;
   stats : Soctam_obs.Obs.t;
   soc_name : string option;
   table : Time_table.t option;
@@ -20,6 +21,7 @@ let never_cancelled () = false
 let default =
   {
     jobs = 1;
+    oversubscribe = false;
     stats = Soctam_obs.Obs.null;
     soc_name = None;
     table = None;
@@ -39,6 +41,7 @@ let with_jobs jobs t =
   if jobs < 1 then invalid_arg "Run_config.with_jobs: jobs must be >= 1";
   { t with jobs }
 
+let with_oversubscribe oversubscribe t = { t with oversubscribe }
 let with_stats stats t = { t with stats }
 let with_soc_name name t = { t with soc_name = Some name }
 let with_table table t = { t with table = Some table }

@@ -17,6 +17,11 @@
 
 type t = {
   jobs : int;  (** parallel domains for partition evaluation (>= 1) *)
+  oversubscribe : bool;
+      (** spawn all [jobs] workers even past the host core count;
+          default [false] caps the team at
+          [Soctam_util.Pool.recommended_jobs ()] (results are identical
+          either way — see [Pool.Team.create]) *)
   stats : Soctam_obs.Obs.t;  (** observability collector; [Obs.null] = off *)
   soc_name : string option;
       (** stamped into checkpoint documents; resuming a checkpoint whose
@@ -56,6 +61,11 @@ val default : t
     non-positive count or a negative budget). *)
 
 val with_jobs : int -> t -> t
+
+val with_oversubscribe : bool -> t -> t
+(** Allow more worker domains than host cores (test/bench evidence
+    runs; production leaves the cap on). *)
+
 val with_stats : Soctam_obs.Obs.t -> t -> t
 val with_soc_name : string -> t -> t
 val with_table : Time_table.t -> t -> t

@@ -11,7 +11,7 @@ let build ?(stats = Obs.null) soc ~max_width =
   let times =
     Obs.span stats "time_table/build" (fun () ->
         Array.map
-          (fun core -> Soctam_wrapper.Design.time_table core ~max_width)
+          (fun core -> Soctam_wrapper.Front.time_table ~stats core ~max_width)
           (Soctam_model.Soc.cores soc))
   in
   Obs.add stats ~n:(Array.length times * max_width) "time_table/entries";
@@ -20,6 +20,7 @@ let build ?(stats = Obs.null) soc ~max_width =
 let core_count t = Array.length t.times
 let max_width t = t.max_width
 let soc t = t.soc
+let rows t = t.times
 
 let time t ~core ~width =
   if width < 1 || width > t.max_width then

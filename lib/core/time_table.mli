@@ -2,9 +2,12 @@
     width [w].
 
     All of the paper's algorithms consume core testing times through this
-    table: it is filled once per (SOC, total width) with
-    {!Soctam_wrapper.Design.time_table} and then read in O(1), which is
-    what makes evaluating hundreds of thousands of partitions cheap. *)
+    table: it is filled once per (SOC, total width) through the
+    process-wide {!Soctam_wrapper.Front} memo cache (byte-identical to
+    calling {!Soctam_wrapper.Design.time_table} per core, but repeat
+    builds over the same cores are served from the cache) and then read
+    in O(1), which is what makes evaluating hundreds of thousands of
+    partitions cheap. *)
 
 type t
 
@@ -22,6 +25,14 @@ val soc : t -> Soctam_model.Soc.t
 
 val time : t -> core:int -> width:int -> int
 (** [time t ~core ~width] with 0-based [core] and [width >= 1]. *)
+
+val rows : t -> int array array
+(** The table's backing storage: [rows t].(i).(w - 1) is
+    [time t ~core:i ~width:w] without the bounds check. This is the
+    zero-allocation read path of the partition hot loop
+    ([Core_assign.run_table_direct]); rows may alias the {!
+    Soctam_wrapper.Front} cache and other tables — callers must treat
+    them as immutable. *)
 
 val matrix : t -> widths:int array -> int array array
 (** [matrix t ~widths] is the core-by-TAM time matrix for a concrete

@@ -146,6 +146,14 @@ module Odometer = struct
 
   let current t = t.widths
 
+  (* Allocation-free re-aim: a worker that receives a non-contiguous
+     chunk (a steal) re-points its existing odometer instead of
+     allocating a fresh one per chunk. [unrank_into] leaves the widths
+     untouched on failure, so a [false] return keeps the odometer
+     valid at its previous position. *)
+  let reposition t ~rank =
+    unrank_into ~total:t.total ~parts:t.parts ~rank t.widths
+
   (* Sum of widths.(0 .. j-1): the prefix already fixed below position
      [j]. Accumulator recursion rather than a [ref] so the hot
      [advance] path never allocates. *)

@@ -87,6 +87,15 @@ module Odometer : sig
   val current : t -> int array
   (** The partition currently pointed at (do not mutate). *)
 
+  val reposition : t -> rank:int -> bool
+  (** [reposition t ~rank] re-aims [t] at the partition of 0-based
+      lexicographic position [rank], reusing its widths array
+      (allocation-free, {!unrank_into} underneath). [false] — with the
+      odometer left at its previous position — when [rank] is out of
+      range. This is what lets a work-stealing worker carry one
+      odometer across non-contiguous chunks instead of allocating one
+      per chunk boundary. *)
+
   val advance : t -> bool
   (** Move to the next partition; [false] when exhausted (the paper's
       [halt] flag). *)

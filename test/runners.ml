@@ -12,9 +12,15 @@ module Sw = Soctam_core.Sweep
 
 let opt set v cfg = match v with None -> cfg | Some x -> set x cfg
 
+(* Tests oversubscribe on purpose: the production policy caps the
+   worker count at the host cores (Pool.Team.create), which on a small
+   CI host would silently turn every jobs=4 determinism property into a
+   sequential run. Forcing the requested size keeps real multi-worker
+   interleavings under test everywhere. *)
 let cfg ?stats ?jobs ?table ?node_limit ?max_tams ?tams ?initial_best
     ?carry_tau ?time_budget () =
   Rc.default
+  |> Rc.with_oversubscribe true
   |> opt Rc.with_stats stats
   |> opt Rc.with_jobs jobs
   |> opt Rc.with_table table

@@ -201,6 +201,60 @@ let randomized_variant_is_sound =
       && Array.for_all (fun j -> j >= 0 && j < tams) assignment
       && time = Soctam_ilp.Exact.makespan ~times ~assignment)
 
+(* The direct-table variant is a deliberate code twin of
+   [run_table_bounded] (see core_assign.ml); this property is the pin
+   that keeps the two loops behaviorally identical, including
+   tie-breaking, early-exit step counts and stats accounting. *)
+let equal_outcome a b =
+  match (a, b) with
+  | ( Ca.Assigned { assignment = a1; tam_times = l1; time = t1 },
+      Ca.Assigned { assignment = a2; tam_times = l2; time = t2 } ) ->
+      a1 = a2 && l1 = l2 && t1 = t2
+  | Ca.Exceeded m, Ca.Exceeded n -> m = n
+  | _ -> false
+
+let direct_matches_bounded =
+  QCheck.Test.make
+    ~name:"Core_assign: run_table_direct identical to run_table_bounded"
+    ~count:100
+    QCheck.(triple (int_range 1 1000) (int_range 1 5) (int_range 0 2))
+    (fun (seed, tams, bound_kind) ->
+      let soc = small_soc (Int64.of_int seed) ~cores:6 in
+      let table = Tt.build soc ~max_width:12 in
+      let rng = Soctam_util.Prng.create (Int64.of_int ((seed * 31) + tams)) in
+      let widths =
+        Array.init tams (fun _ -> 1 + Soctam_util.Prng.int rng 12)
+      in
+      let reference = Ca.run_table_bounded ~best:max_int ~table ~widths () in
+      (* Exercise all three early-exit regimes: no bound, a bound hit
+         exactly (the Exceeded path), and a loose bound. *)
+      let best =
+        match (bound_kind, reference) with
+        | 0, _ | _, Ca.Exceeded _ -> max_int
+        | 1, Ca.Assigned { time; _ } -> time
+        | _, Ca.Assigned { time; _ } -> time + 1 + Soctam_util.Prng.int rng 50
+      in
+      let scratch = Ca.scratch () in
+      let check widths =
+        let sb = Ca.stats () and sd = Ca.stats () in
+        let bounded =
+          Ca.run_table_bounded ~stats:sb ~best ~table ~widths ()
+        in
+        let direct =
+          Ca.run_table_direct ~stats:sd ~scratch ~best ~table ~widths ()
+        in
+        equal_outcome bounded direct
+        && sb.Ca.tried = sd.Ca.tried
+        && sb.Ca.early_terminations = sd.Ca.early_terminations
+        && sb.Ca.levels_cut = sd.Ca.levels_cut
+      in
+      (* Second instance with the same scratch: stale state must not
+         leak between evaluations. *)
+      let widths2 =
+        Array.init tams (fun _ -> 1 + Soctam_util.Prng.int rng 12)
+      in
+      check widths && check widths2)
+
 let randomized_restarts_help =
   QCheck.Test.make
     ~name:"Core_assign: more restarts never hurt (same seed)" ~count:30
@@ -643,6 +697,7 @@ let suite =
     qtest core_assign_complete_and_consistent;
     qtest core_assign_never_beats_exact;
     qtest core_assign_heuristic_quality;
+    qtest direct_matches_bounded;
     qtest randomized_variant_is_sound;
     qtest randomized_restarts_help;
     qtest randomized_never_beats_exact;

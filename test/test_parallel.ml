@@ -13,7 +13,9 @@
    for the tier-1 suite. *)
 
 module Pool = Soctam_util.Pool
+module Obs = Soctam_obs.Obs
 module Pe = Soctam_core.Partition_evaluate
+module Rc = Soctam_core.Run_config
 module Ex = Soctam_core.Exhaustive
 module Co = Soctam_core.Co_optimize
 module Sweep = Soctam_core.Sweep
@@ -21,6 +23,13 @@ module Tt = Soctam_core.Time_table
 
 let test case f = Alcotest.test_case case `Quick f
 let qtest prop = QCheck_alcotest.to_alcotest prop
+
+(* SOCTAM_PAR_SMOKE=1 is the `make ci` entry point: the same
+   properties at a twentieth of the iteration count, so every scheduler
+   path runs on every CI pass in a couple of seconds while the full
+   randomized sweep stays behind `make test-par`. *)
+let smoke = Sys.getenv_opt "SOCTAM_PAR_SMOKE" = Some "1"
+let scaled n = if smoke then max 2 (n / 20) else n
 
 let small_soc seed ~cores =
   let rng = Soctam_util.Prng.create seed in
@@ -38,7 +47,7 @@ let small_soc seed ~cores =
 
 let split_covers_every_index_once =
   QCheck.Test.make
-    ~name:"split: every index covered exactly once, in order" ~count:200
+    ~name:"split: every index covered exactly once, in order" ~count:(scaled 200)
     QCheck.(pair (int_range 1 40) (int_range 0 500))
     (fun (chunks, length) ->
       let ranges = Pool.split ~chunks ~length in
@@ -62,7 +71,7 @@ let split_covers_every_index_once =
 
 let split_sizes_balanced =
   QCheck.Test.make ~name:"split: chunk sizes differ by at most one"
-    ~count:200
+    ~count:(scaled 200)
     QCheck.(pair (int_range 1 40) (int_range 1 500))
     (fun (chunks, length) ->
       let sizes =
@@ -89,12 +98,187 @@ let run_propagates_exception () =
 
 let shared_min_keeps_minimum =
   QCheck.Test.make ~name:"Shared_min: holds the minimum of all improvements"
-    ~count:200
+    ~count:(scaled 200)
     QCheck.(pair small_int (list small_int))
     (fun (initial, updates) ->
       let t = Pool.Shared_min.create initial in
       List.iter (Pool.Shared_min.improve t) updates;
       Pool.Shared_min.get t = List.fold_left min initial updates)
+
+(* -- Team + map_chunks: the work-stealing scheduler ------------------------ *)
+
+(* Teams here are created with [oversubscribe:true] throughout: the
+   production core-count cap would otherwise reduce every multi-worker
+   case to one worker on a small CI host, and the whole point of these
+   properties is real steal interleavings. *)
+
+let chunks_tile_range =
+  QCheck.Test.make
+    ~name:"map_chunks: chunks tile the range exactly, sorted by c_lo"
+    ~count:(scaled 100)
+    QCheck.(triple (int_range 1 6) (int_range 1 64) (int_range 0 2000))
+    (fun (jobs, min_chunk, length) ->
+      Pool.Team.with_team ~oversubscribe:true ~jobs (fun team ->
+          let chunks =
+            Pool.map_chunks ~min_chunk team ~length
+              ~f:(fun ~worker:_ ~lo ~hi -> (lo, hi))
+              ()
+          in
+          let pos = ref 0 in
+          Array.iter
+            (fun (c : _ Pool.chunk) ->
+              if c.Pool.c_lo <> !pos then
+                QCheck.Test.fail_report "gap or overlap between chunks";
+              if c.Pool.c_hi <= c.Pool.c_lo then
+                QCheck.Test.fail_report "empty chunk";
+              if c.Pool.c_value <> (c.Pool.c_lo, c.Pool.c_hi) then
+                QCheck.Test.fail_report "f saw a different range";
+              pos := c.Pool.c_hi)
+            chunks;
+          !pos = max 0 length))
+
+(* A pseudorandom but index-deterministic workload: the reduction
+   min-by-(value, index) must come out byte-identical no matter how the
+   chunks were carved or stolen. *)
+let value_at ~seed i = (i + seed) * 0x9E3779B1 land 0x3FFFFFFF
+
+let min_by_chunk ~seed ~worker:_ ~lo ~hi =
+  let best = ref (value_at ~seed lo) and best_i = ref lo in
+  for i = lo + 1 to hi - 1 do
+    let v = value_at ~seed i in
+    if v < !best then begin
+      best := v;
+      best_i := i
+    end
+  done;
+  (!best, !best_i)
+
+let reduce chunks =
+  Array.fold_left
+    (fun acc (c : _ Pool.chunk) ->
+      let v, i = c.Pool.c_value in
+      match acc with
+      | Some (bv, bi) when bv < v || (bv = v && bi < i) -> Some (bv, bi)
+      | _ -> Some (v, i))
+    None chunks
+
+let map_chunks_reduction_matches_sequential =
+  QCheck.Test.make
+    ~name:"map_chunks: min-by-(value, index) identical to sequential"
+    ~count:(scaled 100)
+    QCheck.(
+      quad (int_range 2 6) (int_range 1 64) (int_range 1 3000) small_int)
+    (fun (jobs, min_chunk, length, seed) ->
+      let direct =
+        let best = ref (value_at ~seed 0) and best_i = ref 0 in
+        for i = 1 to length - 1 do
+          let v = value_at ~seed i in
+          if v < !best then begin
+            best := v;
+            best_i := i
+          end
+        done;
+        Some (!best, !best_i)
+      in
+      let run jobs =
+        Pool.Team.with_team ~oversubscribe:true ~jobs (fun team ->
+            reduce
+              (Pool.map_chunks ~min_chunk team ~length ~f:(min_by_chunk ~seed)
+                 ()))
+      in
+      run 1 = direct && run jobs = direct)
+
+let map_chunks_exception_propagates () =
+  Pool.Team.with_team ~oversubscribe:true ~jobs:4 (fun team ->
+      Alcotest.check_raises "a chunk exception reaches the caller"
+        (Failure "chunk boom") (fun () ->
+          ignore
+            (Pool.map_chunks team ~min_chunk:8 ~length:4096
+               ~f:(fun ~worker:_ ~lo ~hi:_ ->
+                 if lo >= 1024 then failwith "chunk boom")
+               ())))
+
+let steals_observed_under_skew () =
+  (* Worker 0's initial share carries all the expensive indices; the
+     other workers drain their cheap shares and must steal from worker
+     0's descriptor to finish the round. A handful of rounds guards
+     against an unlucky 1-core schedule that runs worker 0 to
+     completion before any thief wakes. *)
+  let stats = Obs.create () in
+  let length = 8192 and min_chunk = 16 in
+  let f ~worker:_ ~lo ~hi =
+    let acc = ref 0 in
+    for i = lo to hi - 1 do
+      let cost = if i < length / 4 then 500 else 1 in
+      for k = 1 to cost do
+        acc := !acc + (k land 7)
+      done
+    done;
+    !acc
+  in
+  Pool.Team.with_team ~oversubscribe:true ~jobs:4 (fun team ->
+      let rec attempt n =
+        ignore (Pool.map_chunks ~stats ~min_chunk team ~length ~f ());
+        let steals =
+          Obs.counter_value (Obs.snapshot stats) "pool/steals"
+        in
+        if steals = 0 && n < 20 then attempt (n + 1)
+        else
+          Alcotest.(check bool)
+            "pool/steals > 0 under a skewed workload" true (steals > 0)
+      in
+      attempt 1)
+
+let jobs1_reports_real_chunk_counts () =
+  (* The jobs=1 path is the same scheduler with one worker: the chunk
+     counter must report the adaptive halving sequence, not zero. *)
+  let stats = Obs.create () in
+  Pool.Team.with_team ~jobs:1 (fun team ->
+      ignore
+        (Pool.map_chunks ~stats team ~length:296_320
+           ~f:(fun ~worker:_ ~lo:_ ~hi:_ -> ())
+           ()));
+  let snap = Obs.snapshot stats in
+  let chunks = Obs.counter_value snap "pool/chunks" in
+  Alcotest.(check bool)
+    (Printf.sprintf "pool/chunks = %d, expected > 1" chunks)
+    true
+    (chunks > 1);
+  Alcotest.(check int)
+    "no steals with a single worker" 0
+    (Obs.counter_value snap "pool/steals")
+
+(* -- Perf regression gate -------------------------------------------------- *)
+
+let perf_gate_d695 () =
+  (* Production scheduler policy (core-count cap on): requesting jobs=4
+     must never cost more than 15% over jobs=1 wall time, whatever the
+     host. On a 1-core host the cap makes both runs literally the same
+     configuration, so this gate catches regressions in the capping
+     policy itself as well as scheduler overhead on multicore hosts. *)
+  let soc = Soctam_soc_data.D695.soc in
+  let table = Tt.build soc ~max_width:64 in
+  let run jobs =
+    let cfg = Rc.default |> Rc.with_jobs jobs in
+    ignore (Pe.run_with cfg ~table ~total_width:64)
+  in
+  run 1;
+  (* warm the code paths and the wrapper front cache *)
+  let best jobs =
+    let b = ref infinity in
+    for _ = 1 to 3 do
+      let (), dt = Soctam_util.Timer.time (fun () -> run jobs) in
+      if dt < !b then b := dt
+    done;
+    !b
+  in
+  let t1 = best 1 in
+  let t4 = best 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "jobs=4 best-of-3 (%.1fms) <= 1.15x jobs=1 (%.1fms) + 2ms"
+       (t4 *. 1000.) (t1 *. 1000.))
+    true
+    (t4 <= (1.15 *. t1) +. 0.002)
 
 (* -- Partition_evaluate determinism --------------------------------------- *)
 
@@ -103,7 +287,7 @@ let signature (r : Pe.result) =
 
 let evaluate_matches_sequential =
   QCheck.Test.make
-    ~name:"Partition_evaluate: jobs=4 identical to jobs=1" ~count:100
+    ~name:"Partition_evaluate: jobs=4 identical to jobs=1" ~count:(scaled 100)
     QCheck.(pair (int_range 1 1000) (int_range 6 14))
     (fun (seed, total_width) ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
@@ -114,7 +298,7 @@ let evaluate_matches_sequential =
 
 let evaluate_fixed_matches_sequential =
   QCheck.Test.make ~name:"P_PAW run_fixed: jobs=4 identical to jobs=1"
-    ~count:100
+    ~count:(scaled 100)
     QCheck.(pair (int_range 1 1000) (int_range 2 4))
     (fun (seed, tams) ->
       let soc = small_soc (Int64.of_int seed) ~cores:4 in
@@ -125,7 +309,7 @@ let evaluate_fixed_matches_sequential =
 
 let evaluate_carry_tau_variants_agree =
   QCheck.Test.make
-    ~name:"carry_tau:false parallel winner matches sequential" ~count:50
+    ~name:"carry_tau:false parallel winner matches sequential" ~count:(scaled 50)
     QCheck.(int_range 1 1000)
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:4 in
@@ -140,7 +324,7 @@ let evaluate_carry_tau_variants_agree =
 
 let evaluate_exact_counters_stable =
   QCheck.Test.make
-    ~name:"per-B enumerated/unique counters independent of jobs" ~count:50
+    ~name:"per-B enumerated/unique counters independent of jobs" ~count:(scaled 50)
     QCheck.(int_range 1 1000)
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:4 in
@@ -157,7 +341,7 @@ let evaluate_exact_counters_stable =
 (* -- Agreement with the exhaustive baseline ------------------------------- *)
 
 let exhaustive_matches_sequential =
-  QCheck.Test.make ~name:"Exhaustive: jobs=4 identical to jobs=1" ~count:100
+  QCheck.Test.make ~name:"Exhaustive: jobs=4 identical to jobs=1" ~count:(scaled 100)
     QCheck.(pair (int_range 1 1000) (int_range 2 4))
     (fun (seed, tams) ->
       let soc = small_soc (Int64.of_int seed) ~cores:4 in
@@ -174,7 +358,7 @@ let exhaustive_matches_sequential =
 let heuristic_bounded_by_exhaustive =
   QCheck.Test.make
     ~name:"parallel heuristic time within [optimal, +] of Exhaustive"
-    ~count:50
+    ~count:(scaled 50)
     QCheck.(pair (int_range 1 1000) (int_range 2 3))
     (fun (seed, tams) ->
       let soc = small_soc (Int64.of_int seed) ~cores:4 in
@@ -186,7 +370,7 @@ let heuristic_bounded_by_exhaustive =
 (* -- Pipeline-level determinism ------------------------------------------- *)
 
 let co_optimize_matches_sequential =
-  QCheck.Test.make ~name:"Co_optimize: jobs=4 identical to jobs=1" ~count:50
+  QCheck.Test.make ~name:"Co_optimize: jobs=4 identical to jobs=1" ~count:(scaled 50)
     QCheck.(int_range 1 1000)
     (fun seed ->
       let soc = small_soc (Int64.of_int seed) ~cores:5 in
@@ -226,6 +410,12 @@ let suite =
     test "pool: results in input order" run_preserves_input_order;
     test "pool: exception propagation" run_propagates_exception;
     qtest shared_min_keeps_minimum;
+    qtest chunks_tile_range;
+    qtest map_chunks_reduction_matches_sequential;
+    test "map_chunks: exception propagation" map_chunks_exception_propagates;
+    test "map_chunks: steals under skew" steals_observed_under_skew;
+    test "map_chunks: jobs=1 chunk accounting" jobs1_reports_real_chunk_counts;
+    test "perf gate: jobs=4 within 15% of jobs=1 on d695" perf_gate_d695;
     qtest evaluate_matches_sequential;
     qtest evaluate_fixed_matches_sequential;
     qtest evaluate_carry_tau_variants_agree;

@@ -242,6 +242,139 @@ let layout_catches_tampering () =
   Alcotest.(check bool) "missing chain detected" true
     (Design.validate_layout c missing_chain <> Ok ())
 
+(* -- Front: the per-core Pareto-front memo cache --------------------------- *)
+
+module Front = Soctam_wrapper.Front
+module Obs = Soctam_obs.Obs
+
+(* The cache is process-global: every test below starts from an empty
+   cache and restores the configured capacity on exit so ordering
+   between tests (and the rest of the tier-1 suite) cannot matter. *)
+let with_fresh_cache f =
+  let saved = Front.capacity () in
+  Front.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Front.set_capacity saved;
+      Front.reset ())
+    f
+
+let front_socs () =
+  [
+    ("d695", Soctam_soc_data.D695.soc, 32);
+    ("p21241", Soctam_soc_data.Philips.soc_p21241 (), 24);
+    ("p93791", Soctam_soc_data.Philips.soc_p93791 (), 24);
+  ]
+
+let front_identical_to_fresh () =
+  with_fresh_cache (fun () ->
+      List.iter
+        (fun (name, soc, width) ->
+          for i = 0 to Soctam_model.Soc.core_count soc - 1 do
+            let c = Soctam_model.Soc.core soc i in
+            let cached = Front.time_table c ~max_width:width in
+            let fresh = Design.time_table c ~max_width:width in
+            Alcotest.(check (array int))
+              (Printf.sprintf "%s core %d: miss path" name i)
+              fresh cached;
+            Alcotest.(check (array int))
+              (Printf.sprintf "%s core %d: hit path" name i)
+              fresh
+              (Front.time_table c ~max_width:width)
+          done)
+        (front_socs ()))
+
+let front_narrower_and_wider_requests () =
+  with_fresh_cache (fun () ->
+      let c = Soctam_model.Soc.core Soctam_soc_data.D695.soc 3 in
+      let wide = Front.time_table c ~max_width:40 in
+      (* Narrower request served from the wide entry: a prefix. *)
+      let narrow = Front.time_table c ~max_width:7 in
+      Alcotest.(check (array int))
+        "narrow = prefix of wide" (Array.sub wide 0 7) narrow;
+      Alcotest.(check (array int))
+        "narrow = fresh" (Design.time_table c ~max_width:7) narrow;
+      (* Wider request recomputes and replaces the entry. *)
+      let wider = Front.time_table c ~max_width:60 in
+      Alcotest.(check (array int))
+        "wider = fresh" (Design.time_table c ~max_width:60) wider;
+      Alcotest.(check (array int))
+        "old width still served" wide
+        (Front.time_table c ~max_width:40))
+
+let front_eviction_preserves_results () =
+  with_fresh_cache (fun () ->
+      (* Capacity 2 with 10 round-robin cores: constant thrash, every
+         answer still byte-identical to a fresh computation. *)
+      Front.set_capacity 2;
+      let soc = Soctam_soc_data.D695.soc in
+      for round = 1 to 3 do
+        for i = 0 to Soctam_model.Soc.core_count soc - 1 do
+          let c = Soctam_model.Soc.core soc i in
+          Alcotest.(check (array int))
+            (Printf.sprintf "round %d core %d" round i)
+            (Design.time_table c ~max_width:24)
+            (Front.time_table c ~max_width:24)
+        done
+      done;
+      let s = Front.stats () in
+      Alcotest.(check bool)
+        (Printf.sprintf "evictions (%d) happened" s.Front.evictions)
+        true (s.Front.evictions > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "entries (%d) bounded by capacity" s.Front.entries)
+        true
+        (s.Front.entries <= 2))
+
+let front_hit_accounting () =
+  with_fresh_cache (fun () ->
+      let stats = Obs.create () in
+      let soc = Soctam_soc_data.D695.soc in
+      let t1 = Soctam_core.Time_table.build ~stats soc ~max_width:16 in
+      let t2 = Soctam_core.Time_table.build ~stats soc ~max_width:16 in
+      for core = 0 to Soctam_model.Soc.core_count soc - 1 do
+        for width = 1 to 16 do
+          Alcotest.(check int)
+            (Printf.sprintf "core %d width %d" core width)
+            (Soctam_core.Time_table.time t1 ~core ~width)
+            (Soctam_core.Time_table.time t2 ~core ~width)
+        done
+      done;
+      let front = Front.stats () in
+      Alcotest.(check bool)
+        (Printf.sprintf "hits (%d) > 0 on the second build" front.Front.hits)
+        true (front.Front.hits > 0);
+      let snap = Obs.snapshot stats in
+      Alcotest.(check bool)
+        "wrapper/front_hits counter > 0" true
+        (Obs.counter_value snap "wrapper/front_hits" > 0);
+      Alcotest.(check bool)
+        "wrapper/front_misses counter > 0" true
+        (Obs.counter_value snap "wrapper/front_misses" > 0))
+
+let front_capacity_zero_disables () =
+  with_fresh_cache (fun () ->
+      Front.set_capacity 0;
+      let c = Soctam_model.Soc.core Soctam_soc_data.D695.soc 0 in
+      let a = Front.time_table c ~max_width:12 in
+      let b = Front.time_table c ~max_width:12 in
+      Alcotest.(check (array int))
+        "still correct" (Design.time_table c ~max_width:12) a;
+      Alcotest.(check (array int)) "still correct again" a b;
+      let s = Front.stats () in
+      Alcotest.(check int) "no entries" 0 s.Front.entries;
+      Alcotest.(check int) "no hits" 0 s.Front.hits)
+
+let front_validation () =
+  with_fresh_cache (fun () ->
+      let c = Soctam_model.Soc.core Soctam_soc_data.D695.soc 0 in
+      Alcotest.check_raises "max_width 0"
+        (Invalid_argument "Front.time_table: max_width must be >= 1")
+        (fun () -> ignore (Front.time_table c ~max_width:0));
+      Alcotest.check_raises "negative capacity"
+        (Invalid_argument "Front.set_capacity: capacity must be >= 0")
+        (fun () -> Front.set_capacity (-1)))
+
 let suite =
   [
     test "formula: cases" formula_cases;
@@ -263,4 +396,12 @@ let suite =
     qtest layout_always_valid;
     test "layout: tampering detected" layout_catches_tampering;
     test "layout: pretty printer" layout_pretty_printer;
+    test "front: identical to fresh on d695/p21241/p93791"
+      front_identical_to_fresh;
+    test "front: prefix stability across widths"
+      front_narrower_and_wider_requests;
+    test "front: eviction preserves results" front_eviction_preserves_results;
+    test "front: hit accounting" front_hit_accounting;
+    test "front: capacity zero disables" front_capacity_zero_disables;
+    test "front: validation" front_validation;
   ]
