@@ -24,6 +24,7 @@
    show. *)
 
 module Pe = Soctam_core.Partition_evaluate
+module Pack = Soctam_pack.Pack_engine
 module Sweep = Soctam_core.Sweep
 module Rc = Soctam_core.Run_config
 module Timer = Soctam_util.Timer
@@ -244,6 +245,49 @@ let checkpoint_overhead soc =
   in
   (plain, checkpointed, overhead_pct)
 
+(* The rectangle-packing engine on the same SOC at the largest sweep
+   width: wall time, rank-space size and prune behaviour, plus the
+   jobs-independence evidence the sweep rows carry — one sequential
+   policy run against one oversubscribed jobs=4 run, which must report
+   the byte-identical distilled architecture. *)
+let pack_entry name soc =
+  let w = List.fold_left max 1 widths in
+  let table = Soctam_core.Time_table.build soc ~max_width:w in
+  let run ~jobs ~oversubscribe =
+    let cfg =
+      Rc.default |> Rc.with_max_tams max_tams |> Rc.with_jobs jobs
+      |> Rc.with_oversubscribe oversubscribe
+    in
+    Timer.time (fun () -> Pack.run_with cfg ~table ~total_width:w)
+  in
+  let seq, seq_seconds = run ~jobs:1 ~oversubscribe:false in
+  let par, par_seconds = run ~jobs:4 ~oversubscribe:true in
+  let signature (r : Pack.result) =
+    (r.Pack.time, Array.to_list r.Pack.widths, Array.to_list r.Pack.assignment)
+  in
+  let seq_sig = signature seq and par_sig = signature par in
+  if seq_sig <> par_sig then begin
+    Printf.eprintf
+      "FATAL: %s pack engine at jobs=4 differs from the sequential result\n"
+      name;
+    exit 1
+  end;
+  if seq.Pack.candidates <> seq.Pack.completed + seq.Pack.pruned then begin
+    Printf.eprintf "FATAL: %s pack stats invariant broken: %d <> %d + %d\n"
+      name seq.Pack.candidates seq.Pack.completed seq.Pack.pruned;
+    exit 1
+  end;
+  Printf.sprintf
+    "{ \"width\": %d, \"tau\": %d, \"ranks\": %d, \"packings\": %d, \
+     \"candidates\": %d, \"pruned\": %d, \"best_makespan\": %s, \
+     \"seq_seconds\": %.3f, \"par_seconds\": %.3f, \"identical\": true }"
+    w seq.Pack.time seq.Pack.ranks seq.Pack.packings seq.Pack.candidates
+    seq.Pack.pruned
+    (match seq.Pack.best_makespan with
+    | Some h -> string_of_int h
+    | None -> "null")
+    seq_seconds par_seconds
+
 (* Wall time of the source analyzer (DESIGN.md §13) over the whole
    repository — the cost `dune build @lint-src` adds to CI — in both
    modes: the syntactic Parsetree pass alone, and the default typed
@@ -299,6 +343,7 @@ let () =
         let runs = bench_soc name soc in
         let plain, with_stats, overhead_pct = stats_overhead soc in
         let ck_plain, ck_on, ck_pct = checkpoint_overhead soc in
+        let pack = pack_entry name soc in
         Printf.sprintf
           "  {\n\
           \    \"soc\": %S,\n\
@@ -308,6 +353,7 @@ let () =
           \    \"checkpoint_overhead\": { \"plain_seconds\": %.3f, \
            \"checkpoint_seconds\": %.3f, \"checkpoint_every\": %d, \
            \"overhead_pct\": %.2f },\n\
+          \    \"pack\": %s,\n\
           \    \"runs\": [\n\
            %s\n\
           \    ]\n\
@@ -315,6 +361,7 @@ let () =
           name
           (String.concat ", " (List.map string_of_int widths))
           plain with_stats overhead_pct ck_plain ck_on checkpoint_every ck_pct
+          pack
           (String.concat ",\n" (List.map json_run runs)))
       socs
   in

@@ -270,6 +270,79 @@ let optimize_cmd spec width tams max_tams opts save_arch certify =
       in
       max oc_status (if save_status <> 0 then save_status else certify_status)))
 
+(* -- pack ---------------------------------------------------------------- *)
+
+let pack_cmd spec width tams max_tams opts certify =
+  with_soc spec (fun soc ->
+      with_run_config opts soc (fun cfg ->
+      let stats = cfg.Soctam_core.Run_config.stats in
+      let table = Soctam_core.Time_table.build ~stats soc ~max_width:width in
+      let cfg =
+        match tams with
+        | Some tams -> Soctam_core.Run_config.with_tams tams cfg
+        | None -> Soctam_core.Run_config.with_max_tams max_tams cfg
+      in
+      let result, secs =
+        Soctam_util.Timer.time (fun () ->
+            Soctam_pack.Pack_engine.run_with cfg ~table ~total_width:width)
+      in
+      let architecture = Soctam_pack.Pack_engine.architecture ~table result in
+      Format.printf "%a@." Soctam_tam.Architecture.pp architecture;
+      Format.printf
+        "pack time %d over %d ranks: %d packings, %d distilled candidates \
+         (%d evaluated, %d pruned), %.2fs@."
+        result.Soctam_pack.Pack_engine.time
+        result.Soctam_pack.Pack_engine.ranks
+        result.Soctam_pack.Pack_engine.packings
+        result.Soctam_pack.Pack_engine.candidates
+        result.Soctam_pack.Pack_engine.completed
+        result.Soctam_pack.Pack_engine.pruned secs;
+      (match result.Soctam_pack.Pack_engine.best_makespan with
+      | Some m ->
+          Format.printf
+            "best raw level-packing height %d (geometric diagnostic; the \
+             reported time is a certified test-bus schedule)@." m
+      | None -> ());
+      let bounds = Soctam_core.Bounds.compute table ~total_width:width in
+      Format.printf
+        "lower bounds: bottleneck %d (core %d), wire volume %d; gap %+.2f%%%s@."
+        bounds.Soctam_core.Bounds.bottleneck
+        (bounds.Soctam_core.Bounds.bottleneck_core + 1)
+        bounds.Soctam_core.Bounds.wire_volume
+        (Soctam_core.Bounds.gap_pct bounds
+           ~time:result.Soctam_pack.Pack_engine.time)
+        (if
+           Soctam_core.Bounds.saturated bounds
+             ~time:result.Soctam_pack.Pack_engine.time
+         then " (saturated: more wires or TAMs cannot help)"
+         else "");
+      let certify_status =
+        if certify then begin
+          let arch_status =
+            print_report
+              (Soctam_check.Certify.architecture ~table ~total_width:width
+                 ~soc architecture)
+          in
+          let sched = Soctam_pack.Pack_engine.schedule ~table result in
+          let sched_status =
+            print_report
+              (Soctam_check.Certify.packing ~table
+                 ~expected_makespan:result.Soctam_pack.Pack_engine.time
+                 ~subject:
+                   (Printf.sprintf "%s pack schedule (W = %d)"
+                      soc.Soctam_model.Soc.name width)
+                 ~total_width:width sched)
+          in
+          max arch_status sched_status
+        end
+        else 0
+      in
+      let oc_status =
+        outcome_status ?checkpoint:opts.ro_checkpoint
+          result.Soctam_pack.Pack_engine.outcome
+      in
+      max oc_status certify_status))
+
 (* -- compare ------------------------------------------------------------- *)
 
 let compare_cmd spec width =
@@ -862,6 +935,22 @@ let optimize_term =
     const optimize_cmd $ soc_arg $ width_arg $ tams $ max_tams
     $ run_opts_term $ save_arch $ certify_flag)
 
+let pack_term =
+  let tams =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "b"; "tams" ] ~docv:"B" ~doc:"Fix the number of TAMs (P_PAW).")
+  in
+  let max_tams =
+    Arg.(
+      value & opt int 10
+      & info [ "max-tams" ] ~docv:"B" ~doc:"TAM count ceiling for P_NPAW.")
+  in
+  Term.(
+    const pack_cmd $ soc_arg $ width_arg $ tams $ max_tams $ run_opts_term
+    $ certify_flag)
+
 let compare_term = Term.(const compare_cmd $ soc_arg $ width_arg)
 
 let schedule_term =
@@ -1099,6 +1188,10 @@ let () =
           "Co-optimize the wrapper/TAM architecture (P_PAW / P_NPAW).";
         cmd "exhaustive" exhaustive_term
           "Run the exhaustive baseline of [8] (exact solve per partition).";
+        cmd "pack" pack_term
+          "Co-optimize through the rectangle-packing engine (strip packing \
+           over the per-core Pareto fronts, distilled into certified \
+           test-bus schedules).";
         cmd "compare" compare_term
           "Compare multiplexing, daisychain, distribution and test-bus \
            architectures.";

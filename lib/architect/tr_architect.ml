@@ -110,20 +110,38 @@ let optimize ?(max_tams = 10) ~table ~total_width () =
         improve improved
     | None -> current
   in
-  (* Multi-start: one hill climb per permitted TAM count; diverse basins
-     for the price of a few extra Core_assign runs. *)
+  (* Multi-start: one hill climb per permitted TAM count, plus one from
+     the rectangle-packing engine's best distilled partition — the
+     packing backend hands the climb a geometry-aware basin the even
+     splits never reach, and because the climb only ever improves its
+     seed, the result can never be worse than the pack engine's time. *)
+  let even_starts =
+    List.filter_map
+      (fun tams -> evaluate ~table ~best:max_int (initial_widths tams))
+      (Soctam_util.Intutil.range 1 (min max_tams (min total_width cores)))
+  in
+  let pack_start =
+    let cfg =
+      Soctam_core.Run_config.default
+      |> Soctam_core.Run_config.with_max_tams
+           (min max_tams (min total_width cores))
+    in
+    let pack = Soctam_pack.Pack_engine.run_with cfg ~table ~total_width in
+    {
+      widths = Array.to_list pack.Soctam_pack.Pack_engine.widths;
+      assignment = pack.Soctam_pack.Pack_engine.assignment;
+      time = pack.Soctam_pack.Pack_engine.time;
+    }
+  in
   let final =
     List.fold_left
-      (fun best tams ->
-        match evaluate ~table ~best:max_int (initial_widths tams) with
-        | None -> best
-        | Some start ->
-            let candidate = improve start in
-            (match best with
-            | Some b when b.time <= candidate.time -> best
-            | Some _ | None -> Some candidate))
+      (fun best start ->
+        let candidate = improve start in
+        match best with
+        | Some b when b.time <= candidate.time -> best
+        | Some _ | None -> Some candidate)
       None
-      (Soctam_util.Intutil.range 1 (min max_tams (min total_width cores)))
+      (even_starts @ [ pack_start ])
   in
   let final = match final with Some s -> s | None -> assert false in
   {

@@ -13,7 +13,13 @@
     Complexity per accepted move is a constant number of [Core_assign]
     runs, so the search is attractive exactly where exhaustive partition
     enumeration explodes (large [W], many TAMs); the bench compares the
-    two on the paper's SOCs. *)
+    two on the paper's SOCs.
+
+    The climb is multi-start: one basin per permitted TAM count (even
+    splits) plus the best distilled partition of the rectangle-packing
+    engine ({!Soctam_pack.Pack_engine}), its packing backend. Since a
+    climb never worsens its seed, [optimize] always reports a time
+    [<=] the pack engine's. *)
 
 type result = {
   widths : int array;

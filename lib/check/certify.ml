@@ -89,6 +89,16 @@ let schedule ?budget ~soc ~arch ~power sched =
     ~subject:(Printf.sprintf "%s test schedule" soc.Soc.name)
     (arch_violations @ sched_violations)
 
+let packing ?table ?expected_makespan ?subject ~total_width sched =
+  let subject =
+    match subject with
+    | Some s -> s
+    | None -> Printf.sprintf "rectangle schedule (W = %d)" total_width
+  in
+  Report.make ~subject
+    (Schedule_check.certify_packing ?table ?expected_makespan ~total_width
+       sched)
+
 let soc s =
   Report.make ~subject:(Printf.sprintf "SOC %s" s.Soc.name) (Soc_lint.lint_soc s)
 

@@ -64,6 +64,19 @@ val schedule :
   Report.t
 (** Certify a power schedule and the architecture it runs on. *)
 
+val packing :
+  ?table:Soctam_core.Time_table.t ->
+  ?expected_makespan:int ->
+  ?subject:string ->
+  total_width:int ->
+  Soctam_pack.Pack_schedule.t ->
+  Report.t
+(** Certify a rectangle schedule geometrically (see
+    {!Schedule_check.certify_packing}); with [table] the schedule must
+    also be a complete, duration-exact test of the table's SOC. This is
+    what [soctam pack --certify] runs on the packing engine's emitted
+    schedule. *)
+
 val soc : Soctam_model.Soc.t -> Report.t
 (** Semantic lint of a parsed SOC. *)
 

@@ -1,6 +1,8 @@
 module Arch = Soctam_tam.Architecture
 module Pm = Soctam_power.Power_model
 module Ps = Soctam_power.Power_schedule
+module Pk = Soctam_pack.Pack_schedule
+module Tt = Soctam_core.Time_table
 module V = Violation
 
 (* Highest instantaneous power of the slot set, recomputed by sweeping
@@ -121,4 +123,125 @@ let certify ?budget ~arch ~power (sched : Ps.t) =
           (V.errorf V.Power_budget_exceeded V.Soc
              "instantaneous power reaches %d, over the budget of %d" peak cap)
   | None, None -> ());
+  List.rev !violations
+
+(* -- rectangle (strip) schedules ------------------------------------------- *)
+
+let certify_packing ?table ?expected_makespan ~total_width (sched : Pk.t) =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  if sched.Pk.total_width <> total_width then
+    add
+      (V.errorf V.Width_sum_mismatch V.Soc
+         "schedule records strip width %d but was requested at %d"
+         sched.Pk.total_width total_width);
+  List.iter
+    (fun (s : Pk.slot) ->
+      if s.Pk.width < 1 || s.Pk.x < 0 || s.Pk.x + s.Pk.width > total_width
+      then
+        add
+          (V.errorf V.Rect_out_of_strip
+             (V.Core (s.Pk.core + 1))
+             "slot occupies wires [%d, %d) of a %d-wide strip" s.Pk.x
+             (s.Pk.x + s.Pk.width) total_width);
+      if s.Pk.start < 0 then
+        add
+          (V.errorf V.Schedule_negative_start
+             (V.Core (s.Pk.core + 1))
+             "test starts at cycle %d" s.Pk.start);
+      if s.Pk.finish < s.Pk.start then
+        add
+          (V.errorf V.Schedule_duration_mismatch
+             (V.Core (s.Pk.core + 1))
+             "slot finishes at cycle %d before it starts at %d" s.Pk.finish
+             s.Pk.start))
+    sched.Pk.slots;
+  (* Pairwise rectangle disjointness: two slots conflict exactly when
+     both their wire ranges and their time ranges intersect. Quadratic,
+     but the certifier runs once per schedule, not in a search loop. *)
+  let slots = Array.of_list sched.Pk.slots in
+  let n = Array.length slots in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = slots.(i) and b = slots.(j) in
+      let wires =
+        a.Pk.x < b.Pk.x + b.Pk.width && b.Pk.x < a.Pk.x + a.Pk.width
+      in
+      let time = a.Pk.start < b.Pk.finish && b.Pk.start < a.Pk.finish in
+      if wires && time then
+        add
+          (V.errorf V.Schedule_overlap V.Soc
+             "cores %d and %d overlap: wires [%d, %d) * cycles [%d, %d) \
+              against wires [%d, %d) * cycles [%d, %d)"
+             (a.Pk.core + 1) (b.Pk.core + 1) a.Pk.x (a.Pk.x + a.Pk.width)
+             a.Pk.start a.Pk.finish b.Pk.x (b.Pk.x + b.Pk.width) b.Pk.start
+             b.Pk.finish)
+    done
+  done;
+  let finish_max =
+    List.fold_left (fun acc (s : Pk.slot) -> max acc s.Pk.finish) 0
+      sched.Pk.slots
+  in
+  if sched.Pk.makespan <> finish_max then
+    add
+      (V.errorf V.Makespan_mismatch V.Soc
+         "reported makespan %d but the last test finishes at %d"
+         sched.Pk.makespan finish_max);
+  (match expected_makespan with
+  | Some expected when sched.Pk.makespan <> expected ->
+      add
+        (V.errorf V.Makespan_mismatch V.Soc
+           "schedule makespan %d differs from the claimed time %d"
+           sched.Pk.makespan expected)
+  | Some _ | None -> ());
+  let area =
+    List.fold_left
+      (fun acc (s : Pk.slot) ->
+        acc + (s.Pk.width * max 0 (s.Pk.finish - s.Pk.start)))
+      0 sched.Pk.slots
+  in
+  let bound = Soctam_util.Intutil.ceil_div area total_width in
+  if sched.Pk.makespan < bound then
+    add
+      (V.errorf V.Lower_bound_violated V.Soc
+         "makespan %d beats the area lower bound %d (= ceil(%d / %d))"
+         sched.Pk.makespan bound area total_width);
+  (match table with
+  | None -> ()
+  | Some table ->
+      let cores = Tt.core_count table in
+      let seen = Array.make cores 0 in
+      List.iter
+        (fun (s : Pk.slot) ->
+          if s.Pk.core < 0 || s.Pk.core >= cores then
+            add
+              (V.errorf V.Schedule_core_missing V.Soc
+                 "slot refers to core %d outside 1..%d" (s.Pk.core + 1) cores)
+          else begin
+            seen.(s.Pk.core) <- seen.(s.Pk.core) + 1;
+            if s.Pk.width >= 1 && s.Pk.width <= Tt.max_width table then begin
+              let need = Tt.time table ~core:s.Pk.core ~width:s.Pk.width in
+              let duration = s.Pk.finish - s.Pk.start in
+              if duration <> need then
+                add
+                  (V.errorf V.Schedule_duration_mismatch
+                     (V.Core (s.Pk.core + 1))
+                     "slot lasts %d cycles but the core needs %d at width %d"
+                     duration need s.Pk.width)
+            end
+          end)
+        sched.Pk.slots;
+      Array.iteri
+        (fun i k ->
+          if k = 0 then
+            add
+              (V.errorf V.Schedule_core_missing
+                 (V.Core (i + 1))
+                 "core is never tested")
+          else if k > 1 then
+            add
+              (V.errorf V.Schedule_core_duplicated
+                 (V.Core (i + 1))
+                 "core is tested %d times" k))
+        seen);
   List.rev !violations

@@ -18,3 +18,30 @@ val certify :
     certify against a stricter cap). For a schedule without a budget the
     makespan must also equal the architecture's testing time (a
     back-to-back schedule cannot stretch). *)
+
+val certify_packing :
+  ?table:Soctam_core.Time_table.t ->
+  ?expected_makespan:int ->
+  total_width:int ->
+  Soctam_pack.Pack_schedule.t ->
+  Violation.t list
+(** Geometric certification of a rectangle schedule (an engine-emitted
+    {!Soctam_pack.Pack_schedule.t}, or a raw level packing rendered
+    through [Pack_schedule.of_packing]):
+
+    - every slot lies inside the strip ([width >= 1], [0 <= x],
+      [x + width <= total_width]) and starts at a cycle [>= 0];
+    - no two slots overlap (their wire ranges and their time ranges
+      both intersect);
+    - the recorded makespan is the latest finish, is [>= ] the area
+      lower bound [ceil (sum (width * duration) / total_width)], and
+      equals [expected_makespan] when given;
+    - the schedule's own [total_width] matches [total_width].
+
+    With [table], the schedule must additionally be a complete test of
+    the table's SOC: every core appears exactly once and each slot
+    lasts exactly the core's table time at the slot width — the
+    duration check that turns "valid packing" into "valid test
+    schedule". Raw level packings are certified without [table]: their
+    slot heights are Pareto-front times at the {e cap} width, not the
+    slot width, so the duration equation deliberately does not hold. *)

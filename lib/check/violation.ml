@@ -27,6 +27,7 @@ type kind =
   | Schedule_duration_mismatch
   | Schedule_overlap
   | Schedule_negative_start
+  | Rect_out_of_strip
   | Makespan_mismatch
   | Peak_power_mismatch
   | Power_budget_exceeded
@@ -90,6 +91,7 @@ let kind_name = function
   | Schedule_duration_mismatch -> "schedule-duration-mismatch"
   | Schedule_overlap -> "schedule-overlap"
   | Schedule_negative_start -> "schedule-negative-start"
+  | Rect_out_of_strip -> "rect-out-of-strip"
   | Makespan_mismatch -> "makespan-mismatch"
   | Peak_power_mismatch -> "peak-power-mismatch"
   | Power_budget_exceeded -> "power-budget-exceeded"

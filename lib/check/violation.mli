@@ -45,6 +45,8 @@ type kind =
   | Schedule_duration_mismatch
   | Schedule_overlap  (** two sessions overlap on one TAM *)
   | Schedule_negative_start
+  | Rect_out_of_strip
+      (** a rectangle schedule slot sticks out of the [0, W) strip *)
   | Makespan_mismatch
   | Peak_power_mismatch  (** reported peak <> recomputed peak *)
   | Power_budget_exceeded

@@ -60,10 +60,27 @@ type sweep_state = {
   sw_pending : int list;
 }
 
+type pack_state = {
+  pk_total_width : int;
+  pk_tams : int option;
+  pk_max_tams : int;
+  pk_initial : int option;
+  pk_tau : int;
+  pk_best : best_arch option;
+  pk_next_rank : int;
+  pk_ranks : int;
+  pk_packings : int;
+  pk_candidates : int;
+  pk_completed : int;
+  pk_pruned : int;
+  pk_best_makespan : int option;
+}
+
 type state =
   | Partition_evaluate of pe_state
   | Exhaustive of ex_state
   | Sweep of sweep_state
+  | Pack of pack_state
 
 type t = { soc : string option; counters : (string * int) list; state : state }
 
@@ -152,6 +169,24 @@ let json_state = function
                        ])
                    s.sw_points) );
             ("pending", Json.List (List.map (fun w -> Json.Int w) s.sw_pending));
+          ] )
+  | Pack s ->
+      ( "pack",
+        Json.Obj
+          [
+            ("total_width", Json.Int s.pk_total_width);
+            ("tams", json_int_opt s.pk_tams);
+            ("max_tams", Json.Int s.pk_max_tams);
+            ("initial", json_int_opt s.pk_initial);
+            ("tau", Json.Int s.pk_tau);
+            ("best", json_best_arch s.pk_best);
+            ("next_rank", Json.Int s.pk_next_rank);
+            ("ranks", Json.Int s.pk_ranks);
+            ("packings", Json.Int s.pk_packings);
+            ("candidates", Json.Int s.pk_candidates);
+            ("completed", Json.Int s.pk_completed);
+            ("pruned", Json.Int s.pk_pruned);
+            ("best_makespan", json_int_opt s.pk_best_makespan);
           ] )
 
 let body_json t =
@@ -323,6 +358,30 @@ let parse_sweep json =
         as_list "pending" (field "pending" json) |> List.map (as_int "pending");
     }
 
+let parse_pack json =
+  let s =
+    {
+      pk_total_width = counting_field "total_width" json;
+      pk_tams = int_opt_field "tams" json;
+      pk_max_tams = counting_field "max_tams" json;
+      pk_initial = int_opt_field "initial" json;
+      pk_tau = int_field "tau" json;
+      pk_best = parse_best_arch (field "best" json);
+      pk_next_rank = counting_field "next_rank" json;
+      pk_ranks = counting_field "ranks" json;
+      pk_packings = counting_field "packings" json;
+      pk_candidates = counting_field "candidates" json;
+      pk_completed = counting_field "completed" json;
+      pk_pruned = counting_field "pruned" json;
+      pk_best_makespan = int_opt_field "best_makespan" json;
+    }
+  in
+  if s.pk_completed + s.pk_pruned <> s.pk_candidates then
+    fail "pack state breaks candidates = pruned + evaluated";
+  if s.pk_next_rank > s.pk_ranks then
+    fail "pack cursor is past the end of the rank space";
+  Pack s
+
 let of_json json =
   match
     let v = int_field "version" json in
@@ -341,6 +400,7 @@ let of_json json =
       | "partition_evaluate" -> parse_pe state_json
       | "exhaustive" -> parse_ex state_json
       | "sweep" -> parse_sweep state_json
+      | "pack" -> parse_pack state_json
       | other -> fail "unknown solver %S" other
     in
     {
@@ -423,3 +483,6 @@ let describe t =
       Printf.sprintf "sweep %s, %d points done, %d widths pending" soc
         (List.length s.sw_points)
         (List.length s.sw_pending)
+  | Pack s ->
+      Printf.sprintf "pack %s W=%d at rank %d/%d, %d candidates evaluated" soc
+        s.pk_total_width s.pk_next_rank s.pk_ranks s.pk_completed

@@ -87,10 +87,34 @@ type sweep_state = {
   sw_pending : int list;  (** widths not yet run *)
 }
 
+type pack_state = {
+  pk_total_width : int;
+  pk_tams : int option;  (** fixed TAM count (P_PAW); [None] = P_NPAW *)
+  pk_max_tams : int;  (** TAM count ceiling the run was configured with *)
+  pk_initial : int option;  (** the run's [initial_best] seed *)
+  pk_tau : int;  (** current pruning bound ([max_int] = none) *)
+  pk_best : best_arch option;  (** incumbent architecture *)
+  pk_next_rank : int;  (** first unexplored rank of the heuristic space *)
+  pk_ranks : int;  (** rank-space size; a resume recomputes and compares *)
+  pk_packings : int;  (** level packings constructed so far *)
+  pk_candidates : int;  (** lane partitions distilled from packings *)
+  pk_completed : int;  (** candidates evaluated to completion *)
+  pk_pruned : int;  (** candidates abandoned through the tau early exit *)
+  pk_best_makespan : int option;
+      (** best raw level-packing height seen (diagnostic, not a SOC
+          time — see DESIGN.md §14) *)
+}
+(** Progress of the rectangle-packing engine ([Soctam_pack.Pack_engine])
+    through its deterministic rank space of (width cap, heuristic)
+    pairs. Invariant (checked on load):
+    [pk_completed + pk_pruned = pk_candidates] and
+    [pk_next_rank <= pk_ranks]. *)
+
 type state =
   | Partition_evaluate of pe_state
   | Exhaustive of ex_state
   | Sweep of sweep_state
+  | Pack of pack_state
 
 type t = {
   soc : string option;

@@ -93,7 +93,7 @@ let restore_ex ~cfg ~total_width ~tams (cp : Checkpoint.t) =
             "Exhaustive: resume checkpoint is for a different SOC"
       | _ -> ());
       s
-  | Checkpoint.Partition_evaluate _ | Checkpoint.Sweep _ ->
+  | Checkpoint.Partition_evaluate _ | Checkpoint.Sweep _ | Checkpoint.Pack _ ->
       invalid_arg "Exhaustive: resume checkpoint is for a different solver"
 
 let run_with (cfg : Run_config.t) ~table ~total_width ~tams =

@@ -379,7 +379,7 @@ let restore_pe ~cfg ~total_width ~b_values (cp : Checkpoint.t) =
         "Partition_evaluate: resume checkpoint does not match this run's TAM \
          plan";
       s
-  | Checkpoint.Exhaustive _ | Checkpoint.Sweep _ ->
+  | Checkpoint.Exhaustive _ | Checkpoint.Sweep _ | Checkpoint.Pack _ ->
       invalid_arg "Partition_evaluate: resume checkpoint is for a different \
                    solver"
 

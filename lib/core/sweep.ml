@@ -50,7 +50,8 @@ let restore_sw ~cfg ~widths (cp : Checkpoint.t) =
             "Sweep: resume checkpoint is for a different SOC"
       | _ -> ());
       s
-  | Checkpoint.Partition_evaluate _ | Checkpoint.Exhaustive _ ->
+  | Checkpoint.Partition_evaluate _ | Checkpoint.Exhaustive _
+  | Checkpoint.Pack _ ->
       invalid_arg "Sweep: resume checkpoint is for a different solver"
 
 let run_with (cfg : Run_config.t) soc ~widths =

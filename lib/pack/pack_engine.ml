@@ -1,0 +1,656 @@
+module Obs = Soctam_obs.Obs
+module Pool = Soctam_util.Pool
+module Shared_min = Soctam_util.Pool.Shared_min
+module Rc = Soctam_core.Run_config
+module Outcome = Soctam_core.Outcome
+module Checkpoint = Soctam_core.Checkpoint
+module Core_assign = Soctam_core.Core_assign
+module Tt = Soctam_core.Time_table
+
+type result = {
+  widths : int array;
+  time : int;
+  assignment : int array;
+  ranks : int;
+  packings : int;
+  candidates : int;
+  completed : int;
+  pruned : int;
+  best_makespan : int option;
+  outcome : Outcome.t;
+}
+
+type best = {
+  mutable b_widths : int array;
+  mutable b_time : int;
+  mutable b_assignment : int array;
+}
+
+(* -- rank space ------------------------------------------------------------ *)
+
+(* The deterministic search sequence. Even-split ranks come first: they
+   are O(cores) each, they seed the pruning bound before any packing
+   runs, and they make the engine's floor the naive balanced design.
+   Then one rank per (width cap, heuristic): rectangles at Pareto cap
+   [1 + (r - n_even) / 3], packed by heuristic [(r - n_even) mod 3].
+   Last the express ranks, one per express width [e = 1 .. W - 1]: the
+   distillation of a degenerate two-column packing — a full-height
+   column of width [e] beside an evenly split remainder — the
+   one-bottleneck-core shape the level packers rarely reach. *)
+type gen = Even of int | Pack of int * Level_pack.order | Express of int
+
+type space = {
+  sp_even : int array;
+  sp_orders : Level_pack.order array;
+  sp_width : int;
+}
+
+let space ~total_width ~b_values =
+  {
+    sp_even = Array.of_list b_values;
+    sp_orders = Array.of_list Level_pack.orders;
+    sp_width = total_width;
+  }
+
+let rank_count sp =
+  Array.length sp.sp_even
+  + (Array.length sp.sp_orders * sp.sp_width)
+  + max 0 (sp.sp_width - 1)
+
+let gen_of_rank sp r =
+  let n_even = Array.length sp.sp_even in
+  let n_pack = Array.length sp.sp_orders * sp.sp_width in
+  if r < n_even then Even sp.sp_even.(r)
+  else if r < n_even + n_pack then
+    let k = r - n_even in
+    let n_orders = Array.length sp.sp_orders in
+    Pack ((k / n_orders) + 1, sp.sp_orders.(k mod n_orders))
+  else Express (r - n_even - n_pack + 1)
+
+let even_widths ~total_width parts =
+  let base = total_width / parts and extra = total_width mod parts in
+  Array.init parts (fun i -> if i < extra then base + 1 else base)
+
+(* -- level distillation ---------------------------------------------------- *)
+
+let desc a b = Int.compare b a
+
+(* How a level's unused wires are spread before the lane widths become
+   a partition: round-robin over all lanes, everything to the widest
+   lane, or everything to the narrowest. Each padding reaches a
+   different basin — balanced lanes, one express lane for the
+   bottleneck core, or a rescued narrow straggler. *)
+type padding = Spread | To_widest | To_narrowest
+
+let paddings = [ Spread; To_widest; To_narrowest ]
+
+(* Turn one packing level's lane widths into a full-width partition:
+   pad the strip's unused wires by [padding], then adjust the lane
+   count — merge the two narrowest while over the TAM limit, split the
+   widest in half while under a fixed B. Splitting is always possible:
+   the lane sum stays [total_width >= B], so while fewer than B lanes
+   exist some lane has width >= 2. *)
+let distill_level ~total_width ~tams ~max_tams ~padding
+    (slots : Level_pack.placed list) =
+  let lanes =
+    List.map (fun (p : Level_pack.placed) -> p.Level_pack.p_w) slots
+  in
+  let arr = Array.of_list lanes in
+  Array.sort desc arr;
+  let k = Array.length arr in
+  let leftover = total_width - Array.fold_left ( + ) 0 arr in
+  (match padding with
+  | Spread ->
+      for i = 0 to leftover - 1 do
+        arr.(i mod k) <- arr.(i mod k) + 1
+      done
+  | To_widest -> arr.(0) <- arr.(0) + leftover
+  | To_narrowest -> arr.(k - 1) <- arr.(k - 1) + leftover);
+  let lanes = ref (Array.to_list arr) in
+  let count = ref k in
+  let resort () = lanes := List.sort desc !lanes in
+  let merge_smallest () =
+    match List.rev !lanes with
+    | a :: b :: rest ->
+        lanes := List.rev ((a + b) :: rest);
+        decr count;
+        resort ()
+    | _ -> assert false
+  in
+  (match tams with
+  | None ->
+      while !count > max_tams do
+        merge_smallest ()
+      done
+  | Some b ->
+      while !count > b do
+        merge_smallest ()
+      done;
+      while !count < b do
+        (match !lanes with
+        | widest :: rest ->
+            lanes := ((widest + 1) / 2) :: (widest / 2) :: rest;
+            incr count
+        | [] -> assert false);
+        resort ()
+      done);
+  resort ();
+  Array.of_list !lanes
+
+let arrays_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if x <> b.(i) then ok := false) a;
+  !ok
+
+(* The candidate partitions of one rank, in deterministic order with
+   within-rank duplicates removed (consecutive levels of a packing
+   often distill to the same partition; first occurrence wins). *)
+let candidates_of_rank ~table ~total_width ~tams ~max_tams sp r =
+  match gen_of_rank sp r with
+  | Even b -> ([ even_widths ~total_width b ], 0, None)
+  | Express e ->
+      (* One full-height lane of width [e], the remaining [W - e] wires
+         split evenly over k further lanes; every permitted k (P_NPAW)
+         or exactly B - 1 (P_PAW). Lanes stay >= 1 by the k cap. *)
+      let rest = total_width - e in
+      let ks =
+        match tams with
+        | Some b -> if b >= 2 && rest >= b - 1 then [ b - 1 ] else []
+        | None -> Soctam_util.Intutil.range 1 (min (max_tams - 1) rest)
+      in
+      let cands =
+        List.map
+          (fun k ->
+            let arr = Array.append [| e |] (even_widths ~total_width:rest k) in
+            Array.sort desc arr;
+            arr)
+          ks
+      in
+      (cands, 0, None)
+  | Pack (cap, order) ->
+      let rects = Rect_build.rects table ~cap in
+      let packing = Level_pack.pack order ~width:total_width rects in
+      let seen = ref [] in
+      List.iter
+        (fun (l : Level_pack.level) ->
+          List.iter
+            (fun padding ->
+              let cand =
+                distill_level ~total_width ~tams ~max_tams ~padding
+                  l.Level_pack.l_slots
+              in
+              if not (List.exists (fun c -> arrays_equal c cand) !seen) then
+                seen := cand :: !seen)
+            paddings)
+        packing.Level_pack.pk_levels;
+      (List.rev !seen, 1, Some packing.Level_pack.pk_height)
+
+(* -- slice evaluation ------------------------------------------------------ *)
+
+let merge_makespan a b =
+  match (a, b) with None, t | t, None -> t | Some x, Some y -> Some (min x y)
+
+let flush_counters stats ~packings ~cands ~pruned ~evaluated ~ca =
+  if Obs.enabled stats then begin
+    Obs.add stats ~n:packings "pack/packings";
+    Obs.add stats ~n:cands "pack/candidates";
+    Obs.add stats ~n:pruned "pack/pruned";
+    Obs.add stats ~n:evaluated "pack/evaluated";
+    match ca with
+    | None -> ()
+    | Some (c : Core_assign.stats) ->
+        Obs.add stats ~n:c.Core_assign.tried "core_assign/assignments_tried";
+        Obs.add stats ~n:c.Core_assign.early_terminations
+          "core_assign/early_terminations";
+        Obs.add stats ~n:c.Core_assign.levels_cut "core_assign/levels_cut"
+  end
+
+let ca_stats stats =
+  if Obs.enabled stats then Some (Core_assign.stats ()) else None
+
+type slice = {
+  sl_packings : int;
+  sl_candidates : int;
+  sl_completed : int;
+  sl_pruned : int;
+  sl_best_makespan : int option;
+  sl_tried : int;
+  sl_early : int;
+  sl_levels : int;
+  sl_publications : int;
+}
+
+(* The best candidate found inside one contiguous rank chunk. [c_rank]
+   is the generator rank the candidate came from: ranks are disjoint
+   across chunks and candidates within a rank are evaluated in a fixed
+   order, so the (time, rank) minimum over chunks reproduces the
+   sequential first-strict-improvement winner at any job count — the
+   same argument as [Partition_evaluate]'s reduction. *)
+type chunk_best = {
+  mutable c_time : int;
+  mutable c_rank : int;
+  mutable c_widths : int array;
+  mutable c_assignment : int array;
+}
+
+type chunk_result = {
+  ch_packings : int;
+  ch_candidates : int;
+  ch_completed : int;
+  ch_pruned : int;
+  ch_best_makespan : int option;
+  ch_best : chunk_best;
+  ch_tried : int;
+  ch_early : int;
+  ch_levels : int;
+}
+
+type wstate = {
+  w_scratch : Core_assign.scratch;
+  w_mirror : Shared_min.mirror;
+}
+
+let evaluate_chunk ?(stats = Obs.null) ~state ~prune_ties ~table ~total_width
+    ~tams ~max_tams ~sp ~lo ~hi () =
+  let packings = ref 0 in
+  let cands = ref 0 in
+  let completed = ref 0 in
+  let pruned = ref 0 in
+  let makespan = ref None in
+  let ca = ca_stats stats in
+  let mir = state.w_mirror in
+  let cb =
+    { c_time = max_int; c_rank = max_int; c_widths = [||]; c_assignment = [||] }
+  in
+  for rank = lo to hi - 1 do
+    let rank_cands, rank_packings, rank_makespan =
+      candidates_of_rank ~table ~total_width ~tams ~max_tams sp rank
+    in
+    packings := !packings + rank_packings;
+    makespan := merge_makespan !makespan rank_makespan;
+    List.iter
+      (fun widths ->
+        incr cands;
+        let bound = Shared_min.mirror_get mir in
+        (* Alone, prune ties like the sequential paper loop; racing,
+           ties must complete so the deterministic reduction sees their
+           rank (see [Partition_evaluate.evaluate_chunk]). *)
+        let threshold =
+          if prune_ties then bound
+          else if bound = max_int then max_int
+          else bound + 1
+        in
+        match
+          Core_assign.run_table_direct ?stats:ca ~scratch:state.w_scratch
+            ~best:threshold ~table ~widths ()
+        with
+        | Core_assign.Exceeded _ -> incr pruned
+        | Core_assign.Assigned { assignment; time; _ } ->
+            incr completed;
+            if time < bound then Obs.event_v stats time "tau";
+            Shared_min.mirror_improve mir time;
+            if time < cb.c_time then begin
+              cb.c_time <- time;
+              cb.c_rank <- rank;
+              (* [widths] is freshly built per rank, but [assignment]
+                 aliases the worker scratch and must be copied. *)
+              cb.c_widths <- widths;
+              cb.c_assignment <- Array.copy assignment
+            end)
+      rank_cands
+  done;
+  flush_counters stats ~packings:!packings ~cands:!cands ~pruned:!pruned
+    ~evaluated:!completed ~ca;
+  {
+    ch_packings = !packings;
+    ch_candidates = !cands;
+    ch_completed = !completed;
+    ch_pruned = !pruned;
+    ch_best_makespan = !makespan;
+    ch_best = cb;
+    ch_tried = (match ca with None -> 0 | Some c -> c.Core_assign.tried);
+    ch_early =
+      (match ca with None -> 0 | Some c -> c.Core_assign.early_terminations);
+    ch_levels = (match ca with None -> 0 | Some c -> c.Core_assign.levels_cut);
+  }
+
+(* One slice [lo, hi) of the rank sequence on the work-stealing team.
+   Ranks are coarse units (a whole packing plus its candidate
+   evaluations), so chunks shrink to single ranks ([min_chunk:1]) —
+   the default granularity would serialize the whole space. *)
+let evaluate_slice ?(stats = Obs.null) ~team ~table ~total_width ~tams
+    ~max_tams ~sp ~tau ~lo ~hi best =
+  let shared = Shared_min.create !tau in
+  let size = Pool.Team.size team in
+  let prune_ties = size = 1 in
+  let states =
+    Array.init size (fun _ ->
+        {
+          w_scratch = Core_assign.scratch ();
+          w_mirror = Shared_min.mirror shared;
+        })
+  in
+  let chunks =
+    Obs.span stats "pack/evaluate_slice" (fun () ->
+        Pool.map_chunks ~stats ~min_chunk:1 team ~length:(hi - lo)
+          ~f:(fun ~worker ~lo:clo ~hi:chi ->
+            (evaluate_chunk ~stats ~state:states.(worker) ~prune_ties ~table
+               ~total_width ~tams ~max_tams ~sp ~lo:(lo + clo) ~hi:(lo + chi)
+               ()
+             [@soctam.allow "DOM-ESCAPE"]
+             (* [states] is indexed by the worker slot, and the
+                scheduler runs at most one chunk per slot at a time:
+                each element is effectively worker-local. *)))
+          ())
+  in
+  tau := Shared_min.get shared;
+  let publications = Shared_min.publications shared in
+  Obs.add stats ~n:publications "pool/tau_publications";
+  let winner =
+    Array.fold_left
+      (fun acc (chunk : chunk_result Pool.chunk) ->
+        let cb = chunk.Pool.c_value.ch_best in
+        if Array.length cb.c_widths = 0 then acc
+        else
+          match acc with
+          | Some b
+            when b.c_time < cb.c_time
+                 || (b.c_time = cb.c_time && b.c_rank < cb.c_rank) ->
+              Some b
+          | Some _ | None -> Some cb)
+      None chunks
+  in
+  (match winner with
+  | Some cb when cb.c_time < best.b_time ->
+      best.b_time <- cb.c_time;
+      best.b_widths <- cb.c_widths;
+      best.b_assignment <- cb.c_assignment
+  | Some _ | None -> ());
+  let sum f = Array.fold_left (fun acc c -> acc + f c.Pool.c_value) 0 chunks in
+  {
+    sl_packings = sum (fun c -> c.ch_packings);
+    sl_candidates = sum (fun c -> c.ch_candidates);
+    sl_completed = sum (fun c -> c.ch_completed);
+    sl_pruned = sum (fun c -> c.ch_pruned);
+    sl_best_makespan =
+      Array.fold_left
+        (fun acc c -> merge_makespan acc c.Pool.c_value.ch_best_makespan)
+        None chunks;
+    sl_tried = sum (fun c -> c.ch_tried);
+    sl_early = sum (fun c -> c.ch_early);
+    sl_levels = sum (fun c -> c.ch_levels);
+    sl_publications = publications;
+  }
+
+(* -- checkpoint engine ----------------------------------------------------- *)
+
+type extras = {
+  mutable x_tried : int;
+  mutable x_early : int;
+  mutable x_levels : int;
+  mutable x_publications : int;
+}
+
+let restore_check cond msg = if not cond then invalid_arg msg
+
+let restore_pack ~cfg ~total_width ~ranks (cp : Checkpoint.t) =
+  match cp.Checkpoint.state with
+  | Checkpoint.Pack s ->
+      restore_check
+        (s.Checkpoint.pk_total_width = total_width)
+        "Pack_engine: resume checkpoint is for a different total width";
+      restore_check
+        (s.Checkpoint.pk_tams = cfg.Rc.tams
+        && s.Checkpoint.pk_max_tams = cfg.Rc.max_tams)
+        "Pack_engine: resume checkpoint was taken under a different TAM \
+         configuration";
+      restore_check
+        (s.Checkpoint.pk_initial = cfg.Rc.initial_best)
+        "Pack_engine: resume checkpoint was taken under a different pruning \
+         configuration";
+      restore_check
+        (s.Checkpoint.pk_ranks = ranks)
+        "Pack_engine: resume checkpoint does not match this rank space";
+      (match (cp.Checkpoint.soc, cfg.Rc.soc_name) with
+      | Some a, Some b ->
+          restore_check (String.equal a b)
+            "Pack_engine: resume checkpoint is for a different SOC"
+      | _ -> ());
+      s
+  | Checkpoint.Partition_evaluate _ | Checkpoint.Exhaustive _
+  | Checkpoint.Sweep _ ->
+      invalid_arg "Pack_engine: resume checkpoint is for a different solver"
+
+exception Stopped of Outcome.t
+
+let run_with (cfg : Rc.t) ~table ~total_width =
+  if total_width < 1 then invalid_arg "Pack_engine: total_width must be >= 1";
+  if cfg.Rc.max_tams < 1 then invalid_arg "Pack_engine: max_tams must be >= 1";
+  if Tt.max_width table < total_width then
+    invalid_arg "Pack_engine: time table narrower than total width";
+  let tams = cfg.Rc.tams in
+  let b_values =
+    match tams with
+    | Some b ->
+        if b > total_width then invalid_arg "Pack_engine: more TAMs than width";
+        if b < 1 then invalid_arg "Pack_engine: tams must be >= 1";
+        [ b ]
+    | None -> Soctam_util.Intutil.range 1 (min cfg.Rc.max_tams total_width)
+  in
+  let max_tams = cfg.Rc.max_tams in
+  let sp = space ~total_width ~b_values in
+  let ranks = rank_count sp in
+  let stats = cfg.Rc.stats in
+  let initial =
+    match cfg.Rc.initial_best with Some t -> t | None -> max_int
+  in
+  let restored =
+    Option.map (restore_pack ~cfg ~total_width ~ranks) cfg.Rc.resume
+  in
+  (* Replay the interrupted run's solver-owned counters so the resumed
+     collector converges to an uninterrupted run's totals. *)
+  (match cfg.Rc.resume with
+  | Some cp when Obs.enabled stats ->
+      List.iter
+        (fun (name, n) -> if n > 0 then Obs.add stats ~n name)
+        cp.Checkpoint.counters
+  | Some _ | None -> ());
+  let extras =
+    let get name =
+      match cfg.Rc.resume with
+      | None -> 0
+      | Some cp -> (
+          match List.assoc_opt name cp.Checkpoint.counters with
+          | Some n -> n
+          | None -> 0)
+    in
+    {
+      x_tried = get "core_assign/assignments_tried";
+      x_early = get "core_assign/early_terminations";
+      x_levels = get "core_assign/levels_cut";
+      x_publications = get "pool/tau_publications";
+    }
+  in
+  let best =
+    match restored with
+    | Some { Checkpoint.pk_best = Some b; _ } ->
+        {
+          b_widths = b.Checkpoint.ba_widths;
+          b_time = b.Checkpoint.ba_time;
+          b_assignment = b.Checkpoint.ba_assignment;
+        }
+    | Some { Checkpoint.pk_best = None; _ } | None ->
+        { b_widths = [||]; b_time = initial; b_assignment = [||] }
+  in
+  let tau =
+    ref (match restored with Some s -> s.Checkpoint.pk_tau | None -> initial)
+  in
+  let next =
+    ref
+      (match restored with Some s -> s.Checkpoint.pk_next_rank | None -> 0)
+  in
+  let packings =
+    ref (match restored with Some s -> s.Checkpoint.pk_packings | None -> 0)
+  in
+  let cands =
+    ref (match restored with Some s -> s.Checkpoint.pk_candidates | None -> 0)
+  in
+  let completed =
+    ref (match restored with Some s -> s.Checkpoint.pk_completed | None -> 0)
+  in
+  let pruned =
+    ref (match restored with Some s -> s.Checkpoint.pk_pruned | None -> 0)
+  in
+  let makespan =
+    ref
+      (match restored with
+      | Some s -> s.Checkpoint.pk_best_makespan
+      | None -> None)
+  in
+  let deadline =
+    Option.map
+      (fun budget -> Soctam_util.Timer.now_s () +. budget)
+      cfg.Rc.time_budget
+  in
+  let counters_now () =
+    List.filter
+      (fun (_, n) -> n > 0)
+      [
+        ("pack/packings", !packings);
+        ("pack/candidates", !cands);
+        ("pack/evaluated", !completed);
+        ("pack/pruned", !pruned);
+        ("core_assign/assignments_tried", extras.x_tried);
+        ("core_assign/early_terminations", extras.x_early);
+        ("core_assign/levels_cut", extras.x_levels);
+        ("pool/tau_publications", extras.x_publications);
+      ]
+  in
+  let checkpoint_now () =
+    {
+      Checkpoint.soc = cfg.Rc.soc_name;
+      counters = counters_now ();
+      state =
+        Checkpoint.Pack
+          {
+            Checkpoint.pk_total_width = total_width;
+            pk_tams = tams;
+            pk_max_tams = max_tams;
+            pk_initial = cfg.Rc.initial_best;
+            pk_tau = !tau;
+            pk_best =
+              (if Array.length best.b_widths = 0 then None
+               else
+                 Some
+                   {
+                     Checkpoint.ba_widths = best.b_widths;
+                     ba_time = best.b_time;
+                     ba_assignment = best.b_assignment;
+                   });
+            pk_next_rank = !next;
+            pk_ranks = ranks;
+            pk_packings = !packings;
+            pk_candidates = !cands;
+            pk_completed = !completed;
+            pk_pruned = !pruned;
+            pk_best_makespan = !makespan;
+          };
+    }
+  in
+  let write_checkpoint cp =
+    match cfg.Rc.checkpoint_path with
+    | None -> ()
+    | Some path -> (
+        match Checkpoint.save path cp with
+        | Ok () -> ()
+        | Error msg -> failwith ("checkpoint write failed: " ^ msg))
+  in
+  let boundary () =
+    if cfg.Rc.cancel () then begin
+      let cp = checkpoint_now () in
+      write_checkpoint cp;
+      raise (Stopped (Outcome.Interrupted cp))
+    end;
+    (match deadline with
+    | Some d when Soctam_util.Timer.now_s () > d ->
+        let cp = checkpoint_now () in
+        write_checkpoint cp;
+        raise (Stopped (Outcome.Budget_exhausted cp))
+    | Some _ | None -> ());
+    write_checkpoint (checkpoint_now ())
+  in
+  let slice_len = Rc.slice_size cfg ~length:ranks in
+  let outcome =
+    Pool.Team.with_team ~oversubscribe:cfg.Rc.oversubscribe
+      ~jobs:(max 1 cfg.Rc.jobs) (fun team ->
+        try
+          while !next < ranks do
+            boundary ();
+            let lo = !next in
+            let hi = min (lo + slice_len) ranks in
+            let s =
+              evaluate_slice ~stats ~team ~table ~total_width ~tams ~max_tams
+                ~sp ~tau ~lo ~hi best
+            in
+            next := hi;
+            packings := !packings + s.sl_packings;
+            cands := !cands + s.sl_candidates;
+            completed := !completed + s.sl_completed;
+            pruned := !pruned + s.sl_pruned;
+            makespan := merge_makespan !makespan s.sl_best_makespan;
+            extras.x_tried <- extras.x_tried + s.sl_tried;
+            extras.x_early <- extras.x_early + s.sl_early;
+            extras.x_levels <- extras.x_levels + s.sl_levels;
+            extras.x_publications <- extras.x_publications + s.sl_publications
+          done;
+          (match cfg.Rc.checkpoint_path with
+          | Some path when Sys.file_exists path -> (
+              try Sys.remove path with Sys_error _ -> ())
+          | Some _ | None -> ());
+          Outcome.Complete
+        with Stopped o -> o)
+  in
+  if Array.length best.b_widths = 0 then begin
+    (* Nothing beat the seed (or the budget expired before the first
+       slice): fall back to the even split over the first permitted TAM
+       count, exactly like [Partition_evaluate]. *)
+    let parts = match b_values with [] -> 1 | b :: _ -> min b total_width in
+    let widths = even_widths ~total_width parts in
+    match Core_assign.run_table ~table ~widths () with
+    | Core_assign.Assigned { assignment; time; _ } ->
+        {
+          widths;
+          time;
+          assignment;
+          ranks;
+          packings = !packings;
+          candidates = !cands;
+          completed = !completed;
+          pruned = !pruned;
+          best_makespan = !makespan;
+          outcome;
+        }
+    | Core_assign.Exceeded _ -> assert false
+  end
+  else
+    {
+      widths = best.b_widths;
+      time = best.b_time;
+      assignment = best.b_assignment;
+      ranks;
+      packings = !packings;
+      candidates = !cands;
+      completed = !completed;
+      pruned = !pruned;
+      best_makespan = !makespan;
+      outcome;
+    }
+
+let architecture ~table r =
+  Soctam_tam.Architecture.of_times
+    ~times:(fun ~core ~width -> Tt.time table ~core ~width)
+    ~cores:(Tt.core_count table) ~widths:r.widths ~assignment:r.assignment
+
+let schedule ~table r = Pack_schedule.of_architecture ~table (architecture ~table r)

@@ -1,0 +1,46 @@
+module Tt = Soctam_core.Time_table
+module Arch = Soctam_tam.Architecture
+
+type slot = { core : int; x : int; width : int; start : int; finish : int }
+type t = { total_width : int; makespan : int; slots : slot list }
+
+let of_packing (p : Level_pack.packing) =
+  {
+    total_width = p.Level_pack.pk_width;
+    makespan = p.Level_pack.pk_height;
+    slots =
+      List.map
+        (fun (s : Level_pack.placed) ->
+          {
+            core = s.Level_pack.p_id;
+            x = s.Level_pack.p_x;
+            width = s.Level_pack.p_w;
+            start = s.Level_pack.p_y;
+            finish = s.Level_pack.p_y + s.Level_pack.p_h;
+          })
+        (Level_pack.slots p);
+  }
+
+let of_architecture ~table (arch : Arch.t) =
+  let widths = arch.Arch.widths in
+  let tams = Array.length widths in
+  let offsets = Array.make tams 0 in
+  for j = 1 to tams - 1 do
+    offsets.(j) <- offsets.(j - 1) + widths.(j - 1)
+  done;
+  let clock = Array.make tams 0 in
+  let slots =
+    Array.to_list
+      (Array.mapi
+         (fun core j ->
+           let d = Tt.time table ~core ~width:widths.(j) in
+           let start = clock.(j) in
+           clock.(j) <- start + d;
+           { core; x = offsets.(j); width = widths.(j); start; finish = start + d })
+         arch.Arch.assignment)
+  in
+  {
+    total_width = Soctam_util.Intutil.sum widths;
+    makespan = arch.Arch.time;
+    slots;
+  }

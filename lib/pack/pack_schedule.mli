@@ -1,0 +1,38 @@
+(** Rectangle test schedules: where every core's test sits in
+    (wire, time) space.
+
+    This is the artifact the packing certifier
+    ({!Soctam_check.Schedule_check.certify_packing}) validates: each
+    slot claims a wire band [[x, x + width)] of the strip and a time
+    interval [[start, finish)], and a sound schedule tests every core
+    exactly once, inside the strip, without overlap, for exactly the
+    core's testing time at the slot's width. Both the raw level
+    packings and the engine's final test-bus architectures render to
+    this one type, so one certifier covers both. *)
+
+type slot = {
+  core : int;  (** 0-based core index *)
+  x : int;  (** first wire of the slot's band *)
+  width : int;  (** wires used *)
+  start : int;  (** first cycle *)
+  finish : int;  (** one past the last cycle *)
+}
+
+type t = {
+  total_width : int;  (** the strip (TAM) width the schedule targets *)
+  makespan : int;  (** reported completion time: max over [finish] *)
+  slots : slot list;
+}
+
+val of_packing : Level_pack.packing -> t
+(** A level packing as a schedule: each placed rectangle becomes a
+    slot at its packed position, and the makespan is the packing
+    height. *)
+
+val of_architecture :
+  table:Soctam_core.Time_table.t -> Soctam_tam.Architecture.t -> t
+(** A test-bus architecture as a schedule: TAM [j] owns the wire band
+    after its predecessors' widths, and its cores run back to back in
+    core-index order — the order is immaterial to the makespan, since
+    a TAM's completion is the sum of its core times either way. The
+    makespan is the architecture's testing time. *)

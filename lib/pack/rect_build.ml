@@ -1,0 +1,18 @@
+module Tt = Soctam_core.Time_table
+
+let rects table ~cap =
+  if cap < 1 then invalid_arg "Rect_build.rects: cap must be >= 1";
+  if Tt.max_width table < cap then
+    invalid_arg "Rect_build.rects: time table narrower than the cap";
+  let rows = Tt.rows table in
+  List.init (Tt.core_count table) (fun i ->
+      let row = rows.(i) in
+      let h = row.(cap - 1) in
+      (* The row is monotone non-increasing, so the first width whose
+         time equals [h] is the Pareto step: the narrowest rectangle of
+         this height. *)
+      let w = ref 1 in
+      while row.(!w - 1) <> h do
+        incr w
+      done;
+      { Level_pack.r_id = i; r_w = !w; r_h = h })

@@ -1,0 +1,20 @@
+(** Rectangle construction from per-core wrapper Pareto fronts.
+
+    A core tested at TAM width [w] is a [(w x T_i(w))] rectangle; the
+    times come from a {!Soctam_core.Time_table}, whose rows are served
+    by the process-wide {!Soctam_wrapper.Front} memo cache — the
+    rectangle engine draws from exactly the fronts every other solver
+    shares. The front is a running minimum over chain counts, so
+    [T_i] is monotone non-increasing in [w]; the interesting width
+    choices are the Pareto steps, and a width cap selects one
+    rectangle per core. *)
+
+val rects : Soctam_core.Time_table.t -> cap:int -> Level_pack.rect list
+(** One rectangle per core under a width cap: the height is the core's
+    best time using at most [cap] wires, [T_i(cap)], and the width is
+    the {e narrowest} width achieving that time — wires beyond the
+    Pareto step carry no test data, and trimming them is what lets a
+    level hold more cores. [r_id] is the 0-based core index; the list
+    is in core order.
+    @raise Invalid_argument when [cap < 1] or the table is narrower
+    than [cap]. *)

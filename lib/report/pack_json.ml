@@ -1,0 +1,75 @@
+module J = Soctam_util.Json
+
+type row = {
+  soc : string;
+  width : int;
+  pe_tau : int;
+  pack_tau : int;
+  gap_hundredths : int;
+  pack_makespan : int option;
+  certified : bool;
+}
+
+let gap_hundredths ~pe ~pack =
+  if pe < 1 then invalid_arg "Pack_json.gap_hundredths: pe must be >= 1";
+  (pack - pe) * 10_000 / pe
+
+let row_to_json r =
+  J.Obj
+    [
+      ("soc", J.String r.soc);
+      ("width", J.Int r.width);
+      ("pe_tau", J.Int r.pe_tau);
+      ("pack_tau", J.Int r.pack_tau);
+      ("gap_hundredths", J.Int r.gap_hundredths);
+      ( "pack_makespan",
+        match r.pack_makespan with None -> J.Null | Some m -> J.Int m );
+      ("certified", J.Bool r.certified);
+    ]
+
+let to_json rows = J.Obj [ ("rows", J.List (List.map row_to_json rows)) ]
+let render rows = J.to_string (to_json rows)
+
+let row_of_json j =
+  let int name =
+    match Option.bind (J.member name j) J.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "row: missing or non-integer %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* soc =
+    match Option.bind (J.member "soc" j) J.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error "row: missing or non-string \"soc\""
+  in
+  let* width = int "width" in
+  let* pe_tau = int "pe_tau" in
+  let* pack_tau = int "pack_tau" in
+  let* gap_hundredths = int "gap_hundredths" in
+  let* pack_makespan =
+    match J.member "pack_makespan" j with
+    | Some J.Null -> Ok None
+    | Some (J.Int m) -> Ok (Some m)
+    | Some _ | None -> Error "row: missing or malformed \"pack_makespan\""
+  in
+  let* certified =
+    match J.member "certified" j with
+    | Some (J.Bool b) -> Ok b
+    | Some _ | None -> Error "row: missing or non-boolean \"certified\""
+  in
+  Ok { soc; width; pe_tau; pack_tau; gap_hundredths; pack_makespan; certified }
+
+let of_json j =
+  match Option.bind (J.member "rows" j) J.to_list with
+  | None -> Error "pack table: missing \"rows\" list"
+  | Some rows ->
+      let rec build acc = function
+        | [] -> Ok (List.rev acc)
+        | r :: rest -> (
+            match row_of_json r with
+            | Ok row -> build (row :: acc) rest
+            | Error _ as e -> e)
+      in
+      build [] rows
+
+let parse text = Result.bind (J.parse text) of_json

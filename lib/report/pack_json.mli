@@ -1,0 +1,36 @@
+(** Canonical JSON rendering of the engine-comparison table: the
+    rectangle-packing engine ({!Soctam_pack.Pack_engine}) against the
+    paper's [Partition_evaluate] reference, one row per (SOC, W) point.
+
+    The committed golden under [test/data] is compared {e byte-exact}
+    by the differential suite, so every numeric field is an integer —
+    in particular the relative gap is carried in hundredths of a
+    percent ([gap_hundredths = (pack_tau - pe_tau) * 10000 / pe_tau])
+    rather than as a float, keeping the rendering independent of any
+    float-formatting choice. Rows are rendered in input order with
+    {!Soctam_util.Json.to_string}, the strict single-line printer. *)
+
+type row = {
+  soc : string;  (** SOC name, e.g. ["d695"] *)
+  width : int;  (** total TAM width W *)
+  pe_tau : int;  (** [Partition_evaluate] testing time *)
+  pack_tau : int;  (** pack-engine testing time (distilled partition) *)
+  gap_hundredths : int;
+      (** [(pack_tau - pe_tau) * 10000 / pe_tau]: 0 = identical,
+          1500 = 15% worse *)
+  pack_makespan : int option;
+      (** the engine's best raw level-packing height (diagnostic; may
+          undercut both taus, see DESIGN.md §14) *)
+  certified : bool;  (** the pack schedule passed the packing certifier *)
+}
+
+val gap_hundredths : pe:int -> pack:int -> int
+(** @raise Invalid_argument when [pe < 1]. *)
+
+val to_json : row list -> Soctam_util.Json.t
+val render : row list -> string
+(** Single-line canonical document: [{"rows": [...]}]. *)
+
+val of_json : Soctam_util.Json.t -> (row list, string) result
+val parse : string -> (row list, string) result
+(** Strict: every field present and well-typed, or [Error]. *)

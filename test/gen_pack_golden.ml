@@ -1,0 +1,9 @@
+(* Regenerate the committed engine-comparison golden:
+
+     dune exec test/gen_pack_golden.exe > test/data/pack_table.json
+
+   The byte-exact test in test_pack.ml recomputes the same rows through
+   Golden_rows and compares the canonical rendering against the file,
+   so any intentional change to either engine must rerun this. *)
+
+let () = print_string (Soctam_report.Pack_json.render (Golden_rows.all ()))

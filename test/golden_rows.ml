@@ -1,0 +1,50 @@
+(* The engine-comparison table, computed once and shared between the
+   golden generator (gen_pack_golden.exe, which writes
+   test/data/pack_table.json) and the byte-exact comparison in
+   test_pack.ml. Keeping the computation in one module is what makes
+   the byte-exact promise honest: the test recomputes through exactly
+   the code path that produced the committed file. *)
+
+module Tt = Soctam_core.Time_table
+module Pe = Soctam_core.Partition_evaluate
+module Pk = Soctam_pack.Pack_engine
+module Pj = Soctam_report.Pack_json
+
+(* The paper's Table 2/3 width axis. *)
+let widths = [ 16; 24; 32; 40; 48; 56; 64 ]
+
+(* Both engines run P_NPAW under the default TAM-count cap, matching
+   the CLI defaults the README table quotes. *)
+let max_tams = 10
+
+let socs () =
+  [
+    ("d695", Soctam_soc_data.D695.soc);
+    ("p21241", Soctam_soc_data.Philips.soc_p21241 ());
+    ("p93791", Soctam_soc_data.Philips.soc_p93791 ());
+  ]
+
+let row ~name ~table ~total_width =
+  let pe = Runners.pe_run ~table ~total_width ~max_tams () in
+  let pack = Runners.pack_run ~table ~total_width ~max_tams () in
+  let sched = Pk.schedule ~table pack in
+  let report =
+    Soctam_check.Certify.packing ~table ~expected_makespan:pack.Pk.time
+      ~total_width sched
+  in
+  {
+    Pj.soc = name;
+    width = total_width;
+    pe_tau = pe.Pe.time;
+    pack_tau = pack.Pk.time;
+    gap_hundredths = Pj.gap_hundredths ~pe:pe.Pe.time ~pack:pack.Pk.time;
+    pack_makespan = pack.Pk.best_makespan;
+    certified = Soctam_check.Report.ok report;
+  }
+
+let all () =
+  List.concat_map
+    (fun (name, soc) ->
+      let table = Tt.build soc ~max_width:(List.fold_left max 0 widths) in
+      List.map (fun w -> row ~name ~table ~total_width:w) widths)
+    (socs ())

@@ -9,6 +9,7 @@ module Co = Soctam_core.Co_optimize
 module Pe = Soctam_core.Partition_evaluate
 module Ex = Soctam_core.Exhaustive
 module Sw = Soctam_core.Sweep
+module Pk = Soctam_pack.Pack_engine
 
 let opt set v cfg = match v with None -> cfg | Some x -> set x cfg
 
@@ -54,3 +55,9 @@ let ex_run ?stats ?jobs ?node_limit_per_partition ?time_budget ~table
 
 let sweep_run ?stats ?jobs ?max_tams soc ~widths =
   (Sw.run_with (cfg ?stats ?jobs ?max_tams ()) soc ~widths).Sw.points
+
+let pack_run ?stats ?jobs ?max_tams ?tams ?initial_best ?time_budget ~table
+    ~total_width () =
+  Pk.run_with
+    (cfg ?stats ?jobs ?max_tams ?tams ?initial_best ?time_budget ())
+    ~table ~total_width

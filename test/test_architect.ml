@@ -91,6 +91,24 @@ let validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "zero width accepted"
 
+let never_loses_to_packing_backend =
+  (* optimize seeds its multi-start from the rectangle-packing engine,
+     so the climbed result can only improve on the packing time; this
+     pins that the backend is genuinely wired in. *)
+  QCheck.Test.make ~name:"tr: never loses to the packing backend" ~count:8
+    QCheck.(pair (int_range 1 300) (int_range 4 12))
+    (fun (seed, total_width) ->
+      let soc = small_soc (Int64.of_int seed) ~cores:6 in
+      let table = Tt.build soc ~max_width:total_width in
+      let tr = Tr.optimize ~max_tams:4 ~table ~total_width () in
+      let pack =
+        Soctam_pack.Pack_engine.run_with
+          (Soctam_core.Run_config.default
+          |> Soctam_core.Run_config.with_max_tams (min 4 total_width))
+          ~table ~total_width
+      in
+      tr.Tr.time <= pack.Soctam_pack.Pack_engine.time)
+
 let single_tam_trivial () =
   let soc = small_soc 52L ~cores:4 in
   let table = Tt.build soc ~max_width:6 in
@@ -102,6 +120,7 @@ let suite =
     qtest result_invariants;
     qtest never_beats_global_optimum;
     qtest close_to_partition_evaluate;
+    qtest never_loses_to_packing_backend;
     test "tr: deterministic" deterministic;
     test "tr: validation" validation;
     test "tr: single TAM" single_tam_trivial;

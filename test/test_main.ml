@@ -20,6 +20,7 @@ let () =
       ("scan", Test_scan.suite);
       ("order", Test_order.suite);
       ("architect", Test_architect.suite);
+      ("pack", Test_pack.suite);
       ("regression", Test_regression.suite);
       ("report", Test_report.suite);
       ("check", Test_check.suite);
