@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test test-par test-par-smoke test-resume bench ci lint static-analysis fmt fmt-check coverage clean
+.PHONY: all build test test-par test-par-smoke test-resume test-race bench ci lint static-analysis fmt fmt-check coverage clean
 
 all: build
 
@@ -8,7 +8,7 @@ all: build
 # without ocamlformat), strict-warning build, test suite (which itself
 # depends on the repo-analyzes-clean gate via the @runtest alias), the
 # parallel-scheduler smoke pass, and the standalone analyzer pass.
-ci: fmt-check build test test-par-smoke static-analysis
+ci: fmt-check build test test-par-smoke test-race static-analysis
 
 build:
 	dune build @all
@@ -34,6 +34,15 @@ test-par-smoke:
 # determinism properties from DESIGN.md §12.
 test-resume: build
 	dune exec test/test_main.exe -- test checkpoint
+
+# Portfolio-racer suite only (test/test_race.ml): kill-and-resume at
+# every slice boundary, jobs=1 vs jobs=4 byte-identity, the
+# never-worse-than-best-solo property replayed against the committed
+# 21-point engine-comparison grid, and first-proof termination. Runs
+# from the build tree because the grid test reads data/pack_table.json
+# relative to the test directory (the `dune runtest` convention).
+test-race: build
+	cd _build/default/test && ./test_main.exe test race
 
 bench:
 	dune exec bench/main.exe

@@ -475,8 +475,9 @@ let extension_annealing () =
           in
           let sa, sa_secs =
             Soctam_util.Timer.time (fun () ->
-                Soctam_anneal.Annealer.optimize ~table ~total_width:w
-                  ~max_tams:10 ())
+                Soctam_anneal.Annealer.run_with
+                  Soctam_core.Run_config.(default |> with_max_tams 10)
+                  ~table ~total_width:w)
           in
           let tr, tr_secs =
             Soctam_util.Timer.time (fun () ->

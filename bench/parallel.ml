@@ -288,6 +288,79 @@ let pack_entry name soc =
     | None -> "null")
     seq_seconds par_seconds
 
+(* The pe+pack portfolio race on the same instance as the pack entry:
+   each solo engine's wall time against the portfolio's, the shared
+   bound traffic (tau import/export counts), and the jobs-independence
+   evidence — a sequential policy run against an oversubscribed jobs=4
+   run, which must report the byte-identical result. The race's tau is
+   additionally checked against the best solo tau: a complete portfolio
+   must never be worse (DESIGN.md §15). *)
+let race_entry name soc =
+  let w = List.fold_left max 1 widths in
+  let table = Soctam_core.Time_table.build soc ~max_width:w in
+  let engine n =
+    match Soctam_race.Registry.find n with
+    | Ok e -> e
+    | Error msg -> failwith msg
+  in
+  let solo n =
+    Timer.time (fun () ->
+        Soctam_core.Engine.run (engine n)
+          (Rc.default |> Rc.with_max_tams max_tams)
+          { Soctam_core.Engine.table; total_width = w })
+  in
+  let pe_report, pe_seconds = solo "pe" in
+  let pack_report, pack_seconds = solo "pack" in
+  let race ~jobs ~oversubscribe =
+    let cfg =
+      Rc.default |> Rc.with_max_tams max_tams |> Rc.with_jobs jobs
+      |> Rc.with_oversubscribe oversubscribe
+    in
+    Timer.time (fun () ->
+        Soctam_race.Race.run cfg
+          ~engines:[ engine "pe"; engine "pack" ]
+          ~table ~total_width:w)
+  in
+  let seq, seq_seconds = race ~jobs:1 ~oversubscribe:false in
+  let par, par_seconds = race ~jobs:4 ~oversubscribe:true in
+  let signature (r : Soctam_race.Race.result) =
+    ( r.Soctam_race.Race.time,
+      Array.to_list r.Soctam_race.Race.widths,
+      Array.to_list r.Soctam_race.Race.assignment,
+      r.Soctam_race.Race.winner,
+      r.Soctam_race.Race.slices,
+      r.Soctam_race.Race.tau_imports,
+      r.Soctam_race.Race.tau_exports )
+  in
+  if signature seq <> signature par then begin
+    Printf.eprintf
+      "FATAL: %s race at jobs=4 differs from the sequential result\n" name;
+    exit 1
+  end;
+  let solo_best =
+    min pe_report.Soctam_core.Engine.r_time
+      pack_report.Soctam_core.Engine.r_time
+  in
+  if seq.Soctam_race.Race.time > solo_best then begin
+    Printf.eprintf "FATAL: %s race tau %d worse than best solo tau %d\n" name
+      seq.Soctam_race.Race.time solo_best;
+    exit 1
+  end;
+  Printf.sprintf
+    "{ \"width\": %d, \"engines\": \"pe,pack\", \"tau\": %d, \"winner\": %s, \
+     \"rounds\": %d, \"slices\": %d, \"tau_imports\": %d, \"tau_exports\": \
+     %d, \"solo_pe_seconds\": %.3f, \"solo_pack_seconds\": %.3f, \
+     \"solo_best_seconds\": %.3f, \"seq_seconds\": %.3f, \"par_seconds\": \
+     %.3f, \"identical\": true }"
+    w seq.Soctam_race.Race.time
+    (match seq.Soctam_race.Race.winner with
+    | Some n -> Printf.sprintf "%S" n
+    | None -> "null")
+    seq.Soctam_race.Race.rounds seq.Soctam_race.Race.slices
+    seq.Soctam_race.Race.tau_imports seq.Soctam_race.Race.tau_exports
+    pe_seconds pack_seconds (Float.min pe_seconds pack_seconds) seq_seconds
+    par_seconds
+
 (* Wall time of the source analyzer (DESIGN.md §13) over the whole
    repository — the cost `dune build @lint-src` adds to CI — in both
    modes: the syntactic Parsetree pass alone, and the default typed
@@ -344,6 +417,7 @@ let () =
         let plain, with_stats, overhead_pct = stats_overhead soc in
         let ck_plain, ck_on, ck_pct = checkpoint_overhead soc in
         let pack = pack_entry name soc in
+        let race = race_entry name soc in
         Printf.sprintf
           "  {\n\
           \    \"soc\": %S,\n\
@@ -354,6 +428,7 @@ let () =
            \"checkpoint_seconds\": %.3f, \"checkpoint_every\": %d, \
            \"overhead_pct\": %.2f },\n\
           \    \"pack\": %s,\n\
+          \    \"race\": %s,\n\
           \    \"runs\": [\n\
            %s\n\
           \    ]\n\
@@ -361,7 +436,7 @@ let () =
           name
           (String.concat ", " (List.map string_of_int widths))
           plain with_stats overhead_pct ck_plain ck_on checkpoint_every ck_pct
-          pack
+          pack race
           (String.concat ",\n" (List.map json_run runs)))
       socs
   in

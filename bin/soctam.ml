@@ -72,14 +72,16 @@ let with_stats dest f =
 
 (* -- shared run options ---------------------------------------------------- *)
 
-(* The options every long-running solver subcommand (optimize, sweep,
-   exhaustive) shares: parallelism, observability, and the checkpoint /
-   resume lifecycle. One record, one cmdliner term, one Run_config
-   builder — a new solver subcommand picks all of them up by composing
-   [run_opts_term] instead of redeclaring flags. *)
+(* The options every long-running solver subcommand (the engine
+   subcommands, sweep, race) shares: parallelism, observability, a
+   wall-clock budget, and the checkpoint / resume lifecycle. One record,
+   one cmdliner term, one Run_config builder — a new solver subcommand
+   picks all of them up by composing [run_opts_term] instead of
+   redeclaring flags. *)
 type run_opts = {
   ro_jobs : int;
   ro_stats : string option;
+  ro_budget : float option;
   ro_checkpoint : string option;
   ro_every : int;
   ro_resume : string option;
@@ -138,6 +140,11 @@ let with_run_config opts soc f =
             |> with_checkpoint_every opts.ro_every
           in
           let cfg =
+            match opts.ro_budget with
+            | Some seconds -> with_time_budget seconds cfg
+            | None -> cfg
+          in
+          let cfg =
             match opts.ro_checkpoint with
             | Some path -> with_checkpoint path cfg
             | None -> cfg
@@ -164,11 +171,6 @@ let print_report ?(json = false) report =
   if json then print_endline (Soctam_report.Check_json.render report)
   else Format.printf "%a@." Soctam_check.Report.pp report;
   if Soctam_check.Report.ok report then 0 else 1
-
-(* Run the certifier after an optimization command (--certify). *)
-let certify_result ?table soc ~total_width result =
-  print_report
-    (Soctam_check.Certify.co_optimize ?table ~soc ~total_width result)
 
 (* -- info ---------------------------------------------------------------- *)
 
@@ -202,146 +204,284 @@ let wrapper_cmd spec core_id width layout =
         0
       end)
 
-(* -- optimize ------------------------------------------------------------ *)
+(* -- engine subcommands --------------------------------------------------- *)
 
-let optimize_cmd spec width tams max_tams opts save_arch certify =
+(* optimize / pack / anneal / exhaustive are the same subcommand over
+   different engines: resolve the engine in the registry, validate the
+   shared flag set against its capability record, build one Run_config,
+   run, and present the uniform report. The per-engine texture lives in
+   the engine's own note lines, not in per-subcommand plumbing. *)
+
+module Engine = Soctam_core.Engine
+
+(* Reject flag/engine combinations the engine's caps rule out, with one
+   wording for every subcommand. *)
+let engine_flag_error engine ~tams ~jobs =
+  let caps = Engine.caps engine in
+  let name = Engine.name engine in
+  if caps.Engine.needs_fixed_tams && tams = None then
+    Some (Printf.sprintf "engine %s solves one TAM count at a time: pass -b B"
+            name)
+  else if caps.Engine.free_tams_only && tams <> None then
+    Some (Printf.sprintf
+            "engine %s searches the TAM count itself: drop -b (bound it with \
+             --max-tams)"
+            name)
+  else if (not caps.Engine.parallel) && jobs > 1 then
+    Some (Printf.sprintf "engine %s is sequential: drop -j" name)
+  else None
+
+(* Certificate subjects stay what they were before the registry rework
+   so certification output remains recognizable (and pinned by tests). *)
+let certify_subject soc ~width engine_name =
+  match engine_name with
+  | "pe" ->
+      Printf.sprintf "%s co-optimization (W = %d)" soc.Soctam_model.Soc.name
+        width
+  | "anneal" -> "simulated annealing result"
+  | "exhaustive" | "ilp" -> "exhaustive baseline result"
+  | name ->
+      Printf.sprintf "%s %s result (W = %d)" soc.Soctam_model.Soc.name name
+        width
+
+let outcome_word = function
+  | Soctam_core.Outcome.Complete -> "complete"
+  | Soctam_core.Outcome.Budget_exhausted _ -> "budget hit, incumbent"
+  | Soctam_core.Outcome.Interrupted _ -> "interrupted, incumbent"
+
+let print_bounds table ~width ~time =
+  let bounds = Soctam_core.Bounds.compute table ~total_width:width in
+  Format.printf
+    "lower bounds: bottleneck %d (core %d), wire volume %d; gap %+.2f%%%s@."
+    bounds.Soctam_core.Bounds.bottleneck
+    (bounds.Soctam_core.Bounds.bottleneck_core + 1)
+    bounds.Soctam_core.Bounds.wire_volume
+    (Soctam_core.Bounds.gap_pct bounds ~time)
+    (if Soctam_core.Bounds.saturated bounds ~time then
+       " (saturated: more wires or TAMs cannot help)"
+     else "")
+
+let save_architecture soc architecture = function
+  | None -> 0
+  | Some path -> (
+      match
+        Soctam_tam.Arch_format.save path ~soc_name:soc.Soctam_model.Soc.name
+          architecture
+      with
+      | Ok () ->
+          Format.printf "architecture written to %s@." path;
+          0
+      | Error msg ->
+          prerr_endline ("soctam: " ^ msg);
+          1)
+
+let certify_claim ~table ~check_exact ~subject soc ~width ~widths ~assignment
+    ~time =
+  let claim =
+    {
+      Soctam_check.Arch_check.total_width = Some width;
+      widths;
+      assignment;
+      core_times = None;
+      tam_times = None;
+      time;
+    }
+  in
+  print_report (Soctam_check.Certify.claim ~table ~check_exact ~subject ~soc claim)
+
+(* The driver shared by every engine subcommand. [engine] is a registry
+   lookup result so subcommands that parameterize their engine (anneal's
+   --iterations/--seed) slot in the same way. *)
+let engine_cmd engine spec width tams max_tams opts save_arch certify =
   with_soc spec (fun soc ->
-      with_run_config opts soc (fun cfg ->
-      let stats = cfg.Soctam_core.Run_config.stats in
-      let table = Soctam_core.Time_table.build ~stats soc ~max_width:width in
-      let cfg = Soctam_core.Run_config.with_table table cfg in
-      let cfg =
-        match tams with
-        | Some tams -> Soctam_core.Run_config.with_tams tams cfg
-        | None -> Soctam_core.Run_config.with_max_tams max_tams cfg
-      in
-      let result, secs =
-        Soctam_util.Timer.time (fun () ->
-            Soctam_core.Co_optimize.run_with cfg soc ~total_width:width)
-      in
-      let architecture = result.Soctam_core.Co_optimize.architecture in
-      Format.printf "%a@." Soctam_tam.Architecture.pp architecture;
-      Format.printf
-        "heuristic time %d, final time %d (%s), idle wire-cycles %d, %.2fs@."
-        result.Soctam_core.Co_optimize.heuristic_time
-        result.Soctam_core.Co_optimize.final_time
-        (if result.Soctam_core.Co_optimize.final_proven_optimal then
-           "proven optimal for this partition"
-         else "node budget hit")
-        (Soctam_tam.Architecture.idle_wire_cycles architecture)
-        secs;
-      Format.printf "%a@." Soctam_tam.Cost.pp
-        (Soctam_tam.Cost.estimate soc architecture);
-      let bounds = Soctam_core.Bounds.compute table ~total_width:width in
-      Format.printf
-        "lower bounds: bottleneck %d (core %d), wire volume %d; gap %+.2f%%%s@."
-        bounds.Soctam_core.Bounds.bottleneck
-        (bounds.Soctam_core.Bounds.bottleneck_core + 1)
-        bounds.Soctam_core.Bounds.wire_volume
-        (Soctam_core.Bounds.gap_pct bounds
-           ~time:result.Soctam_core.Co_optimize.final_time)
-        (if
-           Soctam_core.Bounds.saturated bounds
-             ~time:result.Soctam_core.Co_optimize.final_time
-         then " (saturated: more wires or TAMs cannot help)"
-         else "");
-      let save_status =
-        match save_arch with
-        | None -> 0
-        | Some path -> (
-            match
-              Soctam_tam.Arch_format.save path
-                ~soc_name:soc.Soctam_model.Soc.name architecture
-            with
-            | Ok () ->
-                Format.printf "architecture written to %s@." path;
-                0
-            | Error msg ->
-                prerr_endline ("soctam: " ^ msg);
-                1)
-      in
-      let certify_status =
-        if certify then certify_result ~table soc ~total_width:width result
-        else 0
-      in
-      let oc_status =
-        outcome_status ?checkpoint:opts.ro_checkpoint
-          result.Soctam_core.Co_optimize.outcome
-      in
-      max oc_status (if save_status <> 0 then save_status else certify_status)))
+      match engine with
+      | Error msg ->
+          prerr_endline ("soctam: " ^ msg);
+          1
+      | Ok engine -> (
+          match engine_flag_error engine ~tams ~jobs:opts.ro_jobs with
+          | Some msg ->
+              prerr_endline ("soctam: " ^ msg);
+              1
+          | None ->
+              with_run_config opts soc (fun cfg ->
+                  let stats = cfg.Soctam_core.Run_config.stats in
+                  let table =
+                    Soctam_core.Time_table.build ~stats soc ~max_width:width
+                  in
+                  let cfg =
+                    match tams with
+                    | Some tams -> Soctam_core.Run_config.with_tams tams cfg
+                    | None -> Soctam_core.Run_config.with_max_tams max_tams cfg
+                  in
+                  let report, secs =
+                    Soctam_util.Timer.time (fun () ->
+                        Engine.run engine cfg
+                          { Engine.table; total_width = width })
+                  in
+                  let name = Engine.name engine in
+                  if Array.length report.Engine.r_widths = 0 then begin
+                    (* Possible only under an imported bound or a budget
+                       spent before the first incumbent. *)
+                    Format.printf "%s: no architecture (%s), %.2fs@." name
+                      (outcome_word report.Engine.r_outcome) secs;
+                    List.iter
+                      (fun note -> Format.printf "  %s@." note)
+                      report.Engine.r_notes;
+                    outcome_status ?checkpoint:opts.ro_checkpoint
+                      report.Engine.r_outcome
+                  end
+                  else begin
+                    let architecture =
+                      Soctam_tam.Architecture.make ~soc
+                        ~widths:report.Engine.r_widths
+                        ~assignment:report.Engine.r_assignment
+                    in
+                    Format.printf "%a@." Soctam_tam.Architecture.pp
+                      architecture;
+                    Format.printf "%s: partition %a, time %d (%s), %.2fs@."
+                      name Soctam_tam.Architecture.pp_partition
+                      report.Engine.r_widths report.Engine.r_time
+                      (outcome_word report.Engine.r_outcome)
+                      secs;
+                    List.iter
+                      (fun note -> Format.printf "  %s@." note)
+                      report.Engine.r_notes;
+                    Format.printf "%a@." Soctam_tam.Cost.pp
+                      (Soctam_tam.Cost.estimate soc architecture);
+                    print_bounds table ~width ~time:report.Engine.r_time;
+                    let save_status =
+                      save_architecture soc architecture save_arch
+                    in
+                    let certify_status =
+                      if certify then
+                        certify_claim ~table
+                          ~check_exact:(Engine.cert engine).Engine.cert_exact
+                          ~subject:(certify_subject soc ~width name)
+                          soc ~width ~widths:report.Engine.r_widths
+                          ~assignment:report.Engine.r_assignment
+                          ~time:report.Engine.r_time
+                      else 0
+                    in
+                    let oc_status =
+                      outcome_status ?checkpoint:opts.ro_checkpoint
+                        report.Engine.r_outcome
+                    in
+                    max oc_status
+                      (if save_status <> 0 then save_status
+                       else certify_status)
+                  end)))
 
-(* -- pack ---------------------------------------------------------------- *)
+(* -- race ----------------------------------------------------------------- *)
 
-let pack_cmd spec width tams max_tams opts certify =
+(* The portfolio racer: every engine of --engines attacks the instance
+   in round-robin slices under one shared pruning bound. Wall time goes
+   to stderr so stdout is byte-identical for every -j (the engines and
+   the racer are deterministic; only the clock is not). *)
+let race_cmd spec width tams max_tams engines_spec opts save_arch certify =
   with_soc spec (fun soc ->
-      with_run_config opts soc (fun cfg ->
-      let stats = cfg.Soctam_core.Run_config.stats in
-      let table = Soctam_core.Time_table.build ~stats soc ~max_width:width in
-      let cfg =
-        match tams with
-        | Some tams -> Soctam_core.Run_config.with_tams tams cfg
-        | None -> Soctam_core.Run_config.with_max_tams max_tams cfg
-      in
-      let result, secs =
-        Soctam_util.Timer.time (fun () ->
-            Soctam_pack.Pack_engine.run_with cfg ~table ~total_width:width)
-      in
-      let architecture = Soctam_pack.Pack_engine.architecture ~table result in
-      Format.printf "%a@." Soctam_tam.Architecture.pp architecture;
-      Format.printf
-        "pack time %d over %d ranks: %d packings, %d distilled candidates \
-         (%d evaluated, %d pruned), %.2fs@."
-        result.Soctam_pack.Pack_engine.time
-        result.Soctam_pack.Pack_engine.ranks
-        result.Soctam_pack.Pack_engine.packings
-        result.Soctam_pack.Pack_engine.candidates
-        result.Soctam_pack.Pack_engine.completed
-        result.Soctam_pack.Pack_engine.pruned secs;
-      (match result.Soctam_pack.Pack_engine.best_makespan with
-      | Some m ->
-          Format.printf
-            "best raw level-packing height %d (geometric diagnostic; the \
-             reported time is a certified test-bus schedule)@." m
-      | None -> ());
-      let bounds = Soctam_core.Bounds.compute table ~total_width:width in
-      Format.printf
-        "lower bounds: bottleneck %d (core %d), wire volume %d; gap %+.2f%%%s@."
-        bounds.Soctam_core.Bounds.bottleneck
-        (bounds.Soctam_core.Bounds.bottleneck_core + 1)
-        bounds.Soctam_core.Bounds.wire_volume
-        (Soctam_core.Bounds.gap_pct bounds
-           ~time:result.Soctam_pack.Pack_engine.time)
-        (if
-           Soctam_core.Bounds.saturated bounds
-             ~time:result.Soctam_pack.Pack_engine.time
-         then " (saturated: more wires or TAMs cannot help)"
-         else "");
-      let certify_status =
-        if certify then begin
-          let arch_status =
-            print_report
-              (Soctam_check.Certify.architecture ~table ~total_width:width
-                 ~soc architecture)
-          in
-          let sched = Soctam_pack.Pack_engine.schedule ~table result in
-          let sched_status =
-            print_report
-              (Soctam_check.Certify.packing ~table
-                 ~expected_makespan:result.Soctam_pack.Pack_engine.time
-                 ~subject:
-                   (Printf.sprintf "%s pack schedule (W = %d)"
-                      soc.Soctam_model.Soc.name width)
-                 ~total_width:width sched)
-          in
-          max arch_status sched_status
-        end
-        else 0
-      in
-      let oc_status =
-        outcome_status ?checkpoint:opts.ro_checkpoint
-          result.Soctam_pack.Pack_engine.outcome
-      in
-      max oc_status certify_status))
+      match Soctam_race.Registry.parse engines_spec with
+      | Error msg ->
+          prerr_endline ("soctam: " ^ msg);
+          1
+      | Ok engines ->
+          with_run_config opts soc (fun cfg ->
+              let stats = cfg.Soctam_core.Run_config.stats in
+              let table =
+                Soctam_core.Time_table.build ~stats soc ~max_width:width
+              in
+              let cfg =
+                match tams with
+                | Some tams -> Soctam_core.Run_config.with_tams tams cfg
+                | None -> Soctam_core.Run_config.with_max_tams max_tams cfg
+              in
+              let result, secs =
+                Soctam_util.Timer.time (fun () ->
+                    Soctam_race.Race.run cfg ~engines ~table
+                      ~total_width:width)
+              in
+              Printf.eprintf "soctam: race wall time %.2fs\n%!" secs;
+              Format.printf "race: time %d (%s) after %d rounds (%d slices)@."
+                result.Soctam_race.Race.time
+                (outcome_word result.Soctam_race.Race.outcome)
+                result.Soctam_race.Race.rounds result.Soctam_race.Race.slices;
+              Format.printf "  winner %s%s; tau imports %d, exports %d@."
+                (match result.Soctam_race.Race.winner with
+                | Some w -> w
+                | None -> "none (even-split fallback)")
+                (if result.Soctam_race.Race.proven_optimal then
+                   ", proven optimal"
+                 else "")
+                result.Soctam_race.Race.tau_imports
+                result.Soctam_race.Race.tau_exports;
+              List.iter
+                (fun er ->
+                  Format.printf "  %-10s %d slices, %d improvements%s@."
+                    er.Soctam_race.Race.er_name
+                    er.Soctam_race.Race.er_slices
+                    er.Soctam_race.Race.er_improvements
+                    (if er.Soctam_race.Race.er_proved then ", proved"
+                     else if er.Soctam_race.Race.er_done then ", done"
+                     else ""))
+                result.Soctam_race.Race.engines;
+              (* Seed TR-Architect from the race winner: a free-TAM-count
+                 instance whose optimum is not proven may still have an
+                 improving hill-climb move. The climb never worsens its
+                 seed, so the printed architecture stays never-worse than
+                 the best solo engine. *)
+              let widths, assignment, time =
+                if
+                  tams = None
+                  && Soctam_core.Outcome.is_complete
+                       result.Soctam_race.Race.outcome
+                  && not result.Soctam_race.Race.proven_optimal
+                then begin
+                  let climb =
+                    Soctam_architect.Tr_architect.climb ~max_tams ~table
+                      ~widths:result.Soctam_race.Race.widths ()
+                  in
+                  if climb.Soctam_architect.Tr_architect.time
+                     < result.Soctam_race.Race.time
+                  then begin
+                    Format.printf
+                      "polish: TR-Architect climb improved %d -> %d@."
+                      result.Soctam_race.Race.time
+                      climb.Soctam_architect.Tr_architect.time;
+                    ( climb.Soctam_architect.Tr_architect.widths,
+                      climb.Soctam_architect.Tr_architect.assignment,
+                      climb.Soctam_architect.Tr_architect.time )
+                  end
+                  else
+                    ( result.Soctam_race.Race.widths,
+                      result.Soctam_race.Race.assignment,
+                      result.Soctam_race.Race.time )
+                end
+                else
+                  ( result.Soctam_race.Race.widths,
+                    result.Soctam_race.Race.assignment,
+                    result.Soctam_race.Race.time )
+              in
+              let architecture =
+                Soctam_tam.Architecture.make ~soc ~widths ~assignment
+              in
+              Format.printf "%a@." Soctam_tam.Architecture.pp architecture;
+              print_bounds table ~width ~time;
+              let save_status = save_architecture soc architecture save_arch in
+              let certify_status =
+                if certify then
+                  certify_claim ~table ~check_exact:true
+                    ~subject:
+                      (Printf.sprintf "%s race winner (W = %d)"
+                         soc.Soctam_model.Soc.name width)
+                    soc ~width ~widths ~assignment ~time
+                else 0
+              in
+              let oc_status =
+                outcome_status ?checkpoint:opts.ro_checkpoint
+                  result.Soctam_race.Race.outcome
+              in
+              max oc_status
+                (if save_status <> 0 then save_status else certify_status)))
 
 (* -- compare ------------------------------------------------------------- *)
 
@@ -450,119 +590,6 @@ let sweep_cmd spec from_w to_w step tolerance opts =
         outcome_status ?checkpoint:opts.ro_checkpoint
           result.Soctam_core.Sweep.outcome)
       end)
-
-(* -- anneal -------------------------------------------------------------- *)
-
-let anneal_cmd spec width max_tams iterations seed certify =
-  with_soc spec (fun soc ->
-      let table = Soctam_core.Time_table.build soc ~max_width:width in
-      let params =
-        {
-          Soctam_anneal.Annealer.default_params with
-          Soctam_anneal.Annealer.iterations;
-          seed = Int64.of_int seed;
-        }
-      in
-      let sa, sa_secs =
-        Soctam_util.Timer.time (fun () ->
-            Soctam_anneal.Annealer.optimize ~params ~table ~total_width:width
-              ~max_tams ())
-      in
-      let pipeline, pipe_secs =
-        Soctam_util.Timer.time (fun () ->
-            Soctam_core.Co_optimize.run_with
-              Soctam_core.Run_config.(
-                default |> with_max_tams max_tams |> with_table table)
-              soc ~total_width:width)
-      in
-      Format.printf
-        "simulated annealing: %a -> %d cycles (%d/%d moves accepted, %.2fs)@."
-        Soctam_tam.Architecture.pp_partition
-        sa.Soctam_anneal.Annealer.widths sa.Soctam_anneal.Annealer.time
-        sa.Soctam_anneal.Annealer.accepted sa.Soctam_anneal.Annealer.proposed
-        sa_secs;
-      Format.printf "paper pipeline:      %a -> %d cycles (%.2fs)@."
-        Soctam_tam.Architecture.pp_partition
-        pipeline.Soctam_core.Co_optimize.architecture
-          .Soctam_tam.Architecture.widths
-        pipeline.Soctam_core.Co_optimize.final_time pipe_secs;
-      if certify then begin
-        let claim =
-          {
-            Soctam_check.Arch_check.total_width = Some width;
-            widths = sa.Soctam_anneal.Annealer.widths;
-            assignment = sa.Soctam_anneal.Annealer.assignment;
-            core_times = None;
-            tam_times = None;
-            time = sa.Soctam_anneal.Annealer.time;
-          }
-        in
-        let sa_status =
-          print_report
-            (Soctam_check.Certify.claim ~table
-               ~subject:"simulated annealing result" ~soc claim)
-        in
-        let pipe_status =
-          certify_result ~table soc ~total_width:width pipeline
-        in
-        max sa_status pipe_status
-      end
-      else 0)
-
-(* -- exhaustive ---------------------------------------------------------- *)
-
-let exhaustive_cmd spec width tams budget opts certify =
-  with_soc spec (fun soc ->
-      with_run_config opts soc (fun cfg ->
-      let stats = cfg.Soctam_core.Run_config.stats in
-      let table = Soctam_core.Time_table.build ~stats soc ~max_width:width in
-      let cfg = Soctam_core.Run_config.with_time_budget budget cfg in
-      let result, secs =
-        Soctam_util.Timer.time (fun () ->
-            Soctam_core.Exhaustive.run_with cfg ~table ~total_width:width
-              ~tams)
-      in
-      Format.printf
-        "exhaustive: partition %a, time %d, %d/%d partitions solved%s, \
-         %d nodes, %.2fs@."
-        Soctam_tam.Architecture.pp_partition
-        result.Soctam_core.Exhaustive.widths
-        result.Soctam_core.Exhaustive.time
-        result.Soctam_core.Exhaustive.partitions_solved
-        result.Soctam_core.Exhaustive.partitions_total
-        (if
-           Soctam_core.Outcome.is_complete
-             result.Soctam_core.Exhaustive.outcome
-         then ""
-         else " (budget hit, incumbent)")
-        result.Soctam_core.Exhaustive.nodes secs;
-      let certify_status =
-        if certify then
-          let claim =
-            {
-              Soctam_check.Arch_check.total_width = Some width;
-              widths = result.Soctam_core.Exhaustive.widths;
-              assignment = result.Soctam_core.Exhaustive.assignment;
-              core_times = None;
-              tam_times = None;
-              time = result.Soctam_core.Exhaustive.time;
-            }
-          in
-          print_report
-            (Soctam_check.Certify.claim ~table ~check_exact:true
-               ~subject:"exhaustive baseline result" ~soc claim)
-        else 0
-      in
-      let oc_status =
-        match result.Soctam_core.Exhaustive.outcome with
-        | Soctam_core.Outcome.Budget_exhausted _
-          when opts.ro_checkpoint = None ->
-            (* The truncation is already reported inline ("budget hit,
-               incumbent"), exactly as before checkpointing existed. *)
-            0
-        | outcome -> outcome_status ?checkpoint:opts.ro_checkpoint outcome
-      in
-      max oc_status certify_status))
 
 (* -- tables -------------------------------------------------------------- *)
 
@@ -889,15 +916,34 @@ let front_cache_arg =
            entries (0 disables caching). The cache only affects wall time: \
            results are byte-identical at every setting. Default 256.")
 
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"S"
+        ~doc:
+          "Wall-clock budget in seconds. The run stops at the next slice \
+           boundary with the incumbent; with $(b,--checkpoint) the \
+           truncated run is resumable. Default: no budget.")
+
 (* One shared spec for the solver subcommands: every flag above, parsed
    into a [run_opts]. *)
 let run_opts_term =
-  let make ro_jobs ro_stats ro_checkpoint ro_every ro_resume ro_front_cache =
-    { ro_jobs; ro_stats; ro_checkpoint; ro_every; ro_resume; ro_front_cache }
+  let make ro_jobs ro_stats ro_budget ro_checkpoint ro_every ro_resume
+      ro_front_cache =
+    {
+      ro_jobs;
+      ro_stats;
+      ro_budget;
+      ro_checkpoint;
+      ro_every;
+      ro_resume;
+      ro_front_cache;
+    }
   in
   Term.(
-    const make $ jobs_arg $ stats_arg $ checkpoint_arg $ checkpoint_every_arg
-    $ resume_arg $ front_cache_arg)
+    const make $ jobs_arg $ stats_arg $ budget_arg $ checkpoint_arg
+    $ checkpoint_every_arg $ resume_arg $ front_cache_arg)
 
 let certify_flag =
   Arg.(
@@ -912,44 +958,80 @@ let json_flag =
     value & flag
     & info [ "json" ] ~doc:"Emit the diagnostic report as JSON.")
 
-let optimize_term =
-  let tams =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "b"; "tams" ] ~docv:"B" ~doc:"Fix the number of TAMs (P_PAW).")
-  in
-  let max_tams =
-    Arg.(
-      value & opt int 10
-      & info [ "max-tams" ] ~docv:"B" ~doc:"TAM count ceiling for P_NPAW.")
-  in
-  let save_arch =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "save-arch" ] ~docv:"FILE"
-          ~doc:"Write the resulting architecture to FILE.")
-  in
-  Term.(
-    const optimize_cmd $ soc_arg $ width_arg $ tams $ max_tams
-    $ run_opts_term $ save_arch $ certify_flag)
+(* The engine subcommands share one flag surface: the number-of-TAMs
+   plan, the run options, --save-arch and --certify. An engine's caps
+   decide at runtime which combinations are valid. *)
+let tams_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "b"; "tams" ] ~docv:"B"
+        ~doc:
+          "Fix the number of TAMs (P_PAW). Required by engines that solve \
+           one TAM count at a time (exhaustive, ilp); rejected by engines \
+           that search the TAM count themselves (anneal).")
 
-let pack_term =
-  let tams =
+let max_tams_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "max-tams" ] ~docv:"B" ~doc:"TAM count ceiling for P_NPAW.")
+
+let save_arch_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-arch" ] ~docv:"FILE"
+        ~doc:"Write the resulting architecture to FILE.")
+
+let engine_term engine =
+  Term.(
+    const (engine_cmd engine)
+    $ soc_arg $ width_arg $ tams_arg $ max_tams_arg $ run_opts_term
+    $ save_arch_arg $ certify_flag)
+
+let optimize_term = engine_term (Soctam_race.Registry.find "pe")
+let pack_term = engine_term (Soctam_race.Registry.find "pack")
+let exhaustive_term = engine_term (Soctam_race.Registry.find "exhaustive")
+let ilp_term = engine_term (Soctam_race.Registry.find "ilp")
+
+let anneal_term =
+  let iterations =
     Arg.(
-      value
-      & opt (some int) None
-      & info [ "b"; "tams" ] ~docv:"B" ~doc:"Fix the number of TAMs (P_PAW).")
+      value & opt int 100_000
+      & info [ "iterations" ] ~docv:"N" ~doc:"Annealing moves.")
   in
-  let max_tams =
-    Arg.(
-      value & opt int 10
-      & info [ "max-tams" ] ~docv:"B" ~doc:"TAM count ceiling for P_NPAW.")
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  let anneal_engine iterations seed =
+    Ok
+      (Soctam_anneal.Annealer.engine
+         ~params:
+           {
+             Soctam_anneal.Annealer.default_params with
+             Soctam_anneal.Annealer.iterations;
+             seed = Int64.of_int seed;
+           }
+         ())
   in
   Term.(
-    const pack_cmd $ soc_arg $ width_arg $ tams $ max_tams $ run_opts_term
-    $ certify_flag)
+    const (fun iterations seed -> engine_cmd (anneal_engine iterations seed))
+    $ iterations $ seed $ soc_arg $ width_arg $ tams_arg $ max_tams_arg
+    $ run_opts_term $ save_arch_arg $ certify_flag)
+
+let race_term =
+  let engines =
+    Arg.(
+      value & opt string "pe,pack"
+      & info [ "engines" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated portfolio, in grant order, from the engine \
+             registry (pe, pack, anneal, exhaustive, ilp). Default \
+             'pe,pack'.")
+  in
+  Term.(
+    const race_cmd $ soc_arg $ width_arg $ tams_arg $ max_tams_arg $ engines
+    $ run_opts_term $ save_arch_arg $ certify_flag)
 
 let compare_term = Term.(const compare_cmd $ soc_arg $ width_arg)
 
@@ -980,39 +1062,6 @@ let sweep_term =
   Term.(
     const sweep_cmd $ soc_arg $ from_w $ to_w $ step $ tolerance
     $ run_opts_term)
-
-let anneal_term =
-  let max_tams =
-    Arg.(
-      value & opt int 10
-      & info [ "max-tams" ] ~docv:"B" ~doc:"TAM count ceiling.")
-  in
-  let iterations =
-    Arg.(
-      value & opt int 100_000
-      & info [ "iterations" ] ~docv:"N" ~doc:"Annealing moves.")
-  in
-  let seed =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
-  in
-  Term.(
-    const anneal_cmd $ soc_arg $ width_arg $ max_tams $ iterations $ seed
-    $ certify_flag)
-
-let exhaustive_term =
-  let tams =
-    Arg.(
-      value & opt int 2
-      & info [ "b"; "tams" ] ~docv:"B" ~doc:"Number of TAMs.")
-  in
-  let budget =
-    Arg.(
-      value & opt float 60.
-      & info [ "budget" ] ~docv:"S" ~doc:"Wall-clock budget in seconds.")
-  in
-  Term.(
-    const exhaustive_cmd $ soc_arg $ width_arg $ tams $ budget
-    $ run_opts_term $ certify_flag)
 
 let tables_term =
   let ids =
@@ -1188,10 +1237,17 @@ let () =
           "Co-optimize the wrapper/TAM architecture (P_PAW / P_NPAW).";
         cmd "exhaustive" exhaustive_term
           "Run the exhaustive baseline of [8] (exact solve per partition).";
+        cmd "ilp" ilp_term
+          "Run the exhaustive baseline with the paper's ILP model per \
+           partition (cross-check engine).";
         cmd "pack" pack_term
           "Co-optimize through the rectangle-packing engine (strip packing \
            over the per-core Pareto fronts, distilled into certified \
            test-bus schedules).";
+        cmd "race" race_term
+          "Race an engine portfolio on one instance under a shared pruning \
+           bound, with per-engine resume tokens and first-proof \
+           termination.";
         cmd "compare" compare_term
           "Compare multiplexing, daisychain, distribution and test-bus \
            architectures.";

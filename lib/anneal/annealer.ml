@@ -1,5 +1,9 @@
 module Tt = Soctam_core.Time_table
 module Prng = Soctam_util.Prng
+module Rc = Soctam_core.Run_config
+module Outcome = Soctam_core.Outcome
+module Checkpoint = Soctam_core.Checkpoint
+module Obs = Soctam_obs.Obs
 
 type params = {
   iterations : int;
@@ -17,6 +21,7 @@ type result = {
   time : int;
   accepted : int;
   proposed : int;
+  outcome : Outcome.t;
 }
 
 (* Mutable annealing state: widths and assignment as growable arrays
@@ -118,32 +123,216 @@ let move_merge rng st =
     true
   end
 
-let optimize ?(params = default_params) ~table ~total_width ~max_tams () =
+(* -- checkpointed run ------------------------------------------------------ *)
+
+let float_bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let restore_an ~cfg ~(params : params) ~total_width ~max_tams ~cores
+    (cp : Checkpoint.t) =
+  let check cond msg = if not cond then invalid_arg msg in
+  match cp.Checkpoint.state with
+  | Checkpoint.Anneal s ->
+      check
+        (s.Checkpoint.an_total_width = total_width)
+        "Annealer: resume checkpoint is for a different total width";
+      check
+        (s.Checkpoint.an_max_tams = max_tams
+        && Array.length s.Checkpoint.an_widths = max_tams)
+        "Annealer: resume checkpoint was taken under a different max_tams";
+      check
+        (Array.length s.Checkpoint.an_assignment = cores)
+        "Annealer: resume checkpoint is for a different core count";
+      check
+        (s.Checkpoint.an_iterations = params.iterations
+        && Int64.equal s.Checkpoint.an_seed params.seed
+        && float_bits_equal s.Checkpoint.an_cooling params.cooling
+        && float_bits_equal s.Checkpoint.an_initial_temperature
+             params.initial_temperature)
+        "Annealer: resume checkpoint was taken under a different annealing \
+         schedule";
+      check
+        (s.Checkpoint.an_tams <= max_tams)
+        "Annealer: resume checkpoint walker exceeds max_tams";
+      (match (cp.Checkpoint.soc, cfg.Rc.soc_name) with
+      | Some a, Some b ->
+          check (String.equal a b)
+            "Annealer: resume checkpoint is for a different SOC"
+      | _ -> ());
+      s
+  | Checkpoint.Partition_evaluate _ | Checkpoint.Exhaustive _
+  | Checkpoint.Sweep _ | Checkpoint.Pack _ | Checkpoint.Race _ ->
+      invalid_arg "Annealer: resume checkpoint is for a different solver"
+
+exception Stopped of Outcome.t
+
+let run_with ?(params = default_params) (cfg : Rc.t) ~table ~total_width =
   if Tt.max_width table < total_width then
-    invalid_arg "Annealer.optimize: table narrower than total width";
-  if max_tams < 1 then invalid_arg "Annealer.optimize: max_tams must be >= 1";
+    invalid_arg "Annealer: table narrower than total width";
+  (match cfg.Rc.tams with
+  | Some _ ->
+      invalid_arg
+        "Annealer: the annealer walks TAM counts freely (P_NPAW only); unset \
+         Run_config.tams"
+  | None -> ());
+  let max_tams = cfg.Rc.max_tams in
+  if max_tams < 1 then invalid_arg "Annealer: max_tams must be >= 1";
+  if params.iterations < 0 then
+    invalid_arg "Annealer: iterations must be >= 0";
+  let stats = cfg.Rc.stats in
   let cores = Tt.core_count table in
-  let rng = Prng.create params.seed in
-  let st =
-    {
-      tams = 1;
-      widths =
-        Array.init max_tams (fun i -> if i = 0 then total_width else 0);
-      assignment = Array.make cores 0;
-    }
+  let restored =
+    Option.map
+      (restore_an ~cfg ~params ~total_width ~max_tams ~cores)
+      cfg.Rc.resume
   in
+  (* Replay the interrupted run's solver-owned counters so the resumed
+     collector converges to an uninterrupted run's totals. *)
+  (match cfg.Rc.resume with
+  | Some cp when Obs.enabled stats && cfg.Rc.resume_replay ->
+      List.iter
+        (fun (name, n) -> if n > 0 then Obs.add stats ~n name)
+        cp.Checkpoint.counters
+  | Some _ | None -> ());
+  let st =
+    match restored with
+    | Some s ->
+        {
+          tams = s.Checkpoint.an_tams;
+          widths = Array.copy s.Checkpoint.an_widths;
+          assignment = Array.copy s.Checkpoint.an_assignment;
+        }
+    | None ->
+        {
+          tams = 1;
+          widths =
+            Array.init max_tams (fun i -> if i = 0 then total_width else 0);
+          assignment = Array.make cores 0;
+        }
+  in
+  let rng =
+    match restored with
+    | Some s -> Prng.of_state s.Checkpoint.an_rng
+    | None -> Prng.create params.seed
+  in
+  (* The walker's energy is a pure function of its state, so it is
+     recomputed on resume instead of being checkpointed. *)
   let current = ref (energy table st) in
-  let best_state = copy_state ~max_tams st in
-  let best = ref !current in
+  let best_state, best =
+    match restored with
+    | Some { Checkpoint.an_best = Some b; _ } ->
+        let widths = Array.make max_tams 0 in
+        Array.blit b.Checkpoint.ba_widths 0 widths 0
+          (Array.length b.Checkpoint.ba_widths);
+        ( {
+            tams = Array.length b.Checkpoint.ba_widths;
+            widths;
+            assignment = Array.copy b.Checkpoint.ba_assignment;
+          },
+          ref b.Checkpoint.ba_time )
+    | Some { Checkpoint.an_best = None; _ } | None ->
+        (copy_state ~max_tams st, ref !current)
+  in
   let temperature =
     ref
-      (if params.initial_temperature > 0. then params.initial_temperature
-       else 0.1 *. float_of_int !current)
+      (match restored with
+      | Some s -> s.Checkpoint.an_temperature
+      | None ->
+          if params.initial_temperature > 0. then params.initial_temperature
+          else 0.1 *. float_of_int !current)
   in
-  let accepted = ref 0 in
-  let proposed = ref 0 in
+  let accepted =
+    ref (match restored with Some s -> s.Checkpoint.an_accepted | None -> 0)
+  in
+  let proposed =
+    ref (match restored with Some s -> s.Checkpoint.an_proposed | None -> 0)
+  in
+  let next =
+    ref
+      (match restored with
+      | Some s -> s.Checkpoint.an_next_iteration
+      | None -> 0)
+  in
+  let flushed_accepted = ref !accepted in
+  let flushed_proposed = ref !proposed in
+  let flush () =
+    if Obs.enabled stats then begin
+      Obs.add stats ~n:(!proposed - !flushed_proposed) "anneal/proposed";
+      Obs.add stats ~n:(!accepted - !flushed_accepted) "anneal/accepted"
+    end;
+    flushed_proposed := !proposed;
+    flushed_accepted := !accepted
+  in
+  let checkpoint_now () =
+    {
+      Checkpoint.soc = cfg.Rc.soc_name;
+      counters =
+        List.filter
+          (fun (_, n) -> n > 0)
+          [ ("anneal/proposed", !proposed); ("anneal/accepted", !accepted) ];
+      state =
+        Checkpoint.Anneal
+          {
+            Checkpoint.an_total_width = total_width;
+            an_max_tams = max_tams;
+            an_iterations = params.iterations;
+            an_next_iteration = !next;
+            an_seed = params.seed;
+            an_rng = Prng.state rng;
+            an_temperature = !temperature;
+            an_initial_temperature = params.initial_temperature;
+            an_cooling = params.cooling;
+            an_tams = st.tams;
+            an_widths = Array.copy st.widths;
+            an_assignment = Array.copy st.assignment;
+            an_best =
+              Some
+                {
+                  Checkpoint.ba_widths =
+                    Array.sub best_state.widths 0 best_state.tams;
+                  ba_time = !best;
+                  ba_assignment = Array.copy best_state.assignment;
+                };
+            an_accepted = !accepted;
+            an_proposed = !proposed;
+          };
+    }
+  in
+  let write_checkpoint cp =
+    match cfg.Rc.checkpoint_path with
+    | None -> ()
+    | Some path -> (
+        match Checkpoint.save path cp with
+        | Ok () -> ()
+        | Error msg -> failwith ("checkpoint write failed: " ^ msg))
+  in
+  let deadline =
+    Option.map
+      (fun budget -> Soctam_util.Timer.now_s () +. budget)
+      cfg.Rc.time_budget
+  in
+  let slices_done = ref 0 in
+  let boundary () =
+    (match cfg.Rc.slice_limit with
+    | Some limit when !slices_done >= limit ->
+        let cp = checkpoint_now () in
+        write_checkpoint cp;
+        raise (Stopped (Outcome.Budget_exhausted cp))
+    | Some _ | None -> ());
+    if cfg.Rc.cancel () then begin
+      let cp = checkpoint_now () in
+      write_checkpoint cp;
+      raise (Stopped (Outcome.Interrupted cp))
+    end;
+    (match deadline with
+    | Some d when Soctam_util.Timer.now_s () > d ->
+        let cp = checkpoint_now () in
+        write_checkpoint cp;
+        raise (Stopped (Outcome.Budget_exhausted cp))
+    | Some _ | None -> ());
+    write_checkpoint (checkpoint_now ())
+  in
   let backup = copy_state ~max_tams st in
-  for _ = 1 to params.iterations do
+  let step () =
     copy_into ~src:st ~dst:backup;
     let changed =
       match Prng.int rng 10 with
@@ -155,28 +344,97 @@ let optimize ?(params = default_params) ~table ~total_width ~max_tams () =
     in
     if changed then begin
       incr proposed;
-      let next = energy table st in
-      let delta = float_of_int (next - !current) in
+      let next_e = energy table st in
+      let delta = float_of_int (next_e - !current) in
       let accept =
         delta <= 0.
         || Prng.float rng 1.0 < exp (-.delta /. max 1e-9 !temperature)
       in
       if accept then begin
         incr accepted;
-        current := next;
-        if next < !best then begin
-          best := next;
+        current := next_e;
+        if next_e < !best then begin
+          best := next_e;
           copy_into ~src:st ~dst:best_state
         end
       end
       else copy_into ~src:backup ~dst:st
     end;
     temperature := !temperature *. params.cooling
-  done;
+  in
+  let slice_len = Rc.slice_size cfg ~length:params.iterations in
+  let outcome =
+    try
+      while !next < params.iterations do
+        boundary ();
+        let hi = min (!next + slice_len) params.iterations in
+        for _ = !next + 1 to hi do
+          step ()
+        done;
+        next := hi;
+        incr slices_done;
+        flush ()
+      done;
+      (match cfg.Rc.checkpoint_path with
+      | Some path when Sys.file_exists path -> (
+          try Sys.remove path with Sys_error _ -> ())
+      | Some _ | None -> ());
+      Outcome.Complete
+    with Stopped o ->
+      flush ();
+      o
+  in
   {
     widths = Array.sub best_state.widths 0 best_state.tams;
     assignment = Array.copy best_state.assignment;
     time = !best;
     accepted = !accepted;
     proposed = !proposed;
+    outcome;
   }
+
+let optimize ?(params = default_params) ~table ~total_width ~max_tams () =
+  let cfg = Rc.with_max_tams max_tams Rc.default in
+  run_with ~params cfg ~table ~total_width
+
+(* -- engine adapter -------------------------------------------------------- *)
+
+module E (P : sig
+  val params : params
+end) : Soctam_core.Engine.S = struct
+  let name = "anneal"
+
+  let caps =
+    {
+      Soctam_core.Engine.parallel = false;
+      imports_tau = false;
+      needs_fixed_tams = false;
+      free_tams_only = true;
+      proves = false;
+    }
+
+  let cert = { Soctam_core.Engine.cert_exact = true; cert_packing = false }
+
+  let owns_token = function Checkpoint.Anneal _ -> true | _ -> false
+
+  let run (cfg : Rc.t) (inst : Soctam_core.Engine.instance) =
+    let r =
+      run_with ~params:P.params cfg ~table:inst.Soctam_core.Engine.table
+        ~total_width:inst.Soctam_core.Engine.total_width
+    in
+    {
+      Soctam_core.Engine.r_widths = r.widths;
+      r_time = r.time;
+      r_assignment = r.assignment;
+      r_outcome = r.outcome;
+      r_notes =
+        [
+          Printf.sprintf "%d/%d moves accepted" r.accepted r.proposed;
+        ];
+    }
+end
+
+let engine ?(params = default_params) () : Soctam_core.Engine.t =
+  (module E (struct
+    let params = params
+  end))

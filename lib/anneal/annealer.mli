@@ -7,7 +7,15 @@
     split a TAM in two, or merge two TAMs. The energy is the SOC testing
     time from the precomputed core time tables. Classic geometric
     cooling with a Metropolis acceptance rule; fully deterministic given
-    the seed. *)
+    the seed.
+
+    {!run_with} runs the walk under the shared [Run_config]/[Outcome]
+    lifecycle: budget-aware slices over the iteration schedule,
+    checkpoint/resume (solver tag ["anneal"], with the splitmix64
+    stream and the temperature captured bit-exactly so a resumed walk
+    is byte-identical to an uninterrupted one), and [?stats] counters
+    ([anneal/proposed], [anneal/accepted]). The walk is inherently
+    sequential; [Run_config.jobs] is ignored. *)
 
 type params = {
   iterations : int;  (** proposed moves, default 100_000 *)
@@ -25,7 +33,44 @@ type result = {
   time : int;  (** best energy seen *)
   accepted : int;  (** accepted moves *)
   proposed : int;
+  outcome : Soctam_core.Outcome.t;
+      (** [Complete] iff the full iteration schedule ran; a truncated
+          walk still reports its best-so-far architecture and the
+          carried checkpoint resumes mid-schedule *)
 }
+
+val run_with :
+  ?params:params ->
+  Soctam_core.Run_config.t ->
+  table:Soctam_core.Time_table.t ->
+  total_width:int ->
+  result
+(** [run_with cfg ~table ~total_width] anneals from the single
+    full-width TAM with every core on it, walking TAM counts up to
+    [cfg.max_tams] (P_NPAW only — the walk cannot hold a TAM count
+    fixed, so [cfg.tams] is rejected).
+
+    Policy read from [cfg]: [time_budget], [cancel], [slice_limit],
+    [checkpoint_path]/[checkpoint_every] (slices are
+    [checkpoint_every] iterations) and [resume] behave as in
+    {!Soctam_core.Partition_evaluate.run_with}; a resume checkpoint
+    must match this instance, [params] schedule and SOC name, and the
+    resumed walk replays the checkpointed counters into [cfg.stats]
+    unless [resume_replay] is off. [jobs], [initial_best],
+    [tau_import], [node_limit] and [carry_tau] are ignored: the walk
+    is sequential and its energy landscape has no pruning bound to
+    import.
+
+    @raise Invalid_argument on a table narrower than [total_width],
+    [max_tams < 1], [cfg.tams] set, or a resume checkpoint that does
+    not match this run.
+    @raise Failure when a checkpoint write to [checkpoint_path]
+    fails. *)
+
+val engine : ?params:params -> unit -> Soctam_core.Engine.t
+(** This solver as a first-class engine (registry name ["anneal"]):
+    sequential, no tau import, free TAM counts only, proves nothing;
+    the exact certificate applies to its architectures. *)
 
 val optimize :
   ?params:params ->
@@ -34,6 +79,6 @@ val optimize :
   max_tams:int ->
   unit ->
   result
-(** Starts from the single full-width TAM with every core on it.
-    @raise Invalid_argument on a table narrower than [total_width] or
-    [max_tams < 1]. *)
+[@@alert deprecated "Use Annealer.run_with with a Run_config.t instead."]
+(** [optimize ~table ~total_width ~max_tams ()] is {!run_with} with
+    [max_tams] folded into a default {!Soctam_core.Run_config.t}. *)

@@ -38,3 +38,19 @@ val optimize :
 (** [optimize ~table ~total_width ()] with [max_tams] defaulting to 10.
     @raise Invalid_argument when the table is narrower than
     [total_width], or [total_width < 1], or [max_tams < 1]. *)
+
+val climb :
+  ?max_tams:int ->
+  table:Soctam_core.Time_table.t ->
+  widths:int array ->
+  unit ->
+  result
+(** One hill climb from a supplied seed partition instead of the
+    multi-start schedule: the seed's optimal core assignment is
+    re-derived with [Core_assign], then the climb walks from there.
+    Never reports a time worse than the seed's, which is what lets the
+    racing portfolio polish its winner with it ([soctam race] seeds the
+    climb with the winning architecture). Split moves are bounded by
+    [max (max_tams) (seed TAM count)].
+    @raise Invalid_argument on an empty seed, a width below 1, a table
+    narrower than the seed's total width, or [max_tams < 1]. *)

@@ -38,6 +38,7 @@ type ex_best = {
 type ex_state = {
   ex_total_width : int;
   ex_tams : int;
+  ex_method : string;
   ex_next_rank : int;
   ex_best : ex_best option;
   ex_solved : int;
@@ -76,13 +77,57 @@ type pack_state = {
   pk_best_makespan : int option;
 }
 
+type an_state = {
+  an_total_width : int;
+  an_max_tams : int;
+  an_iterations : int;
+  an_next_iteration : int;
+  an_seed : int64;
+  an_rng : int64;
+  an_temperature : float;
+  an_initial_temperature : float;
+  an_cooling : float;
+  an_tams : int;
+  an_widths : int array;
+  an_assignment : int array;
+  an_best : best_arch option;
+  an_accepted : int;
+  an_proposed : int;
+}
+
 type state =
   | Partition_evaluate of pe_state
   | Exhaustive of ex_state
   | Sweep of sweep_state
   | Pack of pack_state
+  | Anneal of an_state
+  | Race of race_state
 
-type t = { soc : string option; counters : (string * int) list; state : state }
+and race_slot = {
+  rs_engine : string;
+  rs_done : bool;
+  rs_proved : bool;
+  rs_improvements : int;
+  rs_slices : int;
+  rs_token : t option;
+}
+
+and race_state = {
+  ra_total_width : int;
+  ra_tams : int option;
+  ra_max_tams : int;
+  ra_initial : int option;
+  ra_tau : int;
+  ra_best : best_arch option;
+  ra_winner : string option;
+  ra_rounds : int;
+  ra_slices : int;
+  ra_imports : int;
+  ra_exports : int;
+  ra_slots : race_slot list;
+}
+
+and t = { soc : string option; counters : (string * int) list; state : state }
 
 (* -- rendering ------------------------------------------------------------- *)
 
@@ -100,6 +145,13 @@ let json_b_cursor c =
       ("best_time", json_int_opt c.bc_best_time);
     ]
 
+(* Int64 words (the rng state) and floats (the annealing temperature
+   schedule) are rendered as 16-digit hex of their raw bits: decimal
+   float printing is lossy, and a resumed annealer must continue the
+   exact trajectory of the interrupted one. *)
+let json_hex64 v = Json.String (Printf.sprintf "%016Lx" v)
+let json_float_bits f = json_hex64 (Int64.bits_of_float f)
+
 let json_best_arch = function
   | None -> Json.Null
   | Some b ->
@@ -110,7 +162,20 @@ let json_best_arch = function
           ("assignment", json_int_array b.ba_assignment);
         ]
 
-let json_state = function
+(* FNV-1a 64-bit over the canonical rendering of the body: cheap, stable
+   across runs, and plenty to catch the failure modes a checkpoint file
+   actually meets (truncation, partial writes, hand edits). This is an
+   integrity check, not an authentication scheme. *)
+let checksum_of s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let rec json_state = function
   | Partition_evaluate s ->
       ( "partition_evaluate",
         Json.Obj
@@ -133,6 +198,7 @@ let json_state = function
           [
             ("total_width", Json.Int s.ex_total_width);
             ("tams", Json.Int s.ex_tams);
+            ("method", Json.String s.ex_method);
             ("next_rank", Json.Int s.ex_next_rank);
             ( "best",
               match s.ex_best with
@@ -188,8 +254,63 @@ let json_state = function
             ("pruned", Json.Int s.pk_pruned);
             ("best_makespan", json_int_opt s.pk_best_makespan);
           ] )
+  | Anneal s ->
+      ( "anneal",
+        Json.Obj
+          [
+            ("total_width", Json.Int s.an_total_width);
+            ("max_tams", Json.Int s.an_max_tams);
+            ("iterations", Json.Int s.an_iterations);
+            ("next_iteration", Json.Int s.an_next_iteration);
+            ("seed", json_hex64 s.an_seed);
+            ("rng", json_hex64 s.an_rng);
+            ("temperature", json_float_bits s.an_temperature);
+            ("initial_temperature", json_float_bits s.an_initial_temperature);
+            ("cooling", json_float_bits s.an_cooling);
+            ("tams", Json.Int s.an_tams);
+            ("widths", json_int_array s.an_widths);
+            ("assignment", json_int_array s.an_assignment);
+            ("best", json_best_arch s.an_best);
+            ("accepted", Json.Int s.an_accepted);
+            ("proposed", Json.Int s.an_proposed);
+          ] )
+  | Race s ->
+      ( "race",
+        Json.Obj
+          [
+            ("total_width", Json.Int s.ra_total_width);
+            ("tams", json_int_opt s.ra_tams);
+            ("max_tams", Json.Int s.ra_max_tams);
+            ("initial", json_int_opt s.ra_initial);
+            ("tau", Json.Int s.ra_tau);
+            ("best", json_best_arch s.ra_best);
+            ( "winner",
+              match s.ra_winner with
+              | None -> Json.Null
+              | Some w -> Json.String w );
+            ("rounds", Json.Int s.ra_rounds);
+            ("slices", Json.Int s.ra_slices);
+            ("imports", Json.Int s.ra_imports);
+            ("exports", Json.Int s.ra_exports);
+            ("slots", Json.List (List.map json_race_slot s.ra_slots));
+          ] )
 
-let body_json t =
+(* Each slot's resume token is embedded as a complete checkpoint
+   document — version, checksum and all — so a slot can be extracted
+   and handed back to its engine exactly as if it had been saved to its
+   own file. *)
+and json_race_slot sl =
+  Json.Obj
+    [
+      ("engine", Json.String sl.rs_engine);
+      ("done", Json.Bool sl.rs_done);
+      ("proved", Json.Bool sl.rs_proved);
+      ("improvements", Json.Int sl.rs_improvements);
+      ("slices", Json.Int sl.rs_slices);
+      ("token", match sl.rs_token with None -> Json.Null | Some t -> to_json t);
+    ]
+
+and body_json t =
   let solver, state = json_state t.state in
   Json.Obj
     [
@@ -200,20 +321,7 @@ let body_json t =
       ("state", state);
     ]
 
-(* FNV-1a 64-bit over the canonical rendering of the body: cheap, stable
-   across runs, and plenty to catch the failure modes a checkpoint file
-   actually meets (truncation, partial writes, hand edits). This is an
-   integrity check, not an authentication scheme. *)
-let checksum_of s =
-  let prime = 0x100000001b3L in
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
-    s;
-  Printf.sprintf "%016Lx" !h
-
-let to_json t =
+and to_json t =
   let body = body_json t in
   Json.Obj
     [
@@ -273,6 +381,25 @@ let int_array_field name json =
   |> List.map (as_int name)
   |> Array.of_list
 
+let hex64_field name json =
+  match field name json with
+  | Json.String s when String.length s = 16 ->
+      let v = ref 0L in
+      String.iter
+        (fun c ->
+          let d =
+            match c with
+            | '0' .. '9' -> Char.code c - Char.code '0'
+            | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+            | _ -> fail "field %S must be 16 lowercase hex digits" name
+          in
+          v := Int64.logor (Int64.shift_left !v 4) (Int64.of_int d))
+        s;
+      !v
+  | _ -> fail "field %S must be 16 lowercase hex digits" name
+
+let float_bits_field name json = Int64.float_of_bits (hex64_field name json)
+
 let parse_b_cursor json =
   {
     bc_tams = counting_field "tams" json;
@@ -322,6 +449,15 @@ let parse_ex json =
     {
       ex_total_width = counting_field "total_width" json;
       ex_tams = counting_field "tams" json;
+      ex_method =
+        (* Absent in documents written before the solver became
+           parameterized over the exact method; those were all B&B. *)
+        (match Json.member "method" json with
+        | None -> "bb"
+        | Some m -> (
+            match as_string "method" m with
+            | ("bb" | "milp") as m -> m
+            | other -> fail "unknown exhaustive method %S" other));
       ex_next_rank = counting_field "next_rank" json;
       ex_best =
         (match field "best" json with
@@ -382,45 +518,116 @@ let parse_pack json =
     fail "pack cursor is past the end of the rank space";
   Pack s
 
-let of_json json =
-  match
-    let v = int_field "version" json in
-    if v <> version then
-      fail "checkpoint version %d is not supported (this build reads %d)" v
-        version;
-    let declared = as_string "checksum" (field "checksum" json) in
-    let body = field "body" json in
-    let actual = checksum_of (Json.to_string body) in
-    if not (String.equal declared actual) then
-      fail "checksum mismatch (%s declared, %s computed): corrupted checkpoint"
-        declared actual;
-    let state_json = field "state" body in
-    let state =
-      match as_string "solver" (field "solver" body) with
-      | "partition_evaluate" -> parse_pe state_json
-      | "exhaustive" -> parse_ex state_json
-      | "sweep" -> parse_sweep state_json
-      | "pack" -> parse_pack state_json
-      | other -> fail "unknown solver %S" other
-    in
+let parse_an json =
+  let s =
     {
-      soc =
-        (match field "soc" body with
-        | Json.Null -> None
-        | s -> Some (as_string "soc" s));
-      counters =
-        (match field "counters" body with
-        | Json.Obj kvs ->
-            List.map
-              (fun (k, v) ->
-                let n = as_int k v in
-                if n < 0 then fail "counter %S must be non-negative" k;
-                (k, n))
-              kvs
-        | _ -> fail "field \"counters\" must be an object");
-      state;
+      an_total_width = counting_field "total_width" json;
+      an_max_tams = counting_field "max_tams" json;
+      an_iterations = counting_field "iterations" json;
+      an_next_iteration = counting_field "next_iteration" json;
+      an_seed = hex64_field "seed" json;
+      an_rng = hex64_field "rng" json;
+      an_temperature = float_bits_field "temperature" json;
+      an_initial_temperature = float_bits_field "initial_temperature" json;
+      an_cooling = float_bits_field "cooling" json;
+      an_tams = counting_field "tams" json;
+      an_widths = int_array_field "widths" json;
+      an_assignment = int_array_field "assignment" json;
+      an_best = parse_best_arch (field "best" json);
+      an_accepted = counting_field "accepted" json;
+      an_proposed = counting_field "proposed" json;
     }
-  with
+  in
+  if s.an_next_iteration > s.an_iterations then
+    fail "anneal cursor is past the end of the schedule";
+  if s.an_tams < 1 || s.an_tams > Array.length s.an_widths then
+    fail "anneal TAM count %d out of range" s.an_tams;
+  if s.an_accepted > s.an_proposed then fail "anneal accepted exceeds proposed";
+  Anneal s
+
+let rec parse_doc json =
+  let v = int_field "version" json in
+  if v <> version then
+    fail "checkpoint version %d is not supported (this build reads %d)" v
+      version;
+  let declared = as_string "checksum" (field "checksum" json) in
+  let body = field "body" json in
+  let actual = checksum_of (Json.to_string body) in
+  if not (String.equal declared actual) then
+    fail "checksum mismatch (%s declared, %s computed): corrupted checkpoint"
+      declared actual;
+  let state_json = field "state" body in
+  let state =
+    match as_string "solver" (field "solver" body) with
+    | "partition_evaluate" -> parse_pe state_json
+    | "exhaustive" -> parse_ex state_json
+    | "sweep" -> parse_sweep state_json
+    | "pack" -> parse_pack state_json
+    | "anneal" -> parse_an state_json
+    | "race" -> parse_race state_json
+    | other -> fail "unknown solver %S" other
+  in
+  {
+    soc =
+      (match field "soc" body with
+      | Json.Null -> None
+      | s -> Some (as_string "soc" s));
+    counters =
+      (match field "counters" body with
+      | Json.Obj kvs ->
+          List.map
+            (fun (k, v) ->
+              let n = as_int k v in
+              if n < 0 then fail "counter %S must be non-negative" k;
+              (k, n))
+            kvs
+      | _ -> fail "field \"counters\" must be an object");
+    state;
+  }
+
+and parse_race json =
+  let s =
+    {
+      ra_total_width = counting_field "total_width" json;
+      ra_tams = int_opt_field "tams" json;
+      ra_max_tams = counting_field "max_tams" json;
+      ra_initial = int_opt_field "initial" json;
+      ra_tau = int_field "tau" json;
+      ra_best = parse_best_arch (field "best" json);
+      ra_winner =
+        (match field "winner" json with
+        | Json.Null -> None
+        | w -> Some (as_string "winner" w));
+      ra_rounds = counting_field "rounds" json;
+      ra_slices = counting_field "slices" json;
+      ra_imports = counting_field "imports" json;
+      ra_exports = counting_field "exports" json;
+      ra_slots =
+        as_list "slots" (field "slots" json) |> List.map parse_race_slot;
+    }
+  in
+  if s.ra_slots = [] then fail "race checkpoint has no engine slots";
+  if
+    s.ra_slices
+    <> List.fold_left (fun n sl -> n + sl.rs_slices) 0 s.ra_slots
+  then fail "race slice total disagrees with the per-engine slices";
+  Race s
+
+and parse_race_slot json =
+  {
+    rs_engine = as_string "engine" (field "engine" json);
+    rs_done = as_bool "done" (field "done" json);
+    rs_proved = as_bool "proved" (field "proved" json);
+    rs_improvements = counting_field "improvements" json;
+    rs_slices = counting_field "slices" json;
+    rs_token =
+      (match field "token" json with
+      | Json.Null -> None
+      | tj -> Some (parse_doc tj));
+  }
+
+let of_json json =
+  match parse_doc json with
   | t -> Ok t
   | exception Bad msg -> Error msg
 
@@ -486,3 +693,15 @@ let describe t =
   | Pack s ->
       Printf.sprintf "pack %s W=%d at rank %d/%d, %d candidates evaluated" soc
         s.pk_total_width s.pk_next_rank s.pk_ranks s.pk_completed
+  | Anneal s ->
+      Printf.sprintf "anneal %s W=%d at iteration %d/%d, %d accepted" soc
+        s.an_total_width s.an_next_iteration s.an_iterations s.an_accepted
+  | Race s ->
+      Printf.sprintf "race %s W=%d [%s] after %d rounds, tau %s" soc
+        s.ra_total_width
+        (String.concat ","
+           (List.map
+              (fun sl -> if sl.rs_done then sl.rs_engine ^ "*" else sl.rs_engine)
+              s.ra_slots))
+        s.ra_rounds
+        (if s.ra_tau = max_int then "-" else string_of_int s.ra_tau)

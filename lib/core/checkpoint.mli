@@ -65,6 +65,10 @@ type ex_best = {
 type ex_state = {
   ex_total_width : int;
   ex_tams : int;
+  ex_method : string;
+      (** exact method per partition: ["bb"] (branch & bound) or
+          ["milp"]. Documents written before the solver was
+          parameterized carry no method field and parse as ["bb"]. *)
   ex_next_rank : int;
   ex_best : ex_best option;
   ex_solved : int;
@@ -110,13 +114,70 @@ type pack_state = {
     [pk_completed + pk_pruned = pk_candidates] and
     [pk_next_rank <= pk_ranks]. *)
 
+type an_state = {
+  an_total_width : int;
+  an_max_tams : int;
+  an_iterations : int;  (** configured iteration count *)
+  an_next_iteration : int;  (** first iteration not yet run *)
+  an_seed : int64;  (** configured seed; a resume must configure the same *)
+  an_rng : int64;  (** mid-stream splitmix64 state ({!Soctam_util.Prng.state}) *)
+  an_temperature : float;
+  an_initial_temperature : float;
+  an_cooling : float;
+  an_tams : int;  (** live TAM count of the walker state *)
+  an_widths : int array;  (** walker widths, [an_max_tams] slots *)
+  an_assignment : int array;
+  an_best : best_arch option;
+  an_accepted : int;
+  an_proposed : int;
+}
+(** Mid-walk state of the simulated annealer. The rng word and the
+    temperature schedule are serialized as raw bits (16-digit hex), so
+    a resumed walk continues the interrupted trajectory exactly —
+    decimal float rendering would diverge it. Invariants (checked on
+    load): [an_next_iteration <= an_iterations], [1 <= an_tams <=
+    length an_widths], [an_accepted <= an_proposed]. *)
+
 type state =
   | Partition_evaluate of pe_state
   | Exhaustive of ex_state
   | Sweep of sweep_state
   | Pack of pack_state
+  | Anneal of an_state
+  | Race of race_state
 
-type t = {
+and race_slot = {
+  rs_engine : string;  (** registry name ([pe], [pack], [anneal], ...) *)
+  rs_done : bool;  (** engine finished its search space *)
+  rs_proved : bool;  (** engine finished {e and} proves optimality *)
+  rs_improvements : int;  (** strict tau improvements it exported *)
+  rs_slices : int;  (** slices it has been granted *)
+  rs_token : t option;
+      (** the engine's own resume token, embedded as a complete
+          versioned + checksummed document; [None] before the first
+          slice and after the engine completes *)
+}
+
+and race_state = {
+  ra_total_width : int;
+  ra_tams : int option;
+  ra_max_tams : int;
+  ra_initial : int option;
+  ra_tau : int;  (** cross-engine bound ([max_int] = none yet) *)
+  ra_best : best_arch option;  (** incumbent across all engines *)
+  ra_winner : string option;  (** engine that set the incumbent *)
+  ra_rounds : int;
+  ra_slices : int;  (** total slices granted; equals the slot sum *)
+  ra_imports : int;  (** slices entered with a foreign bound *)
+  ra_exports : int;  (** strict improvements published to the bound *)
+  ra_slots : race_slot list;  (** portfolio in configured order *)
+}
+(** Progress of a portfolio race ([Soctam_race.Race]): the shared
+    incumbent plus one slot per engine, each embedding that engine's
+    own resume token. Restoring a race is therefore restoring every
+    engine at once. *)
+
+and t = {
   soc : string option;
       (** SOC name the run was started on; the solvers reject a resume
           whose configured SOC name differs *)

@@ -24,6 +24,17 @@ type t = {
           carried checkpoint resumes the search stage *)
 }
 
+val finish :
+  ?stats:Soctam_obs.Obs.t ->
+  table:Time_table.t ->
+  node_limit:int ->
+  Partition_evaluate.result ->
+  t
+(** The final exact step alone: polish a partition search's incumbent
+    with one warm-started B&B on its chosen partition. Exposed so the
+    engine adapters ({!Engine.pe}, the racer's winner polish) can run
+    the paper's pipeline without re-deriving the time table. *)
+
 val run_with : Run_config.t -> Soctam_model.Soc.t -> total_width:int -> t
 (** [run_with cfg soc ~total_width] runs the whole pipeline under one
     configuration: P_NPAW up to [cfg.max_tams], or P_PAW when

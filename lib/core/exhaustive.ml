@@ -1,5 +1,14 @@
 module Obs = Soctam_obs.Obs
 
+(* The exact method used per partition. [Bb] is the scalable dedicated
+   branch & bound; [Milp] cross-checks through the paper's §3.2 ILP
+   model. Both enumerate the same partition rank space, so the engine
+   machinery (slices, checkpoints, reduction) is shared; the checkpoint
+   records the method and refuses to resume under the other one. *)
+type solver = Bb | Milp
+
+let method_tag = function Bb -> "bb" | Milp -> "milp"
+
 type result = {
   widths : int array;
   time : int;
@@ -25,8 +34,13 @@ type chunk = {
   mutable k_nodes : int;
 }
 
-let solve_chunk ?(stats = Obs.null) ~node_limit_per_partition ~out_of_time
-    ~table ~total_width ~tams ~lo ~hi () =
+(* [cap] is a foreign bound ([Run_config.tau_import]; [max_int] = none).
+   It warm-starts the B&B incumbent — a zero assignment at the imported
+   time, pruning everything that cannot strictly beat it — and gates
+   the chunk best: a solve that only reproduced the warm start must not
+   surface its placeholder assignment. *)
+let solve_chunk ?(stats = Obs.null) ~solver ~cap ~node_limit_per_partition
+    ~out_of_time ~table ~total_width ~tams ~lo ~hi () =
   let c =
     {
       k_time = max_int;
@@ -51,8 +65,17 @@ let solve_chunk ?(stats = Obs.null) ~node_limit_per_partition ~out_of_time
         in
         let times = Time_table.matrix table ~widths in
         let exact =
-          Soctam_ilp.Exact.solve_bb ~node_limit:node_limit_per_partition
-            ~widths ~times ()
+          match solver with
+          | Milp ->
+              Soctam_ilp.Exact.solve_milp
+                ~node_limit:node_limit_per_partition ~times ()
+          | Bb when cap = max_int ->
+              Soctam_ilp.Exact.solve_bb ~node_limit:node_limit_per_partition
+                ~widths ~times ()
+          | Bb ->
+              Soctam_ilp.Exact.solve_bb ~node_limit:node_limit_per_partition
+                ~initial:(Array.make (Array.length times) 0, cap)
+                ~widths ~times ()
         in
         c.k_nodes <- c.k_nodes + exact.Soctam_ilp.Exact.nodes;
         (* A solve that exhausted its node budget signals the instance
@@ -60,7 +83,8 @@ let solve_chunk ?(stats = Obs.null) ~node_limit_per_partition ~out_of_time
            chunk, as the sequential baseline always did. *)
         if exact.Soctam_ilp.Exact.optimal then c.k_solved <- c.k_solved + 1
         else continue := false;
-        if exact.Soctam_ilp.Exact.time < c.k_time then begin
+        if exact.Soctam_ilp.Exact.time < c.k_time
+           && exact.Soctam_ilp.Exact.time < cap then begin
           c.k_time <- exact.Soctam_ilp.Exact.time;
           c.k_rank <- !rank;
           c.k_widths <- Array.copy widths;
@@ -79,7 +103,7 @@ let solve_chunk ?(stats = Obs.null) ~node_limit_per_partition ~out_of_time
   end;
   c
 
-let restore_ex ~cfg ~total_width ~tams (cp : Checkpoint.t) =
+let restore_ex ~cfg ~solver ~total_width ~tams (cp : Checkpoint.t) =
   let check cond msg = if not cond then invalid_arg msg in
   match cp.Checkpoint.state with
   | Checkpoint.Exhaustive s ->
@@ -87,33 +111,44 @@ let restore_ex ~cfg ~total_width ~tams (cp : Checkpoint.t) =
         (s.Checkpoint.ex_total_width = total_width
         && s.Checkpoint.ex_tams = tams)
         "Exhaustive: resume checkpoint is for a different instance";
+      check
+        (String.equal s.Checkpoint.ex_method (method_tag solver))
+        "Exhaustive: resume checkpoint was taken under a different exact \
+         method";
       (match (cp.Checkpoint.soc, cfg.Run_config.soc_name) with
       | Some a, Some b ->
           check (String.equal a b)
             "Exhaustive: resume checkpoint is for a different SOC"
       | _ -> ());
       s
-  | Checkpoint.Partition_evaluate _ | Checkpoint.Sweep _ | Checkpoint.Pack _ ->
+  | Checkpoint.Partition_evaluate _ | Checkpoint.Sweep _ | Checkpoint.Pack _
+  | Checkpoint.Anneal _ | Checkpoint.Race _ ->
       invalid_arg "Exhaustive: resume checkpoint is for a different solver"
 
-let run_with (cfg : Run_config.t) ~table ~total_width ~tams =
+let run_with ?(solver = Bb) (cfg : Run_config.t) ~table ~total_width ~tams =
   if total_width < tams then
     invalid_arg "Exhaustive.run: total_width must be >= tams";
   let stats = cfg.Run_config.stats in
   let total =
     Soctam_partition.Count.exact ~total:total_width ~parts:tams
   in
+  let cap =
+    match cfg.Run_config.tau_import with Some b -> b | None -> max_int
+  in
   let restored =
-    Option.map (restore_ex ~cfg ~total_width ~tams) cfg.Run_config.resume
+    Option.map
+      (restore_ex ~cfg ~solver ~total_width ~tams)
+      cfg.Run_config.resume
   in
   (* A fresh run records the instance size once; a resumed run replays
      the interrupted run's counters instead (they already include it),
      so the resumed collector converges to an uninterrupted run's
-     totals. *)
+     totals — unless the caller (the racer) disables the replay because
+     its collector observed the interrupted run live. *)
   (match cfg.Run_config.resume with
   | None -> Obs.add stats ~n:total "exhaustive/partitions_total"
   | Some cp ->
-      if Obs.enabled stats then
+      if Obs.enabled stats && cfg.Run_config.resume_replay then
         List.iter
           (fun (name, n) -> if n > 0 then Obs.add stats ~n name)
           cp.Checkpoint.counters);
@@ -155,6 +190,7 @@ let run_with (cfg : Run_config.t) ~table ~total_width ~tams =
           {
             Checkpoint.ex_total_width = total_width;
             ex_tams = tams;
+            ex_method = method_tag solver;
             ex_next_rank = !next;
             ex_best = !best;
             ex_solved = !solved;
@@ -172,6 +208,7 @@ let run_with (cfg : Run_config.t) ~table ~total_width ~tams =
   in
   let slice_len = Run_config.slice_size cfg ~length:total in
   let stop = ref None in
+  let slices_done = ref 0 in
   while !next < total && !stop = None do
     (* The safe state to resume a truncated slice from: which partitions
        inside the slice got solved before a budget stop is
@@ -185,7 +222,7 @@ let run_with (cfg : Run_config.t) ~table ~total_width ~tams =
           Soctam_util.Pool.map_ranges ~stats ~jobs:cfg.Run_config.jobs
             ~length:(hi - lo)
             ~f:(fun ~lo:clo ~hi:chi ->
-              solve_chunk ~stats
+              solve_chunk ~stats ~solver ~cap
                 ~node_limit_per_partition:cfg.Run_config.node_limit
                 ~out_of_time ~table ~total_width ~tams ~lo:(lo + clo)
                 ~hi:(lo + chi) ())
@@ -219,6 +256,7 @@ let run_with (cfg : Run_config.t) ~table ~total_width ~tams =
     nodes :=
       !nodes + Array.fold_left (fun acc c -> acc + c.k_nodes) 0 chunks;
     next := hi;
+    incr slices_done;
     if slice_solved < hi - lo then begin
       (* A deadline or per-partition node budget stopped the slice
          mid-way: the incumbent keeps the partial work, the resume
@@ -227,7 +265,16 @@ let run_with (cfg : Run_config.t) ~table ~total_width ~tams =
       stop := Some (Outcome.Budget_exhausted cp_pre)
     end
     else if !next < total then
-      if cfg.Run_config.cancel () then begin
+      if
+        match cfg.Run_config.slice_limit with
+        | Some limit -> !slices_done >= limit
+        | None -> false
+      then begin
+        let cp = checkpoint_now () in
+        write_checkpoint cp;
+        stop := Some (Outcome.Budget_exhausted cp)
+      end
+      else if cfg.Run_config.cancel () then begin
         let cp = checkpoint_now () in
         write_checkpoint cp;
         stop := Some (Outcome.Interrupted cp)
@@ -250,6 +297,22 @@ let run_with (cfg : Run_config.t) ~table ~total_width ~tams =
         Outcome.Complete
   in
   match !best with
+  | None when cap < max_int ->
+      (* Every partition solved so far only reproduced the imported
+         bound: there is nothing of this engine's own to report. A
+         completed run in this state is a proof that no architecture
+         beats the import. The racer (the only caller that imports)
+         reads this as "no improvement"; the empty arrays never reach a
+         human-facing surface. *)
+      {
+        widths = [||];
+        time = cap;
+        assignment = [||];
+        partitions_total = total;
+        partitions_solved = !solved;
+        nodes = !nodes;
+        outcome;
+      }
   | None ->
       invalid_arg "Exhaustive.run: no partition evaluated (budget too small)"
   | Some b ->

@@ -13,6 +13,13 @@
     resume later (the partition sequence is walked in slices, exactly as
     in {!Partition_evaluate}). *)
 
+type solver = Bb | Milp
+(** Exact method used on every partition: the dedicated branch & bound
+    ({!Soctam_ilp.Exact.solve_bb}, the default and the scalable one) or
+    the paper's §3.2 ILP model ({!Soctam_ilp.Exact.solve_milp}) for
+    cross-checking. Checkpoints record the method; resuming under the
+    other one is rejected. *)
+
 type result = {
   widths : int array;
   time : int;
@@ -27,11 +34,24 @@ type result = {
 }
 
 val run_with :
-  Run_config.t -> table:Time_table.t -> total_width:int -> tams:int -> result
+  ?solver:solver ->
+  Run_config.t ->
+  table:Time_table.t ->
+  total_width:int ->
+  tams:int ->
+  result
 (** [run_with cfg ~table ~total_width ~tams] enumerates every partition
     of [total_width] into [tams] parts and solves each exactly with
-    {!Soctam_ilp.Exact.solve_bb} under [cfg.node_limit] nodes per
+    [?solver] (default {!Bb}) under [cfg.node_limit] nodes per
     partition.
+
+    [cfg.tau_import] warm-starts every B&B solve with the imported
+    bound and excludes candidates that cannot strictly beat it; when
+    nothing can, the result carries the imported time with {e empty}
+    [widths]/[assignment] arrays — a completed run in that state proves
+    no architecture of this instance beats the import. Only the racing
+    portfolio sets this field. [cfg.slice_limit] stops the run
+    (resumably, [Outcome.Budget_exhausted]) after that many slices.
 
     Policy read from [cfg]: [jobs] splits each slice into contiguous
     rank chunks solved on that many domains; without a budget the result

@@ -134,9 +134,20 @@ let aim_odometer st ~total_width ~tams ~lo =
    sequential Figure 3 behavior. Racing, the threshold is [bound + 1]:
    a partition that merely ties must still complete, because the
    deterministic (time, rank) reduction needs its rank, which is
-   exactly the information a racing worker lacks about its peers. *)
-let evaluate_chunk ?(stats = Obs.null) ~state ~prune_ties ~table ~total_width
-    ~tams ~lo ~hi () =
+   exactly the information a racing worker lacks about its peers.
+
+   [cap] is a foreign bound ([Run_config.tau_import]; [max_int] = none):
+   the threshold is capped at [cap + 1], not [cap] — a candidate that
+   merely ties an imported bound must still complete, at {e every} team
+   size, because it is this engine's only way to establish an incumbent
+   of its own at the imported quality (the bound itself is never
+   reported). Without the tie the final exact polish would have nothing
+   to improve whenever a rival engine reaches the heuristic optimum
+   first, and a portfolio race could end worse than this engine run
+   solo. Once an own tie has completed, the own [bound] equals [cap]
+   and the usual team-size rule takes over. *)
+let evaluate_chunk ?(stats = Obs.null) ~state ~prune_ties ~cap ~table
+    ~total_width ~tams ~lo ~hi () =
   let enumerated = ref 0 in
   let completed = ref 0 in
   let tau_terminated = ref 0 in
@@ -156,9 +167,13 @@ let evaluate_chunk ?(stats = Obs.null) ~state ~prune_ties ~table ~total_width
          incr enumerated;
          let bound = Shared_min.mirror_get mir in
          let threshold =
-           if prune_ties then bound
-           else if bound = max_int then max_int
-           else bound + 1
+           let t =
+             if prune_ties then bound
+             else if bound = max_int then max_int
+             else bound + 1
+           in
+           let c = if cap = max_int then max_int else cap + 1 in
+           if c < t then c else t
          in
          (match
             Core_assign.run_table_direct ?stats:ca ~scratch:state.w_scratch
@@ -213,8 +228,8 @@ let evaluate_chunk ?(stats = Obs.null) ~state ~prune_ties ~table ~total_width
    consumed in rank order by a single exact mirror, so the evaluation
    sequence — thresholds, prunes, improvements — is byte-identical to
    the historical dedicated sequential path this replaced. *)
-let evaluate_slice ?(stats = Obs.null) ~team ~table ~total_width ~tams ~tau
-    ~lo ~hi best =
+let evaluate_slice ?(stats = Obs.null) ~team ~cap ~table ~total_width ~tams
+    ~tau ~lo ~hi best =
   let shared = Shared_min.create !tau in
   let size = Pool.Team.size team in
   let prune_ties = size = 1 in
@@ -231,8 +246,8 @@ let evaluate_slice ?(stats = Obs.null) ~team ~table ~total_width ~tams ~tau
     Obs.span stats "partition/evaluate_b" (fun () ->
         Pool.map_chunks ~stats team ~length:(hi - lo)
           ~f:(fun ~worker ~lo:clo ~hi:chi ->
-            (evaluate_chunk ~stats ~state:states.(worker) ~prune_ties ~table
-               ~total_width ~tams ~lo:(lo + clo) ~hi:(lo + chi) ()
+            (evaluate_chunk ~stats ~state:states.(worker) ~prune_ties ~cap
+               ~table ~total_width ~tams ~lo:(lo + clo) ~hi:(lo + chi) ()
              [@soctam.allow "DOM-ESCAPE"]
              (* [states] is indexed by the worker slot, and the
                 scheduler runs at most one chunk per slot at a time:
@@ -379,7 +394,8 @@ let restore_pe ~cfg ~total_width ~b_values (cp : Checkpoint.t) =
         "Partition_evaluate: resume checkpoint does not match this run's TAM \
          plan";
       s
-  | Checkpoint.Exhaustive _ | Checkpoint.Sweep _ | Checkpoint.Pack _ ->
+  | Checkpoint.Exhaustive _ | Checkpoint.Sweep _ | Checkpoint.Pack _
+  | Checkpoint.Anneal _ | Checkpoint.Race _ ->
       invalid_arg "Partition_evaluate: resume checkpoint is for a different \
                    solver"
 
@@ -413,13 +429,18 @@ let run_with (cfg : Run_config.t) ~table ~total_width =
   let initial =
     match cfg.Run_config.initial_best with Some t -> t | None -> max_int
   in
+  let cap =
+    match cfg.Run_config.tau_import with Some b -> b | None -> max_int
+  in
   let restored =
     Option.map (restore_pe ~cfg ~total_width ~b_values) cfg.Run_config.resume
   in
   (* Replay the interrupted run's solver-owned counters so the resumed
-     collector converges to an uninterrupted run's totals. *)
+     collector converges to an uninterrupted run's totals. The racer
+     disables this after the first resume: its collector already saw
+     these counters live. *)
   (match cfg.Run_config.resume with
-  | Some cp when Obs.enabled stats ->
+  | Some cp when Obs.enabled stats && cfg.Run_config.resume_replay ->
       List.iter
         (fun (name, n) -> if n > 0 then Obs.add stats ~n name)
         cp.Checkpoint.counters
@@ -529,7 +550,14 @@ let run_with (cfg : Run_config.t) ~table ~total_width =
         | Ok () -> ()
         | Error msg -> failwith ("checkpoint write failed: " ^ msg))
   in
+  let slices_done = ref 0 in
   let boundary ~cursor ~pending =
+    (match cfg.Run_config.slice_limit with
+    | Some limit when !slices_done >= limit ->
+        let cp = checkpoint_now ~cursor ~pending in
+        write_checkpoint cp;
+        raise (Stopped (Outcome.Budget_exhausted cp))
+    | Some _ | None -> ());
     if cfg.Run_config.cancel () then begin
       let cp = checkpoint_now ~cursor ~pending in
       write_checkpoint cp;
@@ -578,10 +606,11 @@ let run_with (cfg : Run_config.t) ~table ~total_width =
                   let lo = g.g_next in
                   let hi = min (lo + slice_len) g.g_unique in
                   let s =
-                    evaluate_slice ~stats ~team ~table ~total_width
+                    evaluate_slice ~stats ~team ~cap ~table ~total_width
                       ~tams:g.g_tams ~tau ~lo ~hi best
                   in
-                  accumulate g s hi
+                  accumulate g s hi;
+                  incr slices_done
                 done;
                 done_rev := g :: !done_rev;
                 over_plan pending

@@ -13,7 +13,10 @@ type t = {
   checkpoint_path : string option;
   checkpoint_every : int;
   resume : Checkpoint.t option;
+  resume_replay : bool;
   cancel : unit -> bool;
+  slice_limit : int option;
+  tau_import : int option;
 }
 
 let never_cancelled () = false
@@ -34,7 +37,10 @@ let default =
     checkpoint_path = None;
     checkpoint_every = 50_000;
     resume = None;
+    resume_replay = true;
     cancel = never_cancelled;
+    slice_limit = None;
+    tau_import = None;
   }
 
 let with_jobs jobs t =
@@ -78,10 +84,24 @@ let with_checkpoint_every every t =
   { t with checkpoint_every = every }
 
 let with_resume resume t = { t with resume = Some resume }
+let with_resume_replay resume_replay t = { t with resume_replay }
 let with_cancel cancel t = { t with cancel }
+
+let with_slice_limit limit t =
+  if limit < 1 then
+    invalid_arg "Run_config.with_slice_limit: limit must be >= 1";
+  { t with slice_limit = Some limit }
+
+let without_slice_limit t = { t with slice_limit = None }
+
+let with_tau_import bound t =
+  if bound < 1 then
+    invalid_arg "Run_config.with_tau_import: bound must be >= 1";
+  { t with tau_import = Some bound }
 
 let checkpointing t =
   t.checkpoint_path <> None || t.resume <> None || t.time_budget <> None
+  || t.slice_limit <> None
 
 (* Slice size of the checkpoint engines: [checkpoint_every] ranks when
    the run can stop early (so boundaries exist to stop at), otherwise

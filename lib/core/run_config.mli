@@ -43,9 +43,31 @@ type t = {
       (** ranks per checkpoint slice: the granularity at which budgets,
           cancellation and checkpoint writes are honored *)
   resume : Checkpoint.t option;  (** continue a previous run *)
+  resume_replay : bool;
+      (** replay the resume token's counters into [stats] (default
+          [true]). The racer resumes the same engine many times inside
+          one process and one collector; it replays each token exactly
+          once and passes [false] afterwards so counters are not
+          multiplied by the slice count. *)
   cancel : unit -> bool;
       (** polled at slice boundaries; [true] stops the run with
           [Outcome.Interrupted] (see [Soctam_util.Cancel]) *)
+  slice_limit : int option;
+      (** stop after this many slices with [Outcome.Budget_exhausted]
+          and a resume token — the racer's unit of engine time. [None]
+          = run to another stopping condition. Setting it turns
+          {!checkpointing} on (boundaries must exist to stop at). *)
+  tau_import : int option;
+      (** a foreign upper bound (some other engine's architecture time)
+          folded into the pruning threshold, at every job count. The
+          bound itself is never reported as the engine's own result —
+          anything the engine claims it found in its own space, though
+          {!Partition_evaluate} deliberately completes candidates that
+          {e tie} the import so its final exact polish has an incumbent
+          to improve (the never-worse-than-solo rule of the racer needs
+          exactly that tie). Excluded from resume-compatibility checks —
+          unlike [initial_best], it may differ on every resumed
+          slice. *)
 }
 
 val default : t
@@ -85,13 +107,22 @@ val with_time_budget : float -> t -> t
 val with_checkpoint : string -> t -> t
 val with_checkpoint_every : int -> t -> t
 val with_resume : Checkpoint.t -> t -> t
+val with_resume_replay : bool -> t -> t
 val with_cancel : (unit -> bool) -> t -> t
+
+val with_slice_limit : int -> t -> t
+(** Stop (resumably) after this many slices. *)
+
+val without_slice_limit : t -> t
+
+val with_tau_import : int -> t -> t
+(** Import a foreign pruning bound (see the field above). *)
 
 (** {1 Derived} *)
 
 val checkpointing : t -> bool
 (** Does this run need slice boundaries (a checkpoint path, a resume
-    token or a time budget)? *)
+    token, a time budget or a slice limit)? *)
 
 val slice_size : t -> length:int -> int
 (** Ranks per engine slice for a range of [length]: [checkpoint_every]

@@ -51,7 +51,7 @@ let restore_sw ~cfg ~widths (cp : Checkpoint.t) =
       | _ -> ());
       s
   | Checkpoint.Partition_evaluate _ | Checkpoint.Exhaustive _
-  | Checkpoint.Pack _ ->
+  | Checkpoint.Pack _ | Checkpoint.Anneal _ | Checkpoint.Race _ ->
       invalid_arg "Sweep: resume checkpoint is for a different solver"
 
 let run_with (cfg : Run_config.t) soc ~widths =

@@ -252,8 +252,8 @@ type wstate = {
   w_mirror : Shared_min.mirror;
 }
 
-let evaluate_chunk ?(stats = Obs.null) ~state ~prune_ties ~table ~total_width
-    ~tams ~max_tams ~sp ~lo ~hi () =
+let evaluate_chunk ?(stats = Obs.null) ~state ~prune_ties ~cap ~table
+    ~total_width ~tams ~max_tams ~sp ~lo ~hi () =
   let packings = ref 0 in
   let cands = ref 0 in
   let completed = ref 0 in
@@ -276,11 +276,16 @@ let evaluate_chunk ?(stats = Obs.null) ~state ~prune_ties ~table ~total_width
         let bound = Shared_min.mirror_get mir in
         (* Alone, prune ties like the sequential paper loop; racing,
            ties must complete so the deterministic reduction sees their
-           rank (see [Partition_evaluate.evaluate_chunk]). *)
+           rank (see [Partition_evaluate.evaluate_chunk]). An imported
+           bound caps the threshold at every job count, so foreign
+           times never enter the (time, rank) reduction. *)
         let threshold =
-          if prune_ties then bound
-          else if bound = max_int then max_int
-          else bound + 1
+          let t =
+            if prune_ties then bound
+            else if bound = max_int then max_int
+            else bound + 1
+          in
+          if cap < t then cap else t
         in
         match
           Core_assign.run_table_direct ?stats:ca ~scratch:state.w_scratch
@@ -320,7 +325,7 @@ let evaluate_chunk ?(stats = Obs.null) ~state ~prune_ties ~table ~total_width
    Ranks are coarse units (a whole packing plus its candidate
    evaluations), so chunks shrink to single ranks ([min_chunk:1]) —
    the default granularity would serialize the whole space. *)
-let evaluate_slice ?(stats = Obs.null) ~team ~table ~total_width ~tams
+let evaluate_slice ?(stats = Obs.null) ~team ~cap ~table ~total_width ~tams
     ~max_tams ~sp ~tau ~lo ~hi best =
   let shared = Shared_min.create !tau in
   let size = Pool.Team.size team in
@@ -336,9 +341,9 @@ let evaluate_slice ?(stats = Obs.null) ~team ~table ~total_width ~tams
     Obs.span stats "pack/evaluate_slice" (fun () ->
         Pool.map_chunks ~stats ~min_chunk:1 team ~length:(hi - lo)
           ~f:(fun ~worker ~lo:clo ~hi:chi ->
-            (evaluate_chunk ~stats ~state:states.(worker) ~prune_ties ~table
-               ~total_width ~tams ~max_tams ~sp ~lo:(lo + clo) ~hi:(lo + chi)
-               ()
+            (evaluate_chunk ~stats ~state:states.(worker) ~prune_ties ~cap
+               ~table ~total_width ~tams ~max_tams ~sp ~lo:(lo + clo)
+               ~hi:(lo + chi) ()
              [@soctam.allow "DOM-ESCAPE"]
              (* [states] is indexed by the worker slot, and the
                 scheduler runs at most one chunk per slot at a time:
@@ -420,7 +425,7 @@ let restore_pack ~cfg ~total_width ~ranks (cp : Checkpoint.t) =
       | _ -> ());
       s
   | Checkpoint.Partition_evaluate _ | Checkpoint.Exhaustive _
-  | Checkpoint.Sweep _ ->
+  | Checkpoint.Sweep _ | Checkpoint.Anneal _ | Checkpoint.Race _ ->
       invalid_arg "Pack_engine: resume checkpoint is for a different solver"
 
 exception Stopped of Outcome.t
@@ -446,13 +451,14 @@ let run_with (cfg : Rc.t) ~table ~total_width =
   let initial =
     match cfg.Rc.initial_best with Some t -> t | None -> max_int
   in
+  let cap = match cfg.Rc.tau_import with Some b -> b | None -> max_int in
   let restored =
     Option.map (restore_pack ~cfg ~total_width ~ranks) cfg.Rc.resume
   in
   (* Replay the interrupted run's solver-owned counters so the resumed
      collector converges to an uninterrupted run's totals. *)
   (match cfg.Rc.resume with
-  | Some cp when Obs.enabled stats ->
+  | Some cp when Obs.enabled stats && cfg.Rc.resume_replay ->
       List.iter
         (fun (name, n) -> if n > 0 then Obs.add stats ~n name)
         cp.Checkpoint.counters
@@ -567,7 +573,14 @@ let run_with (cfg : Rc.t) ~table ~total_width =
         | Ok () -> ()
         | Error msg -> failwith ("checkpoint write failed: " ^ msg))
   in
+  let slices_done = ref 0 in
   let boundary () =
+    (match cfg.Rc.slice_limit with
+    | Some limit when !slices_done >= limit ->
+        let cp = checkpoint_now () in
+        write_checkpoint cp;
+        raise (Stopped (Outcome.Budget_exhausted cp))
+    | Some _ | None -> ());
     if cfg.Rc.cancel () then begin
       let cp = checkpoint_now () in
       write_checkpoint cp;
@@ -591,10 +604,11 @@ let run_with (cfg : Rc.t) ~table ~total_width =
             let lo = !next in
             let hi = min (lo + slice_len) ranks in
             let s =
-              evaluate_slice ~stats ~team ~table ~total_width ~tams ~max_tams
-                ~sp ~tau ~lo ~hi best
+              evaluate_slice ~stats ~team ~cap ~table ~total_width ~tams
+                ~max_tams ~sp ~tau ~lo ~hi best
             in
             next := hi;
+            incr slices_done;
             packings := !packings + s.sl_packings;
             cands := !cands + s.sl_candidates;
             completed := !completed + s.sl_completed;
@@ -654,3 +668,43 @@ let architecture ~table r =
     ~cores:(Tt.core_count table) ~widths:r.widths ~assignment:r.assignment
 
 let schedule ~table r = Pack_schedule.of_architecture ~table (architecture ~table r)
+
+module E : Soctam_core.Engine.S = struct
+  let name = "pack"
+
+  let caps =
+    {
+      Soctam_core.Engine.parallel = true;
+      imports_tau = true;
+      needs_fixed_tams = false;
+      free_tams_only = false;
+      proves = false;
+    }
+
+  let cert =
+    { Soctam_core.Engine.cert_exact = true; cert_packing = true }
+
+  let owns_token = function Checkpoint.Pack _ -> true | _ -> false
+
+  let run (cfg : Rc.t) (inst : Soctam_core.Engine.instance) =
+    let r =
+      run_with cfg ~table:inst.Soctam_core.Engine.table
+        ~total_width:inst.Soctam_core.Engine.total_width
+    in
+    {
+      Soctam_core.Engine.r_widths = r.widths;
+      r_time = r.time;
+      r_assignment = r.assignment;
+      r_outcome = r.outcome;
+      r_notes =
+        [
+          Printf.sprintf "%d ranks, %d candidates (%d pruned)%s" r.ranks
+            r.candidates r.pruned
+            (match r.best_makespan with
+            | None -> ""
+            | Some h -> Printf.sprintf ", best raw packing height %d" h);
+        ];
+    }
+end
+
+let engine : Soctam_core.Engine.t = (module E)

@@ -73,6 +73,14 @@ val run_with :
     run resumed from any slice boundary agrees with an uninterrupted
     one. [carry_tau] is irrelevant here (the rank sequence is a
     single pass, so the bound always carries).
+
+    [tau_import] caps every candidate's pruning threshold at the
+    imported bound — at any job count — so candidates at or above it
+    are cut and foreign times never enter the (time, rank) reduction;
+    when nothing beats the import the result falls back to the even
+    split (whose time then fails the racer's strict-improvement
+    check). [slice_limit] stops the run resumably
+    ([Outcome.Budget_exhausted]) after that many rank slices.
     @raise Invalid_argument when [total_width < 1], the table is
     narrower than [total_width], [tams] exceeds [total_width], or a
     resume checkpoint does not match this instance. *)
@@ -85,3 +93,8 @@ val architecture :
 val schedule : table:Soctam_core.Time_table.t -> result -> Pack_schedule.t
 (** The chosen architecture rendered as a rectangle schedule
     ({!Pack_schedule.of_architecture}) for the packing certifier. *)
+
+val engine : Soctam_core.Engine.t
+(** This solver as a first-class engine (registry name ["pack"]):
+    parallel, imports tau, handles both P_PAW and P_NPAW, proves
+    nothing; admits both the exact and the packing certificates. *)

@@ -1,0 +1,42 @@
+module Engine = Soctam_core.Engine
+
+let all () =
+  [
+    Engine.pe;
+    Soctam_pack.Pack_engine.engine;
+    Soctam_anneal.Annealer.engine ();
+    Engine.exhaustive;
+    Engine.ilp;
+  ]
+
+let names () = List.map Engine.name (all ())
+
+let find name =
+  match
+    List.find_opt (fun e -> String.equal (Engine.name e) name) (all ())
+  with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (Printf.sprintf "unknown engine %S (known: %s)" name
+           (String.concat ", " (names ())))
+
+let parse spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if parts = [] then Error "empty engine list"
+  else
+    let rec go acc seen = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest ->
+          if List.mem n seen then
+            Error (Printf.sprintf "engine %S listed twice" n)
+          else (
+            match find n with
+            | Ok e -> go (e :: acc) (n :: seen) rest
+            | Error msg -> Error msg)
+    in
+    go [] [] parts

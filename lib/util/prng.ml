@@ -4,6 +4,10 @@ let create seed = { state = seed }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
+let of_state state = { state }
+
 (* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
    generators", OOPSLA 2014. *)
 let next_int64 t =

@@ -13,6 +13,15 @@ val create : int64 -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val state : t -> int64
+(** The current splitmix64 state word. Together with {!of_state} this
+    lets a checkpoint capture and later restore a generator exactly:
+    [of_state (state t)] continues [t]'s stream bit-for-bit. *)
+
+val of_state : int64 -> t
+(** A generator resuming from a captured {!state} word. Unlike
+    {!create}, the argument is the raw mid-stream state, not a seed. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit value of the splitmix64 stream. *)
 

@@ -10,6 +10,7 @@ module Pe = Soctam_core.Partition_evaluate
 module Ex = Soctam_core.Exhaustive
 module Sw = Soctam_core.Sweep
 module Pk = Soctam_pack.Pack_engine
+module An = Soctam_anneal.Annealer
 
 let opt set v cfg = match v with None -> cfg | Some x -> set x cfg
 
@@ -61,3 +62,25 @@ let pack_run ?stats ?jobs ?max_tams ?tams ?initial_best ?time_budget ~table
   Pk.run_with
     (cfg ?stats ?jobs ?max_tams ?tams ?initial_best ?time_budget ())
     ~table ~total_width
+
+let anneal_run ?stats ?params ~table ~total_width ~max_tams () =
+  An.run_with ?params (cfg ?stats ~max_tams ()) ~table ~total_width
+
+(* The racing portfolio. [checkpoint_every] is the race's slice
+   granularity (work units per engine grant); [slice_limit] truncates
+   the race after that many grants with a resumable checkpoint in the
+   outcome; [resume] continues one. *)
+let race_run ?stats ?jobs ?max_tams ?tams ?checkpoint_every ?slice_limit
+    ?resume ~engines ~table ~total_width () =
+  let c = cfg ?stats ?jobs ?max_tams ?tams () in
+  let c = opt Rc.with_checkpoint_every checkpoint_every c in
+  let c = opt Rc.with_slice_limit slice_limit c in
+  let c = opt Rc.with_resume resume c in
+  Soctam_race.Race.run c ~engines ~table ~total_width
+
+let engine name =
+  match Soctam_race.Registry.find name with
+  | Ok e -> e
+  | Error msg -> failwith msg
+
+let engines names = List.map engine names

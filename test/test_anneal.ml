@@ -28,7 +28,7 @@ let result_is_consistent =
       let soc = small_soc (Int64.of_int seed) ~cores:6 in
       let table = Tt.build soc ~max_width:12 in
       let r =
-        Sa.optimize
+        Runners.anneal_run
           ~params:(quick_params (Int64.of_int seed))
           ~table ~total_width:12 ~max_tams:4 ()
       in
@@ -47,7 +47,7 @@ let deterministic_given_seed () =
   let soc = small_soc 77L ~cores:6 in
   let table = Tt.build soc ~max_width:10 in
   let run () =
-    Sa.optimize ~params:(quick_params 5L) ~table ~total_width:10 ~max_tams:4 ()
+    Runners.anneal_run ~params:(quick_params 5L) ~table ~total_width:10 ~max_tams:4 ()
   in
   let a = run () and b = run () in
   Alcotest.(check int) "same time" a.Sa.time b.Sa.time;
@@ -69,7 +69,7 @@ let improves_on_single_tam =
         | Soctam_core.Core_assign.Exceeded _ -> assert false
       in
       let r =
-        Sa.optimize
+        Runners.anneal_run
           ~params:(quick_params (Int64.of_int (seed * 3)))
           ~table ~total_width:12 ~max_tams:4 ()
       in
@@ -92,7 +92,7 @@ let never_beats_global_optimum =
           max_int [ 1; 2; 3 ]
       in
       let r =
-        Sa.optimize
+        Runners.anneal_run
           ~params:(quick_params (Int64.of_int seed))
           ~table ~total_width:8 ~max_tams:3 ()
       in
@@ -101,10 +101,10 @@ let never_beats_global_optimum =
 let validation () =
   let soc = small_soc 9L ~cores:4 in
   let table = Tt.build soc ~max_width:6 in
-  (match Sa.optimize ~table ~total_width:10 ~max_tams:3 () with
+  (match Runners.anneal_run ~table ~total_width:10 ~max_tams:3 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "narrow table accepted");
-  match Sa.optimize ~table ~total_width:6 ~max_tams:0 () with
+  match Runners.anneal_run ~table ~total_width:6 ~max_tams:0 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "max_tams 0 accepted"
 
@@ -112,7 +112,7 @@ let single_tam_degenerate () =
   let soc = small_soc 10L ~cores:4 in
   let table = Tt.build soc ~max_width:6 in
   let r =
-    Sa.optimize ~params:(quick_params 1L) ~table ~total_width:6 ~max_tams:1 ()
+    Runners.anneal_run ~params:(quick_params 1L) ~table ~total_width:6 ~max_tams:1 ()
   in
   Alcotest.(check (list int)) "single full-width TAM" [ 6 ]
     (Array.to_list r.Sa.widths)

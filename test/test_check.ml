@@ -101,8 +101,7 @@ let annealer_certifies () =
     }
   in
   let sa =
-    Soctam_anneal.Annealer.optimize ~params ~table ~total_width:16 ~max_tams:4
-      ()
+    Runners.anneal_run ~params ~table ~total_width:16 ~max_tams:4 ()
   in
   let claim =
     {

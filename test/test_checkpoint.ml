@@ -82,6 +82,7 @@ let ex_doc =
         {
           Cp.ex_total_width = 20;
           ex_tams = 4;
+          ex_method = "bb";
           ex_next_rank = 33;
           ex_best =
             Some
@@ -120,6 +121,87 @@ let sw_doc =
         };
   }
 
+let an_doc =
+  {
+    Cp.soc = Some "d695";
+    counters = [ ("anneal/proposed", 900); ("anneal/accepted", 412) ];
+    state =
+      Cp.Anneal
+        {
+          Cp.an_total_width = 12;
+          an_max_tams = 4;
+          an_iterations = 5_000;
+          an_next_iteration = 900;
+          an_seed = 7L;
+          an_rng = 0x9E3779B97F4A7C15L;
+          (* Deliberately awkward floats: raw-bits serialization must
+             carry them exactly (decimal rendering would not). *)
+          an_temperature = 0.1 +. 0.2;
+          an_initial_temperature = 1000.;
+          an_cooling = 0.995;
+          an_tams = 3;
+          an_widths = [| 3; 4; 5; 0 |];
+          an_assignment = [| 0; 1; 2; 0; 1 |];
+          an_best =
+            Some
+              {
+                Cp.ba_widths = [| 3; 4; 5 |];
+                ba_time = 44_000;
+                ba_assignment = [| 0; 1; 2; 0; 1 |];
+              };
+          an_accepted = 412;
+          an_proposed = 900;
+        };
+  }
+
+(* A race document embedding full engine tokens: restoring the race is
+   restoring every engine at once. *)
+let race_doc =
+  {
+    Cp.soc = Some "d695";
+    counters = [ ("race/slices", 5) ];
+    state =
+      Cp.Race
+        {
+          Cp.ra_total_width = 12;
+          ra_tams = None;
+          ra_max_tams = 10;
+          ra_initial = None;
+          ra_tau = 42_645;
+          ra_best =
+            Some
+              {
+                Cp.ba_widths = [| 3; 4; 5 |];
+                ba_time = 42_645;
+                ba_assignment = [| 0; 1; 2; 0; 1 |];
+              };
+          ra_winner = Some "pe";
+          ra_rounds = 2;
+          ra_slices = 5;
+          ra_imports = 3;
+          ra_exports = 2;
+          ra_slots =
+            [
+              {
+                Cp.rs_engine = "pe";
+                rs_done = false;
+                rs_proved = false;
+                rs_improvements = 2;
+                rs_slices = 3;
+                rs_token = Some pe_doc;
+              };
+              {
+                Cp.rs_engine = "anneal";
+                rs_done = false;
+                rs_proved = false;
+                rs_improvements = 0;
+                rs_slices = 2;
+                rs_token = Some an_doc;
+              };
+            ];
+        };
+  }
+
 (* -- document round-trip --------------------------------------------------- *)
 
 let round_trip doc () =
@@ -148,7 +230,56 @@ let describe_mentions_solver () =
     (has_sub (Cp.describe ex_doc) "exhaustive");
   Alcotest.(check bool)
     "sweep describe names the solver" true
-    (has_sub (Cp.describe sw_doc) "sweep")
+    (has_sub (Cp.describe sw_doc) "sweep");
+  Alcotest.(check bool)
+    "anneal describe names the solver" true
+    (has_sub (Cp.describe an_doc) "anneal");
+  Alcotest.(check bool)
+    "race describe names the portfolio" true
+    (has_sub (Cp.describe race_doc) "race"
+    && has_sub (Cp.describe race_doc) "pe")
+
+let anneal_bits_exact () =
+  (* The rng word and the temperature schedule must survive as raw
+     bits, not as decimal renderings. *)
+  match Cp.of_string (Cp.to_string an_doc) with
+  | Error msg -> Alcotest.failf "anneal round-trip rejected: %s" msg
+  | Ok { Cp.state = Cp.Anneal s; _ } ->
+      Alcotest.(check int64) "rng word" 0x9E3779B97F4A7C15L s.Cp.an_rng;
+      Alcotest.(check bool)
+        "temperature bit-exact" true
+        (Int64.equal
+           (Int64.bits_of_float (0.1 +. 0.2))
+           (Int64.bits_of_float s.Cp.an_temperature))
+  | Ok _ -> Alcotest.fail "anneal state did not survive"
+
+let race_tokens_embedded () =
+  (* The embedded engine tokens are complete documents: restoring the
+     race restores every engine. *)
+  match Cp.of_string (Cp.to_string race_doc) with
+  | Error msg -> Alcotest.failf "race round-trip rejected: %s" msg
+  | Ok { Cp.state = Cp.Race s; _ } -> (
+      match List.map (fun sl -> sl.Cp.rs_token) s.Cp.ra_slots with
+      | [ Some pe_token; Some an_token ] ->
+          Alcotest.(check string)
+            "pe token survives" (Cp.to_string pe_doc) (Cp.to_string pe_token);
+          Alcotest.(check string)
+            "anneal token survives" (Cp.to_string an_doc)
+            (Cp.to_string an_token)
+      | _ -> Alcotest.fail "race slots lost their tokens")
+  | Ok _ -> Alcotest.fail "race state did not survive"
+
+let race_slice_total_rejected () =
+  (* ra_slices must equal the slot sum; construction is unchecked, the
+     strict reader must catch it. *)
+  let bad =
+    match race_doc.Cp.state with
+    | Cp.Race s -> { race_doc with Cp.state = Cp.Race { s with Cp.ra_slices = 99 } }
+    | _ -> assert false
+  in
+  match Cp.of_string (Cp.to_string bad) with
+  | Ok _ -> Alcotest.fail "broken race slice total accepted"
+  | Error _ -> ()
 
 (* -- strict rejection ------------------------------------------------------ *)
 
@@ -290,7 +421,9 @@ let run_config_validates () =
   invalid (fun () -> Rc.with_max_tams 0 Rc.default);
   invalid (fun () -> Rc.with_tams 0 Rc.default);
   invalid (fun () -> Rc.with_time_budget (-1.) Rc.default);
-  invalid (fun () -> Rc.with_checkpoint_every 0 Rc.default)
+  invalid (fun () -> Rc.with_checkpoint_every 0 Rc.default);
+  invalid (fun () -> Rc.with_slice_limit 0 Rc.default);
+  invalid (fun () -> Rc.with_tau_import 0 Rc.default)
 
 let slice_size_policy () =
   Alcotest.(check int)
@@ -302,7 +435,9 @@ let slice_size_policy () =
   Alcotest.(check int) "short range: whole range" 10
     (Rc.slice_size cfg ~length:10);
   Alcotest.(check bool) "budget implies slicing" true
-    (Rc.checkpointing (Rc.with_time_budget 1. Rc.default))
+    (Rc.checkpointing (Rc.with_time_budget 1. Rc.default));
+  Alcotest.(check bool) "slice limit implies slicing" true
+    (Rc.checkpointing (Rc.with_slice_limit 1 Rc.default))
 
 (* -- kill-and-resume determinism ------------------------------------------ *)
 
@@ -645,7 +780,12 @@ let suite =
     test "checkpoint: partition_evaluate round-trip" (round_trip pe_doc);
     test "checkpoint: exhaustive round-trip" (round_trip ex_doc);
     test "checkpoint: sweep round-trip" (round_trip sw_doc);
+    test "checkpoint: anneal round-trip" (round_trip an_doc);
+    test "checkpoint: race round-trip" (round_trip race_doc);
     test "checkpoint: describe" describe_mentions_solver;
+    test "checkpoint: anneal floats and rng bit-exact" anneal_bits_exact;
+    test "checkpoint: race embeds engine tokens" race_tokens_embedded;
+    test "checkpoint: race slice total rejected" race_slice_total_rejected;
     test "checkpoint: stale version rejected" stale_version_rejected;
     test "checkpoint: checksum mismatch rejected" checksum_mismatch_rejected;
     test "checkpoint: cursor invariant rejected" cursor_invariant_rejected;

@@ -27,5 +27,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("obs", Test_obs.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("race", Test_race.suite);
       ("cli", Test_cli.suite);
     ]
