@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test test-par test-par-smoke test-resume test-race bench ci lint static-analysis fmt fmt-check coverage clean
+.PHONY: all build test test-par test-par-smoke test-resume test-race bench ci lint static-analysis analyze-sarif fmt fmt-check coverage clean
 
 all: build
 
@@ -65,12 +65,21 @@ lint: build static-analysis
 
 # Source-level determinism & domain-safety analysis: the syntactic
 # families (DET-POLY, DET-ENTROPY, DOM-SHARED, API-DEPRECATED, IFACE)
-# plus the Typedtree families (DOM-ESCAPE, LOCK-RAISE, ALLOC-HOT) over
-# lib/, bin/, bench/ and examples/, gated by analysis.baseline. The
-# @lint-src alias builds @check first so every file has a .cmt and the
-# typed pass covers the whole tree. Fails on any non-baselined finding.
+# plus the Typedtree families (DOM-ESCAPE, LOCK-RAISE, ALLOC-HOT and
+# the effect-inference families EFFECT-WORKER, OUTCOME-DROP,
+# ENGINE-CAPS, TAU-DISCIPLINE) over lib/, bin/, bench/ and examples/,
+# gated by analysis.baseline. The @lint-src alias builds @check first
+# so every file has a .cmt and the typed pass covers the whole tree.
+# Fails on any non-baselined finding.
 static-analysis:
 	dune build @lint-src
+
+# The same run rendered as SARIF 2.1.0 into analysis.sarif, for code
+# scanning UIs (GitHub code scanning ingests this file directly).
+# Exit status still reflects the findings, so it can serve as a gate.
+analyze-sarif:
+	dune build @check bin/soctam.exe
+	dune exec bin/soctam.exe -- analyze --root . --sarif analysis.sarif
 
 fmt:
 	dune build @fmt --auto-promote

@@ -365,10 +365,13 @@ let race_entry name soc =
    repository — the cost `dune build @lint-src` adds to CI — in both
    modes: the syntactic Parsetree pass alone, and the default typed
    pass that additionally reads every .cmt and runs the interprocedural
-   DOM-ESCAPE / LOCK-RAISE / ALLOC-HOT families. Best-of-5 after a
-   warm-up; the acceptance ceiling for the analyzer PRs is 5s
-   full-repo. Skipped (null in the report) when the bench is not run
-   from the repository root. *)
+   DOM-ESCAPE / LOCK-RAISE / ALLOC-HOT families plus the effect
+   fixpoint behind EFFECT-WORKER / OUTCOME-DROP / ENGINE-CAPS /
+   TAU-DISCIPLINE. effect_pass_seconds isolates that fixpoint and its
+   four rule passes inside typed_seconds. Best-of-5 after a warm-up;
+   the acceptance ceiling for the analyzer PRs is 5s full-repo.
+   Skipped (null in the report) when the bench is not run from the
+   repository root. *)
 let analyze_entry () =
   if not (Sys.file_exists "dune-project") then "null"
   else begin
@@ -377,21 +380,29 @@ let analyze_entry () =
         Timer.time (fun () -> Soctam_analysis.Analyze.tree ~mode ~root:"." ())
       in
       ignore (run ());
-      let best = ref infinity and files = ref 0 and typed = ref 0 in
+      let best = ref infinity
+      and effect_best = ref infinity
+      and files = ref 0
+      and typed = ref 0 in
       for _ = 1 to 5 do
         let result, secs = run () in
         files := result.Soctam_analysis.Analyze.files;
         typed := result.Soctam_analysis.Analyze.typed_files;
+        effect_best :=
+          Float.min !effect_best result.Soctam_analysis.Analyze.effect_seconds;
         best := Float.min !best secs
       done;
-      (!files, !typed, !best)
+      (!files, !typed, !best, !effect_best)
     in
-    let files, _, syntactic = measure Soctam_analysis.Analyze.Syntactic in
-    let _, typed_files, typed = measure Soctam_analysis.Analyze.Typed in
+    let files, _, syntactic, _ = measure Soctam_analysis.Analyze.Syntactic in
+    let _, typed_files, typed, effect =
+      measure Soctam_analysis.Analyze.Typed
+    in
     Printf.sprintf
       "{ \"files\": %d, \"best_of\": 5, \"syntactic_seconds\": %.3f, \
-       \"typed_files\": %d, \"typed_seconds\": %.3f }"
-      files syntactic typed_files typed
+       \"typed_files\": %d, \"typed_seconds\": %.3f, \
+       \"effect_pass_seconds\": %.3f }"
+      files syntactic typed_files typed effect
   end
 
 let json_run r =

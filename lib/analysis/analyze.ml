@@ -321,6 +321,7 @@ type result = {
   typed_files : int;
   graph : Typed.graph option;
   stale : Baseline.entry list;
+  effect_seconds : float;
 }
 
 let read_file path =
@@ -341,8 +342,10 @@ let tree ?(baseline = Baseline.empty) ?(mode = Typed) ~root () =
   let reachable = Source.domain_reachable ~root in
   (* The typed pass is additive: the Parsetree rules always run on every
      file, and files with a readable .cmt additionally get the
-     interprocedural DOM-ESCAPE / LOCK-RAISE / ALLOC-HOT families. A file
-     without cmt data (not compiled yet) keeps syntactic-only coverage. *)
+     interprocedural DOM-ESCAPE / LOCK-RAISE / ALLOC-HOT families plus
+     the effect-powered EFFECT-WORKER / OUTCOME-DROP / ENGINE-CAPS /
+     TAU-DISCIPLINE. A file without cmt data (not compiled yet) keeps
+     syntactic-only coverage and gets an Info diagnostic saying so. *)
   let typed =
     match mode with
     | Syntactic -> None
@@ -434,6 +437,8 @@ let tree ?(baseline = Baseline.empty) ?(mode = Typed) ~root () =
     typed_files = (match typed with Some t -> t.Typed.typed_files | None -> 0);
     graph = Option.map (fun t -> t.Typed.graph) typed;
     stale;
+    effect_seconds =
+      (match typed with Some t -> t.Typed.effect_seconds | None -> 0.);
   }
 
 let summary r =

@@ -43,8 +43,9 @@ type mode =
   | Syntactic  (** Parsetree rules only — the fast, cmt-free fallback *)
   | Typed
       (** Parsetree rules plus the interprocedural Typedtree families
-          (DOM-ESCAPE / LOCK-RAISE / ALLOC-HOT) for every file with a
-          readable [.cmt]; the default *)
+          (DOM-ESCAPE / LOCK-RAISE / ALLOC-HOT and the effect-powered
+          EFFECT-WORKER / OUTCOME-DROP / ENGINE-CAPS / TAU-DISCIPLINE)
+          for every file with a readable [.cmt]; the default *)
 
 type result = {
   report : Soctam_check.Report.t;
@@ -60,6 +61,9 @@ type result = {
   stale : Baseline.entry list;
       (** baseline entries matching no finding — reported as [Info]s,
           and what [soctam analyze --prune-baseline] rewrites away *)
+  effect_seconds : float;
+      (** cost of the effect fixpoint and the families it powers;
+          [0.] in [Syntactic] mode *)
 }
 
 val tree : ?baseline:Baseline.t -> ?mode:mode -> root:string -> unit -> result
@@ -69,8 +73,10 @@ val tree : ?baseline:Baseline.t -> ?mode:mode -> root:string -> unit -> result
     In [Typed] mode (the default) the Typedtree pass additionally runs
     over every file with a [.cmt] under [root/_build/default] (or
     [root] itself when analyzing from inside the build directory);
-    files without cmt data silently keep syntactic-only coverage, so
-    the analyzer degrades gracefully on an unbuilt tree.
+    files without cmt data keep syntactic-only coverage and are
+    reported with an [Info] diagnostic naming the missing typed rule
+    families, so the analyzer degrades gracefully — and loudly — on an
+    unbuilt tree.
     [baseline] (default {!Baseline.empty}) acknowledges findings by
     (rule, path); the run is clean when [Report.ok report]. *)
 

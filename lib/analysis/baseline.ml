@@ -86,11 +86,17 @@ let to_string t =
       Buffer.add_string buf line;
       Buffer.add_char buf '\n')
     header;
-  List.iter
-    (fun { rule; path; justification } ->
-      Buffer.add_string buf
-        (Printf.sprintf "%s\t%s\t%s\n" (Rule.name rule) path justification))
-    t;
+  (* The entry section is separated from the header by one blank line —
+     and exists only when there are entries, so pruning the last stale
+     entry leaves a header-only file, not a dangling blank section. *)
+  if t <> [] then begin
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun { rule; path; justification } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s\t%s\t%s\n" (Rule.name rule) path justification))
+      t
+  end;
   Buffer.contents buf
 
 let covers t ~rule ~path =

@@ -43,7 +43,10 @@ val load : string -> (t, Soctam_check.Violation.t list) result
     [Analysis_error]. *)
 
 val to_string : t -> string
-(** Render back to the committed format, header comment included.
+(** Render back to the committed format: the header comment, then — only
+    when there are entries — one blank line and the entry section. An
+    empty baseline renders as the header alone (no trailing blank
+    section), so a prune that removes every entry leaves a tidy file.
     [of_string (to_string t)] re-reads the same entries. *)
 
 val covers : t -> rule:Rule.id -> path:string -> bool

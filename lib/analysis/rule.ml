@@ -7,6 +7,10 @@ type id =
   | Dom_escape
   | Lock_raise
   | Alloc_hot
+  | Effect_worker
+  | Outcome_drop
+  | Engine_caps
+  | Tau_discipline
 
 let all =
   [
@@ -18,6 +22,10 @@ let all =
     Dom_escape;
     Lock_raise;
     Alloc_hot;
+    Effect_worker;
+    Outcome_drop;
+    Engine_caps;
+    Tau_discipline;
   ]
 
 let name = function
@@ -29,6 +37,10 @@ let name = function
   | Dom_escape -> "DOM-ESCAPE"
   | Lock_raise -> "LOCK-RAISE"
   | Alloc_hot -> "ALLOC-HOT"
+  | Effect_worker -> "EFFECT-WORKER"
+  | Outcome_drop -> "OUTCOME-DROP"
+  | Engine_caps -> "ENGINE-CAPS"
+  | Tau_discipline -> "TAU-DISCIPLINE"
 
 let of_name = function
   | "DET-POLY" -> Some Det_poly
@@ -39,6 +51,10 @@ let of_name = function
   | "DOM-ESCAPE" -> Some Dom_escape
   | "LOCK-RAISE" -> Some Lock_raise
   | "ALLOC-HOT" -> Some Alloc_hot
+  | "EFFECT-WORKER" -> Some Effect_worker
+  | "OUTCOME-DROP" -> Some Outcome_drop
+  | "ENGINE-CAPS" -> Some Engine_caps
+  | "TAU-DISCIPLINE" -> Some Tau_discipline
   | _ -> None
 
 let kind = function
@@ -50,6 +66,10 @@ let kind = function
   | Dom_escape -> Soctam_check.Violation.Domain_escape
   | Lock_raise -> Soctam_check.Violation.Lock_discipline
   | Alloc_hot -> Soctam_check.Violation.Hot_allocation
+  | Effect_worker -> Soctam_check.Violation.Worker_effect
+  | Outcome_drop -> Soctam_check.Violation.Outcome_dropped
+  | Engine_caps -> Soctam_check.Violation.Engine_caps_mismatch
+  | Tau_discipline -> Soctam_check.Violation.Tau_discipline
 
 let synopsis = function
   | Det_poly ->
@@ -73,3 +93,19 @@ let synopsis = function
   | Alloc_hot ->
       "allocation (closure, tuple, boxed float/option, list cons, array) \
        inside a [@soctam.hot] function or loop"
+  | Effect_worker ->
+      "inferred write effect on non-worker-local mutable state reachable \
+       from a Pool / Domain.spawn worker closure without an atomic or \
+       mutex guard"
+  | Outcome_drop ->
+      "Outcome.t consumer that discards the Budget_exhausted / \
+       Interrupted resume checkpoint (wildcard payload, ignore, or a \
+       dropped binding)"
+  | Engine_caps ->
+      "Engine.S caps record contradicted by the implementation: run \
+       reaches the domain pool without caps.parallel, or caps.proves \
+       without a lib/check certificate spec"
+  | Tau_discipline ->
+      "direct Shared_min.get inside a [@soctam.hot] scope (bypasses the \
+       worker mirror), or Shared_min.improve from worker code (skips the \
+       mirror's strict-improvement export filter)"

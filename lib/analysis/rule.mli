@@ -49,6 +49,35 @@ type id =
           record, [Some _] / list cons, array or string building,
           boxed-float result — inside a function or loop annotated
           [\[@soctam.hot\]]. *)
+  | Effect_worker
+      (** EFFECT-WORKER (typed pass, effect inference): a function with
+          an inferred write effect on mutable state it did not create —
+          a capture of an enclosing scope's value or a top-level binding
+          — is reachable from a [Pool] / [Domain.spawn] worker closure
+          and the write is neither atomic nor mutex-guarded. Subsumes
+          and sharpens the interprocedural half of DOM-ESCAPE: the write
+          is flagged wherever the call graph can carry a worker to it,
+          not only when the binder itself hands closures to the pool. *)
+  | Outcome_drop
+      (** OUTCOME-DROP (typed pass): a [match] / [function] case on
+          [Outcome.t] whose [Budget_exhausted _] / [Interrupted _]
+          payload — the resume checkpoint — is a wildcard, or an
+          [Outcome.t] value dropped whole via [ignore] / [let _ = ...].
+          The defining module itself (its accessors must destructure) is
+          exempt. *)
+  | Engine_caps
+      (** ENGINE-CAPS (typed pass): an [Engine.S] implementation whose
+          [caps] record contradicts its body — [run] reaches
+          [Pool.run] / [Pool.map_chunks] / [Team.round] /
+          [Domain.spawn] while [caps.parallel] is [false], or
+          [caps.proves] is [true] with a [cert] spec requesting no
+          lib/check certificate. *)
+  | Tau_discipline
+      (** TAU-DISCIPLINE (typed pass): a direct [Shared_min.get] inside
+          a [\[@soctam.hot\]] scope (the mirror exists precisely so hot
+          loops avoid the atomic read), or [Shared_min.improve] called
+          from worker-reachable code (bypassing [mirror_improve]'s
+          strict-improvement export filter). *)
 
 val all : id list
 (** Every rule, in catalog order. *)
@@ -56,7 +85,8 @@ val all : id list
 val name : id -> string
 (** Stable uppercase identifier: ["DET-POLY"], ["DET-ENTROPY"],
     ["DOM-SHARED"], ["API-DEPRECATED"], ["IFACE"], ["DOM-ESCAPE"],
-    ["LOCK-RAISE"], ["ALLOC-HOT"]. *)
+    ["LOCK-RAISE"], ["ALLOC-HOT"], ["EFFECT-WORKER"], ["OUTCOME-DROP"],
+    ["ENGINE-CAPS"], ["TAU-DISCIPLINE"]. *)
 
 val of_name : string -> id option
 (** Inverse of {!name}; [None] for anything else. *)

@@ -1,0 +1,105 @@
+module Json = Soctam_util.Json
+module Violation = Soctam_check.Violation
+module Report = Soctam_check.Report
+
+(* SARIF 2.1.0, minimal profile: one run, the rule catalog as
+   tool.driver.rules, one result per surviving finding and per analyzer
+   problem. Member order is fixed here and the Json printer preserves
+   it, so the rendering is byte-deterministic (golden-tested). *)
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let rule_index =
+  let indexed = List.mapi (fun i r -> (r, i)) Rule.all in
+  fun rule -> List.assq rule indexed
+
+let rules_json =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("id", Json.String (Rule.name r));
+             ( "shortDescription",
+               Json.Obj [ ("text", Json.String (Rule.synopsis r)) ] );
+           ])
+       Rule.all)
+
+let location ~uri ~line =
+  Json.Obj
+    [
+      ( "physicalLocation",
+        Json.Obj
+          [
+            ("artifactLocation", Json.Obj [ ("uri", Json.String uri) ]);
+            ("region", Json.Obj [ ("startLine", Json.Int (max 1 line)) ]);
+          ] );
+    ]
+
+let of_finding (f : Finding.t) =
+  Json.Obj
+    [
+      ("ruleId", Json.String (Rule.name f.rule));
+      ("ruleIndex", Json.Int (rule_index f.rule));
+      ("level", Json.String "error");
+      ("message", Json.Obj [ ("text", Json.String f.message) ]);
+      ("locations", Json.List [ location ~uri:f.path ~line:f.line ]);
+    ]
+
+(* Analyzer problems and stale-baseline notes carry no rule from the
+   catalog; SARIF allows a ruleId with no ruleIndex, so they go out
+   under the violation kind's stable kebab-case name. *)
+let of_violation (v : Violation.t) =
+  let uri, line =
+    match v.location with
+    | Violation.File (path, line) -> (path, line)
+    | _ -> ("<repository>", 1)
+  in
+  let level =
+    match v.severity with
+    | Violation.Error -> "error"
+    | Violation.Warning -> "warning"
+    | Violation.Info -> "note"
+  in
+  Json.Obj
+    [
+      ("ruleId", Json.String (Violation.kind_name v.kind));
+      ("level", Json.String level);
+      ("message", Json.Obj [ ("text", Json.String v.message) ]);
+      ("locations", Json.List [ location ~uri ~line ]);
+    ]
+
+let of_result (r : Analyze.result) =
+  let problems =
+    List.filter
+      (fun (v : Violation.t) -> v.kind = Violation.Analysis_error)
+      r.report.Report.violations
+  in
+  Json.Obj
+    [
+      ("$schema", Json.String schema_uri);
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "soctam-analyze");
+                            ("rules", rules_json);
+                          ] );
+                    ] );
+                ( "results",
+                  Json.List
+                    (List.map of_finding r.findings
+                    @ List.map of_violation problems) );
+              ];
+          ] );
+    ]
+
+let to_string r = Json.to_string (of_result r) ^ "\n"

@@ -1,5 +1,6 @@
 module Violation = Soctam_check.Violation
 module Json = Soctam_util.Json
+module Timer = Soctam_util.Timer
 open Typedtree
 
 (* ==== name normalization ================================================= *)
@@ -71,16 +72,9 @@ let mutation_target comps =
         (List.assoc_opt (m, f) mutation_catalog)
   | _ -> None
 
-(* Does this binding expression allocate unsynchronized mutable state? *)
-let raising_call comps =
-  match comps with
-  | [ ("raise" | "raise_notrace" | "failwith" | "invalid_arg") as f ] ->
-      Some f
-  | [ "Hashtbl"; "find" ] -> Some "Hashtbl.find"
-  | [ "List"; (("hd" | "tl" | "find" | "assoc" | "nth") as f) ] ->
-      Some ("List." ^ f)
-  | [ "Option"; "get" ] -> Some "Option.get"
-  | _ -> None
+(* Known-partial stdlib calls live in the effect catalogs now; LOCK-RAISE
+   shares them so both rules agree on what "may raise" means. *)
+let raising_call = Effect.raising_call
 
 (* ALLOC-HOT: calls whose result is a fresh heap block. *)
 let allocating_call comps =
@@ -108,6 +102,54 @@ let is_float_ty ty =
   | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
   | _ -> false
 
+(* OUTCOME-DROP: is this type a (possibly re-exported) [Outcome.t] from
+   another compilation unit? A bare [Pident] head means the type is
+   defined in the unit under analysis — its own accessors must
+   destructure the payload, so the defining module is exempt. *)
+let foreign_outcome_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr ((Path.Pident _), _, _) -> false
+  | Types.Tconstr (p, _, _) -> (
+      match List.rev (comps_of_path p) with
+      | "t" :: "Outcome" :: _ -> true
+      | _ -> false)
+  | _ -> false
+
+let resume_constructor (cd : Types.constructor_description) =
+  (cd.cstr_name = "Budget_exhausted" || cd.cstr_name = "Interrupted")
+  && match Types.get_desc cd.cstr_res with
+     | Types.Tconstr (Path.Pident _, _, _) -> false
+     | _ -> true
+
+(* ENGINE-CAPS: recognize [Engine.caps] / [Engine.cert] record literals
+   by their exact label set, and read off literally-written booleans
+   ([None] for a computed field, which the rule then trusts). *)
+let caps_labels =
+  [ "free_tams_only"; "imports_tau"; "needs_fixed_tams"; "parallel"; "proves" ]
+
+let cert_labels = [ "cert_exact"; "cert_packing" ]
+
+let record_labels fields =
+  Array.to_list fields
+  |> List.map (fun ((ld : Types.label_description), _) -> ld.lbl_name)
+  |> List.sort String.compare
+
+let literal_bool_field fields name =
+  Array.to_list fields
+  |> List.find_map (fun ((ld : Types.label_description), def) ->
+         if ld.lbl_name <> name then None
+         else
+           match def with
+           | Overridden (_, e) -> (
+               match e.exp_desc with
+               | Texp_construct (_, cd, []) -> (
+                   match cd.Types.cstr_name with
+                   | "true" -> Some true
+                   | "false" -> Some false
+                   | _ -> None)
+               | _ -> None)
+           | Kept _ -> None)
+
 (* ==== cross-file accumulators ============================================ *)
 
 type callee = Node of string | Raw of string list
@@ -130,6 +172,21 @@ type cmut = {
   c_what : string;
 }
 
+type caps_decl = {
+  e_owner : string;  (** node of the enclosing module/functor body *)
+  e_parallel : bool option;
+  e_proves : bool option;
+  e_path : string;
+  e_line : int;
+}
+
+type tau_export = {
+  t_node : string;
+  t_in_worker : bool;
+  t_path : string;
+  t_line : int;
+}
+
 type acc = {
   defs : (string, string * int) Hashtbl.t;  (** node -> (path, line) *)
   edges : (string * callee) list ref;
@@ -142,6 +199,12 @@ type acc = {
   captured_mutations : cmut list ref;
   lock_pairs : (string * string * string * int) list ref;
       (** (held, acquired, path, line) *)
+  direct_effects : (string, Effect.t) Hashtbl.t;
+      (** node -> effect of its own body, before propagation *)
+  engine_caps : caps_decl list ref;
+  engine_certs : (string * bool) list ref;
+      (** (owner, requests at least one certificate) *)
+  tau_exports : tau_export list ref;  (** [Shared_min.improve] sites *)
   findings : Finding.t list ref;  (** decided during the walk *)
   spans : (string * Allow.span) list ref;  (** (path, span) *)
   problems : Violation.t list ref;
@@ -158,6 +221,10 @@ let create_acc () =
     global_mutations = ref [];
     captured_mutations = ref [];
     lock_pairs = ref [];
+    direct_effects = Hashtbl.create 256;
+    engine_caps = ref [];
+    engine_certs = ref [];
+    tau_exports = ref [];
     findings = ref [];
     spans = ref [];
     problems = ref [];
@@ -206,6 +273,16 @@ let walk_file acc ~path ~modname (str : structure) =
     List.iter
       (fun s -> acc.spans := (path, s) :: !(acc.spans))
       (Allow.spans_of attrs loc)
+  in
+  let add_effect eff =
+    if not (Effect.is_pure eff) then begin
+      let node = cur_node () in
+      let cur =
+        Option.value ~default:Effect.pure
+          (Hashtbl.find_opt acc.direct_effects node)
+      in
+      Hashtbl.replace acc.direct_effects node (Effect.join cur eff)
+    end
   in
   let normalize comps =
     match comps with
@@ -297,6 +374,7 @@ let walk_file acc ~path ~modname (str : structure) =
         normalize (comps_of_path p) = [ "Mutex"; "create" ]
     | _ -> false
   in
+  let write_effect = { Effect.pure with writes = true } in
   let record_mutation target what line =
     if not (under_mutex ()) then
       match Option.map (fun p -> (p, ident_of_path p)) target with
@@ -305,13 +383,16 @@ let walk_file acc ~path ~modname (str : structure) =
           let u = Ident.unique_name id in
           match Hashtbl.find_opt local_info u with
           | Some li ->
-              if !worker_depth > li.bind_worker_depth then
+              if !worker_depth > li.bind_worker_depth then begin
+                add_effect write_effect;
                 found Rule.Dom_escape line
                   "%s %s is created outside this worker closure but mutated \
                    (%s) inside it; use Atomic, a guarding Mutex, or make it \
                    worker-local"
                   li.what (Ident.name id) what
-              else if li.bind_node <> cur_node () then
+              end
+              else if li.bind_node <> cur_node () then begin
+                add_effect write_effect;
                 acc.captured_mutations :=
                   {
                     c_binder = li.bind_node;
@@ -322,9 +403,11 @@ let walk_file acc ~path ~modname (str : structure) =
                     c_what = what;
                   }
                   :: !(acc.captured_mutations)
+              end
           | None -> (
               match Hashtbl.find_opt top_names u with
               | Some key ->
+                  add_effect write_effect;
                   acc.global_mutations :=
                     {
                       g_target = String.split_on_char '.' key;
@@ -340,6 +423,7 @@ let walk_file acc ~path ~modname (str : structure) =
           match normalize (comps_of_path p) with
           | [] | [ _ ] -> ()
           | comps ->
+              add_effect write_effect;
               acc.global_mutations :=
                 {
                   g_target = comps;
@@ -404,6 +488,7 @@ let walk_file acc ~path ~modname (str : structure) =
     if !hot > 0 then check_hot_alloc e;
     (match e.exp_desc with
     | Texp_ident (p, _, _) -> (
+        add_effect (Effect.of_call (normalize (comps_of_path p)));
         match resolve p with
         | None -> ()
         | Some callee ->
@@ -422,6 +507,7 @@ let walk_file acc ~path ~modname (str : structure) =
         in
         List.iter
           (fun c ->
+            self.Tast_iterator.pat self c.c_lhs;
             Option.iter (self.Tast_iterator.expr self) c.c_guard;
             self.Tast_iterator.expr self c.c_rhs)
           cases;
@@ -436,7 +522,13 @@ let walk_file acc ~path ~modname (str : structure) =
         self.Tast_iterator.expr self tgt;
         self.Tast_iterator.expr self rhs
     | Texp_assert _ ->
+        add_effect { Effect.pure with raises = true };
         check_raise_under_lock "assert" (line_of e.exp_loc);
+        incr expr_depth;
+        default.expr self e;
+        decr expr_depth
+    | Texp_field (_, _, ld) when ld.Types.lbl_mut = Asttypes.Mutable ->
+        add_effect { Effect.pure with reads = true };
         incr expr_depth;
         default.expr self e;
         decr expr_depth
@@ -482,6 +574,35 @@ let walk_file acc ~path ~modname (str : structure) =
     (match raising_call comps with
     | Some what -> check_raise_under_lock what line
     | None -> ());
+    (* OUTCOME-DROP, ignore form. *)
+    (match comps with
+    | [ "ignore" ] ->
+        Option.iter
+          (fun a ->
+            if foreign_outcome_ty a.exp_type then
+              found Rule.Outcome_drop line
+                "Outcome.t value dropped by ignore; match on it and thread \
+                 the Budget_exhausted/Interrupted checkpoint to the caller")
+          (nth_arg 0)
+    | _ -> ());
+    (* TAU-DISCIPLINE: hot-scope reads must go through the worker mirror;
+       exports are judged against worker reachability in the post-pass. *)
+    (match last2 comps with
+    | Some ("Shared_min", "get") when !hot > 0 ->
+        found Rule.Tau_discipline line
+          "direct Shared_min.get in a [@soctam.hot] scope; read the \
+           worker-local mirror (Shared_min.mirror_get) instead of hitting \
+           the shared atomic every iteration"
+    | Some ("Shared_min", "improve") ->
+        acc.tau_exports :=
+          {
+            t_node = cur_node ();
+            t_in_worker = !worker_depth > 0 || !in_worker_arg;
+            t_path = path;
+            t_line = line;
+          }
+          :: !(acc.tau_exports)
+    | _ -> ());
     (* Lock state. *)
     let resolved = match f.exp_desc with
       | Texp_ident (p, _, _) -> resolve p
@@ -594,6 +715,33 @@ let walk_file acc ~path ~modname (str : structure) =
              else self.expr self vb.vb_expr);
             node_stack := List.tl !node_stack
         | _ ->
+            (* ENGINE-CAPS: a [caps] / [cert] record literal with exactly
+               the Engine.S label set declares the enclosing module's
+               contract; the post-pass checks it against the call graph. *)
+            (match vb.vb_expr.exp_desc with
+            | Texp_record { fields; _ }
+              when name = "caps" && record_labels fields = caps_labels ->
+                acc.engine_caps :=
+                  {
+                    e_owner = cur_node ();
+                    e_parallel = literal_bool_field fields "parallel";
+                    e_proves = literal_bool_field fields "proves";
+                    e_path = path;
+                    e_line = line;
+                  }
+                  :: !(acc.engine_caps)
+            | Texp_record { fields; _ }
+              when name = "cert" && record_labels fields = cert_labels ->
+                (* A computed field gets the benefit of the doubt: only a
+                   cert spec that is literally all-false requests nothing. *)
+                let requests =
+                  List.exists
+                    (fun l -> literal_bool_field fields l <> Some false)
+                    cert_labels
+                in
+                acc.engine_certs :=
+                  (cur_node (), requests) :: !(acc.engine_certs)
+            | _ -> ());
             (match mutable_allocation vb.vb_expr with
             | Some what ->
                 if top then begin
@@ -615,6 +763,11 @@ let walk_file acc ~path ~modname (str : structure) =
                     (cur_node () ^ "." ^ name)
                 end);
             self.expr self vb.vb_expr)
+    | Tpat_any when foreign_outcome_ty vb.vb_expr.exp_type ->
+        found Rule.Outcome_drop line
+          "Outcome.t discarded by a wildcard binding; match on it and \
+           thread the Budget_exhausted/Interrupted checkpoint to the caller";
+        self.expr self vb.vb_expr
     | _ -> self.expr self vb.vb_expr
   (* A [@soctam.hot] binding: its own curried [fun]-chain is the one
      closure the annotation sanctions; everything inside the body is hot. *)
@@ -683,10 +836,31 @@ let walk_file acc ~path ~modname (str : structure) =
     List.iter (fun item -> self.structure_item self item) str.str_items;
     node_stack := List.tl !node_stack
   in
+  (* OUTCOME-DROP, pattern form: a [Budget_exhausted _] / [Interrupted _]
+     whose payload — the resume checkpoint — is a wildcard. Reached from
+     every match/function/let pattern the traversal visits. *)
+  let pat_handler : type k. Tast_iterator.iterator -> k general_pattern -> unit
+      =
+   fun self p ->
+    (match p.pat_desc with
+    | Tpat_construct (_, cd, args, _)
+      when resume_constructor cd
+           && List.exists
+                (fun (a : value general_pattern) ->
+                  match a.pat_desc with Tpat_any -> true | _ -> false)
+                args ->
+        found Rule.Outcome_drop (line_of p.pat_loc)
+          "%s _ discards the resume checkpoint; bind the payload and return \
+           or persist it so the run can resume"
+          cd.Types.cstr_name
+    | _ -> ());
+    default.pat self p
+  in
   let iterator =
     {
       default with
       expr = expr_handler;
+      pat = pat_handler;
       value_binding = handle_value_binding;
       structure_item = handle_structure_item;
     }
@@ -699,21 +873,35 @@ let walk_file acc ~path ~modname (str : structure) =
 type graph = {
   g_nodes : (string * string list) list;
   g_reachable : string list;
+  g_effects : (string * Effect.t) list;
 }
 
 let workers_node = "<workers>"
 
 let nodes g = g.g_nodes
 let reachable g = g.g_reachable
+let effects g = g.g_effects
 
 let graph_json g =
+  let effect_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (n, e) -> Hashtbl.replace tbl n e) g.g_effects;
+    fun n -> Option.value ~default:Effect.pure (Hashtbl.find_opt tbl n)
+  in
   Json.Obj
     [
       ( "nodes",
         Json.Obj
           (List.map
              (fun (node, callees) ->
-               (node, Json.List (List.map (fun c -> Json.String c) callees)))
+               ( node,
+                 Json.Obj
+                   [
+                     ( "calls",
+                       Json.List
+                         (List.map (fun c -> Json.String c) callees) );
+                     ("effect", Effect.to_json (effect_of node));
+                   ] ))
              g.g_nodes) );
       ( "domain_reachable",
         Json.List (List.map (fun n -> Json.String n) g.g_reachable) );
@@ -791,6 +979,7 @@ let build_graph acc =
       g_reachable =
         Hashtbl.fold (fun n _ l -> n :: l) reachable []
         |> List.sort String.compare;
+      g_effects = [] (* filled in by [run] after the effect fixpoint *);
     }
   in
   (g, fun node -> Hashtbl.mem reachable node)
@@ -803,6 +992,7 @@ type t = {
   problems : Violation.t list;
   typed_files : int;
   graph : graph;
+  effect_seconds : float;
 }
 
 let modname_of_source src =
@@ -866,6 +1056,22 @@ let run ~root ~sources =
   let units =
     List.sort (fun (a, _) (b, _) -> String.compare a b) !units
   in
+  (* Degradation is loud, not silent: every source with no matching .cmt
+     gets an info naming exactly which rule families it is missing, so a
+     stale build shows up in the report instead of as quietly weaker
+     coverage. Infos do not fail the report. *)
+  List.iter
+    (fun src ->
+      if not (Hashtbl.mem claimed src) then
+        acc.problems :=
+          Violation.infof Violation.Analysis_error
+            (Violation.File (src, 1))
+            "no .cmt for this source (stale or incomplete build): typed \
+             rules EFFECT-WORKER, OUTCOME-DROP, ENGINE-CAPS, \
+             TAU-DISCIPLINE (and DOM-ESCAPE, LOCK-RAISE, ALLOC-HOT) did \
+             not run here; syntactic coverage only"
+          :: !(acc.problems))
+    ml_sources;
   List.iter
     (fun (src, str) ->
       walk_file acc ~path:src ~modname:(modname_of_source src) str)
@@ -911,23 +1117,133 @@ let run ~root ~sources =
               }
               :: !(acc.findings))
     !(acc.global_mutations);
+  (* The effect fixpoint and the four rule families it powers; timed as
+     one block so the bench can track the cost of the inference. *)
+  let effect_t0 = Timer.now_s () in
+  let eff =
+    Effect.solve
+      ~nodes:(List.map fst graph.g_nodes)
+      ~edges:
+        (List.concat_map
+           (fun (n, callees) -> List.map (fun c -> (n, c)) callees)
+           graph.g_nodes)
+      ~direct:(fun n ->
+        Option.value ~default:Effect.pure
+          (Hashtbl.find_opt acc.direct_effects n))
+  in
+  let graph =
+    { graph with g_effects = List.map (fun (n, _) -> (n, eff n)) graph.g_nodes }
+  in
+  (* EFFECT-WORKER: the interprocedural successor of the old pool-host
+     DOM-ESCAPE case. Any unguarded write to state the writer did not
+     create is flagged as soon as the call graph can carry a worker to
+     it — the binder no longer has to be the function handing closures
+     to the pool. One instantiation argument keeps the signal clean: if
+     the binder is itself domain-reachable (the whole creating function
+     runs inside one worker), every worker owns a fresh per-call copy of
+     the state, so the write only crosses domains when the binder is the
+     function handing closures to the pool. *)
   List.iter
     (fun m ->
-      if is_reachable m.c_node && Hashtbl.mem acc.pool_hosts m.c_binder then
+      if
+        is_reachable m.c_node
+        && ((not (is_reachable m.c_binder))
+           || Hashtbl.mem acc.pool_hosts m.c_binder)
+      then
         acc.findings :=
           {
-            Finding.rule = Rule.Dom_escape;
+            Finding.rule = Rule.Effect_worker;
             path = m.c_path;
             line = m.c_line;
             message =
               Printf.sprintf
-                "%s, created in %s which hands closures to the pool, is \
-                 mutated (%s) in domain-reachable %s; workers race on it \
-                 unless writes are disjoint or guarded"
-                m.c_binder_name m.c_binder m.c_what m.c_node;
+                "%s, created in %s, is mutated (%s) in %s — inferred effect \
+                 %s — which is reachable from worker closures; workers race \
+                 on it unless writes are disjoint, atomic, or mutex-guarded"
+                m.c_binder_name m.c_binder m.c_what m.c_node
+                (Effect.to_string (eff m.c_node));
           }
           :: !(acc.findings))
     !(acc.captured_mutations);
+  (* ENGINE-CAPS: a caps record must not contradict the body behind it. *)
+  let adjacency = Hashtbl.create 256 in
+  List.iter
+    (fun (n, callees) -> Hashtbl.replace adjacency n callees)
+    graph.g_nodes;
+  let reaches_pool start =
+    let seen = Hashtbl.create 64 in
+    let rec visit n =
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.replace seen n ();
+        Hashtbl.mem acc.pool_hosts n
+        || List.exists visit
+             (Option.value ~default:[] (Hashtbl.find_opt adjacency n))
+      end
+    in
+    visit start
+  in
+  List.iter
+    (fun c ->
+      let run_node = c.e_owner ^ ".run" in
+      (match c.e_parallel with
+      | Some false when Hashtbl.mem acc.defs run_node && reaches_pool run_node
+        ->
+          acc.findings :=
+            {
+              Finding.rule = Rule.Engine_caps;
+              path = c.e_path;
+              line = c.e_line;
+              message =
+                Printf.sprintf
+                  "caps for %s declare parallel = false but %s reaches the \
+                   domain pool; set caps.parallel = true or drop the pool \
+                   call"
+                  c.e_owner run_node;
+            }
+            :: !(acc.findings)
+      | _ -> ());
+      match c.e_proves with
+      | Some true
+        when not
+               (List.exists
+                  (fun (owner, requests) -> owner = c.e_owner && requests)
+                  !(acc.engine_certs)) ->
+          acc.findings :=
+            {
+              Finding.rule = Rule.Engine_caps;
+              path = c.e_path;
+              line = c.e_line;
+              message =
+                Printf.sprintf
+                  "caps for %s declare proves = true but the cert spec \
+                   requests no lib/check certificate (cert_exact and \
+                   cert_packing both false or absent)"
+                  c.e_owner;
+            }
+            :: !(acc.findings)
+      | _ -> ())
+    !(acc.engine_caps);
+  (* TAU-DISCIPLINE, export half: [Shared_min.improve] from code a worker
+     can run skips the mirror's strict-improvement filter. *)
+  List.iter
+    (fun t ->
+      if t.t_in_worker || is_reachable t.t_node then
+        acc.findings :=
+          {
+            Finding.rule = Rule.Tau_discipline;
+            path = t.t_path;
+            line = t.t_line;
+            message =
+              Printf.sprintf
+                "Shared_min.improve in worker-reachable %s exports tau \
+                 without the mirror's strict-improvement filter; use \
+                 Shared_min.mirror_improve"
+                t.t_node;
+          }
+          :: !(acc.findings))
+    !(acc.tau_exports);
+  let effect_seconds = Timer.now_s () -. effect_t0 in
   (* Inconsistent lock order: (a then b) somewhere and (b then a)
      elsewhere. Reported at every acquisition site of the pair. *)
   let pairs = !(acc.lock_pairs) in
@@ -964,4 +1280,5 @@ let run ~root ~sources =
     problems = List.rev !(acc.problems);
     typed_files = List.length units;
     graph;
+    effect_seconds;
   }

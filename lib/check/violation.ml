@@ -48,6 +48,10 @@ type kind =
   | Hot_allocation
   | Deprecated_api
   | Missing_interface
+  | Worker_effect
+  | Outcome_dropped
+  | Engine_caps_mismatch
+  | Tau_discipline
   | Analysis_error
 
 type t = {
@@ -112,6 +116,10 @@ let kind_name = function
   | Hot_allocation -> "hot-allocation"
   | Deprecated_api -> "deprecated-api"
   | Missing_interface -> "missing-interface"
+  | Worker_effect -> "worker-effect"
+  | Outcome_dropped -> "outcome-dropped"
+  | Engine_caps_mismatch -> "engine-caps-mismatch"
+  | Tau_discipline -> "tau-discipline"
   | Analysis_error -> "analysis-error"
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2

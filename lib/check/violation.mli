@@ -82,6 +82,21 @@ type kind =
           [\[@soctam.hot\]] *)
   | Deprecated_api  (** API-DEPRECATED: in-repo call to a deprecated entry *)
   | Missing_interface  (** IFACE: a [lib/] module without an [.mli] *)
+  | Worker_effect
+      (** EFFECT-WORKER: a write effect on non-worker-local mutable state
+          reachable from a pool/domain worker closure without an atomic
+          or mutex guard *)
+  | Outcome_dropped
+      (** OUTCOME-DROP: an [Outcome.t] match or binding that discards the
+          [Budget_exhausted] / [Interrupted] resume checkpoint *)
+  | Engine_caps_mismatch
+      (** ENGINE-CAPS: an [Engine.S] caps record contradicted by the
+          implementation (undeclared parallelism, [proves] without a
+          certificate) *)
+  | Tau_discipline
+      (** TAU-DISCIPLINE: a [Shared_min] read in a [\[@soctam.hot\]]
+          scope bypassing the worker mirror, or a tau export skipping the
+          mirror's strict-improvement filter *)
   | Analysis_error
       (** the analyzer itself could not proceed: unparseable source, bad
           suppression payload, malformed baseline line *)

@@ -55,12 +55,6 @@ type sweep_point = {
   sp_saturated : bool;
 }
 
-type sweep_state = {
-  sw_max_tams : int;
-  sw_points : sweep_point list;
-  sw_pending : int list;
-}
-
 type pack_state = {
   pk_total_width : int;
   pk_tams : int option;
@@ -125,6 +119,13 @@ and race_state = {
   ra_imports : int;
   ra_exports : int;
   ra_slots : race_slot list;
+}
+
+and sweep_state = {
+  sw_max_tams : int;
+  sw_points : sweep_point list;
+  sw_pending : int list;
+  sw_inner : t option;
 }
 
 and t = { soc : string option; counters : (string * int) list; state : state }
@@ -235,6 +236,12 @@ let rec json_state = function
                        ])
                    s.sw_points) );
             ("pending", Json.List (List.map (fun w -> Json.Int w) s.sw_pending));
+            (* The interrupted width's own resume token, embedded as a
+               complete document (like race slot tokens) so the sweep
+               can hand it back to the per-width solver on resume. *)
+            ( "inner",
+              match s.sw_inner with None -> Json.Null | Some tok -> to_json tok
+            );
           ] )
   | Pack s ->
       ( "pack",
@@ -474,26 +481,6 @@ let parse_ex json =
       ex_nodes = counting_field "nodes" json;
     }
 
-let parse_sweep json =
-  Sweep
-    {
-      sw_max_tams = counting_field "max_tams" json;
-      sw_points =
-        as_list "points" (field "points" json)
-        |> List.map (fun p ->
-               {
-                 sp_width = counting_field "width" p;
-                 sp_tams = counting_field "tams" p;
-                 sp_widths = int_array_field "widths" p;
-                 sp_time = int_field "time" p;
-                 sp_lower_bound = int_field "lower_bound" p;
-                 sp_gap_pct = as_float "gap_pct" (field "gap_pct" p);
-                 sp_saturated = as_bool "saturated" (field "saturated" p);
-               });
-      sw_pending =
-        as_list "pending" (field "pending" json) |> List.map (as_int "pending");
-    }
-
 let parse_pack json =
   let s =
     {
@@ -626,6 +613,41 @@ and parse_race_slot json =
       | tj -> Some (parse_doc tj));
   }
 
+and parse_sweep json =
+  let s =
+    {
+      sw_max_tams = counting_field "max_tams" json;
+      sw_points =
+        as_list "points" (field "points" json)
+        |> List.map (fun p ->
+               {
+                 sp_width = counting_field "width" p;
+                 sp_tams = counting_field "tams" p;
+                 sp_widths = int_array_field "widths" p;
+                 sp_time = int_field "time" p;
+                 sp_lower_bound = int_field "lower_bound" p;
+                 sp_gap_pct = as_float "gap_pct" (field "gap_pct" p);
+                 sp_saturated = as_bool "saturated" (field "saturated" p);
+               });
+      sw_pending =
+        as_list "pending" (field "pending" json) |> List.map (as_int "pending");
+      sw_inner =
+        (* Absent in documents written before the sweep learned to
+           carry the interrupted width's token; those resume at width
+           granularity. *)
+        (match Json.member "inner" json with
+        | None | Some Json.Null -> None
+        | Some tj -> Some (parse_doc tj));
+    }
+  in
+  if s.sw_inner <> None && s.sw_pending = [] then
+    fail "sweep inner token without a pending width";
+  (match s.sw_inner with
+  | Some { state = Sweep _; _ } ->
+      fail "sweep inner token must not itself be a sweep"
+  | Some _ | None -> ());
+  Sweep s
+
 let of_json json =
   match parse_doc json with
   | t -> Ok t
@@ -687,9 +709,10 @@ let describe t =
       Printf.sprintf "exhaustive %s W=%d B=%d at rank %d, %d solved" soc
         s.ex_total_width s.ex_tams s.ex_next_rank s.ex_solved
   | Sweep s ->
-      Printf.sprintf "sweep %s, %d points done, %d widths pending" soc
+      Printf.sprintf "sweep %s, %d points done, %d widths pending%s" soc
         (List.length s.sw_points)
         (List.length s.sw_pending)
+        (if s.sw_inner = None then "" else " (mid-width token)")
   | Pack s ->
       Printf.sprintf "pack %s W=%d at rank %d/%d, %d candidates evaluated" soc
         s.pk_total_width s.pk_next_rank s.pk_ranks s.pk_completed

@@ -85,12 +85,6 @@ type sweep_point = {
   sp_saturated : bool;
 }
 
-type sweep_state = {
-  sw_max_tams : int;
-  sw_points : sweep_point list;  (** completed widths, in sweep order *)
-  sw_pending : int list;  (** widths not yet run *)
-}
-
 type pack_state = {
   pk_total_width : int;
   pk_tams : int option;  (** fixed TAM count (P_PAW); [None] = P_NPAW *)
@@ -176,6 +170,18 @@ and race_state = {
     incumbent plus one slot per engine, each embedding that engine's
     own resume token. Restoring a race is therefore restoring every
     engine at once. *)
+
+and sweep_state = {
+  sw_max_tams : int;
+  sw_points : sweep_point list;  (** completed widths, in sweep order *)
+  sw_pending : int list;  (** widths not yet run *)
+  sw_inner : t option;
+      (** resume token of the head pending width's interrupted search,
+          embedded as a complete versioned + checksummed document (like
+          race slot tokens); [None] when the sweep stopped at a width
+          boundary. Invariants (checked on load): only present with a
+          pending width, and never itself a sweep. *)
+}
 
 and t = {
   soc : string option;

@@ -85,12 +85,13 @@ let run_with (cfg : Run_config.t) soc ~widths =
       (fun budget -> Soctam_util.Timer.now_s () +. budget)
       cfg.Run_config.time_budget
   in
-  let checkpoint_now () =
+  let checkpoint_now ?inner () =
     {
       Checkpoint.soc = cfg.Run_config.soc_name;
-      (* A sweep checkpoint carries no counters: the completed widths'
-         observability totals live in the interrupted process, and
-         each width is re-run whole on resume anyway. *)
+      (* A sweep checkpoint carries no counters of its own: the
+         completed widths' observability totals live in the interrupted
+         process, and the interrupted width's partial counters travel
+         inside its embedded token. *)
       counters = [];
       state =
         Checkpoint.Sweep
@@ -98,6 +99,7 @@ let run_with (cfg : Run_config.t) soc ~widths =
             Checkpoint.sw_max_tams = cfg.Run_config.max_tams;
             sw_points = List.rev_map sp_of_point !done_rev;
             sw_pending = !pending;
+            sw_inner = inner;
           };
     }
   in
@@ -110,20 +112,26 @@ let run_with (cfg : Run_config.t) soc ~widths =
         | Error msg -> failwith ("checkpoint write failed: " ^ msg))
   in
   (* The per-width run inherits the sweep's policy but never writes its
-     own checkpoints: the sweep is the checkpointed unit, at width
-     granularity. The sweep's remaining budget is handed down so an
-     expiry inside a width stops that width's search promptly. *)
-  let inner_cfg remaining =
+     own checkpoints: the sweep is the checkpointed unit. A width
+     truncated mid-search leaves its resume token embedded in the sweep
+     checkpoint ([sw_inner]), so the head pending width resumes where
+     it stopped instead of re-running whole. The sweep's remaining
+     budget is handed down so an expiry inside a width stops that
+     width's search promptly. *)
+  let inner_cfg ~resume remaining =
     let c = Run_config.with_table table cfg in
     let c =
       {
         c with
         Run_config.checkpoint_path = None;
-        resume = None;
+        resume;
         time_budget = remaining;
       }
     in
     c
+  in
+  let inner_resume =
+    ref (match restored with Some s -> s.Checkpoint.sw_inner | None -> None)
   in
   let stop = ref None in
   while !pending <> [] && !stop = None do
@@ -144,23 +152,27 @@ let run_with (cfg : Run_config.t) soc ~widths =
       stop := Some (Outcome.Budget_exhausted cp)
     end
     else begin
+      let resume = !inner_resume in
+      inner_resume := None;
       let result =
         Soctam_obs.Obs.span stats
           (Printf.sprintf "sweep/width%d" width)
           (fun () ->
-            Co_optimize.run_with (inner_cfg remaining) soc ~total_width:width)
+            Co_optimize.run_with (inner_cfg ~resume remaining) soc
+              ~total_width:width)
       in
+      (* On truncation the width's own token (partial incumbent,
+         cursor, counters) is embedded in the sweep checkpoint, so a
+         resume picks the width up mid-search. *)
       match result.Co_optimize.outcome with
-      | Outcome.Interrupted _ | Outcome.Budget_exhausted _ ->
-          (* The width's search was truncated: discard its partial
-             point and rewind the resume token to the width start. *)
-          let cp = checkpoint_now () in
+      | Outcome.Interrupted inner ->
+          let cp = checkpoint_now ~inner () in
           write_checkpoint cp;
-          stop :=
-            Some
-              (match result.Co_optimize.outcome with
-              | Outcome.Interrupted _ -> Outcome.Interrupted cp
-              | _ -> Outcome.Budget_exhausted cp)
+          stop := Some (Outcome.Interrupted cp)
+      | Outcome.Budget_exhausted inner ->
+          let cp = checkpoint_now ~inner () in
+          write_checkpoint cp;
+          stop := Some (Outcome.Budget_exhausted cp)
       | Outcome.Complete ->
           let bounds = Bounds.compute table ~total_width:width in
           let partition =

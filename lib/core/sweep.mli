@@ -18,7 +18,9 @@ type result = {
   points : point list;  (** one per completed width, in sweep order *)
   outcome : Outcome.t;
       (** [Complete] when every width ran; a truncated sweep's
-          checkpoint resumes at the first width not completed *)
+          checkpoint resumes at the first width not completed —
+          mid-search when the truncation left that width's own token
+          embedded ({!Checkpoint.sweep_state.sw_inner}) *)
 }
 
 val run_with : Run_config.t -> Soctam_model.Soc.t -> widths:int list -> result
@@ -27,13 +29,15 @@ val run_with : Run_config.t -> Soctam_model.Soc.t -> widths:int list -> result
     table is [cfg.table] when present (it must cover the widest point),
     else built once at the largest width and shared.
 
-    The sweep is the checkpointed unit, at width granularity: the
-    per-width runs never write checkpoints of their own, and a budget
-    expiry or cancellation {e inside} a width discards that width's
-    partial search and rewinds the resume token to the width start.
-    [cfg.time_budget] spans the whole sweep — each width's search
-    receives the remaining budget. A sweep checkpoint carries no
-    observability counters (each width re-runs whole on resume).
+    The sweep is the checkpointed unit: the per-width runs never write
+    checkpoints of their own, and a budget expiry or cancellation
+    {e inside} a width embeds that width's resume token (partial
+    incumbent, cursor and counters) in the sweep checkpoint, so a
+    resume continues the width mid-search instead of re-running it
+    whole. [cfg.time_budget] spans the whole sweep — each width's
+    search receives the remaining budget. A sweep checkpoint carries no
+    counters of its own; the interrupted width's partial counters
+    travel inside its embedded token.
 
     @raise Invalid_argument on an empty or non-positive width list, a
     too-narrow supplied table, or a resume checkpoint that does not

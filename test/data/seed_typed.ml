@@ -49,3 +49,110 @@ let hot_sum n =
 let rec hot_good widths n i acc =
   if i >= n then acc else hot_good widths n (i + 1) (acc + widths.(i))
 [@@soctam.hot]
+
+(* EFFECT-WORKER positive: [results] is created by the pool host and
+   written through a helper the worker closure calls — the write-effect
+   crosses the domain boundary interprocedurally. *)
+let fan_out () =
+  let results = Array.make 2 0 in
+  let fill i = results.(i) <- i in
+  let d = Domain.spawn (fun () -> fill 0) in
+  Domain.join d;
+  results
+
+(* EFFECT-WORKER negative: the whole creating function runs inside one
+   worker, so every call owns a fresh accumulator. *)
+let solve_alone () =
+  let best = ref 0 in
+  let explore i = if i > !best then best := i in
+  explore 1;
+  !best
+
+let per_worker () =
+  let d = Domain.spawn (fun () -> solve_alone ()) in
+  Domain.join d
+
+(* OUTCOME-DROP: a local stand-in for Soctam_core.Outcome — the rule
+   keys on the [Outcome.t] shape, not the library path. *)
+module Outcome = struct
+  type t = Complete | Budget_exhausted of int | Interrupted of int
+end
+
+(* Positive: both resume payloads are wildcarded away. *)
+let outcome_dropped = function
+  | Outcome.Complete -> 0
+  | Outcome.Budget_exhausted _ -> 1
+  | Outcome.Interrupted _ -> 2
+
+(* Negative: binding the checkpoint keeps the run resumable. *)
+let outcome_kept = function
+  | Outcome.Complete -> None
+  | Outcome.Budget_exhausted cp | Outcome.Interrupted cp -> Some cp
+
+(* ENGINE-CAPS: the Engine.S label set is the recognizer. *)
+type engine_caps = {
+  free_tams_only : bool;
+  imports_tau : bool;
+  needs_fixed_tams : bool;
+  parallel : bool;
+  proves : bool;
+}
+
+(* Positive: caps declare a serial engine but run spawns a domain. *)
+module Serial_engine = struct
+  let caps =
+    {
+      free_tams_only = false;
+      imports_tau = false;
+      needs_fixed_tams = false;
+      parallel = false;
+      proves = false;
+    }
+
+  let run () =
+    let d = Domain.spawn (fun () -> 1) in
+    Domain.join d
+end
+
+(* Negative: the declaration matches the implementation. *)
+module Honest_engine = struct
+  let caps =
+    {
+      free_tams_only = false;
+      imports_tau = false;
+      needs_fixed_tams = false;
+      parallel = true;
+      proves = false;
+    }
+
+  let run () =
+    let d = Domain.spawn (fun () -> 2) in
+    Domain.join d
+end
+
+(* TAU-DISCIPLINE: a local stand-in for Soctam_util.Shared_min. *)
+module Shared_min = struct
+  let best = Atomic.make max_int
+  let get () = Atomic.get best
+  let improve v = Atomic.set best v
+  let mirror_get () = Atomic.get best
+  let mirror_improve v = Atomic.set best v
+end
+
+(* Positive: a hot loop polling the shared atomic directly. *)
+let hot_poll () = Shared_min.get () [@@soctam.hot]
+
+(* Negative: the worker-local mirror is the sanctioned hot-path read. *)
+let hot_poll_good () = Shared_min.mirror_get () [@@soctam.hot]
+
+(* Positive: a worker exporting tau without the strict-improvement
+   filter. *)
+let publish () =
+  let d = Domain.spawn (fun () -> Shared_min.improve 3) in
+  Domain.join d
+
+(* Negative: mirror_improve applies the filter before touching the
+   shared bound. *)
+let publish_good () =
+  let d = Domain.spawn (fun () -> Shared_min.mirror_improve 4) in
+  Domain.join d

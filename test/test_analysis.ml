@@ -13,6 +13,7 @@ module Analyze = Soctam_analysis.Analyze
 module Typed = Soctam_analysis.Typed
 module Json = Soctam_util.Json
 module Report = Soctam_check.Report
+module Violation = Soctam_check.Violation
 
 let test case f = Alcotest.test_case case `Quick f
 
@@ -218,6 +219,17 @@ let baseline_round_trip () =
           Alcotest.(check int) "round-trip preserves entries"
             (List.length (Baseline.entries b))
             (List.length (Baseline.entries b2)))
+
+let baseline_empty_round_trip () =
+  (* An empty baseline renders as the header alone — no dangling blank
+     separator line — and that rendering re-parses to zero entries. *)
+  let text = Baseline.to_string Baseline.empty in
+  Alcotest.(check bool) "renders something" true (String.length text > 0);
+  Alcotest.(check bool) "no trailing blank section" false
+    (Test_cli.contains text "\n\n");
+  match Baseline.of_string ~file:"empty" text with
+  | Error _ -> Alcotest.fail "empty baseline should re-parse"
+  | Ok b -> Alcotest.(check int) "no entries" 0 (List.length (Baseline.entries b))
 
 let baseline_rejects_malformed () =
   let rejects name text =
@@ -447,6 +459,348 @@ let alloc_hot_typed_negative () =
     "alloc-free hot code and cold allocations are fine" [] (typed_rules t);
   Alcotest.(check int) "scoped allow counted" 1 t.Typed.suppressed
 
+let effect_worker_typed_positive () =
+  (* The mutation of host-owned state happens in a helper the worker
+     only calls — the lexical DOM-ESCAPE rule cannot see it; the
+     inferred write effect crossing the spawn boundary can. *)
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let fan_out () =\n\
+          \  let results = Array.make 2 0 in\n\
+          \  let fill i = results.(i) <- i in\n\
+          \  let d = Domain.spawn (fun () -> fill 0) in\n\
+          \  Domain.join d;\n\
+          \  results\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "worker-reachable write to host state" [ "EFFECT-WORKER" ]
+    (typed_rules t);
+  let f = List.hd t.Typed.findings in
+  Alcotest.(check int) "at the mutation line" 3 f.Analyze.line;
+  Alcotest.(check bool) "names the inferred effect" true
+    (Test_cli.contains f.Analyze.message "writes-mutable")
+
+let effect_worker_typed_negative () =
+  (* The creating function itself runs inside the worker, so each call
+     owns a fresh accumulator: same write effect, no shared creator. *)
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let solve_alone () =\n\
+          \  let best = ref 0 in\n\
+          \  let explore i = if i > !best then best := i in\n\
+          \  explore 1;\n\
+          \  !best\n\n\
+           let per_worker () =\n\
+          \  let d = Domain.spawn (fun () -> solve_alone ()) in\n\
+          \  Domain.join d\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "per-call state owned by the worker is private" [] (typed_rules t)
+
+let effect_worker_typed_allow () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "let fan_out () =\n\
+          \  let results = Array.make 2 0 in\n\
+          \  let fill i = (results.(i) <- i [@soctam.allow \"EFFECT-WORKER\"]) in\n\
+          \  let d = Domain.spawn (fun () -> fill 0) in\n\
+          \  Domain.join d;\n\
+          \  results\n" ) ]
+  in
+  Alcotest.(check (list string)) "allow silences the finding" []
+    (typed_rules t);
+  Alcotest.(check int) "and counts it" 1 t.Typed.suppressed
+
+let outcome_drop_typed_positive () =
+  (* All three drop forms: a wildcarded resume payload in a match, an
+     [ignore] of a whole outcome, and a wildcard top-level binding. *)
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "module Outcome = struct\n\
+          \  type t = Complete | Budget_exhausted of int | Interrupted of int\n\
+           end\n\n\
+           let status = function\n\
+          \  | Outcome.Complete -> 0\n\
+          \  | Outcome.Budget_exhausted _ -> 1\n\
+          \  | Outcome.Interrupted _ -> 2\n\n\
+           let run () = Outcome.Budget_exhausted 1\n\n\
+           let drop () = ignore (run ())\n\n\
+           let _ = run ()\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "wildcard payloads, ignore, and wildcard binding all flagged"
+    [ "OUTCOME-DROP"; "OUTCOME-DROP"; "OUTCOME-DROP"; "OUTCOME-DROP" ]
+    (typed_rules t);
+  Alcotest.(check (list int))
+    "at the drop sites" [ 7; 8; 12; 14 ]
+    (List.map (fun (f : Analyze.finding) -> f.Analyze.line) t.Typed.findings)
+
+let outcome_drop_typed_negative () =
+  (* Binding the payload is fine, and the module defining the outcome
+     type may pattern-match its own constructors freely. *)
+  let t =
+    typed_run
+      [ ( "outcome.ml",
+          "type t = Complete | Budget_exhausted of int | Interrupted of int\n\n\
+           let checkpoint = function\n\
+          \  | Complete -> None\n\
+          \  | Budget_exhausted cp_id -> Some cp_id\n\
+          \  | Interrupted _ -> None\n" );
+        ( "fixture.ml",
+          "let resume_at = function\n\
+          \  | Outcome.Complete -> None\n\
+          \  | Outcome.Budget_exhausted cp | Outcome.Interrupted cp -> Some cp\n"
+        ) ]
+  in
+  Alcotest.(check (list string))
+    "defining module and payload bindings are clean" [] (typed_rules t)
+
+let outcome_drop_typed_allow () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "module Outcome = struct\n\
+          \  type t = Complete | Budget_exhausted of int | Interrupted of int\n\
+           end\n\n\
+           let status = function\n\
+          \  | Outcome.Complete -> 0\n\
+          \  | Outcome.Budget_exhausted _ -> (1 [@soctam.allow \"OUTCOME-DROP\"])\n\
+          \  | Outcome.Interrupted cp -> cp\n" ) ]
+  in
+  Alcotest.(check (list string)) "allow silences the finding" []
+    (typed_rules t);
+  Alcotest.(check int) "and counts it" 1 t.Typed.suppressed
+
+let engine_caps_typed_positive () =
+  (* Two dishonest engines: serial caps over a run that spawns a
+     domain, and a proving engine that never declares a certificate. *)
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "type engine_caps = {\n\
+          \  free_tams_only : bool;\n\
+          \  imports_tau : bool;\n\
+          \  needs_fixed_tams : bool;\n\
+          \  parallel : bool;\n\
+          \  proves : bool;\n\
+           }\n\n\
+           module Serial = struct\n\
+          \  let caps =\n\
+          \    {\n\
+          \      free_tams_only = false;\n\
+          \      imports_tau = false;\n\
+          \      needs_fixed_tams = false;\n\
+          \      parallel = false;\n\
+          \      proves = false;\n\
+          \    }\n\n\
+          \  let run () =\n\
+          \    let d = Domain.spawn (fun () -> 1) in\n\
+          \    Domain.join d\n\
+           end\n\n\
+           module Prover = struct\n\
+          \  let caps =\n\
+          \    {\n\
+          \      free_tams_only = false;\n\
+          \      imports_tau = false;\n\
+          \      needs_fixed_tams = false;\n\
+          \      parallel = false;\n\
+          \      proves = true;\n\
+          \    }\n\n\
+          \  let run () = 0\n\
+           end\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "serial caps over a pooled run, proves without a cert"
+    [ "ENGINE-CAPS"; "ENGINE-CAPS" ]
+    (typed_rules t);
+  Alcotest.(check (list int))
+    "at the caps declarations" [ 10; 25 ]
+    (List.map (fun (f : Analyze.finding) -> f.Analyze.line) t.Typed.findings)
+
+let engine_caps_typed_negative () =
+  (* Honest declarations: parallel caps over a pooled run, and a
+     proving engine that carries its certificate record. *)
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "type engine_caps = {\n\
+          \  free_tams_only : bool;\n\
+          \  imports_tau : bool;\n\
+          \  needs_fixed_tams : bool;\n\
+          \  parallel : bool;\n\
+          \  proves : bool;\n\
+           }\n\n\
+           type engine_cert = { cert_exact : bool; cert_packing : bool }\n\n\
+           module Honest = struct\n\
+          \  let caps =\n\
+          \    {\n\
+          \      free_tams_only = false;\n\
+          \      imports_tau = false;\n\
+          \      needs_fixed_tams = false;\n\
+          \      parallel = true;\n\
+          \      proves = true;\n\
+          \    }\n\n\
+          \  let cert = { cert_exact = true; cert_packing = false }\n\n\
+          \  let run () =\n\
+          \    let d = Domain.spawn (fun () -> 1) in\n\
+          \    Domain.join d\n\
+           end\n\n\
+           module Lazy_serial = struct\n\
+          \  let caps =\n\
+          \    {\n\
+          \      free_tams_only = false;\n\
+          \      imports_tau = false;\n\
+          \      needs_fixed_tams = false;\n\
+          \      parallel = false;\n\
+          \      proves = false;\n\
+          \    }\n\n\
+          \  let run () = 0\n\
+           end\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "matching declarations are clean" [] (typed_rules t)
+
+let engine_caps_typed_allow () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          "type engine_caps = {\n\
+          \  free_tams_only : bool;\n\
+          \  imports_tau : bool;\n\
+          \  needs_fixed_tams : bool;\n\
+          \  parallel : bool;\n\
+          \  proves : bool;\n\
+           }\n\n\
+           module Serial = struct\n\
+          \  let caps =\n\
+          \    {\n\
+          \      free_tams_only = false;\n\
+          \      imports_tau = false;\n\
+          \      needs_fixed_tams = false;\n\
+          \      parallel = false;\n\
+          \      proves = false;\n\
+          \    }\n\
+          \  [@@soctam.allow \"ENGINE-CAPS\"]\n\n\
+          \  let run () =\n\
+          \    let d = Domain.spawn (fun () -> 1) in\n\
+          \    Domain.join d\n\
+           end\n" ) ]
+  in
+  Alcotest.(check (list string)) "allow silences the finding" []
+    (typed_rules t);
+  Alcotest.(check int) "and counts it" 1 t.Typed.suppressed
+
+let shared_min_stub =
+  "module Shared_min = struct\n\
+  \  let best = Atomic.make max_int\n\
+  \  let get () = Atomic.get best\n\
+  \  let improve v = Atomic.set best v\n\
+  \  let mirror_get () = Atomic.get best\n\
+  \  let mirror_improve v = Atomic.set best v\n\
+   end\n\n"
+
+let tau_discipline_typed_positive () =
+  (* A hot loop polling the shared atomic directly, and a worker
+     exporting tau without the mirror's strict-improvement filter. *)
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          shared_min_stub
+          ^ "let hot_poll () = Shared_min.get () [@@soctam.hot]\n\n\
+             let publish () =\n\
+            \  let d = Domain.spawn (fun () -> Shared_min.improve 3) in\n\
+            \  Domain.join d\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "hot direct read and unfiltered worker export"
+    [ "TAU-DISCIPLINE"; "TAU-DISCIPLINE" ]
+    (typed_rules t);
+  Alcotest.(check (list int))
+    "at the poll and the export" [ 9; 12 ]
+    (List.map (fun (f : Analyze.finding) -> f.Analyze.line) t.Typed.findings)
+
+let tau_discipline_typed_negative () =
+  (* The mirror entry points, cold reads and main-thread seeds are the
+     sanctioned uses. *)
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          shared_min_stub
+          ^ "let hot_poll_good () = Shared_min.mirror_get () [@@soctam.hot]\n\n\
+             let cold_poll () = Shared_min.get ()\n\n\
+             let seed () = Shared_min.improve 2\n\n\
+             let publish_good () =\n\
+            \  let d = Domain.spawn (fun () -> Shared_min.mirror_improve 4) in\n\
+            \  Domain.join d\n" ) ]
+  in
+  Alcotest.(check (list string))
+    "mirror, cold and main-thread uses are clean" [] (typed_rules t)
+
+let tau_discipline_typed_allow () =
+  let t =
+    typed_run
+      [ ( "fixture.ml",
+          shared_min_stub
+          ^ "let hot_poll () =\n\
+            \  (Shared_min.get () [@soctam.allow \"TAU-DISCIPLINE\"])\n\
+             [@@soctam.hot]\n" ) ]
+  in
+  Alcotest.(check (list string)) "allow silences the finding" []
+    (typed_rules t);
+  Alcotest.(check int) "and counts it" 1 t.Typed.suppressed
+
+let typed_missing_cmt_degrades () =
+  (* One compiled source and one with no .cmt: the typed pass keeps
+     analyzing what it can, and reports per stale file exactly which
+     rule families did not run there. *)
+  with_scratch_dir (fun dir ->
+      write_file dir "good.ml"
+        "let escape () =\n\
+        \  let hits = Hashtbl.create 8 in\n\
+        \  let d = Domain.spawn (fun () -> Hashtbl.replace hits 0 1) in\n\
+        \  Domain.join d;\n\
+        \  Hashtbl.length hits\n";
+      write_file dir "stale.ml" "let x = 1\n";
+      let command =
+        Printf.sprintf "cd %s && ocamlc -bin-annot -c good.ml 2>&1"
+          (Filename.quote dir)
+      in
+      let ic = Unix.open_process_in command in
+      let out = In_channel.input_all ic in
+      (match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail ("fixture should compile: " ^ out));
+      let t = Typed.run ~root:dir ~sources:[ "good.ml"; "stale.ml" ] in
+      Alcotest.(check (list string))
+        "the compiled source is still analyzed" [ "DOM-ESCAPE" ]
+        (typed_rules t);
+      Alcotest.(check int) "one typed file" 1 t.Typed.typed_files;
+      match t.Typed.problems with
+      | [ v ] ->
+          Alcotest.(check string) "a non-fatal info" "info"
+            (Violation.severity_name v.Violation.severity);
+          Alcotest.(check string) "of the analysis-error kind"
+            "analysis-error"
+            (Violation.kind_name v.Violation.kind);
+          Alcotest.(check bool) "located at the stale source" true
+            (match v.Violation.location with
+            | Violation.File ("stale.ml", 1) -> true
+            | _ -> false);
+          List.iter
+            (fun rule ->
+              Alcotest.(check bool)
+                ("says " ^ rule ^ " did not run")
+                true
+                (Test_cli.contains v.Violation.message rule))
+            [ "EFFECT-WORKER"; "OUTCOME-DROP"; "ENGINE-CAPS"; "TAU-DISCIPLINE" ]
+      | vs ->
+          Alcotest.failf "expected exactly one problem, got %d"
+            (List.length vs))
+
 (* -- the repository itself ------------------------------------------------ *)
 
 (* Tests run from _build/default/test; ".." is the build-dir mirror of
@@ -534,7 +888,9 @@ let rec remove_tree path =
    syntactic DET-POLY (plus IFACE, no .mli), and data/seed_typed.ml —
    compiled with ocamlc -bin-annot so the typed pass sees a .cmt —
    carries a positive and a negative fixture for each of DOM-ESCAPE,
-   LOCK-RAISE and ALLOC-HOT. *)
+   LOCK-RAISE, ALLOC-HOT, EFFECT-WORKER, OUTCOME-DROP, ENGINE-CAPS
+   and TAU-DISCIPLINE. bad.ml is deliberately left uncompiled, so the
+   tree also exercises the missing-.cmt degradation path. *)
 let with_seeded_tree f =
   let root = Filename.temp_file "soctam_analysis" "" in
   Sys.remove root;
@@ -573,7 +929,17 @@ let cli_analyze_finds_seeded_violation () =
           "domain-escape";
           "lock-discipline";
           "hot-allocation";
-        ])
+          "worker-effect";
+          "outcome-dropped";
+          "engine-caps-mismatch";
+          "tau-discipline";
+        ];
+      (* The uncompiled bad.ml degrades gracefully: an info names the
+         typed families that could not run there. *)
+      Alcotest.(check bool) "reports the missing .cmt" true
+        (Test_cli.contains out "no .cmt for this source");
+      Alcotest.(check bool) "info names the skipped effect families" true
+        (Test_cli.contains out "EFFECT-WORKER, OUTCOME-DROP"))
 
 let cli_analyze_json_golden () =
   (* Strict-JSON output over the seeded tree, byte-for-byte: stable
@@ -592,8 +958,31 @@ let cli_analyze_json_golden () =
       | Error msg -> Alcotest.fail ("golden output is strict JSON: " ^ msg)
       | Ok json ->
           Alcotest.(check (option int))
-            "six findings" (Some 6)
+            "twelve findings" (Some 12)
             (Option.bind (Json.member "errors" json) Json.to_int))
+
+let cli_analyze_sarif_golden () =
+  (* SARIF output over the seeded tree, byte-for-byte: same finding
+     order as the JSON report, one reportingDescriptor per rule that
+     fired, and strict-JSON well-formedness. *)
+  with_seeded_tree (fun root ->
+      let sarif_file = Filename.temp_file "soctam_sarif" ".sarif" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove sarif_file)
+        (fun () ->
+          let code, out =
+            Test_cli.run [ "analyze"; "--root"; root; "--sarif"; sarif_file ]
+          in
+          Alcotest.(check int) ("sarif exit code: " ^ out) 1 code;
+          let sarif = read_file sarif_file in
+          Alcotest.(check string) "matches data/analyze_seeded.sarif"
+            (read_file "data/analyze_seeded.sarif")
+            sarif;
+          match Json.parse sarif with
+          | Error msg -> Alcotest.fail ("sarif is strict JSON: " ^ msg)
+          | Ok json ->
+              Alcotest.(check (option string)) "sarif version" (Some "2.1.0")
+                (Option.bind (Json.member "version" json) Json.to_string_opt)))
 
 let cli_analyze_call_graph () =
   with_seeded_tree (fun root ->
@@ -633,8 +1022,12 @@ let cli_prune_baseline_round_trip () =
           "IFACE\tlib/core/bad.ml\tseeded fixture";
           "ALLOC-HOT\tlib/core/typed_fixture.ml\tseeded fixture";
           "DOM-ESCAPE\tlib/core/typed_fixture.ml\tseeded fixture";
+          "EFFECT-WORKER\tlib/core/typed_fixture.ml\tseeded fixture";
+          "ENGINE-CAPS\tlib/core/typed_fixture.ml\tseeded fixture";
           "IFACE\tlib/core/typed_fixture.ml\tseeded fixture";
           "LOCK-RAISE\tlib/core/typed_fixture.ml\tseeded fixture";
+          "OUTCOME-DROP\tlib/core/typed_fixture.ml\tseeded fixture";
+          "TAU-DISCIPLINE\tlib/core/typed_fixture.ml\tseeded fixture";
         ]
       in
       let baseline_path = Filename.concat root "analysis.baseline" in
@@ -668,6 +1061,33 @@ let cli_prune_baseline_round_trip () =
       Alcotest.(check bool) "second prune is a no-op" true
         (Test_cli.contains again_out "pruned 0 stale entries"))
 
+let cli_prune_baseline_to_empty () =
+  (* Pruning a baseline whose every entry is stale must leave the
+     header alone — no blank separator before a section that no longer
+     exists — and the header-only file must still load. *)
+  let root = Filename.temp_file "soctam_analysis" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  Fun.protect
+    ~finally:(fun () -> remove_tree root)
+    (fun () ->
+      write_file root "dune-project" "(lang dune 3.0)\n";
+      write_file root "analysis.baseline"
+        "DET-POLY\tlib/core/gone.ml\tstale entry to prune\n";
+      let baseline_path = Filename.concat root "analysis.baseline" in
+      let code, out =
+        Test_cli.run [ "analyze"; "--root"; root; "--prune-baseline" ]
+      in
+      Alcotest.(check int) ("prune exit code: " ^ out) 0 code;
+      Alcotest.(check string) "file is the header-only rendering"
+        (Baseline.to_string Baseline.empty)
+        (read_file baseline_path);
+      match Baseline.load baseline_path with
+      | Error _ -> Alcotest.fail "pruned-empty baseline should re-parse"
+      | Ok b ->
+          Alcotest.(check int) "no entries left" 0
+            (List.length (Baseline.entries b)))
+
 let suite =
   [
     test "rule catalog round-trips" rule_names;
@@ -683,6 +1103,8 @@ let suite =
     test "allow attribute is rule-scoped" suppression_is_scoped;
     test "allow attribute requires a rule id" suppression_requires_rule_id;
     test "baseline parses and round-trips" baseline_round_trip;
+    test "empty baseline renders header-only and re-parses"
+      baseline_empty_round_trip;
     test "baseline rejects malformed entries" baseline_rejects_malformed;
     test "baseline covers findings" baseline_acknowledges_findings;
     test "syntax errors become diagnostics" syntax_error_is_reported;
@@ -698,6 +1120,28 @@ let suite =
       alloc_hot_typed_positive;
     test "ALLOC-HOT ignores alloc-free and cold code"
       alloc_hot_typed_negative;
+    test "EFFECT-WORKER flags interprocedural worker writes"
+      effect_worker_typed_positive;
+    test "EFFECT-WORKER ignores worker-owned state"
+      effect_worker_typed_negative;
+    test "EFFECT-WORKER honors scoped allow" effect_worker_typed_allow;
+    test "OUTCOME-DROP flags discarded resume payloads"
+      outcome_drop_typed_positive;
+    test "OUTCOME-DROP ignores bindings and the defining module"
+      outcome_drop_typed_negative;
+    test "OUTCOME-DROP honors scoped allow" outcome_drop_typed_allow;
+    test "ENGINE-CAPS flags dishonest capability records"
+      engine_caps_typed_positive;
+    test "ENGINE-CAPS ignores honest declarations"
+      engine_caps_typed_negative;
+    test "ENGINE-CAPS honors scoped allow" engine_caps_typed_allow;
+    test "TAU-DISCIPLINE flags mirror bypasses"
+      tau_discipline_typed_positive;
+    test "TAU-DISCIPLINE ignores sanctioned uses"
+      tau_discipline_typed_negative;
+    test "TAU-DISCIPLINE honors scoped allow" tau_discipline_typed_allow;
+    test "typed pass degrades per-file without a .cmt"
+      typed_missing_cmt_degrades;
     test "repository analyzes clean" repo_is_clean;
     test "repository call graph reaches the solver core" repo_call_graph;
     test "pool reachability from dune files" repo_reachability;
@@ -706,7 +1150,11 @@ let suite =
       cli_analyze_finds_seeded_violation;
     test "cli: analyze --json matches the golden output"
       cli_analyze_json_golden;
+    test "cli: analyze --sarif matches the golden output"
+      cli_analyze_sarif_golden;
     test "cli: analyze --call-graph emits strict JSON" cli_analyze_call_graph;
     test "cli: analyze --prune-baseline round-trips"
       cli_prune_baseline_round_trip;
+    test "cli: analyze --prune-baseline prunes to empty"
+      cli_prune_baseline_to_empty;
   ]

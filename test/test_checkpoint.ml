@@ -118,6 +118,9 @@ let sw_doc =
               };
             ];
           sw_pending = [ 24; 32 ];
+          (* The interrupted width's own token rides inside the sweep
+             document, like race slot tokens. *)
+          sw_inner = Some pe_doc;
         };
   }
 
@@ -279,6 +282,34 @@ let race_slice_total_rejected () =
   in
   match Cp.of_string (Cp.to_string bad) with
   | Ok _ -> Alcotest.fail "broken race slice total accepted"
+  | Error _ -> ()
+
+let sweep_token_embedded () =
+  (* The interrupted width's token is a complete document, like race
+     slot tokens: restoring the sweep restores the width mid-search. *)
+  match Cp.of_string (Cp.to_string sw_doc) with
+  | Error msg -> Alcotest.failf "sweep round-trip rejected: %s" msg
+  | Ok { Cp.state = Cp.Sweep { Cp.sw_inner = Some token; _ }; _ } ->
+      Alcotest.(check string)
+        "inner token survives" (Cp.to_string pe_doc) (Cp.to_string token)
+  | Ok _ -> Alcotest.fail "sweep lost its inner token"
+
+let sweep_token_invariants_rejected () =
+  let with_sweep f =
+    match sw_doc.Cp.state with
+    | Cp.Sweep s -> { sw_doc with Cp.state = Cp.Sweep (f s) }
+    | _ -> assert false
+  in
+  (* An inner token makes no sense once every width completed. *)
+  let orphan = with_sweep (fun s -> { s with Cp.sw_pending = [] }) in
+  (match Cp.of_string (Cp.to_string orphan) with
+  | Ok _ -> Alcotest.fail "inner token without a pending width accepted"
+  | Error _ -> ());
+  (* Sweeps must not nest: the inner token belongs to a per-width
+     solver. *)
+  let nested = with_sweep (fun s -> { s with Cp.sw_inner = Some sw_doc }) in
+  match Cp.of_string (Cp.to_string nested) with
+  | Ok _ -> Alcotest.fail "nested sweep token accepted"
   | Error _ -> ()
 
 (* -- strict rejection ------------------------------------------------------ *)
@@ -775,6 +806,71 @@ let sweep_resume_agrees () =
             (List.for_all2 same straight.Sw.points resumed.Sw.points))
     [ 0; 1; 2 ]
 
+(* Regression for the mid-width resume: a truncation inside a width
+   embeds that width's own token in the sweep checkpoint, and the
+   resumed sweep continues the width mid-search. The counters-exact
+   check is what pins it: replaying the partial width's counters and
+   then re-running the width whole would overcount versus a straight
+   run. *)
+let sweep_midwidth_resume_agrees () =
+  let soc = small_soc 5L ~cores:4 in
+  let widths = [ 6; 8; 10 ] in
+  let straight_stats = Obs.create () in
+  let straight =
+    Sw.run_with
+      (Rc.default |> Rc.with_max_tams 3 |> Rc.with_stats straight_stats)
+      soc ~widths
+  in
+  let interrupted =
+    Sw.run_with
+      (Rc.default |> Rc.with_max_tams 3
+      |> Rc.with_stats (Obs.create ())
+      |> Rc.with_slice_limit 1)
+      soc ~widths
+  in
+  match interrupted.Sw.outcome with
+  | Oc.Complete -> Alcotest.fail "a 1-slice limit did not truncate the sweep"
+  | Oc.Interrupted _ -> Alcotest.fail "no cancellation was configured"
+  | Oc.Budget_exhausted token ->
+      Alcotest.(check int)
+        "truncated inside the first width" 0
+        (List.length interrupted.Sw.points);
+      (match token.Cp.state with
+      | Cp.Sweep { Cp.sw_inner = Some _; sw_pending; _ } ->
+          Alcotest.(check (list int)) "every width still pending" widths
+            sw_pending
+      | Cp.Sweep _ -> Alcotest.fail "sweep token lost the mid-width token"
+      | _ -> Alcotest.fail "not a sweep token");
+      (* The token must survive serialization, as it would on disk. *)
+      let token =
+        match Cp.of_string (Cp.to_string token) with
+        | Ok t -> t
+        | Error msg -> Alcotest.failf "sweep token did not round-trip: %s" msg
+      in
+      let resumed_stats = Obs.create () in
+      let resumed =
+        Sw.run_with
+          (Rc.default |> Rc.with_max_tams 3
+          |> Rc.with_stats resumed_stats
+          |> Rc.with_resume token)
+          soc ~widths
+      in
+      Alcotest.(check bool)
+        "resumed sweep completes" true
+        (Oc.is_complete resumed.Sw.outcome);
+      Alcotest.(check bool)
+        "resumed sweep agrees" true
+        (List.for_all2
+           (fun (a : Sw.point) (b : Sw.point) ->
+             a.Sw.width = b.Sw.width && a.Sw.time = b.Sw.time
+             && a.Sw.widths = b.Sw.widths)
+           straight.Sw.points resumed.Sw.points);
+      List.iter2
+        (fun (name, a) (_, b) ->
+          Alcotest.(check int) ("counter " ^ name) a b)
+        (counters_of straight_stats)
+        (counters_of resumed_stats)
+
 let suite =
   [
     test "checkpoint: partition_evaluate round-trip" (round_trip pe_doc);
@@ -786,6 +882,9 @@ let suite =
     test "checkpoint: anneal floats and rng bit-exact" anneal_bits_exact;
     test "checkpoint: race embeds engine tokens" race_tokens_embedded;
     test "checkpoint: race slice total rejected" race_slice_total_rejected;
+    test "checkpoint: sweep embeds the mid-width token" sweep_token_embedded;
+    test "checkpoint: sweep token invariants rejected"
+      sweep_token_invariants_rejected;
     test "checkpoint: stale version rejected" stale_version_rejected;
     test "checkpoint: checksum mismatch rejected" checksum_mismatch_rejected;
     test "checkpoint: cursor invariant rejected" cursor_invariant_rejected;
@@ -804,4 +903,6 @@ let suite =
     test "resume: checkpoint file lifecycle" checkpoint_file_lifecycle;
     test "resume: exhaustive agrees at every boundary" exhaustive_resume_agrees;
     test "resume: sweep agrees at every width" sweep_resume_agrees;
+    test "resume: sweep continues mid-width, counters exact"
+      sweep_midwidth_resume_agrees;
   ]
